@@ -1,0 +1,41 @@
+//! Errors from plan construction and execution.
+
+use monoid_calculus::error::EvalError;
+use std::fmt;
+
+/// Why an expression could not be compiled into an algebra plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// Only comprehensions compile to plans; normalize first.
+    NotAComprehension,
+    /// The expression contains heap effects (`new`/`:=`), which the
+    /// pipelined algebra does not execute (use the evaluator).
+    Impure,
+    /// Vector comprehensions have their own evaluation path.
+    VectorComprehension,
+    /// A qualifier form the planner does not handle.
+    Unsupported(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NotAComprehension => {
+                write!(f, "only (normalized) comprehensions compile to algebra plans")
+            }
+            PlanError::Impure => write!(
+                f,
+                "expression performs heap effects; run it through the evaluator instead"
+            ),
+            PlanError::VectorComprehension => {
+                write!(f, "vector comprehensions evaluate directly, not via the algebra")
+            }
+            PlanError::Unsupported(msg) => write!(f, "unsupported for planning: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Execution failures are evaluation failures.
+pub type ExecResult<T> = Result<T, EvalError>;

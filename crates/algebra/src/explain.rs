@@ -1,0 +1,95 @@
+//! `EXPLAIN`: render a plan tree for humans. Used by the experiment
+//! harness to show how canonical comprehensions become pipelines.
+
+use crate::logical::{JoinKind, Plan, Query};
+use monoid_calculus::pretty::pretty;
+use std::fmt::Write as _;
+
+/// Render a query plan as an indented tree, reduce at the top.
+pub fn explain(query: &Query) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Reduce[{}] head = {}",
+        query.monoid,
+        pretty(&query.head)
+    );
+    explain_plan(&query.plan, 1, &mut out);
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn explain_plan(plan: &Plan, depth: usize, out: &mut String) {
+    indent(out, depth);
+    match plan {
+        Plan::Scan { var, source } => {
+            let _ = writeln!(out, "Scan {var} ← {}", pretty(source));
+        }
+        Plan::IndexLookup { var, index, key } => {
+            let _ = writeln!(
+                out,
+                "IndexLookup {var} ← {}[{} = {}]",
+                index.extent,
+                index.field,
+                pretty(key)
+            );
+        }
+        Plan::Unnest { input, var, path } => {
+            let _ = writeln!(out, "Unnest {var} ← {}", pretty(path));
+            explain_plan(input, depth + 1, out);
+        }
+        Plan::Filter { input, pred } => {
+            let _ = writeln!(out, "Filter {}", pretty(pred));
+            explain_plan(input, depth + 1, out);
+        }
+        Plan::Bind { input, var, expr } => {
+            let _ = writeln!(out, "Bind {var} ≡ {}", pretty(expr));
+            explain_plan(input, depth + 1, out);
+        }
+        Plan::Join { left, right, on, kind } => {
+            let kind = match kind {
+                JoinKind::NestedLoop => "NestedLoopJoin",
+                JoinKind::Hash => "HashJoin",
+            };
+            let keys: Vec<String> = on
+                .iter()
+                .map(|(l, r)| format!("{} = {}", pretty(l), pretty(r)))
+                .collect();
+            let _ = writeln!(out, "{kind} on [{}]", keys.join(", "));
+            explain_plan(left, depth + 1, out);
+            explain_plan(right, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::plan_comprehension;
+    use monoid_calculus::expr::Expr;
+    use monoid_calculus::monoid::Monoid;
+
+    #[test]
+    fn explain_renders_pipeline() {
+        let q = Expr::comp(
+            Monoid::Bag,
+            Expr::var("h").proj("name"),
+            vec![
+                Expr::gen("c", Expr::var("Cities")),
+                Expr::pred(Expr::var("c").proj("name").eq(Expr::str("Portland"))),
+                Expr::gen("h", Expr::var("c").proj("hotels")),
+            ],
+        );
+        let plan = plan_comprehension(&q).unwrap();
+        let s = explain(&plan);
+        assert!(s.contains("Reduce[bag]"), "{s}");
+        assert!(s.contains("Scan c ← Cities"), "{s}");
+        assert!(s.contains("Unnest h ← c.hotels"), "{s}");
+        assert!(s.contains("Filter"), "{s}");
+    }
+}

@@ -1,0 +1,41 @@
+//! # monoid-algebra
+//!
+//! The evaluation back end for canonical monoid comprehensions — the
+//! paper's *efficient evaluation* leg (§1, §6 sketch the translation into
+//! a logical algebra; the companion paper \[17\] develops the physical
+//! mapping, which this crate realizes in Volcano/push style).
+//!
+//! * [`logical`] — plan operators (Scan, Unnest, Filter, Bind, Join) and
+//!   the canonical-comprehension → plan translation with predicate
+//!   pushdown and equi-join (hash) detection.
+//! * [`exec`] — push-based pipelined execution: no intermediate
+//!   materialization except hash-join build sides, with `some`/`all`
+//!   short-circuiting.
+//! * [`parallel`] — partitioned parallel reduction, sound because monoid
+//!   merges are associative (and commutative where required).
+//! * [`optimizer`] — cost-based qualifier reordering (join ordering as a
+//!   calculus-level permutation, valid by commutativity) with statistics
+//!   gathered from the database.
+//! * [`index`] — secondary indexes on extent fields and the optimizer
+//!   pass that turns filtered scans into index lookups (the physical
+//!   design dimension of companion paper \[17\]).
+//! * [`explain`](mod@explain) — human-readable plan trees.
+//!
+//! Typical flow: `compile` OQL → `normalize` → [`logical::plan_comprehension`]
+//! → [`exec::execute`].
+
+pub mod error;
+pub mod exec;
+pub mod explain;
+pub mod index;
+pub mod logical;
+pub mod optimizer;
+pub mod parallel;
+
+pub use error::PlanError;
+pub use exec::{execute, execute_counted};
+pub use explain::explain;
+pub use index::{apply_indexes, Index, IndexCatalog};
+pub use optimizer::{reorder_generators, Stats};
+pub use logical::{plan_comprehension, plan_with_options, JoinKind, Plan, PlanOptions, Query};
+pub use parallel::execute_parallel;

@@ -1,0 +1,117 @@
+//! B6 — ablations of the algebra's design choices (DESIGN.md calls out
+//! equi-join detection, predicate placement, and monoid-parallel
+//! reduction):
+//!
+//! * hash join vs nested loop across sizes and key selectivities —
+//!   expected: hash wins once the build side exceeds a few dozen rows;
+//! * predicate pushdown on vs off — expected: pushing the city filter
+//!   below the unnests skips navigating every non-matching city;
+//! * parallel partitioned reduction vs sequential — expected: near-linear
+//!   scaling for commutative monoids on large scans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use monoid_bench::queries::{employee_client_join, PORTLAND_FLAT_OQL};
+use monoid_calculus::expr::Expr;
+use monoid_calculus::monoid::Monoid;
+use monoid_calculus::normalize::normalize;
+use monoid_store::travel::{self, TravelScale};
+
+fn bench_join_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b6_join_strategy");
+    group.sample_size(10);
+    for hotels in [200usize, 800] {
+        for k in [4i64, 64] {
+            let scale = TravelScale::with_hotels(hotels);
+            let mut db = travel::generate(scale, 7);
+            let q = employee_client_join(k);
+            let hash = monoid_algebra::plan_comprehension(&q).expect("hash plan");
+            let nl = monoid_algebra::plan_with_options(
+                &q,
+                monoid_algebra::PlanOptions { hash_joins: false, push_predicates: true },
+            )
+            .expect("nl plan");
+            let id = format!("h{hotels}_k{k}");
+            group.bench_with_input(BenchmarkId::new("hash", &id), &id, |b, _| {
+                b.iter(|| monoid_algebra::execute(&hash, &mut db).expect("hash"))
+            });
+            group.bench_with_input(BenchmarkId::new("nested_loop", &id), &id, |b, _| {
+                b.iter(|| monoid_algebra::execute(&nl, &mut db).expect("nl"))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_pushdown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b6_predicate_pushdown");
+    group.sample_size(10);
+    for hotels in [400usize, 1600] {
+        let scale = TravelScale::with_hotels(hotels);
+        let mut db = travel::generate(scale, 7);
+        let schema = travel::schema();
+        let q = monoid_oql::compile(&schema, PORTLAND_FLAT_OQL).expect("compiles");
+        let n = normalize(&q);
+        let on = monoid_algebra::plan_comprehension(&n).expect("on");
+        let off = monoid_algebra::plan_with_options(
+            &n,
+            monoid_algebra::PlanOptions { hash_joins: true, push_predicates: false },
+        )
+        .expect("off");
+        group.bench_with_input(BenchmarkId::new("pushdown_on", hotels), &hotels, |b, _| {
+            b.iter(|| monoid_algebra::execute(&on, &mut db).expect("on"))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("pushdown_off", hotels),
+            &hotels,
+            |b, _| b.iter(|| monoid_algebra::execute(&off, &mut db).expect("off")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b6_index_vs_scan");
+    group.sample_size(10);
+    for hotels in [400usize, 1600] {
+        let scale = TravelScale::with_hotels(hotels);
+        let mut db = travel::generate(scale, 7);
+        let schema = travel::schema();
+        let q = monoid_oql::compile(&schema, PORTLAND_FLAT_OQL).expect("compiles");
+        let plan = monoid_algebra::plan_comprehension(&normalize(&q)).expect("plan");
+        let mut catalog = monoid_algebra::IndexCatalog::new();
+        catalog.build(&db, "Cities", "name").expect("index");
+        let (indexed, _) = monoid_algebra::apply_indexes(&plan, &catalog);
+        group.bench_with_input(BenchmarkId::new("scan", hotels), &hotels, |b, _| {
+            b.iter(|| monoid_algebra::execute(&plan, &mut db).expect("scan"))
+        });
+        group.bench_with_input(BenchmarkId::new("index", hotels), &hotels, |b, _| {
+            b.iter(|| monoid_algebra::execute(&indexed, &mut db).expect("index"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b6_parallel_reduce");
+    group.sample_size(10);
+    let scale = TravelScale::with_hotels(3200);
+    let mut db = travel::generate(scale, 7);
+    let q = Expr::comp(
+        Monoid::Sum,
+        Expr::var("r").proj("bed#").mul(Expr::var("r").proj("bed#")),
+        vec![
+            Expr::gen("h", Expr::var("Hotels")),
+            Expr::gen("r", Expr::var("h").proj("rooms")),
+        ],
+    );
+    let plan = monoid_algebra::plan_comprehension(&q).expect("plan");
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| monoid_algebra::execute_parallel(&plan, &mut db, t).expect("parallel"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_strategy, bench_pushdown, bench_index, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Normalization cost — the *manipulability* leg of effectiveness.
+//!
+//! Normalization happens once per query at compile time, so its absolute
+//! cost matters little; this bench documents that it is microseconds even
+//! for deeply nested inputs, and that its output is stable (idempotent).
+//! Sweep dimension: nesting depth of `from`-subqueries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use monoid_calculus::expr::Expr;
+use monoid_calculus::monoid::Monoid;
+use monoid_calculus::normalize::normalize;
+
+/// Build a `depth`-level nest: bag{ f(x) | x ← bag{ … | … } }.
+fn deep_nest(depth: usize) -> Expr {
+    let mut e = Expr::comp(
+        Monoid::Bag,
+        Expr::var("x0"),
+        vec![Expr::gen("x0", Expr::var("Source"))],
+    );
+    for i in 1..=depth {
+        let v = format!("x{i}");
+        e = Expr::comp(
+            Monoid::Bag,
+            Expr::var(v.as_str()).add(Expr::int(1)),
+            vec![
+                Expr::gen(v.as_str(), e),
+                Expr::pred(Expr::var(v.as_str()).gt(Expr::int(0))),
+            ],
+        );
+    }
+    e
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normalization_cost");
+    for depth in [2usize, 8, 32] {
+        let e = deep_nest(depth);
+        group.bench_with_input(BenchmarkId::new("depth", depth), &depth, |b, _| {
+            b.iter(|| normalize(&e))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

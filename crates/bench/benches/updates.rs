@@ -1,0 +1,70 @@
+//! B5 — §4.2/§4.3 updates: the calculus update program (give every
+//! employee a raise; insert a hotel into a city) against direct heap
+//! mutation. Expected shape: both linear in the number of objects; the
+//! calculus pays an interpretation constant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use monoid_bench::queries::{insert_hotel_update, raise_salaries};
+use monoid_calculus::symbol::Symbol;
+use monoid_calculus::value::{Oid, Value};
+use monoid_store::travel::{self, TravelScale};
+
+fn bench_raise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b5_raise_salaries");
+    group.sample_size(10);
+    for hotels in [200usize, 800] {
+        let scale = TravelScale::with_hotels(hotels);
+        let upd = raise_salaries(1);
+        let base = travel::generate(scale, 7);
+        let salary = Symbol::new("salary");
+
+        group.bench_with_input(BenchmarkId::new("calculus", hotels), &hotels, |b, _| {
+            b.iter(|| {
+                let mut db = base.clone();
+                db.query(&upd).expect("update");
+                db
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("direct", hotels), &hotels, |b, _| {
+            b.iter(|| {
+                let mut db = base.clone();
+                let heap_len = db.heap().len();
+                for i in 0..heap_len {
+                    let oid = Oid(i as u64);
+                    let state = db.state(oid).expect("state").clone();
+                    if let Some(Value::Int(s)) = state.field(salary).cloned() {
+                        if let Value::Record(fields) = &state {
+                            let mut fs = fields.as_ref().clone();
+                            for f in &mut fs {
+                                if f.0 == salary {
+                                    f.1 = Value::Int(s + 1);
+                                }
+                            }
+                            db.heap_mut().set(oid, Value::record(fs)).expect("set");
+                        }
+                    }
+                }
+                db
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b5_insert_hotel");
+    group.sample_size(10);
+    let base = travel::generate(TravelScale::with_hotels(400), 7);
+    let upd = insert_hotel_update("Portland", "hotel_bench");
+    group.bench_function("calculus_insert", |b| {
+        b.iter(|| {
+            let mut db = base.clone();
+            db.query(&upd).expect("insert");
+            db
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_raise, bench_insert);
+criterion_main!(benches);

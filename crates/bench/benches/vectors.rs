@@ -1,0 +1,82 @@
+//! B4 — §4.1 vectors: the DFT-as-a-query against the native FFT, the
+//! histogram comprehension, and the matmul comprehension against native
+//! matmul. Expected shape: identical results; the interpreted
+//! comprehensions pay a constant factor, and the FFT's asymptotic
+//! advantage over the O(n²) DFT query grows with n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use monoid_calculus::eval::eval_closed;
+use monoid_calculus::expr::Expr;
+use monoid_calculus::monoid::Monoid;
+use monoid_vector as vector;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b4_dft_vs_fft");
+    group.sample_size(10);
+    for n in [16usize, 64, 256] {
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 / 3.0).sin()).collect();
+        let xs: Vec<vector::Complex> = x.iter().map(|&r| (r, 0.0)).collect();
+        group.bench_with_input(BenchmarkId::new("dft_query", n), &n, |b, _| {
+            b.iter(|| vector::dft_via_query(&x).expect("dft"))
+        });
+        group.bench_with_input(BenchmarkId::new("native_fft", n), &n, |b, _| {
+            b.iter(|| vector::fft(&xs))
+        });
+        group.bench_with_input(BenchmarkId::new("native_dft", n), &n, |b, _| {
+            b.iter(|| vector::dft_reference(&xs))
+        });
+    }
+    group.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b4_histogram");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        let xs = Expr::CollLit(
+            Monoid::List,
+            (0..n as i64).map(|i| Expr::int(i * 37 % 1000)).collect(),
+        );
+        let q = vector::histogram_expr(xs, 10, 100);
+        group.bench_with_input(BenchmarkId::new("comprehension", n), &n, |b, _| {
+            b.iter(|| eval_closed(&q).expect("histogram"))
+        });
+        let data: Vec<i64> = (0..n as i64).map(|i| i * 37 % 1000).collect();
+        group.bench_with_input(BenchmarkId::new("native", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buckets = [0u64; 10];
+                for &v in &data {
+                    buckets[(v / 100) as usize] += 1;
+                }
+                buckets
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b4_matmul");
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        let a: Vec<Vec<i64>> = (0..n)
+            .map(|i| (0..n).map(|j| (i * j) as i64 % 7).collect())
+            .collect();
+        let q = vector::matmul_expr(
+            vector::matrix::int_matrix(&a),
+            vector::matrix::int_matrix(&a),
+            n,
+            n,
+        );
+        group.bench_with_input(BenchmarkId::new("comprehension", n), &n, |b, _| {
+            b.iter(|| vector::matrix::eval_int_matrix(&q).expect("matmul"))
+        });
+        group.bench_with_input(BenchmarkId::new("native", n), &n, |b, _| {
+            b.iter(|| vector::matmul_reference(&a, &a))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_histogram, bench_matmul);
+criterion_main!(benches);

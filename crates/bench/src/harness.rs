@@ -1,0 +1,119 @@
+//! Minimal timing and table-rendering utilities for the `experiments`
+//! binary (Criterion handles the statistically careful runs; this harness
+//! prints the paper-style tables quickly).
+
+use std::time::Instant;
+
+/// Median wall-time of `runs` executions of `f`, in nanoseconds.
+pub fn median_nanos<T>(runs: usize, mut f: impl FnMut() -> T) -> u128 {
+    assert!(runs > 0);
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let start = Instant::now();
+        let out = f();
+        samples.push(start.elapsed().as_nanos());
+        drop(out);
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Render nanoseconds human-readably.
+pub fn fmt_nanos(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A simple aligned text table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("| ");
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(cell);
+                for _ in cell.chars().count()..*w {
+                    line.push(' ');
+                }
+                line.push_str(" | ");
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&"-".repeat(w + 2));
+            sep.push('|');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns() {
+        let mut t = Table::new(&["name", "n"]);
+        t.row(&["a".to_string(), "100".to_string()]);
+        t.row(&["longer".to_string(), "2".to_string()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn fmt_nanos_scales() {
+        assert_eq!(fmt_nanos(12), "12 ns");
+        assert_eq!(fmt_nanos(1_500), "1.50 µs");
+        assert_eq!(fmt_nanos(2_500_000), "2.50 ms");
+        assert_eq!(fmt_nanos(3_000_000_000), "3.00 s");
+    }
+
+    #[test]
+    fn median_is_stable() {
+        let m = median_nanos(5, || 1 + 1);
+        assert!(m < 1_000_000);
+    }
+}

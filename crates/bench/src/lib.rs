@@ -1,0 +1,13 @@
+//! # monoid-bench
+//!
+//! Workloads, query builders, and a light harness shared by:
+//!
+//! * the `experiments` binary (`cargo run -p monoid-bench --bin
+//!   experiments`), which regenerates every table, worked example, and
+//!   derivation in the paper plus quick versions of the benchmark series
+//!   (E1–E6, B1–B6 in DESIGN.md / EXPERIMENTS.md);
+//! * the Criterion benches (`cargo bench -p monoid-bench`), one target per
+//!   benchmark series.
+
+pub mod harness;
+pub mod queries;

@@ -1,0 +1,113 @@
+//! Error types for the calculus: type errors (including the paper's C/I
+//! legality violations) and evaluation errors.
+
+use crate::monoid::Monoid;
+use crate::symbol::Symbol;
+use crate::types::Type;
+use std::fmt;
+
+/// An error raised while type-checking a calculus expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeError {
+    /// A variable was used but never bound.
+    UnboundVariable(Symbol),
+    /// Two types failed to unify.
+    Mismatch { expected: Type, found: Type, context: String },
+    /// The paper's central restriction: `hom[M→N]` (and hence a generator
+    /// drawing from an `M`-collection inside an `N`-comprehension) is legal
+    /// only when the commutativity/idempotence properties of `M` are a
+    /// subset of those of `N`. E.g. `sum{ x | x ← someSet }` is rejected
+    /// because `∪` is idempotent but `+` is not.
+    IllegalHomomorphism { from: Monoid, to: Monoid, context: String },
+    /// A generator's source expression is not a collection.
+    NotACollection { found: Type, context: String },
+    /// Record/projection errors.
+    NoSuchField { record: Type, field: Symbol },
+    /// Something that must be a function (e.g. a `sorted[f]` key) is not.
+    NotAFunction { found: Type, context: String },
+    /// The occurs check failed during unification (infinite type).
+    InfiniteType,
+    /// Anything else, with a human-readable description.
+    Other(String),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnboundVariable(v) => write!(f, "unbound variable `{v}`"),
+            TypeError::Mismatch { expected, found, context } => {
+                write!(f, "type mismatch in {context}: expected `{expected}`, found `{found}`")
+            }
+            TypeError::IllegalHomomorphism { from, to, context } => write!(
+                f,
+                "illegal homomorphism {from} → {to} in {context}: the \
+                 commutativity/idempotence properties of {from} are not a subset \
+                 of those of {to} (Fegaras & Maier §2.3)"
+            ),
+            TypeError::NotACollection { found, context } => {
+                write!(f, "generator source in {context} is not a collection: `{found}`")
+            }
+            TypeError::NoSuchField { record, field } => {
+                write!(f, "type `{record}` has no field `{field}`")
+            }
+            TypeError::NotAFunction { found, context } => {
+                write!(f, "expected a function in {context}, found `{found}`")
+            }
+            TypeError::InfiniteType => write!(f, "cannot construct infinite type"),
+            TypeError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// An error raised while evaluating a calculus expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A variable had no binding at runtime (should be prevented by
+    /// type checking, but the evaluator is independently safe).
+    UnboundVariable(Symbol),
+    /// An operation was applied to values of the wrong shape.
+    TypeMismatch { op: &'static str, detail: String },
+    /// Dangling or foreign OID dereference.
+    InvalidOid(u64),
+    /// Division by zero or integer overflow.
+    Arithmetic(String),
+    /// Vector index out of range.
+    IndexOutOfBounds { index: i64, len: usize },
+    /// `element(e)` on a collection that does not contain exactly one value.
+    ElementCardinality(usize),
+    /// Recursion/step budget exhausted (guards the property-test generators
+    /// and any adversarial input against runaway evaluation).
+    BudgetExhausted,
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(v) => write!(f, "unbound variable `{v}` at runtime"),
+            EvalError::TypeMismatch { op, detail } => {
+                write!(f, "runtime type mismatch in `{op}`: {detail}")
+            }
+            EvalError::InvalidOid(o) => write!(f, "invalid object identifier #{o}"),
+            EvalError::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
+            EvalError::IndexOutOfBounds { index, len } => {
+                write!(f, "vector index {index} out of bounds (len {len})")
+            }
+            EvalError::ElementCardinality(n) => {
+                write!(f, "element() applied to a collection with {n} elements (expected 1)")
+            }
+            EvalError::BudgetExhausted => write!(f, "evaluation budget exhausted"),
+            EvalError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Result alias for type checking.
+pub type TypeResult<T> = Result<T, TypeError>;
+/// Result alias for evaluation.
+pub type EvalResult<T> = Result<T, EvalError>;

@@ -1,0 +1,99 @@
+//! The object heap — identity and updates (paper §4.2).
+//!
+//! The paper models `new`/`!`/`:=` with a monoid of *state transformers*
+//! that thread an object heap ("bindings from OIDs to object states")
+//! through every operation. Operationally that is exactly a mutable heap
+//! threaded left-to-right through evaluation, which is what we implement:
+//! the evaluator owns a [`Heap`] and qualifiers see each other's effects in
+//! order, reproducing all four of the paper's examples (see
+//! `tests/identity_updates.rs`).
+
+use crate::error::{EvalError, EvalResult};
+use crate::value::{Oid, Value};
+
+/// A growable store of object states indexed by [`Oid`].
+#[derive(Debug, Default, Clone)]
+pub struct Heap {
+    states: Vec<Value>,
+}
+
+impl Heap {
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Allocate a new object with the given state; returns its identity.
+    /// Distinct calls always produce distinct OIDs (the paper's first
+    /// example: `some{ !x = !y | x ← new(1), y ← new(1) }` is true — equal
+    /// *states* — while `x = y` would be false — distinct *identities*).
+    pub fn alloc(&mut self, state: Value) -> Oid {
+        let oid = Oid(self.states.len() as u64);
+        self.states.push(state);
+        oid
+    }
+
+    /// Dereference: the current state of `oid`.
+    pub fn get(&self, oid: Oid) -> EvalResult<&Value> {
+        self.states
+            .get(oid.0 as usize)
+            .ok_or(EvalError::InvalidOid(oid.0))
+    }
+
+    /// Update the state of `oid`.
+    pub fn set(&mut self, oid: Oid, state: Value) -> EvalResult<()> {
+        match self.states.get_mut(oid.0 as usize) {
+            Some(slot) => {
+                *slot = state;
+                Ok(())
+            }
+            None => Err(EvalError::InvalidOid(oid.0)),
+        }
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Iterate over `(oid, state)` pairs (used by stores to snapshot).
+    pub fn iter(&self) -> impl Iterator<Item = (Oid, &Value)> {
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (Oid(i as u64), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_allocations_distinct_identities() {
+        let mut h = Heap::new();
+        let a = h.alloc(Value::Int(1));
+        let b = h.alloc(Value::Int(1));
+        assert_ne!(a, b);
+        assert_eq!(h.get(a).unwrap(), h.get(b).unwrap());
+    }
+
+    #[test]
+    fn set_updates_state() {
+        let mut h = Heap::new();
+        let a = h.alloc(Value::Int(1));
+        h.set(a, Value::Int(42)).unwrap();
+        assert_eq!(h.get(a).unwrap(), &Value::Int(42));
+    }
+
+    #[test]
+    fn dangling_oid_is_an_error() {
+        let h = Heap::new();
+        assert!(matches!(h.get(Oid(7)), Err(EvalError::InvalidOid(7))));
+        let mut h = h;
+        assert!(h.set(Oid(7), Value::Null).is_err());
+    }
+}

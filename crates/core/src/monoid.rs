@@ -1,0 +1,264 @@
+//! Monoids — Table 1 of the paper.
+//!
+//! A monoid `(T, zero, ⊕)` has an associative merge `⊕` with identity
+//! `zero`. A *collection monoid* additionally has a unit injection
+//! `unit : α → T(α)` (e.g. `unit_set(a) = {a}`), and its values are built by
+//! merging units. A *primitive monoid* aggregates scalars (`sum`, `max`, …).
+//!
+//! The commutativity/idempotence (**C/I**) properties of the merge are what
+//! distinguish collection kinds: `∪` is commutative and idempotent (sets),
+//! `⊎` is commutative only (bags), `++` is neither (lists). The paper's
+//! central *legality restriction* says a monoid homomorphism
+//! `hom[M→N](f)(A)` is well-formed only when `props(M) ⊆ props(N)`
+//! ([`Props::leq`]): one may collapse structure (list → set) but never
+//! invent it (set → sum is rejected, because `+` would count each element
+//! once despite the source having no well-defined multiplicity).
+//!
+//! Paper ↔ implementation notes:
+//! * `string` is the monoid of character lists under concatenation; our
+//!   values carry strings as scalars, and [`Monoid::Str`] concatenates them.
+//! * `sorted[f]` is parameterized by a key function in the paper. Here
+//!   [`Monoid::Sorted`] merges by the *natural total order* on values and
+//!   drops exact duplicates — this makes it CI, which is exactly what the
+//!   paper requires ("the restriction … allows the conversion of sets into
+//!   sorted lists"). `sorted[f]` for an arbitrary key `f` is expressed by
+//!   comprehending pairs `(f(e), e)`, which sort lexicographically by key.
+//! * [`Monoid::SortedBag`] is a documented extension (C, duplicate-keeping
+//!   sorted merge) used to translate OQL `order by` over bags, where
+//!   duplicate rows must survive.
+//! * [`Monoid::VecOf`] is the paper's §4.1 lifted monoid `M[n]`: vectors of
+//!   size `n` merged pointwise with `M`'s merge; `unit(a, i)` is the vector
+//!   that is `zero_M` everywhere except `a` at index `i`. It is *not* freely
+//!   generated, and its properties are inherited pointwise from `M`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The commutativity/idempotence signature of a monoid's merge operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Props {
+    /// `∀x,y. x ⊕ y = y ⊕ x`
+    pub commutative: bool,
+    /// `∀x. x ⊕ x = x`
+    pub idempotent: bool,
+}
+
+impl Props {
+    pub const NONE: Props = Props { commutative: false, idempotent: false };
+    pub const C: Props = Props { commutative: true, idempotent: false };
+    pub const I: Props = Props { commutative: false, idempotent: true };
+    pub const CI: Props = Props { commutative: true, idempotent: true };
+
+    /// The paper's `M ≤ N` relation: every property of `M` also holds of
+    /// `N`. `hom[M→N]` is legal iff `props(M).leq(props(N))`.
+    pub fn leq(self, other: Props) -> bool {
+        (!self.commutative || other.commutative) && (!self.idempotent || other.idempotent)
+    }
+}
+
+impl fmt::Display for Props {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.commutative, self.idempotent) {
+            (false, false) => write!(f, "∅"),
+            (true, false) => write!(f, "C"),
+            (false, true) => write!(f, "I"),
+            (true, true) => write!(f, "CI"),
+        }
+    }
+}
+
+/// A monoid of the calculus. See the module docs for the paper mapping.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Monoid {
+    // ---- collection monoids (Table 1, top half) ----
+    /// `(list(α), [], ++)` — neither commutative nor idempotent.
+    List,
+    /// `(bag(α), {{}}, ⊎)` — commutative.
+    Bag,
+    /// `(set(α), {}, ∪)` — commutative and idempotent.
+    Set,
+    /// `(list(α), [], ∪̇)` — ordered set: duplicate-dropping append,
+    /// `x ∪̇ y = x ++ (y − x)`. Idempotent but not commutative.
+    OSet,
+    /// `(list(α), [], merge)` — the paper's `sorted[f]`: order-merging,
+    /// duplicate-dropping. Commutative and idempotent.
+    Sorted,
+    /// Extension: duplicate-keeping sorted merge (commutative only); used
+    /// for OQL `order by` over bags.
+    SortedBag,
+    /// `(string, "", concat)` — neither commutative nor idempotent.
+    Str,
+    // ---- primitive monoids (Table 1, bottom half) ----
+    /// `(number, 0, +)` — commutative.
+    Sum,
+    /// `(number, 1, ×)` — commutative.
+    Prod,
+    /// `(number ∪ {−∞}, −∞, max)` — commutative and idempotent.
+    Max,
+    /// `(number ∪ {+∞}, +∞, min)` — commutative and idempotent.
+    Min,
+    /// `(bool, false, ∨)` — commutative and idempotent (∃).
+    Some,
+    /// `(bool, true, ∧)` — commutative and idempotent (∀).
+    All,
+    // ---- §4.1: vectors ----
+    /// The lifted monoid `M[n]`: fixed-size vectors merged pointwise by `M`.
+    VecOf(Box<Monoid>),
+}
+
+impl Monoid {
+    /// The C/I signature of this monoid's merge.
+    pub fn props(&self) -> Props {
+        match self {
+            Monoid::List | Monoid::Str => Props::NONE,
+            Monoid::Bag | Monoid::SortedBag | Monoid::Sum | Monoid::Prod => Props::C,
+            Monoid::OSet => Props::I,
+            Monoid::Set | Monoid::Sorted | Monoid::Max | Monoid::Min | Monoid::Some
+            | Monoid::All => Props::CI,
+            Monoid::VecOf(m) => m.props(),
+        }
+    }
+
+    /// Collection monoids have a unit injection and values one can iterate.
+    pub fn is_collection(&self) -> bool {
+        matches!(
+            self,
+            Monoid::List
+                | Monoid::Bag
+                | Monoid::Set
+                | Monoid::OSet
+                | Monoid::Sorted
+                | Monoid::SortedBag
+                | Monoid::Str
+        )
+    }
+
+    /// Primitive monoids aggregate scalars.
+    pub fn is_primitive(&self) -> bool {
+        !self.is_collection() && !matches!(self, Monoid::VecOf(_))
+    }
+
+    /// Is `hom[self → target]` legal? (The paper's `≤` restriction.)
+    pub fn hom_legal_to(&self, target: &Monoid) -> bool {
+        self.props().leq(target.props())
+    }
+
+    /// All the non-parameterized monoids, in Table 1 order. Useful for the
+    /// law-checking experiment (E1) and exhaustive tests.
+    pub fn all_basic() -> &'static [Monoid] {
+        &[
+            Monoid::List,
+            Monoid::Set,
+            Monoid::Bag,
+            Monoid::OSet,
+            Monoid::Str,
+            Monoid::Sorted,
+            Monoid::SortedBag,
+            Monoid::Sum,
+            Monoid::Prod,
+            Monoid::Max,
+            Monoid::Min,
+            Monoid::Some,
+            Monoid::All,
+        ]
+    }
+
+    /// The paper's name for the monoid, as used in comprehension tags.
+    pub fn name(&self) -> String {
+        match self {
+            Monoid::List => "list".into(),
+            Monoid::Bag => "bag".into(),
+            Monoid::Set => "set".into(),
+            Monoid::OSet => "oset".into(),
+            Monoid::Sorted => "sorted".into(),
+            Monoid::SortedBag => "sortedbag".into(),
+            Monoid::Str => "string".into(),
+            Monoid::Sum => "sum".into(),
+            Monoid::Prod => "prod".into(),
+            Monoid::Max => "max".into(),
+            Monoid::Min => "min".into(),
+            Monoid::Some => "some".into(),
+            Monoid::All => "all".into(),
+            Monoid::VecOf(m) => format!("{}[]", m.name()),
+        }
+    }
+}
+
+impl fmt::Display for Monoid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn props_match_table_1() {
+        assert_eq!(Monoid::List.props(), Props::NONE);
+        assert_eq!(Monoid::Set.props(), Props::CI);
+        assert_eq!(Monoid::Bag.props(), Props::C);
+        assert_eq!(Monoid::OSet.props(), Props::I);
+        assert_eq!(Monoid::Str.props(), Props::NONE);
+        assert_eq!(Monoid::Sorted.props(), Props::CI);
+        assert_eq!(Monoid::Sum.props(), Props::C);
+        assert_eq!(Monoid::Prod.props(), Props::C);
+        assert_eq!(Monoid::Max.props(), Props::CI);
+        assert_eq!(Monoid::Min.props(), Props::CI);
+        assert_eq!(Monoid::Some.props(), Props::CI);
+        assert_eq!(Monoid::All.props(), Props::CI);
+    }
+
+    #[test]
+    fn leq_is_a_partial_order() {
+        let all = [Props::NONE, Props::C, Props::I, Props::CI];
+        for &a in &all {
+            assert!(a.leq(a), "reflexive");
+            for &b in &all {
+                for &c in &all {
+                    if a.leq(b) && b.leq(c) {
+                        assert!(a.leq(c), "transitive");
+                    }
+                }
+                if a.leq(b) && b.leq(a) {
+                    assert_eq!(a, b, "antisymmetric");
+                }
+            }
+        }
+    }
+
+    /// The paper's examples: `hom[bag→sum]` (bag cardinality) is legal,
+    /// `hom[set→sum]` (set cardinality) is not; sets cannot become lists but
+    /// can become sorted lists.
+    #[test]
+    fn paper_legality_examples() {
+        assert!(Monoid::Bag.hom_legal_to(&Monoid::Sum));
+        assert!(!Monoid::Set.hom_legal_to(&Monoid::Sum));
+        assert!(!Monoid::Set.hom_legal_to(&Monoid::List));
+        assert!(!Monoid::Set.hom_legal_to(&Monoid::Bag));
+        assert!(Monoid::Set.hom_legal_to(&Monoid::Sorted));
+        assert!(Monoid::List.hom_legal_to(&Monoid::Set));
+        assert!(Monoid::List.hom_legal_to(&Monoid::Bag));
+        assert!(Monoid::Bag.hom_legal_to(&Monoid::Set));
+        assert!(Monoid::List.hom_legal_to(&Monoid::List));
+        assert!(Monoid::Set.hom_legal_to(&Monoid::Some));
+        assert!(Monoid::Bag.hom_legal_to(&Monoid::Max));
+        assert!(!Monoid::Set.hom_legal_to(&Monoid::SortedBag));
+        assert!(Monoid::Bag.hom_legal_to(&Monoid::SortedBag));
+    }
+
+    #[test]
+    fn collection_vs_primitive_partition() {
+        for m in Monoid::all_basic() {
+            assert!(
+                m.is_collection() ^ m.is_primitive(),
+                "{m} must be exactly one of collection/primitive"
+            );
+        }
+        let v = Monoid::VecOf(Box::new(Monoid::Sum));
+        assert!(!v.is_collection());
+        assert!(!v.is_primitive());
+        assert_eq!(v.props(), Props::C);
+    }
+}

@@ -1,0 +1,865 @@
+//! A parser for the calculus itself, accepting the paper's notation (as
+//! printed by [`crate::pretty`]) plus ASCII equivalents — so terms can be
+//! written, printed, and re-read:
+//!
+//! ```text
+//! set{ (a, b) | a <- [1,2,3], b <- {{4,5}} }     -- ASCII
+//! set{ (a, b) | a ← [1, 2, 3], b ← {{4, 5}} }    -- paper notation
+//! sum[n]{ a [n - i - 1] | a[i] <- x }            -- vector comprehension
+//! list{ !x | x <- new(0), e <- [1,2], x := !x + e }
+//! let f = \x. x + 1 in f(41)
+//! ```
+//!
+//! Token equivalences: `<-`/`←` (generator), `:==`/`≡` (binding),
+//! `\`/`λ` (lambda), `<=`/`≤`, `>=`/`≥`, `!=`/`≠`, `<`…`>`/`⟨`…`⟩`
+//! (records), `[|`…`|]`/`⟦`…`⟧` (vector literals). Merge operators parse
+//! to their canonical monoid: `++` ⇒ list, `∪`/`\\/u` ⇒ set, `⊎`/`\\/b` ⇒
+//! bag (`∨`/`∧` parse as boolean or/and, which coincide with the
+//! some/all merges).
+//!
+//! The round-trip law `parse(pretty(e)) = e` holds for the comprehension
+//! fragment (no explicit `hom`, whose pretty form is function-like) and is
+//! property-tested.
+
+use crate::error::TypeError;
+use crate::expr::{BinOp, Expr, Literal, Qual, UnOp};
+use crate::monoid::Monoid;
+use crate::symbol::Symbol;
+use std::fmt;
+use std::sync::Arc;
+
+/// A calculus parse error with byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub at: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "calculus parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ParseError> for TypeError {
+    fn from(e: ParseError) -> TypeError {
+        TypeError::Other(e.to_string())
+    }
+}
+
+/// Parse a calculus expression from text.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let mut p = P::new(src);
+    p.skip_ws();
+    let e = p.expr(0)?;
+    p.skip_ws();
+    if !p.eof() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(e)
+}
+
+const MAX_DEPTH: usize = 48;
+
+struct P<'a> {
+    src: &'a str,
+    chars: Vec<(usize, char)>,
+    at: usize,
+    depth: usize,
+}
+
+impl<'a> P<'a> {
+    fn new(src: &'a str) -> P<'a> {
+        P { src, chars: src.char_indices().collect(), at: 0, depth: 0 }
+    }
+
+    fn eof(&self) -> bool {
+        self.at >= self.chars.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.at).map(|&(_, c)| c)
+    }
+
+    fn pos(&self) -> usize {
+        self.chars.get(self.at).map(|&(o, _)| o).unwrap_or(self.src.len())
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { at: self.pos(), msg: msg.into() }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.at += 1;
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+        // line comments: --
+        if self.lookahead("--") {
+            while !matches!(self.peek(), None | Some('\n')) {
+                self.bump();
+            }
+            self.skip_ws();
+        }
+    }
+
+    /// Does the input at the cursor start with `s`?
+    fn lookahead(&self, s: &str) -> bool {
+        let mut i = self.at;
+        for ch in s.chars() {
+            match self.chars.get(i) {
+                Some(&(_, c)) if c == ch => i += 1,
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Eat `s` if present (token-ish: no identifier-char may follow when
+    /// `s` ends with an identifier char).
+    fn eat(&mut self, s: &str) -> bool {
+        if !self.lookahead(s) {
+            return false;
+        }
+        // `λ` is alphabetic to Unicode but is a symbol token here.
+        let ends_wordy = s
+            .chars()
+            .last()
+            .is_some_and(|c| (c.is_alphanumeric() && c != 'λ') || c == '_');
+        if ends_wordy {
+            let after = self.chars.get(self.at + s.chars().count()).map(|&(_, c)| c);
+            if matches!(after, Some(c) if c.is_alphanumeric() || c == '_' || c == '#') {
+                return false;
+            }
+        }
+        self.at += s.chars().count();
+        true
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<Symbol, ParseError> {
+        self.skip_ws();
+        let start = self.at;
+        match self.peek() {
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                self.bump();
+            }
+            _ => return Err(self.err("expected identifier")),
+        }
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '%') {
+            self.bump();
+        }
+        if self.peek() == Some('#') {
+            self.bump();
+        }
+        let end = self.pos();
+        let start_off = self.chars[start].0;
+        Ok(Symbol::new(&self.src[start_off..end]))
+    }
+
+    // -- precedence climbing: 0 or, 1 and, 2 cmp, 3 merge, 4 add, 5 mul --
+
+    fn expr(&mut self, min_level: u8) -> Result<Expr, ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            self.depth -= 1;
+            return Err(self.err(format!("nesting exceeds {MAX_DEPTH} levels")));
+        }
+        let r = self.expr_inner(min_level);
+        self.depth -= 1;
+        r
+    }
+
+    fn expr_inner(&mut self, min_level: u8) -> Result<Expr, ParseError> {
+        self.skip_ws();
+        // Binder forms are unambiguous prefixes: allowed at any level.
+        {
+            if self.eat("λ") || self.eat("\\") {
+                let param = self.ident()?;
+                self.expect(".")?;
+                let body = self.expr(0)?;
+                return Ok(Expr::Lambda(param, Box::new(body)));
+            }
+            if self.eat("let") {
+                let v = self.ident()?;
+                self.expect("=")?;
+                let def = self.expr(1)?;
+                self.expect("in")?;
+                let body = self.expr(0)?;
+                return Ok(Expr::let_(v, def, body));
+            }
+            if self.eat("if") {
+                let c = self.expr(1)?;
+                self.expect("then")?;
+                let t = self.expr(1)?;
+                self.expect("else")?;
+                let e = self.expr(0)?;
+                return Ok(Expr::if_(c, t, e));
+            }
+        }
+        let mut lhs = self.unary()?;
+        loop {
+            self.skip_ws();
+            // assignment binds loosest of the operators
+            if min_level == 0 && self.eat(":=") {
+                let rhs = self.expr(1)?;
+                return Ok(lhs.assign(rhs));
+            }
+            let (op, level): (Option<BinOp>, u8) = if self.lookahead("or") && min_level == 0 {
+                (Some(BinOp::Or), 0)
+            } else if self.lookahead("and") && min_level <= 1 {
+                (Some(BinOp::And), 1)
+            } else if self.lookahead("∨") && min_level == 0 {
+                (Some(BinOp::Or), 0)
+            } else if self.lookahead("∧") && min_level <= 1 {
+                (Some(BinOp::And), 1)
+            } else {
+                (None, 9)
+            };
+            if let Some(op) = op {
+                // consume the operator token
+                match op {
+                    BinOp::Or => {
+                        let _ = self.eat("or") || self.eat("∨");
+                    }
+                    BinOp::And => {
+                        let _ = self.eat("and") || self.eat("∧");
+                    }
+                    _ => unreachable!(),
+                }
+                let rhs = self.expr(level + 1)?;
+                lhs = Expr::binop(op, lhs, rhs);
+                continue;
+            }
+            // comparisons (non-associative, level 2)
+            if min_level <= 2 {
+                let cmp = if self.eat("≤") || self.eat("<=") {
+                    Some(BinOp::Le)
+                } else if self.eat("≥") || self.eat(">=") {
+                    Some(BinOp::Ge)
+                } else if self.eat("≠") || self.eat("!=") {
+                    Some(BinOp::Ne)
+                } else if self.eat("like") {
+                    Some(BinOp::Like)
+                } else if self.lookahead("<-") || self.lookahead("←") {
+                    None // generator arrow, not a comparison
+                } else if self.eat("<") {
+                    Some(BinOp::Lt)
+                } else if self.eat(">") {
+                    Some(BinOp::Gt)
+                } else if self.lookahead("=") && !self.lookahead("==") {
+                    self.eat("=");
+                    Some(BinOp::Eq)
+                } else {
+                    None
+                };
+                if let Some(op) = cmp {
+                    let rhs = self.expr(3)?;
+                    lhs = Expr::binop(op, lhs, rhs);
+                    continue;
+                }
+            }
+            // merges (level 3)
+            if min_level <= 3 {
+                let m = if self.eat("++") {
+                    Some(Monoid::List)
+                } else if self.eat("∪") {
+                    Some(Monoid::Set)
+                } else if self.eat("⊎") {
+                    Some(Monoid::Bag)
+                } else {
+                    None
+                };
+                if let Some(m) = m {
+                    let rhs = self.expr(4)?;
+                    lhs = Expr::merge(m, lhs, rhs);
+                    continue;
+                }
+            }
+            // additive (level 4)
+            if min_level <= 4 {
+                if !self.lookahead("++") && self.eat("+") {
+                    let rhs = self.expr(5)?;
+                    lhs = lhs.add(rhs);
+                    continue;
+                }
+                // a minus must not swallow the arrow `<-`’s dash… `-` is
+                // safe: arrows were handled above.
+                if self.peek() == Some('-') && !self.lookahead("--") {
+                    self.bump();
+                    let rhs = self.expr(5)?;
+                    lhs = lhs.sub(rhs);
+                    continue;
+                }
+            }
+            // multiplicative (level 5)
+            if min_level <= 5 {
+                if self.eat("*") || self.eat("×") {
+                    let rhs = self.expr(6)?;
+                    lhs = lhs.mul(rhs);
+                    continue;
+                }
+                if self.eat("/") {
+                    let rhs = self.expr(6)?;
+                    lhs = lhs.div(rhs);
+                    continue;
+                }
+                if self.peek() == Some('%') {
+                    // `%` only when followed by whitespace/operand — fresh
+                    // symbols contain `%`, but those occur inside idents.
+                    self.bump();
+                    let rhs = self.expr(6)?;
+                    lhs = Expr::binop(BinOp::Mod, lhs, rhs);
+                    continue;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        self.skip_ws();
+        if self.eat("not") {
+            return Ok(self.unary()?.not());
+        }
+        if self.eat("!") {
+            return Ok(self.unary()?.deref());
+        }
+        if self.peek() == Some('-') && !self.lookahead("--") {
+            self.bump();
+            // A minus directly followed by digits is a negative literal
+            // (so `-1` round-trips as `Int(-1)`, not `Neg(Int(1))`).
+            if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Ok(match self.number()? {
+                    Expr::Lit(Literal::Int(i)) => Expr::int(-i),
+                    Expr::Lit(Literal::Float(x)) => Expr::float(-x),
+                    other => Expr::UnOp(UnOp::Neg, Box::new(other)),
+                });
+            }
+            return Ok(Expr::UnOp(UnOp::Neg, Box::new(self.unary()?)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            // NOTE: no skip_ws before `.`/`[`/`(` — postfix operators bind
+            // tightly, and `f (x)` with a space is not an application in
+            // the paper's notation either.
+            if self.lookahead(".") {
+                self.bump();
+                // tuple projection: digits
+                if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    let mut n = 0usize;
+                    while let Some(c) = self.peek() {
+                        if let Some(d) = c.to_digit(10) {
+                            n = n * 10 + d as usize;
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    e = Expr::TupleProj(Box::new(e), n);
+                } else {
+                    let f = self.ident()?;
+                    e = Expr::Proj(Box::new(e), f);
+                }
+                continue;
+            }
+            if self.lookahead("[") && !self.lookahead("[|") {
+                self.bump();
+                let i = self.expr(0)?;
+                self.expect("]")?;
+                e = Expr::VecIndex(Box::new(e), Box::new(i));
+                continue;
+            }
+            if self.lookahead("(") {
+                self.bump();
+                let arg = self.expr(0)?;
+                self.expect(")")?;
+                e = e.apply(arg);
+                continue;
+            }
+            return Ok(e);
+        }
+    }
+
+    fn comma_list(&mut self, close: &str) -> Result<Vec<Expr>, ParseError> {
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(close) {
+            return Ok(items);
+        }
+        loop {
+            items.push(self.expr(0)?);
+            self.skip_ws();
+            if self.eat(",") {
+                continue;
+            }
+            self.expect(close)?;
+            return Ok(items);
+        }
+    }
+
+    fn qualifiers(&mut self) -> Result<Vec<Qual>, ParseError> {
+        let mut quals = Vec::new();
+        loop {
+            self.skip_ws();
+            // `a[i] <- e` vector generator: ident '[' ident ']' arrow
+            let save = self.at;
+            if let Ok(v) = self.ident() {
+                self.skip_ws();
+                if self.eat("[") {
+                    if let Ok(i) = self.ident() {
+                        self.skip_ws();
+                        if self.eat("]") {
+                            self.skip_ws();
+                            if self.eat("←") || self.eat("<-") {
+                                let src = self.expr(0)?;
+                                quals.push(Qual::VecGen { elem: v, index: i, source: src });
+                                self.skip_ws();
+                                if self.eat(",") {
+                                    continue;
+                                }
+                                return Ok(quals);
+                            }
+                        }
+                    }
+                    self.at = save;
+                } else if self.eat("←") || self.eat("<-") {
+                    let src = self.expr(0)?;
+                    quals.push(Qual::Gen(v, src));
+                    self.skip_ws();
+                    if self.eat(",") {
+                        continue;
+                    }
+                    return Ok(quals);
+                } else if self.eat("≡") || self.eat(":==") {
+                    let src = self.expr(0)?;
+                    quals.push(Qual::Bind(v, src));
+                    self.skip_ws();
+                    if self.eat(",") {
+                        continue;
+                    }
+                    return Ok(quals);
+                } else {
+                    self.at = save;
+                }
+            } else {
+                self.at = save;
+            }
+            // otherwise: a predicate
+            let p = self.expr(0)?;
+            quals.push(Qual::Pred(p));
+            self.skip_ws();
+            if self.eat(",") {
+                continue;
+            }
+            return Ok(quals);
+        }
+    }
+
+    fn monoid_name(&mut self) -> Option<Monoid> {
+        for (name, m) in [
+            ("sortedbag", Monoid::SortedBag),
+            ("sorted", Monoid::Sorted),
+            ("string", Monoid::Str),
+            ("list", Monoid::List),
+            ("bag", Monoid::Bag),
+            ("set", Monoid::Set),
+            ("oset", Monoid::OSet),
+            ("sum", Monoid::Sum),
+            ("prod", Monoid::Prod),
+            ("max", Monoid::Max),
+            ("min", Monoid::Min),
+            ("some", Monoid::Some),
+            ("all", Monoid::All),
+        ] {
+            let save = self.at;
+            if self.eat(name) {
+                // a comprehension/zero/unit form must follow eventually;
+                // `{`, `[`, `]`, `(` or whitespace-then-`{`.
+                return Some(m);
+            }
+            self.at = save;
+        }
+        None
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        self.skip_ws();
+        // literals
+        if let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                return self.number();
+            }
+        }
+        if self.eat("\"") {
+            return self.string('"');
+        }
+        if self.eat("'") {
+            return self.string('\'');
+        }
+        if self.eat("true") {
+            return Ok(Expr::bool(true));
+        }
+        if self.eat("false") {
+            return Ok(Expr::bool(false));
+        }
+        if self.eat("null") || self.eat("nil") {
+            return Ok(Expr::null());
+        }
+        // builtin functions
+        for (kw, op) in [
+            ("element", UnOp::Element),
+            ("to_bag", UnOp::ToBag),
+            ("to_list", UnOp::ToList),
+            ("to_set", UnOp::ToSet),
+            ("veclen", UnOp::VecLen),
+            ("reverse", UnOp::Reverse),
+            ("is_null", UnOp::IsNull),
+        ] {
+            if self.lookahead(kw) {
+                let save = self.at;
+                if self.eat(kw) {
+                    self.skip_ws();
+                    if self.eat("(") {
+                        let inner = self.expr(0)?;
+                        self.expect(")")?;
+                        return Ok(Expr::UnOp(op, Box::new(inner)));
+                    }
+                    self.at = save;
+                }
+            }
+        }
+        if self.eat("new") {
+            self.expect("(")?;
+            let inner = self.expr(0)?;
+            self.expect(")")?;
+            return Ok(Expr::New(Box::new(inner)));
+        }
+        if self.eat("zero[") {
+            let m = self.monoid_name().ok_or_else(|| self.err("expected monoid name"))?;
+            self.expect("]")?;
+            return Ok(Expr::Zero(m));
+        }
+        if self.eat("unit[") {
+            let m = self.monoid_name().ok_or_else(|| self.err("expected monoid name"))?;
+            self.expect("]")?;
+            self.expect("(")?;
+            let inner = self.expr(0)?;
+            self.expect(")")?;
+            return Ok(Expr::unit(m, inner));
+        }
+        // comprehensions: monoid name then `{` or `[n]{`
+        let save = self.at;
+        if let Some(m) = self.monoid_name() {
+            self.skip_ws();
+            if self.eat("[") {
+                // vector comprehension m[n]{ v [i] | quals }
+                let size = self.expr(0)?;
+                self.expect("]")?;
+                self.expect("{")?;
+                let value = self.expr(0)?;
+                self.expect("[")?;
+                let index = self.expr(0)?;
+                self.expect("]")?;
+                self.skip_ws();
+                let quals = if self.eat("|") { self.qualifiers()? } else { Vec::new() };
+                self.expect("}")?;
+                return Ok(Expr::VecComp {
+                    elem_monoid: m,
+                    size: Box::new(size),
+                    value: Box::new(value),
+                    index: Box::new(index),
+                    quals,
+                });
+            }
+            if self.eat("{") {
+                let head = self.expr(0)?;
+                self.skip_ws();
+                let quals = if self.eat("|") { self.qualifiers()? } else { Vec::new() };
+                self.expect("}")?;
+                return Ok(Expr::Comp { monoid: m, head: Box::new(head), quals });
+            }
+            self.at = save;
+        }
+        // collections
+        if self.eat("{{") {
+            let items = self.comma_list("}}")?;
+            return Ok(Expr::CollLit(Monoid::Bag, items));
+        }
+        if self.eat("{") {
+            let items = self.comma_list("}")?;
+            return Ok(Expr::CollLit(Monoid::Set, items));
+        }
+        if self.eat("⟦") {
+            let items = self.comma_list("⟧")?;
+            return Ok(Expr::VecLit(items));
+        }
+        if self.eat("[|") {
+            let items = self.comma_list("|]")?;
+            return Ok(Expr::VecLit(items));
+        }
+        if self.eat("[") {
+            let items = self.comma_list("]")?;
+            return Ok(Expr::CollLit(Monoid::List, items));
+        }
+        // records
+        if self.eat("⟨") {
+            return self.record("⟩");
+        }
+        if self.eat("<") {
+            return self.record(">");
+        }
+        // tuples / parens
+        if self.eat("(") {
+            let first = self.expr(0)?;
+            self.skip_ws();
+            if self.eat(",") {
+                let mut items = vec![first];
+                loop {
+                    items.push(self.expr(0)?);
+                    self.skip_ws();
+                    if self.eat(",") {
+                        continue;
+                    }
+                    self.expect(")")?;
+                    return Ok(Expr::Tuple(items));
+                }
+            }
+            self.expect(")")?;
+            return Ok(first);
+        }
+        // variable
+        let v = self.ident()?;
+        Ok(Expr::Var(v))
+    }
+
+    fn record(&mut self, close: &str) -> Result<Expr, ParseError> {
+        // In the ASCII form `<a=1, b=2>`, field values must sit above the
+        // comparison level so the closing `>` is not taken as greater-than
+        // (parenthesize comparisons inside ASCII records; the ⟨⟩ form has
+        // no such restriction).
+        let value_level = if close == ">" { 3 } else { 0 };
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.eat(close) {
+            return Ok(Expr::Record(fields));
+        }
+        loop {
+            let name = self.ident()?;
+            self.expect("=")?;
+            let v = self.expr(value_level)?;
+            fields.push((name, v));
+            self.skip_ws();
+            if self.eat(",") {
+                continue;
+            }
+            self.expect(close)?;
+            return Ok(Expr::Record(fields));
+        }
+    }
+
+    fn number(&mut self) -> Result<Expr, ParseError> {
+        let start = self.pos();
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut float = false;
+        if self.peek() == Some('.')
+            && matches!(self.chars.get(self.at + 1), Some(&(_, c)) if c.is_ascii_digit())
+        {
+            float = true;
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let end = self.pos();
+        let text = &self.src[start..end];
+        if float {
+            text.parse::<f64>()
+                .map(Expr::float)
+                .map_err(|_| self.err("bad float"))
+        } else {
+            text.parse::<i64>()
+                .map(Expr::int)
+                .map_err(|_| self.err("integer out of range"))
+        }
+    }
+
+    fn string(&mut self, quote: char) -> Result<Expr, ParseError> {
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(c) if c == quote => {
+                    return Ok(Expr::Lit(Literal::Str(Arc::from(s.as_str()))))
+                }
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some(c) => s.push(c),
+                    None => return Err(self.err("unterminated string")),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_closed;
+    use crate::pretty::pretty;
+    use crate::value::Value;
+
+    fn roundtrip(src: &str) -> Expr {
+        let e = parse_expr(src).unwrap_or_else(|err| panic!("parse `{src}`: {err}"));
+        let printed = pretty(&e);
+        let e2 = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse `{printed}`: {err}"));
+        assert_eq!(e, e2, "round trip changed `{src}` → `{printed}`");
+        e
+    }
+
+    #[test]
+    fn parses_paper_examples() {
+        let e = roundtrip("set{ (a, b) | a <- [1, 2, 3], b <- {{4, 5}} }");
+        assert_eq!(eval_closed(&e).unwrap().len().unwrap(), 6);
+        let e = roundtrip("sum{ a | a <- [1,2,3], a <= 2 }");
+        assert_eq!(eval_closed(&e).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn parses_unicode_notation() {
+        let e = parse_expr("set{ (a, b) | a ← [1, 2, 3], b ← {{4, 5}} }").unwrap();
+        let ascii = parse_expr("set{ (a,b) | a <- [1,2,3], b <- {{4,5}} }").unwrap();
+        assert_eq!(e, ascii);
+    }
+
+    #[test]
+    fn parses_identity_and_updates() {
+        let e = roundtrip("list{ !x | x <- new(0), e <- [1, 2, 3, 4], x := !x + e }");
+        assert_eq!(
+            eval_closed(&e).unwrap(),
+            Value::list(vec![Value::Int(1), Value::Int(3), Value::Int(6), Value::Int(10)])
+        );
+    }
+
+    #[test]
+    fn parses_vector_comprehension() {
+        let e = roundtrip("sum[4]{ a [4 - i - 1] | a[i] <- [|1, 2, 3, 4|] }");
+        assert_eq!(
+            eval_closed(&e).unwrap(),
+            Value::vector(vec![Value::Int(4), Value::Int(3), Value::Int(2), Value::Int(1)])
+        );
+    }
+
+    #[test]
+    fn parses_lambda_let_if_apply() {
+        let e = roundtrip("let f = λx. x + 1 in f(41)");
+        assert_eq!(eval_closed(&e).unwrap(), Value::Int(42));
+        let e = roundtrip("if 1 < 2 then \"a\" else \"b\"");
+        assert_eq!(eval_closed(&e).unwrap(), Value::str("a"));
+    }
+
+    #[test]
+    fn parses_records_and_projection() {
+        let e = roundtrip("⟨name=\"x\", n=3⟩.n");
+        assert_eq!(eval_closed(&e).unwrap(), Value::Int(3));
+        let ascii = parse_expr("<name=\"x\", n=3>.n").unwrap();
+        assert_eq!(eval_closed(&ascii).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn parses_binding_qualifier() {
+        let e = roundtrip("sum{ y | x <- [1, 2], y :== x * 10 }");
+        assert_eq!(eval_closed(&e).unwrap(), Value::Int(30));
+    }
+
+    #[test]
+    fn parses_merges_zero_unit() {
+        let e = roundtrip("[2, 5, 3, 1] ++ [3, 2, 6]");
+        assert_eq!(eval_closed(&e).unwrap().len().unwrap(), 7);
+        let e = roundtrip("{1, 2} ∪ {2, 3}");
+        assert_eq!(eval_closed(&e).unwrap().len().unwrap(), 3);
+        let e = roundtrip("zero[set] ∪ unit[set](9)");
+        assert_eq!(eval_closed(&e).unwrap(), Value::set_from(vec![Value::Int(9)]));
+    }
+
+    #[test]
+    fn parses_tuple_projection() {
+        let e = roundtrip("(1, 2, 3).1");
+        assert_eq!(eval_closed(&e).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn parses_some_all_quantifiers() {
+        let e = roundtrip("some{ x = 2 | x <- {{1, 2}} }");
+        assert_eq!(eval_closed(&e).unwrap(), Value::Bool(true));
+        let e = roundtrip("all{ x > 0 | x <- {1, 2} }");
+        assert_eq!(eval_closed(&e).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let err = parse_expr("set{ x | x <- }").unwrap_err();
+        assert!(err.at > 0);
+        assert!(parse_expr("").is_err());
+        assert!(parse_expr("(1").is_err());
+        assert!(parse_expr("1 +").is_err());
+    }
+
+    #[test]
+    fn depth_limit_is_clean() {
+        let deep = format!("{}1{}", "(".repeat(100), ")".repeat(100));
+        let err = parse_expr(&deep).unwrap_err();
+        assert!(err.msg.contains("nesting"));
+    }
+
+    #[test]
+    fn fresh_symbols_reparse() {
+        // pretty() prints normalizer-fresh names like `x%3`; the parser
+        // accepts `%` inside identifiers.
+        let e = roundtrip("sum{ x%3 | x%3 <- [1, 2] }");
+        assert_eq!(eval_closed(&e).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn like_and_strings() {
+        let e = roundtrip("\"Portland\" like \"Port%\"");
+        assert_eq!(eval_closed(&e).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn normalization_output_reparses() {
+        use crate::normalize::normalize;
+        let e = parse_expr(
+            "bag{ h | h <- bag{ c | c <- [1,2,3], c > 1 }, h < 3 }",
+        )
+        .unwrap();
+        let n = normalize(&e);
+        let reparsed = parse_expr(&pretty(&n)).unwrap();
+        assert_eq!(n, reparsed);
+        assert_eq!(eval_closed(&n).unwrap(), eval_closed(&e).unwrap());
+    }
+}

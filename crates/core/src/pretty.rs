@@ -1,0 +1,306 @@
+//! Pretty-printing of calculus expressions in the paper's notation:
+//! `set{ (a, b) | a ← [1, 2, 3], b ← {{4, 5}} }`, `hom[→sum](λx. …)(u)`,
+//! `sum[n]{ a [i] | a[i] ← x }`, `!x`, `x := e`, and so on.
+//!
+//! The printer is used by the normalization trace (so derivations read like
+//! the paper's §3.1 walk-through), by `EXPLAIN` in the algebra crate, and by
+//! error messages.
+
+use crate::expr::{Expr, Qual};
+use crate::monoid::Monoid;
+use std::fmt;
+
+/// Wrapper giving an [`Expr`] a paper-notation `Display`.
+pub struct Pretty<'a>(pub &'a Expr);
+
+impl fmt::Display for Pretty<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_expr(f, self.0, 0)
+    }
+}
+
+/// Render an expression to a `String` in paper notation.
+pub fn pretty(e: &Expr) -> String {
+    Pretty(e).to_string()
+}
+
+/// Precedence levels: higher binds tighter. Used to parenthesize minimally.
+fn prec(e: &Expr) -> u8 {
+    match e {
+        Expr::BinOp(op, ..) => match op {
+            crate::expr::BinOp::Or => 1,
+            crate::expr::BinOp::And => 2,
+            crate::expr::BinOp::Eq
+            | crate::expr::BinOp::Ne
+            | crate::expr::BinOp::Lt
+            | crate::expr::BinOp::Le
+            | crate::expr::BinOp::Gt
+            | crate::expr::BinOp::Ge
+            | crate::expr::BinOp::Like => 3,
+            crate::expr::BinOp::Add | crate::expr::BinOp::Sub => 4,
+            crate::expr::BinOp::Mul | crate::expr::BinOp::Div | crate::expr::BinOp::Mod => 5,
+        },
+        Expr::Merge(..) => 3,
+        Expr::Lambda(..) | Expr::Let(..) | Expr::If(..) | Expr::Assign(..) => 0,
+        _ => 10,
+    }
+}
+
+fn write_parenthesized(
+    f: &mut fmt::Formatter<'_>,
+    e: &Expr,
+    min_prec: u8,
+) -> fmt::Result {
+    if prec(e) < min_prec {
+        write!(f, "(")?;
+        write_expr(f, e, 0)?;
+        write!(f, ")")
+    } else {
+        write_expr(f, e, min_prec)
+    }
+}
+
+fn write_list(
+    f: &mut fmt::Formatter<'_>,
+    items: &[Expr],
+    open: &str,
+    close: &str,
+) -> fmt::Result {
+    write!(f, "{open}")?;
+    for (i, e) in items.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write_expr(f, e, 0)?;
+    }
+    write!(f, "{close}")
+}
+
+fn write_qual(f: &mut fmt::Formatter<'_>, q: &Qual) -> fmt::Result {
+    match q {
+        Qual::Gen(v, e) => {
+            write!(f, "{v} ← ")?;
+            write_expr(f, e, 0)
+        }
+        Qual::VecGen { elem, index, source } => {
+            write!(f, "{elem}[{index}] ← ")?;
+            write_expr(f, source, 0)
+        }
+        Qual::Bind(v, e) => {
+            write!(f, "{v} ≡ ")?;
+            write_expr(f, e, 0)
+        }
+        Qual::Pred(e) => write_expr(f, e, 0),
+    }
+}
+
+fn write_quals(f: &mut fmt::Formatter<'_>, quals: &[Qual]) -> fmt::Result {
+    for (i, q) in quals.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write_qual(f, q)?;
+    }
+    Ok(())
+}
+
+fn write_expr(f: &mut fmt::Formatter<'_>, e: &Expr, min_prec: u8) -> fmt::Result {
+    match e {
+        Expr::Lit(lit) => write!(f, "{lit}"),
+        Expr::Var(v) => write!(f, "{v}"),
+        Expr::Record(fields) => {
+            write!(f, "⟨")?;
+            for (i, (n, fe)) in fields.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{n}=")?;
+                write_expr(f, fe, 0)?;
+            }
+            write!(f, "⟩")
+        }
+        Expr::Tuple(items) => write_list(f, items, "(", ")"),
+        Expr::Proj(inner, field) => {
+            write_parenthesized(f, inner, 10)?;
+            write!(f, ".{field}")
+        }
+        Expr::TupleProj(inner, i) => {
+            write_parenthesized(f, inner, 10)?;
+            write!(f, ".{i}")
+        }
+        Expr::BinOp(op, a, b) => {
+            let p = prec(e);
+            write_parenthesized(f, a, p)?;
+            write!(f, " {} ", op.symbol())?;
+            write_parenthesized(f, b, p + 1)
+        }
+        Expr::UnOp(op, inner) => {
+            write!(f, "{}(", op.name())?;
+            write_expr(f, inner, 0)?;
+            write!(f, ")")
+        }
+        Expr::If(c, t, els) => {
+            write!(f, "if ")?;
+            write_expr(f, c, 0)?;
+            write!(f, " then ")?;
+            write_expr(f, t, 0)?;
+            write!(f, " else ")?;
+            write_expr(f, els, min_prec.max(1))
+        }
+        Expr::Lambda(param, body) => {
+            write!(f, "λ{param}. ")?;
+            write_expr(f, body, 0)
+        }
+        Expr::Apply(func, arg) => {
+            write_parenthesized(f, func, 10)?;
+            write!(f, "(")?;
+            write_expr(f, arg, 0)?;
+            write!(f, ")")
+        }
+        Expr::Let(v, def, body) => {
+            write!(f, "let {v} = ")?;
+            write_expr(f, def, 1)?;
+            write!(f, " in ")?;
+            write_expr(f, body, 0)
+        }
+        Expr::Zero(m) => write!(f, "zero[{m}]"),
+        Expr::Unit(m, inner) => {
+            write!(f, "unit[{m}](")?;
+            write_expr(f, inner, 0)?;
+            write!(f, ")")
+        }
+        Expr::Merge(m, a, b) => {
+            let sym = merge_symbol(m);
+            write_parenthesized(f, a, 3)?;
+            write!(f, " {sym} ")?;
+            write_parenthesized(f, b, 4)
+        }
+        Expr::CollLit(m, items) => match m {
+            Monoid::List => write_list(f, items, "[", "]"),
+            Monoid::Set => write_list(f, items, "{", "}"),
+            Monoid::Bag => write_list(f, items, "{{", "}}"),
+            other => {
+                write!(f, "{other}")?;
+                write_list(f, items, "[", "]")
+            }
+        },
+        Expr::VecLit(items) => write_list(f, items, "⟦", "⟧"),
+        Expr::Hom { monoid, var, body, source } => {
+            write!(f, "hom[→{monoid}](λ{var}. ")?;
+            write_expr(f, body, 0)?;
+            write!(f, ")(")?;
+            write_expr(f, source, 0)?;
+            write!(f, ")")
+        }
+        Expr::Comp { monoid, head, quals } => {
+            write!(f, "{monoid}{{ ")?;
+            write_expr(f, head, 0)?;
+            if !quals.is_empty() {
+                write!(f, " | ")?;
+                write_quals(f, quals)?;
+            }
+            write!(f, " }}")
+        }
+        Expr::VecComp { elem_monoid, size, value, index, quals } => {
+            write!(f, "{elem_monoid}[")?;
+            write_expr(f, size, 0)?;
+            write!(f, "]{{ ")?;
+            write_expr(f, value, 0)?;
+            write!(f, " [")?;
+            write_expr(f, index, 0)?;
+            write!(f, "]")?;
+            if !quals.is_empty() {
+                write!(f, " | ")?;
+                write_quals(f, quals)?;
+            }
+            write!(f, " }}")
+        }
+        Expr::VecIndex(v, i) => {
+            write_parenthesized(f, v, 10)?;
+            write!(f, "[")?;
+            write_expr(f, i, 0)?;
+            write!(f, "]")
+        }
+        Expr::New(state) => {
+            write!(f, "new(")?;
+            write_expr(f, state, 0)?;
+            write!(f, ")")
+        }
+        Expr::Deref(inner) => {
+            write!(f, "!")?;
+            write_parenthesized(f, inner, 10)
+        }
+        Expr::Assign(target, value) => {
+            write_parenthesized(f, target, 10)?;
+            write!(f, " := ")?;
+            write_expr(f, value, 1)
+        }
+    }
+}
+
+fn merge_symbol(m: &Monoid) -> &'static str {
+    match m {
+        Monoid::List | Monoid::Str => "++",
+        Monoid::Set | Monoid::OSet => "∪",
+        Monoid::Bag => "⊎",
+        Monoid::Sorted | Monoid::SortedBag => "⋈ₛ",
+        Monoid::Sum => "+",
+        Monoid::Prod => "×",
+        Monoid::Max => "max",
+        Monoid::Min => "min",
+        Monoid::Some => "∨",
+        Monoid::All => "∧",
+        Monoid::VecOf(_) => "⊕ᵥ",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_renders_in_paper_notation() {
+        let e = Expr::comp(
+            Monoid::Set,
+            Expr::Tuple(vec![Expr::var("a"), Expr::var("b")]),
+            vec![
+                Expr::gen("a", Expr::list_of(vec![Expr::int(1), Expr::int(2), Expr::int(3)])),
+                Expr::gen("b", Expr::bag_of(vec![Expr::int(4), Expr::int(5)])),
+            ],
+        );
+        assert_eq!(pretty(&e), "set{ (a, b) | a ← [1, 2, 3], b ← {{4, 5}} }");
+    }
+
+    #[test]
+    fn operators_parenthesize_minimally() {
+        // (1 + 2) * 3 keeps parens; 1 + 2 * 3 does not add them.
+        let e1 = Expr::int(1).add(Expr::int(2)).mul(Expr::int(3));
+        assert_eq!(pretty(&e1), "(1 + 2) * 3");
+        let e2 = Expr::int(1).add(Expr::int(2).mul(Expr::int(3)));
+        assert_eq!(pretty(&e2), "1 + 2 * 3");
+    }
+
+    #[test]
+    fn identity_ops_render() {
+        let e = Expr::var("x").assign(Expr::var("x").deref().add(Expr::var("e")));
+        assert_eq!(pretty(&e), "x := !x + e");
+    }
+
+    #[test]
+    fn vector_comprehension_renders() {
+        let e = Expr::vec_comp(
+            Monoid::Sum,
+            Expr::var("n"),
+            Expr::var("a"),
+            Expr::var("i"),
+            vec![Expr::vec_gen("a", "i", Expr::var("x"))],
+        );
+        assert_eq!(pretty(&e), "sum[n]{ a [i] | a[i] ← x }");
+    }
+
+    #[test]
+    fn path_expression_renders() {
+        let e = Expr::var("c").proj("hotels");
+        assert_eq!(pretty(&e), "c.hotels");
+    }
+}

@@ -1,0 +1,311 @@
+//! SRU — structural recursion over the union presentation, the baseline
+//! the paper positions itself against (§5, citing Breazu-Tannen, Buneman &
+//! Naqvi \[4, 6, 5\]).
+//!
+//! `sru(z, f, ⊕)(A)` folds a collection `A` by mapping each element with
+//! `f` and combining with a *user-supplied* operation `⊕` starting from
+//! `z`. It is strictly more expressive than the monoid homomorphism — but
+//! it is only well-defined when `(⊕, z)` satisfies the algebraic laws
+//! matching the *input* collection: associativity and identity always,
+//! commutativity for bags and sets, idempotence for sets. "These
+//! properties are hard to check by a compiler \[6\], which makes the SRU
+//! operation impractical" — the monoid calculus's answer is to fix a
+//! vocabulary of monoids whose laws are known once and for all.
+//!
+//! This module implements SRU faithfully, including the impracticality:
+//! the laws cannot be checked statically, so [`sru`] optionally *probes*
+//! them dynamically on the actual elements ([`LawCheck::Probe`]) and
+//! reports violations — e.g. the paper's `1 = sru(0, λx.1, +)({a})`
+//! inconsistency is caught at run time, where `hom[set→sum]` is rejected
+//! at *compile* time. The benchmark harness uses this to reproduce the
+//! §5 comparison.
+
+use crate::error::{EvalError, EvalResult};
+use crate::eval::Evaluator;
+use crate::monoid::Props;
+use crate::value::{Env, Value};
+
+/// How to treat the (statically uncheckable) law obligations of an SRU
+/// application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LawCheck {
+    /// Trust the caller (the paper's point: silently wrong on misuse).
+    Trust,
+    /// Probe the required laws on the elements actually encountered and
+    /// fail with [`EvalError::Other`] on a counterexample. Exponential in
+    /// nothing, quadratic in the sample size.
+    Probe,
+}
+
+/// A user-supplied binary operation as a Rust closure over values.
+pub type MergeFn<'a> = dyn Fn(&mut Evaluator, &Value, &Value) -> EvalResult<Value> + 'a;
+/// A user-supplied unary mapping.
+pub type MapFn<'a> = dyn Fn(&mut Evaluator, &Value) -> EvalResult<Value> + 'a;
+
+/// The laws a source collection imposes on the SRU combine operation.
+pub fn required_props(source: &Value) -> EvalResult<Props> {
+    source
+        .source_monoid()
+        .map(|m| m.props())
+        .ok_or_else(|| EvalError::TypeMismatch {
+            op: "sru",
+            detail: format!("not a collection: {}", source.kind()),
+        })
+}
+
+/// Structural recursion on the union presentation:
+/// `sru(z, f, ⊕)(A) = f(a₁) ⊕ … ⊕ f(aₙ)`, `z` on empty.
+///
+/// With [`LawCheck::Probe`], identity, associativity, and the
+/// commutativity/idempotence required by the source's collection kind are
+/// verified on the mapped elements; a violation is an error describing the
+/// counterexample (the situation the monoid calculus excludes statically).
+pub fn sru(
+    ev: &mut Evaluator,
+    source: &Value,
+    zero: &Value,
+    map: &MapFn<'_>,
+    combine: &MergeFn<'_>,
+    check: LawCheck,
+) -> EvalResult<Value> {
+    let required = required_props(source)?;
+    let elements = source.elements()?;
+    let mapped = elements
+        .iter()
+        .map(|e| map(ev, e))
+        .collect::<EvalResult<Vec<_>>>()?;
+
+    if check == LawCheck::Probe {
+        probe_laws(ev, zero, &mapped, combine, required)?;
+    }
+
+    let mut acc = zero.clone();
+    for v in &mapped {
+        acc = combine(ev, &acc, v)?;
+    }
+    Ok(acc)
+}
+
+/// Check the laws on a sample (all pairs of mapped elements, capped).
+fn probe_laws(
+    ev: &mut Evaluator,
+    zero: &Value,
+    mapped: &[Value],
+    combine: &MergeFn<'_>,
+    required: Props,
+) -> EvalResult<()> {
+    const CAP: usize = 8;
+    let sample: Vec<&Value> = mapped.iter().take(CAP).collect();
+    for a in &sample {
+        // identity
+        let za = combine(ev, zero, a)?;
+        let az = combine(ev, a, zero)?;
+        if &za != *a || &az != *a {
+            return Err(EvalError::Other(format!(
+                "SRU law violation: zero is not an identity on {a}"
+            )));
+        }
+        if required.idempotent {
+            let aa = combine(ev, a, a)?;
+            if &aa != *a {
+                return Err(EvalError::Other(format!(
+                    "SRU law violation: combine is not idempotent on {a} \
+                     (required by a set-valued source); the monoid calculus \
+                     rejects this statically"
+                )));
+            }
+        }
+        for b in &sample {
+            if required.commutative {
+                let ab = combine(ev, a, b)?;
+                let ba = combine(ev, b, a)?;
+                if ab != ba {
+                    return Err(EvalError::Other(format!(
+                        "SRU law violation: combine is not commutative on \
+                         ({a}, {b}) (required by an unordered source)"
+                    )));
+                }
+            }
+            for c in &sample {
+                let ab = combine(ev, a, b)?;
+                let ab_c = combine(ev, &ab, c)?;
+                let bc = combine(ev, b, c)?;
+                let a_bc = combine(ev, a, &bc)?;
+                if ab_c != a_bc {
+                    return Err(EvalError::Other(format!(
+                        "SRU law violation: combine is not associative on \
+                         ({a}, {b}, {c})"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: SRU with value-level closures and a fresh environment —
+/// the form used by the experiments harness.
+pub fn sru_closed(
+    source: &Value,
+    zero: &Value,
+    map: impl Fn(&Value) -> Value,
+    combine: impl Fn(&Value, &Value) -> EvalResult<Value>,
+    check: LawCheck,
+) -> EvalResult<Value> {
+    let mut ev = Evaluator::new();
+    let _ = Env::empty();
+    sru(
+        &mut ev,
+        source,
+        zero,
+        &|_, v| Ok(map(v)),
+        &|_, a, b| combine(a, b),
+        check,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::merge;
+    use crate::monoid::Monoid;
+
+    fn ints(v: &[i64]) -> Vec<Value> {
+        v.iter().map(|&i| Value::Int(i)).collect()
+    }
+
+    #[test]
+    fn sru_subsumes_monoid_homs() {
+        // bag cardinality via SRU == hom[bag→sum].
+        let bag = Value::bag_from(ints(&[7, 7, 9]));
+        let r = sru_closed(
+            &bag,
+            &Value::Int(0),
+            |_| Value::Int(1),
+            |a, b| merge(&Monoid::Sum, a, b),
+            LawCheck::Probe,
+        )
+        .unwrap();
+        assert_eq!(r, Value::Int(3));
+    }
+
+    /// The paper's §2.3 inconsistency: set cardinality with `+`. SRU
+    /// accepts it silently under Trust (and produces an answer that
+    /// depends on the set's internal construction); Probe catches it.
+    #[test]
+    fn set_cardinality_with_plus_is_caught_by_probe() {
+        let set = Value::set_from(ints(&[5, 7]));
+        let trusted = sru_closed(
+            &set,
+            &Value::Int(0),
+            |_| Value::Int(1),
+            |a, b| merge(&Monoid::Sum, a, b),
+            LawCheck::Trust,
+        )
+        .unwrap();
+        // Trust silently computes *a* number — dependent on representation.
+        assert_eq!(trusted, Value::Int(2));
+        let probed = sru_closed(
+            &set,
+            &Value::Int(0),
+            |_| Value::Int(1),
+            |a, b| merge(&Monoid::Sum, a, b),
+            LawCheck::Probe,
+        );
+        let err = probed.unwrap_err().to_string();
+        assert!(err.contains("not idempotent"), "{err}");
+    }
+
+    #[test]
+    fn non_commutative_combine_over_bag_is_caught() {
+        // Combining with list-append over a bag source: order-dependent.
+        let bag = Value::bag_from(ints(&[1, 2]));
+        let r = sru_closed(
+            &bag,
+            &Value::list(vec![]),
+            |v| Value::list(vec![v.clone()]),
+            |a, b| merge(&Monoid::List, a, b),
+            LawCheck::Probe,
+        );
+        let err = r.unwrap_err().to_string();
+        assert!(err.contains("not commutative"), "{err}");
+    }
+
+    #[test]
+    fn non_associative_combine_is_caught() {
+        // Absolute difference has identity 0 on naturals but is not
+        // associative: ||1−2|−3| = 2 while |1−|2−3|| = 0.
+        let list = Value::list(ints(&[1, 2, 3]));
+        let r = sru_closed(
+            &list,
+            &Value::Int(0),
+            |v| v.clone(),
+            |a, b| {
+                let (Value::Int(x), Value::Int(y)) = (a, b) else {
+                    return Err(EvalError::Other("ints only".into()));
+                };
+                Ok(Value::Int((x - y).abs()))
+            },
+            LawCheck::Probe,
+        );
+        let err = r.unwrap_err().to_string();
+        assert!(err.contains("not associative"), "{err}");
+    }
+
+    #[test]
+    fn bad_zero_is_caught() {
+        let list = Value::list(ints(&[1]));
+        let r = sru_closed(
+            &list,
+            &Value::Int(1), // 1 is not the identity of +
+            |v| v.clone(),
+            |a, b| merge(&Monoid::Sum, a, b),
+            LawCheck::Probe,
+        );
+        let err = r.unwrap_err().to_string();
+        assert!(err.contains("identity"), "{err}");
+    }
+
+    #[test]
+    fn list_source_imposes_no_extra_laws() {
+        // Over a list, any associative op with identity is fine — e.g.
+        // string-append-like concatenation via lists.
+        let list = Value::list(ints(&[1, 2, 3]));
+        let r = sru_closed(
+            &list,
+            &Value::list(vec![]),
+            |v| Value::list(vec![v.clone()]),
+            |a, b| merge(&Monoid::List, a, b),
+            LawCheck::Probe,
+        )
+        .unwrap();
+        assert_eq!(r, Value::list(ints(&[1, 2, 3])));
+    }
+
+    #[test]
+    fn sru_expressiveness_beyond_homs() {
+        // SRU can express "first element" of a list through the
+        // left-biased monoid (keep-left, null identity) — a lawful monoid
+        // outside the calculus's fixed vocabulary. The probe accepts it
+        // (the laws do hold); the point of the fixed vocabulary is that
+        // *users never carry the obligation*, not that every lawful fold
+        // is expressible.
+        let list = Value::list(ints(&[42, 1, 2]));
+        let keep_left = |a: &Value, b: &Value| {
+            Ok(if matches!(a, Value::Null) { b.clone() } else { a.clone() })
+        };
+        let first =
+            sru_closed(&list, &Value::Null, |v| v.clone(), keep_left, LawCheck::Probe)
+                .unwrap();
+        assert_eq!(first, Value::Int(42));
+        // …but the same fold over a *bag* requires commutativity, which
+        // keep-left lacks; the probe rejects it, because "first of an
+        // unordered collection" is exactly the kind of inconsistency the
+        // restriction exists for.
+        let bag = Value::bag_from(ints(&[1, 2]));
+        let probed =
+            sru_closed(&bag, &Value::Null, |v| v.clone(), keep_left, LawCheck::Probe);
+        let err = probed.unwrap_err().to_string();
+        assert!(err.contains("not commutative"), "{err}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Interned identifiers.
+//!
+//! Every variable, record label, class name, and extent name in the calculus
+//! is a [`Symbol`]: a small copyable handle into a global string interner.
+//! Interning makes substitution, free-variable analysis, and normalization
+//! cheap (symbol comparison is an integer comparison) — important because the
+//! normalizer rewrites terms to a fixpoint.
+//!
+//! The interner also hands out *fresh* symbols (`Symbol::fresh`), which the
+//! normalizer uses for capture-avoiding variable renaming (the paper's rules
+//! 5 and 6 "may require some variable renaming to avoid name conflicts").
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned string. Cheap to copy, hash, and compare.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    names: Vec<&'static str>,
+    table: HashMap<&'static str, u32>,
+    fresh_counter: u64,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            names: Vec::new(),
+            table: HashMap::new(),
+            fresh_counter: 0,
+        })
+    })
+}
+
+impl Symbol {
+    /// Intern `name` and return its symbol. Idempotent.
+    pub fn new(name: &str) -> Symbol {
+        let mut i = interner().lock();
+        if let Some(&id) = i.table.get(name) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(i.names.len()).expect("interner overflow");
+        // Leaking is fine: symbols live for the whole process and the set of
+        // distinct names in any workload is small and bounded.
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        i.names.push(leaked);
+        i.table.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// A fresh symbol guaranteed distinct from every symbol produced so far,
+    /// based on `hint` for readability (e.g. `x` becomes `x%3`).
+    ///
+    /// `%` cannot appear in parsed identifiers, so fresh names can never
+    /// collide with source-level names.
+    pub fn fresh(hint: &str) -> Symbol {
+        let n = {
+            let mut i = interner().lock();
+            i.fresh_counter += 1;
+            i.fresh_counter
+        };
+        let base = hint.split('%').next().unwrap_or(hint);
+        Symbol::new(&format!("{base}%{n}"))
+    }
+
+    /// The interned string.
+    pub fn as_str(&self) -> &'static str {
+        interner().lock().names[self.0 as usize]
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl serde::Serialize for Symbol {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.as_str())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Symbol {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = <String as serde::Deserialize>::deserialize(deserializer)?;
+        Ok(Symbol::new(&s))
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::new(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::new("hello");
+        let b = Symbol::new("hello");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "hello");
+    }
+
+    #[test]
+    fn distinct_names_distinct_symbols() {
+        assert_ne!(Symbol::new("a"), Symbol::new("b"));
+    }
+
+    #[test]
+    fn fresh_symbols_are_unique() {
+        let a = Symbol::fresh("x");
+        let b = Symbol::fresh("x");
+        assert_ne!(a, b);
+        assert!(a.as_str().starts_with("x%"));
+    }
+
+    #[test]
+    fn fresh_from_fresh_does_not_stack_suffixes() {
+        let a = Symbol::fresh("v");
+        let b = Symbol::fresh(a.as_str());
+        // `v%1` refreshed gives `v%k`, not `v%1%k`.
+        assert_eq!(b.as_str().matches('%').count(), 1);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        let s = Symbol::new("city");
+        assert_eq!(format!("{s}"), "city");
+        assert_eq!(format!("{s:?}"), "city");
+    }
+}

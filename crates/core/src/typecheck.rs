@@ -1,0 +1,893 @@
+//! Type inference for the calculus, including the paper's monoid-legality
+//! check.
+//!
+//! Inference is syntax-directed with a light unification layer (type
+//! variables arise only from lambdas without annotations, empty literals,
+//! and polymorphic zeros). For every generator `v ← u` inside an
+//! `M`-comprehension, the collection monoid `N` of `u` is *inferred from
+//! `u`'s type* (the paper: "the collection monoid N associated with the
+//! expression u in x ← u is inferred"), and the comprehension is rejected
+//! unless `props(N) ⊆ props(M)` — so `sum{ x | x ← someSet }` is a static
+//! [`TypeError::IllegalHomomorphism`], exactly the paper's example that
+//! set cardinality is not expressible as `hom[set→sum]`.
+//!
+//! Numeric widening: `int` and `float` unify to `float` (OQL arithmetic);
+//! `null` unifies with everything (OQL `nil`, and the `max`/`min` zero).
+
+use crate::error::{TypeError, TypeResult};
+use crate::expr::{BinOp, Expr, Literal, Qual, UnOp};
+use crate::monoid::Monoid;
+use crate::symbol::Symbol;
+use crate::types::{CollKind, Schema, Type};
+
+/// A typing environment: lexical bindings of variables to types.
+#[derive(Debug, Clone, Default)]
+pub struct TypeEnv {
+    bindings: Vec<(Symbol, Type)>,
+}
+
+impl TypeEnv {
+    pub fn new() -> TypeEnv {
+        TypeEnv::default()
+    }
+
+    pub fn bind(&self, name: Symbol, ty: Type) -> TypeEnv {
+        let mut bindings = self.bindings.clone();
+        bindings.push((name, ty));
+        TypeEnv { bindings }
+    }
+
+    pub fn lookup(&self, name: Symbol) -> Option<&Type> {
+        self.bindings.iter().rev().find(|(n, _)| *n == name).map(|(_, t)| t)
+    }
+}
+
+/// The inference engine. Holds the unification substitution and an optional
+/// schema for resolving class fields and extent names.
+#[derive(Debug)]
+pub struct TypeChecker<'s> {
+    schema: Option<&'s Schema>,
+    /// `subst[i]` is the binding of type variable `τi`, if solved.
+    subst: Vec<Option<Type>>,
+}
+
+/// Infer the type of a closed expression (no schema).
+pub fn infer(e: &Expr) -> TypeResult<Type> {
+    let mut tc = TypeChecker::new();
+    let t = tc.infer_in(&TypeEnv::new(), e)?;
+    Ok(tc.resolve(&t))
+}
+
+impl<'s> TypeChecker<'s> {
+    pub fn new() -> TypeChecker<'s> {
+        TypeChecker { schema: None, subst: Vec::new() }
+    }
+
+    pub fn with_schema(schema: &'s Schema) -> TypeChecker<'s> {
+        TypeChecker { schema: Some(schema), subst: Vec::new() }
+    }
+
+    /// Infer and fully resolve the type of `e` under `env`.
+    pub fn check(&mut self, env: &TypeEnv, e: &Expr) -> TypeResult<Type> {
+        let t = self.infer_in(env, e)?;
+        Ok(self.resolve(&t))
+    }
+
+    fn fresh(&mut self) -> Type {
+        let id = self.subst.len() as u32;
+        self.subst.push(None);
+        Type::Var(id)
+    }
+
+    /// Chase variable bindings one level.
+    fn shallow(&self, t: &Type) -> Type {
+        let mut t = t.clone();
+        while let Type::Var(v) = t {
+            match &self.subst[v as usize] {
+                Some(bound) => t = bound.clone(),
+                None => return Type::Var(v),
+            }
+        }
+        t
+    }
+
+    /// Fully resolve a type (chase all variables recursively).
+    pub fn resolve(&self, t: &Type) -> Type {
+        match self.shallow(t) {
+            Type::Record(fields) => Type::Record(
+                fields.into_iter().map(|(n, ft)| (n, self.resolve(&ft))).collect(),
+            ),
+            Type::Tuple(items) => {
+                Type::Tuple(items.iter().map(|i| self.resolve(i)).collect())
+            }
+            Type::Coll(k, elem) => Type::Coll(k, Box::new(self.resolve(&elem))),
+            Type::Vector(elem) => Type::Vector(Box::new(self.resolve(&elem))),
+            Type::Obj(state) => Type::Obj(Box::new(self.resolve(&state))),
+            Type::Fn(a, r) => {
+                Type::Fn(Box::new(self.resolve(&a)), Box::new(self.resolve(&r)))
+            }
+            other => other,
+        }
+    }
+
+    fn occurs(&self, var: u32, t: &Type) -> bool {
+        match self.shallow(t) {
+            Type::Var(v) => v == var,
+            Type::Record(fields) => fields.iter().any(|(_, ft)| self.occurs(var, ft)),
+            Type::Tuple(items) => items.iter().any(|i| self.occurs(var, i)),
+            Type::Coll(_, elem) | Type::Vector(elem) | Type::Obj(elem) => {
+                self.occurs(var, &elem)
+            }
+            Type::Fn(a, r) => self.occurs(var, &a) || self.occurs(var, &r),
+            _ => false,
+        }
+    }
+
+    /// Unify two types; returns the unified type. `null` absorbs into the
+    /// other side; `int`/`float` widen to `float`.
+    pub fn unify(&mut self, a: &Type, b: &Type, context: &str) -> TypeResult<Type> {
+        let a = self.shallow(a);
+        let b = self.shallow(b);
+        match (&a, &b) {
+            (Type::Var(v), Type::Var(w)) if v == w => Ok(a),
+            (Type::Var(v), other) | (other, Type::Var(v)) => {
+                if self.occurs(*v, other) {
+                    return Err(TypeError::InfiniteType);
+                }
+                self.subst[*v as usize] = Some(other.clone());
+                Ok(other.clone())
+            }
+            (Type::Null, other) | (other, Type::Null) => Ok(other.clone()),
+            (Type::Int, Type::Float) | (Type::Float, Type::Int) => Ok(Type::Float),
+            (Type::Bool, Type::Bool)
+            | (Type::Int, Type::Int)
+            | (Type::Float, Type::Float)
+            | (Type::Str, Type::Str) => Ok(a),
+            (Type::Class(c1), Type::Class(c2)) => {
+                if c1 == c2 {
+                    return Ok(a);
+                }
+                if let Some(schema) = self.schema {
+                    if schema.is_subclass(*c1, *c2) {
+                        return Ok(Type::Class(*c2));
+                    }
+                    if schema.is_subclass(*c2, *c1) {
+                        return Ok(Type::Class(*c1));
+                    }
+                }
+                Err(TypeError::Mismatch {
+                    expected: a.clone(),
+                    found: b.clone(),
+                    context: context.to_string(),
+                })
+            }
+            (Type::Record(f1), Type::Record(f2)) => {
+                if f1.len() != f2.len()
+                    || f1.iter().zip(f2.iter()).any(|((n1, _), (n2, _))| n1 != n2)
+                {
+                    return Err(TypeError::Mismatch {
+                        expected: a.clone(),
+                        found: b.clone(),
+                        context: context.to_string(),
+                    });
+                }
+                let fields = f1
+                    .iter()
+                    .zip(f2.iter())
+                    .map(|((n, t1), (_, t2))| Ok((*n, self.unify(t1, t2, context)?)))
+                    .collect::<TypeResult<Vec<_>>>()?;
+                Ok(Type::Record(fields))
+            }
+            (Type::Tuple(t1), Type::Tuple(t2)) if t1.len() == t2.len() => {
+                let items = t1
+                    .iter()
+                    .zip(t2.iter())
+                    .map(|(x, y)| self.unify(x, y, context))
+                    .collect::<TypeResult<Vec<_>>>()?;
+                Ok(Type::Tuple(items))
+            }
+            (Type::Coll(k1, e1), Type::Coll(k2, e2)) if k1 == k2 => {
+                let elem = self.unify(e1, e2, context)?;
+                Ok(Type::Coll(*k1, Box::new(elem)))
+            }
+            (Type::Vector(e1), Type::Vector(e2)) => {
+                Ok(Type::Vector(Box::new(self.unify(e1, e2, context)?)))
+            }
+            (Type::Obj(s1), Type::Obj(s2)) => {
+                Ok(Type::Obj(Box::new(self.unify(s1, s2, context)?)))
+            }
+            (Type::Fn(a1, r1), Type::Fn(a2, r2)) => {
+                let arg = self.unify(a1, a2, context)?;
+                let ret = self.unify(r1, r2, context)?;
+                Ok(Type::func(arg, ret))
+            }
+            _ => Err(TypeError::Mismatch {
+                expected: a.clone(),
+                found: b.clone(),
+                context: context.to_string(),
+            }),
+        }
+    }
+
+    fn expect_numeric(&mut self, t: &Type, context: &str) -> TypeResult<Type> {
+        match self.shallow(t) {
+            Type::Int => Ok(Type::Int),
+            Type::Float => Ok(Type::Float),
+            Type::Null => Ok(Type::Null),
+            v @ Type::Var(_) => self.unify(&v, &Type::Int, context),
+            other => Err(TypeError::Mismatch {
+                expected: Type::Int,
+                found: other,
+                context: context.to_string(),
+            }),
+        }
+    }
+
+    /// The collection monoid of a generator source type — the "N" that the
+    /// paper infers for `x ← u`.
+    fn source_monoid(&mut self, src_ty: &Type, context: &str) -> TypeResult<(Monoid, Type)> {
+        match self.shallow(src_ty) {
+            Type::Coll(kind, elem) => Ok((kind.monoid(), *elem)),
+            // A vector iterates in index order, like a list; a string is
+            // list(char) per Table 1.
+            Type::Vector(elem) => Ok((Monoid::List, *elem)),
+            Type::Str => Ok((Monoid::List, Type::Str)),
+            v @ Type::Var(_) => {
+                // Default an unconstrained source to a list of a fresh
+                // element type (the safest monoid: props = ∅).
+                let elem = self.fresh();
+                self.unify(&v, &Type::list(elem.clone()), context)?;
+                Ok((Monoid::List, elem))
+            }
+            other => Err(TypeError::NotACollection {
+                found: other,
+                context: context.to_string(),
+            }),
+        }
+    }
+
+    /// The type of an `M`-comprehension with head type `h`.
+    fn comp_result_type(&mut self, monoid: &Monoid, h: Type, ctx: &str) -> TypeResult<Type> {
+        Ok(match monoid {
+            Monoid::List | Monoid::OSet | Monoid::Sorted | Monoid::SortedBag => Type::list(h),
+            Monoid::Set => Type::set(h),
+            Monoid::Bag => Type::bag(h),
+            Monoid::Str => {
+                self.unify(&h, &Type::Str, ctx)?;
+                Type::Str
+            }
+            Monoid::Sum | Monoid::Prod => self.expect_numeric(&h, ctx)?,
+            Monoid::Max | Monoid::Min => h,
+            Monoid::Some | Monoid::All => {
+                self.unify(&h, &Type::Bool, ctx)?;
+                Type::Bool
+            }
+            Monoid::VecOf(_) => {
+                return Err(TypeError::Other(
+                    "vector-monoid comprehensions use the VecComp form".into(),
+                ))
+            }
+        })
+    }
+
+    /// Auto-dereference objects and classes, as projection does.
+    fn deref_type(&mut self, t: &Type, context: &str) -> TypeResult<Type> {
+        match self.shallow(t) {
+            Type::Obj(state) => Ok(*state),
+            Type::Class(name) => {
+                let schema = self.schema.ok_or_else(|| {
+                    TypeError::Other(format!(
+                        "class `{name}` used without a schema in {context}"
+                    ))
+                })?;
+                schema.class_state(name).ok_or_else(|| {
+                    TypeError::Other(format!("unknown class `{name}` in {context}"))
+                })
+            }
+            other => Ok(other),
+        }
+    }
+
+    fn infer_quals(
+        &mut self,
+        env: &TypeEnv,
+        quals: &[Qual],
+        out_monoid: &Monoid,
+    ) -> TypeResult<TypeEnv> {
+        let mut env = env.clone();
+        for q in quals {
+            match q {
+                Qual::Gen(v, src) => {
+                    let src_ty = self.infer_in(&env, src)?;
+                    // §4.2 idiom: `x ← new(s)` binds the object itself once.
+                    if let t @ (Type::Obj(_) | Type::Class(_)) = self.shallow(&src_ty) {
+                        env = env.bind(*v, t);
+                        continue;
+                    }
+                    let (n, elem) = self.source_monoid(&src_ty, "generator")?;
+                    if !n.hom_legal_to(out_monoid) {
+                        return Err(TypeError::IllegalHomomorphism {
+                            from: n,
+                            to: out_monoid.clone(),
+                            context: format!("generator `{v} ← …`"),
+                        });
+                    }
+                    env = env.bind(*v, elem);
+                }
+                Qual::VecGen { elem, index, source } => {
+                    let src_ty = self.infer_in(&env, source)?;
+                    let elem_ty = match self.shallow(&src_ty) {
+                        Type::Vector(e) => *e,
+                        v @ Type::Var(_) => {
+                            let e = self.fresh();
+                            self.unify(&v, &Type::vector(e.clone()), "vector generator")?;
+                            e
+                        }
+                        other => {
+                            return Err(TypeError::NotACollection {
+                                found: other,
+                                context: "vector generator".into(),
+                            })
+                        }
+                    };
+                    env = env.bind(*elem, elem_ty).bind(*index, Type::Int);
+                }
+                Qual::Bind(v, e) => {
+                    let t = self.infer_in(&env, e)?;
+                    env = env.bind(*v, t);
+                }
+                Qual::Pred(p) => {
+                    let t = self.infer_in(&env, p)?;
+                    self.unify(&t, &Type::Bool, "filter predicate")?;
+                }
+            }
+        }
+        Ok(env)
+    }
+
+    /// Core inference.
+    pub fn infer_in(&mut self, env: &TypeEnv, e: &Expr) -> TypeResult<Type> {
+        match e {
+            Expr::Lit(l) => Ok(match l {
+                Literal::Bool(_) => Type::Bool,
+                Literal::Int(_) => Type::Int,
+                Literal::Float(_) => Type::Float,
+                Literal::Str(_) => Type::Str,
+                Literal::Null => Type::Null,
+            }),
+            Expr::Var(v) => {
+                if let Some(t) = env.lookup(*v) {
+                    return Ok(t.clone());
+                }
+                if let Some(schema) = self.schema {
+                    if let Some(t) = schema.name_type(*v) {
+                        return Ok(t.clone());
+                    }
+                }
+                Err(TypeError::UnboundVariable(*v))
+            }
+            Expr::Record(fields) => {
+                let typed = fields
+                    .iter()
+                    .map(|(n, fe)| Ok((*n, self.infer_in(env, fe)?)))
+                    .collect::<TypeResult<Vec<_>>>()?;
+                Ok(Type::record(typed))
+            }
+            Expr::Tuple(items) => {
+                let typed = items
+                    .iter()
+                    .map(|i| self.infer_in(env, i))
+                    .collect::<TypeResult<Vec<_>>>()?;
+                Ok(Type::Tuple(typed))
+            }
+            Expr::Proj(inner, field) => {
+                let t = self.infer_in(env, inner)?;
+                let base = self.deref_type(&t, "projection")?;
+                match &base {
+                    Type::Record(_) => base.field(*field).cloned().ok_or_else(|| {
+                        TypeError::NoSuchField { record: base.clone(), field: *field }
+                    }),
+                    other => Err(TypeError::NoSuchField {
+                        record: other.clone(),
+                        field: *field,
+                    }),
+                }
+            }
+            Expr::TupleProj(inner, idx) => {
+                let t = self.infer_in(env, inner)?;
+                match self.shallow(&t) {
+                    Type::Tuple(items) => items.get(*idx).cloned().ok_or_else(|| {
+                        TypeError::Other(format!(
+                            "tuple index {idx} out of bounds for {}",
+                            Type::Tuple(items.clone())
+                        ))
+                    }),
+                    other => Err(TypeError::Mismatch {
+                        expected: Type::Tuple(vec![]),
+                        found: other,
+                        context: "tuple projection".into(),
+                    }),
+                }
+            }
+            Expr::BinOp(op, a, b) => {
+                let ta = self.infer_in(env, a)?;
+                let tb = self.infer_in(env, b)?;
+                match op {
+                    BinOp::And | BinOp::Or => {
+                        self.unify(&ta, &Type::Bool, "boolean operator")?;
+                        self.unify(&tb, &Type::Bool, "boolean operator")?;
+                        Ok(Type::Bool)
+                    }
+                    _ if op.is_comparison() => {
+                        self.unify(&ta, &tb, "comparison")?;
+                        Ok(Type::Bool)
+                    }
+                    BinOp::Like => {
+                        self.unify(&ta, &Type::Str, "like")?;
+                        self.unify(&tb, &Type::Str, "like")?;
+                        Ok(Type::Bool)
+                    }
+                    BinOp::Add => {
+                        // `+` doubles as string concatenation.
+                        if matches!(self.shallow(&ta), Type::Str)
+                            || matches!(self.shallow(&tb), Type::Str)
+                        {
+                            self.unify(&ta, &Type::Str, "string concatenation")?;
+                            self.unify(&tb, &Type::Str, "string concatenation")?;
+                            return Ok(Type::Str);
+                        }
+                        let na = self.expect_numeric(&ta, "arithmetic")?;
+                        let nb = self.expect_numeric(&tb, "arithmetic")?;
+                        self.unify(&na, &nb, "arithmetic")
+                    }
+                    _ => {
+                        let na = self.expect_numeric(&ta, "arithmetic")?;
+                        let nb = self.expect_numeric(&tb, "arithmetic")?;
+                        self.unify(&na, &nb, "arithmetic")
+                    }
+                }
+            }
+            Expr::UnOp(op, inner) => {
+                let t = self.infer_in(env, inner)?;
+                match op {
+                    UnOp::Not => {
+                        self.unify(&t, &Type::Bool, "not")?;
+                        Ok(Type::Bool)
+                    }
+                    UnOp::Neg => self.expect_numeric(&t, "negation"),
+                    UnOp::IsNull => Ok(Type::Bool),
+                    UnOp::Element => {
+                        let (_, elem) = self.source_monoid(&t, "element")?;
+                        Ok(elem)
+                    }
+                    UnOp::ToBag => {
+                        let (_, elem) = self.source_monoid(&t, "to_bag")?;
+                        Ok(Type::bag(elem))
+                    }
+                    UnOp::ToList => {
+                        let (_, elem) = self.source_monoid(&t, "to_list")?;
+                        Ok(Type::list(elem))
+                    }
+                    UnOp::ToSet => {
+                        let (_, elem) = self.source_monoid(&t, "to_set")?;
+                        Ok(Type::set(elem))
+                    }
+                    UnOp::Reverse => match self.shallow(&t) {
+                        ok @ (Type::Vector(_) | Type::Coll(CollKind::List, _)) => Ok(ok),
+                        other => Err(TypeError::Mismatch {
+                            expected: Type::list(Type::Var(0)),
+                            found: other,
+                            context: "reverse".into(),
+                        }),
+                    },
+                    UnOp::VecLen => match self.shallow(&t) {
+                        Type::Vector(_) | Type::Coll(CollKind::List, _) => Ok(Type::Int),
+                        other => Err(TypeError::Mismatch {
+                            expected: Type::vector(Type::Var(0)),
+                            found: other,
+                            context: "veclen".into(),
+                        }),
+                    },
+                }
+            }
+            Expr::If(c, t, f) => {
+                let tc = self.infer_in(env, c)?;
+                self.unify(&tc, &Type::Bool, "if condition")?;
+                let tt = self.infer_in(env, t)?;
+                let tf = self.infer_in(env, f)?;
+                self.unify(&tt, &tf, "if branches")
+            }
+            Expr::Lambda(param, body) => {
+                let pt = self.fresh();
+                let bt = self.infer_in(&env.bind(*param, pt.clone()), body)?;
+                Ok(Type::func(pt, bt))
+            }
+            Expr::Apply(f, arg) => {
+                let ft = self.infer_in(env, f)?;
+                let at = self.infer_in(env, arg)?;
+                let rt = self.fresh();
+                match self.shallow(&ft) {
+                    Type::Fn(a, r) => {
+                        self.unify(&a, &at, "application argument")?;
+                        self.unify(&r, &rt, "application result")?;
+                        Ok(rt)
+                    }
+                    v @ Type::Var(_) => {
+                        self.unify(&v, &Type::func(at, rt.clone()), "application")?;
+                        Ok(rt)
+                    }
+                    other => Err(TypeError::NotAFunction {
+                        found: other,
+                        context: "application".into(),
+                    }),
+                }
+            }
+            Expr::Let(v, def, body) => {
+                let dt = self.infer_in(env, def)?;
+                self.infer_in(&env.bind(*v, dt), body)
+            }
+            Expr::Zero(m) => match m {
+                Monoid::List | Monoid::OSet | Monoid::Sorted | Monoid::SortedBag => {
+                    let elem = self.fresh();
+                    Ok(Type::list(elem))
+                }
+                Monoid::Set => Ok(Type::set(self.fresh())),
+                Monoid::Bag => Ok(Type::bag(self.fresh())),
+                Monoid::Str => Ok(Type::Str),
+                Monoid::Sum | Monoid::Prod => Ok(Type::Int),
+                Monoid::Max | Monoid::Min => Ok(Type::Null),
+                Monoid::Some | Monoid::All => Ok(Type::Bool),
+                Monoid::VecOf(_) => Err(TypeError::Other(
+                    "zero of a vector monoid requires a size".into(),
+                )),
+            },
+            Expr::Unit(m, inner) => {
+                let t = self.infer_in(env, inner)?;
+                self.comp_result_type(m, t, "unit")
+            }
+            Expr::Merge(m, a, b) => {
+                let ta = self.infer_in(env, a)?;
+                let tb = self.infer_in(env, b)?;
+                let t = self.unify(&ta, &tb, "merge")?;
+                // Sanity: the merged type must match the monoid's carrier.
+                let elem = self.fresh();
+                let carrier = match m {
+                    Monoid::List | Monoid::OSet | Monoid::Sorted | Monoid::SortedBag => {
+                        Some(Type::list(elem))
+                    }
+                    Monoid::Set => Some(Type::set(elem)),
+                    Monoid::Bag => Some(Type::bag(elem)),
+                    Monoid::Str => Some(Type::Str),
+                    Monoid::Some | Monoid::All => Some(Type::Bool),
+                    Monoid::Sum | Monoid::Prod => {
+                        self.expect_numeric(&t, "merge")?;
+                        None
+                    }
+                    Monoid::Max | Monoid::Min => None,
+                    Monoid::VecOf(_) => {
+                        let inner_elem = self.fresh();
+                        Some(Type::vector(inner_elem))
+                    }
+                };
+                match carrier {
+                    Some(c) => self.unify(&t, &c, "merge carrier"),
+                    None => Ok(t),
+                }
+            }
+            Expr::CollLit(m, items) => {
+                let mut elem = self.fresh();
+                for i in items {
+                    let it = self.infer_in(env, i)?;
+                    elem = self.unify(&elem, &it, "collection literal")?;
+                }
+                self.comp_result_type(m, elem, "collection literal")
+            }
+            Expr::VecLit(items) => {
+                let mut elem = self.fresh();
+                for i in items {
+                    let it = self.infer_in(env, i)?;
+                    elem = self.unify(&elem, &it, "vector literal")?;
+                }
+                Ok(Type::vector(elem))
+            }
+            Expr::Hom { monoid, var, body, source } => {
+                let src_ty = self.infer_in(env, source)?;
+                let (n, elem) = self.source_monoid(&src_ty, "hom source")?;
+                if !n.hom_legal_to(monoid) {
+                    return Err(TypeError::IllegalHomomorphism {
+                        from: n,
+                        to: monoid.clone(),
+                        context: "hom".into(),
+                    });
+                }
+                let bt = self.infer_in(&env.bind(*var, elem), body)?;
+                // The body produces M-values which merge to the result; its
+                // type *is* the result type, constrained to M's carrier.
+                let elem2 = self.fresh();
+                let carrier = match monoid {
+                    Monoid::List | Monoid::OSet | Monoid::Sorted | Monoid::SortedBag => {
+                        Type::list(elem2)
+                    }
+                    Monoid::Set => Type::set(elem2),
+                    Monoid::Bag => Type::bag(elem2),
+                    Monoid::Str => Type::Str,
+                    Monoid::Some | Monoid::All => Type::Bool,
+                    Monoid::Sum | Monoid::Prod => {
+                        return self.expect_numeric(&bt, "hom body");
+                    }
+                    Monoid::Max | Monoid::Min => return Ok(bt),
+                    Monoid::VecOf(_) => Type::vector(elem2),
+                };
+                self.unify(&bt, &carrier, "hom body")
+            }
+            Expr::Comp { monoid, head, quals } => {
+                let inner_env = self.infer_quals(env, quals, monoid)?;
+                let ht = self.infer_in(&inner_env, head)?;
+                self.comp_result_type(monoid, ht, "comprehension head")
+            }
+            Expr::VecComp { elem_monoid, size, value, index, quals } => {
+                let st = self.infer_in(env, size)?;
+                self.unify(&st, &Type::Int, "vector comprehension size")?;
+                let out = Monoid::VecOf(Box::new(elem_monoid.clone()));
+                let inner_env = self.infer_quals(env, quals, &out)?;
+                let it = self.infer_in(&inner_env, index)?;
+                self.unify(&it, &Type::Int, "vector comprehension index")?;
+                let vt = self.infer_in(&inner_env, value)?;
+                let elem_t = match elem_monoid {
+                    // Nested `M[n]` element: the head is already a vector.
+                    Monoid::VecOf(_) => {
+                        let inner = self.fresh();
+                        self.unify(&vt, &Type::vector(inner), "vector element")?
+                    }
+                    _ => self.comp_result_type(elem_monoid, vt, "vector element")?,
+                };
+                Ok(Type::vector(elem_t))
+            }
+            Expr::VecIndex(v, i) => {
+                let it = self.infer_in(env, i)?;
+                self.unify(&it, &Type::Int, "index")?;
+                let vt = self.infer_in(env, v)?;
+                match self.shallow(&vt) {
+                    Type::Vector(elem) | Type::Coll(CollKind::List, elem) => Ok(*elem),
+                    tv @ Type::Var(_) => {
+                        let elem = self.fresh();
+                        self.unify(&tv, &Type::vector(elem.clone()), "index")?;
+                        Ok(elem)
+                    }
+                    other => Err(TypeError::Mismatch {
+                        expected: Type::vector(Type::Var(0)),
+                        found: other,
+                        context: "index".into(),
+                    }),
+                }
+            }
+            Expr::New(state) => {
+                let st = self.infer_in(env, state)?;
+                Ok(Type::obj(st))
+            }
+            Expr::Deref(inner) => {
+                let t = self.infer_in(env, inner)?;
+                match self.shallow(&t) {
+                    Type::Obj(state) => Ok(*state),
+                    Type::Class(c) => self.deref_type(&Type::Class(c), "deref"),
+                    tv @ Type::Var(_) => {
+                        let state = self.fresh();
+                        self.unify(&tv, &Type::obj(state.clone()), "deref")?;
+                        Ok(state)
+                    }
+                    other => Err(TypeError::Mismatch {
+                        expected: Type::obj(Type::Var(0)),
+                        found: other,
+                        context: "deref".into(),
+                    }),
+                }
+            }
+            Expr::Assign(target, value) => {
+                let tt = self.infer_in(env, target)?;
+                let vt = self.infer_in(env, value)?;
+                match self.shallow(&tt) {
+                    Type::Obj(state) => {
+                        self.unify(&state, &vt, "assignment")?;
+                        Ok(Type::Bool)
+                    }
+                    tv @ Type::Var(_) => {
+                        self.unify(&tv, &Type::obj(vt), "assignment")?;
+                        Ok(Type::Bool)
+                    }
+                    other => Err(TypeError::Mismatch {
+                        expected: Type::obj(Type::Var(0)),
+                        found: other,
+                        context: "assignment".into(),
+                    }),
+                }
+            }
+        }
+    }
+}
+
+impl Default for TypeChecker<'_> {
+    fn default() -> Self {
+        TypeChecker::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ClassDef;
+
+    #[test]
+    fn literals_and_arithmetic() {
+        assert_eq!(infer(&Expr::int(1).add(Expr::int(2))).unwrap(), Type::Int);
+        assert_eq!(
+            infer(&Expr::int(1).add(Expr::float(2.0))).unwrap(),
+            Type::Float
+        );
+        assert_eq!(
+            infer(&Expr::str("a").add(Expr::str("b"))).unwrap(),
+            Type::Str
+        );
+        assert!(infer(&Expr::int(1).add(Expr::bool(true))).is_err());
+    }
+
+    #[test]
+    fn comprehension_types() {
+        // set{ a | a ← [1,2,3] } : set(int)
+        let e = Expr::comp(
+            Monoid::Set,
+            Expr::var("a"),
+            vec![Expr::gen("a", Expr::list_of(vec![Expr::int(1)]))],
+        );
+        assert_eq!(infer(&e).unwrap(), Type::set(Type::Int));
+        // sum over a bag: int.
+        let e2 = Expr::comp(
+            Monoid::Sum,
+            Expr::var("a"),
+            vec![Expr::gen("a", Expr::bag_of(vec![Expr::int(1)]))],
+        );
+        assert_eq!(infer(&e2).unwrap(), Type::Int);
+    }
+
+    #[test]
+    fn illegal_homomorphism_is_static_error() {
+        // sum{ a | a ← {1,2} } — set into sum: rejected.
+        let e = Expr::comp(
+            Monoid::Sum,
+            Expr::var("a"),
+            vec![Expr::gen("a", Expr::set_of(vec![Expr::int(1), Expr::int(2)]))],
+        );
+        assert!(matches!(
+            infer(&e),
+            Err(TypeError::IllegalHomomorphism { from: Monoid::Set, to: Monoid::Sum, .. })
+        ));
+    }
+
+    #[test]
+    fn set_to_sorted_is_legal() {
+        let e = Expr::comp(
+            Monoid::Sorted,
+            Expr::var("a"),
+            vec![Expr::gen("a", Expr::set_of(vec![Expr::int(1)]))],
+        );
+        assert_eq!(infer(&e).unwrap(), Type::list(Type::Int));
+    }
+
+    #[test]
+    fn lambda_inference() {
+        // λx. x + 1 : int → int
+        let e = Expr::lambda("x", Expr::var("x").add(Expr::int(1)));
+        assert_eq!(infer(&e).unwrap(), Type::func(Type::Int, Type::Int));
+    }
+
+    #[test]
+    fn schema_resolves_extents_and_paths() {
+        let mut schema = Schema::new();
+        schema.add_class(ClassDef {
+            name: Symbol::new("City"),
+            state: Type::record(vec![
+                (Symbol::new("name"), Type::Str),
+                (Symbol::new("hotels"), Type::list(Type::Class(Symbol::new("Hotel")))),
+            ]),
+            extent: Some(Symbol::new("Cities")),
+            superclass: None,
+        });
+        schema.add_class(ClassDef {
+            name: Symbol::new("Hotel"),
+            state: Type::record(vec![(Symbol::new("name"), Type::Str)]),
+            extent: None,
+            superclass: None,
+        });
+        // bag{ h.name | c ← Cities, c.name = "P", h ← c.hotels } : bag(string)
+        let e = Expr::comp(
+            Monoid::Bag,
+            Expr::var("h").proj("name"),
+            vec![
+                Expr::gen("c", Expr::var("Cities")),
+                Expr::pred(Expr::var("c").proj("name").eq(Expr::str("P"))),
+                Expr::gen("h", Expr::var("c").proj("hotels")),
+            ],
+        );
+        let mut tc = TypeChecker::with_schema(&schema);
+        let t = tc.check(&TypeEnv::new(), &e).unwrap();
+        assert_eq!(t, Type::bag(Type::Str));
+    }
+
+    #[test]
+    fn identity_ops_type() {
+        // new(1) : obj(int); !new(1) : int; new(1) := 2 : bool
+        assert_eq!(infer(&Expr::new_obj(Expr::int(1))).unwrap(), Type::obj(Type::Int));
+        assert_eq!(infer(&Expr::new_obj(Expr::int(1)).deref()).unwrap(), Type::Int);
+        assert_eq!(
+            infer(&Expr::new_obj(Expr::int(1)).assign(Expr::int(2))).unwrap(),
+            Type::Bool
+        );
+        assert!(infer(&Expr::new_obj(Expr::int(1)).assign(Expr::bool(true))).is_err());
+    }
+
+    #[test]
+    fn vector_comprehension_types() {
+        let e = Expr::vec_comp(
+            Monoid::Sum,
+            Expr::int(4),
+            Expr::var("a"),
+            Expr::var("i"),
+            vec![Expr::vec_gen("a", "i", Expr::VecLit(vec![Expr::int(1)]))],
+        );
+        assert_eq!(infer(&e).unwrap(), Type::vector(Type::Int));
+    }
+
+    #[test]
+    fn predicates_must_be_boolean() {
+        let e = Expr::comp(
+            Monoid::Set,
+            Expr::var("a"),
+            vec![
+                Expr::gen("a", Expr::list_of(vec![Expr::int(1)])),
+                Expr::pred(Expr::int(3)),
+            ],
+        );
+        assert!(infer(&e).is_err());
+    }
+
+    #[test]
+    fn quantifier_comprehensions_are_boolean() {
+        let e = Expr::comp(
+            Monoid::Some,
+            Expr::var("a").gt(Expr::int(0)),
+            vec![Expr::gen("a", Expr::set_of(vec![Expr::int(1)]))],
+        );
+        assert_eq!(infer(&e).unwrap(), Type::Bool);
+    }
+
+    #[test]
+    fn if_branches_unify_with_null() {
+        let e = Expr::if_(Expr::bool(true), Expr::int(1), Expr::null());
+        assert_eq!(infer(&e).unwrap(), Type::Int);
+    }
+
+    #[test]
+    fn subclass_unification() {
+        let mut schema = Schema::new();
+        schema.add_class(ClassDef {
+            name: Symbol::new("Person2"),
+            state: Type::record(vec![(Symbol::new("name"), Type::Str)]),
+            extent: None,
+            superclass: None,
+        });
+        schema.add_class(ClassDef {
+            name: Symbol::new("Employee2"),
+            state: Type::record(vec![(Symbol::new("salary"), Type::Int)]),
+            extent: None,
+            superclass: Some(Symbol::new("Person2")),
+        });
+        let mut tc = TypeChecker::with_schema(&schema);
+        let t = tc
+            .unify(
+                &Type::Class(Symbol::new("Employee2")),
+                &Type::Class(Symbol::new("Person2")),
+                "test",
+            )
+            .unwrap();
+        assert_eq!(t, Type::Class(Symbol::new("Person2")));
+    }
+}

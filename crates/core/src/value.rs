@@ -1,0 +1,941 @@
+//! Runtime values, with canonical collection representations and the
+//! value-level monoid operations (`zero`, `unit`, `merge`).
+//!
+//! Design decisions (see DESIGN.md §3):
+//! * **Sets** are sorted, duplicate-free vectors; **bags** are sorted runs of
+//!   `(value, count)`. This makes set/bag equality exact, iteration
+//!   deterministic, and gives every value a total order ([`Value::cmp`],
+//!   floats via `total_cmp`) — which in turn makes `sorted`-monoid merges,
+//!   hash-free join keys, and the escape-hatch coercions well-defined.
+//! * **oset / sorted / sortedbag** values are plain lists (Table 1 gives
+//!   them type `list(α)`); the monoid only governs how they merge.
+//! * Structure sharing via `Arc` keeps cloning cheap — environments and
+//!   comprehension evaluation clone values freely.
+
+use crate::error::{EvalError, EvalResult};
+use crate::monoid::Monoid;
+use crate::symbol::Symbol;
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+
+/// An object identifier: an index into the evaluator's heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Oid(pub u64);
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A lexical environment: an immutable linked list of bindings, cheap to
+/// extend and to capture in closures.
+#[derive(Debug, Clone, Default)]
+pub struct Env(Option<Arc<EnvNode>>);
+
+#[derive(Debug)]
+struct EnvNode {
+    name: Symbol,
+    value: Value,
+    rest: Env,
+}
+
+impl Env {
+    pub fn empty() -> Env {
+        Env(None)
+    }
+
+    /// Extend with a binding, returning the new environment.
+    pub fn bind(&self, name: Symbol, value: Value) -> Env {
+        Env(Some(Arc::new(EnvNode { name, value, rest: self.clone() })))
+    }
+
+    /// Look up the innermost binding of `name`.
+    pub fn lookup(&self, name: Symbol) -> Option<&Value> {
+        let mut node = self.0.as_deref();
+        while let Some(n) = node {
+            if n.name == name {
+                return Some(&n.value);
+            }
+            node = n.rest.0.as_deref();
+        }
+        None
+    }
+
+    /// Build an environment from a list of bindings.
+    pub fn from_bindings(bindings: impl IntoIterator<Item = (Symbol, Value)>) -> Env {
+        let mut env = Env::empty();
+        for (name, value) in bindings {
+            env = env.bind(name, value);
+        }
+        env
+    }
+}
+
+/// A user-level function value.
+#[derive(Debug)]
+pub struct Closure {
+    pub param: Symbol,
+    pub body: crate::expr::Expr,
+    pub env: Env,
+    /// Unique id giving closures a stable place in the value total order.
+    pub id: u64,
+}
+
+fn next_closure_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, AtomicOrdering::Relaxed)
+}
+
+impl Closure {
+    pub fn new(param: Symbol, body: crate::expr::Expr, env: Env) -> Closure {
+        Closure { param, body, env, id: next_closure_id() }
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(Arc<str>),
+    /// Record; fields sorted by label name for canonical comparison.
+    Record(Arc<Vec<(Symbol, Value)>>),
+    Tuple(Arc<Vec<Value>>),
+    List(Arc<Vec<Value>>),
+    /// Sorted, duplicate-free.
+    Set(Arc<Vec<Value>>),
+    /// Sorted runs of `(value, count)` with `count ≥ 1`.
+    Bag(Arc<Vec<(Value, u64)>>),
+    /// Fixed-size vector (§4.1).
+    Vector(Arc<Vec<Value>>),
+    /// Object identity (§4.2).
+    Obj(Oid),
+    Closure(Arc<Closure>),
+}
+
+impl Value {
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Build a record value; fields are sorted by label name.
+    pub fn record(mut fields: Vec<(Symbol, Value)>) -> Value {
+        fields.sort_by(|a, b| a.0.as_str().cmp(b.0.as_str()));
+        Value::Record(Arc::new(fields))
+    }
+
+    pub fn record_from(fields: Vec<(&str, Value)>) -> Value {
+        Value::record(fields.into_iter().map(|(n, v)| (Symbol::new(n), v)).collect())
+    }
+
+    pub fn tuple(items: Vec<Value>) -> Value {
+        Value::Tuple(Arc::new(items))
+    }
+
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(Arc::new(items))
+    }
+
+    pub fn vector(items: Vec<Value>) -> Value {
+        Value::Vector(Arc::new(items))
+    }
+
+    /// Build a set: sorts and deduplicates.
+    pub fn set_from(mut items: Vec<Value>) -> Value {
+        items.sort();
+        items.dedup();
+        Value::Set(Arc::new(items))
+    }
+
+    /// Build a bag from individual elements.
+    pub fn bag_from(mut items: Vec<Value>) -> Value {
+        items.sort();
+        let mut runs: Vec<(Value, u64)> = Vec::new();
+        for item in items {
+            match runs.last_mut() {
+                Some((v, n)) if *v == item => *n += 1,
+                _ => runs.push((item, 1)),
+            }
+        }
+        Value::Bag(Arc::new(runs))
+    }
+
+    /// Field access on records (used by projection after auto-deref).
+    pub fn field(&self, name: Symbol) -> Option<&Value> {
+        match self {
+            Value::Record(fields) => {
+                fields.iter().find(|(n, _)| *n == name).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> EvalResult<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(EvalError::TypeMismatch {
+                op: "boolean",
+                detail: format!("expected bool, got {}", other.kind()),
+            }),
+        }
+    }
+
+    pub fn as_int(&self) -> EvalResult<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(EvalError::TypeMismatch {
+                op: "integer",
+                detail: format!("expected int, got {}", other.kind()),
+            }),
+        }
+    }
+
+    /// A short human-readable name for the value's shape, for errors.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Record(_) => "record",
+            Value::Tuple(_) => "tuple",
+            Value::List(_) => "list",
+            Value::Set(_) => "set",
+            Value::Bag(_) => "bag",
+            Value::Vector(_) => "vector",
+            Value::Obj(_) => "object",
+            Value::Closure(_) => "function",
+        }
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+            Value::Tuple(_) => 5,
+            Value::Record(_) => 6,
+            Value::List(_) => 7,
+            Value::Set(_) => 8,
+            Value::Bag(_) => 9,
+            Value::Vector(_) => 10,
+            Value::Obj(_) => 11,
+            Value::Closure(_) => 12,
+        }
+    }
+
+    /// Number of elements for collections.
+    pub fn len(&self) -> EvalResult<usize> {
+        match self {
+            Value::List(v) | Value::Set(v) | Value::Vector(v) => Ok(v.len()),
+            Value::Bag(runs) => Ok(runs.iter().map(|(_, n)| *n as usize).sum()),
+            Value::Str(s) => Ok(s.chars().count()),
+            other => Err(EvalError::TypeMismatch {
+                op: "len",
+                detail: format!("not a collection: {}", other.kind()),
+            }),
+        }
+    }
+
+    pub fn is_empty(&self) -> EvalResult<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Enumerate the elements of a collection value, in canonical order.
+    /// Strings iterate as single-character strings (string = list(char)).
+    pub fn elements(&self) -> EvalResult<Vec<Value>> {
+        match self {
+            Value::List(v) | Value::Set(v) | Value::Vector(v) => Ok(v.as_ref().clone()),
+            Value::Bag(runs) => {
+                let mut out = Vec::new();
+                for (v, n) in runs.iter() {
+                    for _ in 0..*n {
+                        out.push(v.clone());
+                    }
+                }
+                Ok(out)
+            }
+            Value::Str(s) => Ok(s.chars().map(|c| Value::str(&c.to_string())).collect()),
+            other => Err(EvalError::TypeMismatch {
+                op: "iterate",
+                detail: format!("not a collection: {}", other.kind()),
+            }),
+        }
+    }
+
+    /// The monoid naturally associated with this collection value's shape,
+    /// used by the evaluator to check generator legality dynamically (the
+    /// type checker does it statically).
+    pub fn source_monoid(&self) -> Option<Monoid> {
+        match self {
+            Value::List(_) | Value::Vector(_) | Value::Str(_) => Some(Monoid::List),
+            Value::Set(_) => Some(Monoid::Set),
+            Value::Bag(_) => Some(Monoid::Bag),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Value) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// A total order over all values: by shape rank, then contents. Floats
+    /// use `total_cmp`; ints and floats comparing across shapes fall back to
+    /// numeric comparison so `1 = 1.0` inside mixed collections behaves
+    /// sensibly.
+    fn cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Tuple(a), Tuple(b)) => a.as_slice().cmp(b.as_slice()),
+            (Record(a), Record(b)) => {
+                // Records are sorted by field name; compare field-wise with
+                // names compared as strings (stable across interner runs).
+                let mut ia = a.iter();
+                let mut ib = b.iter();
+                loop {
+                    match (ia.next(), ib.next()) {
+                        (None, None) => return Ordering::Equal,
+                        (None, Some(_)) => return Ordering::Less,
+                        (Some(_), None) => return Ordering::Greater,
+                        (Some((na, va)), Some((nb, vb))) => {
+                            let c = na.as_str().cmp(nb.as_str()).then_with(|| va.cmp(vb));
+                            if c != Ordering::Equal {
+                                return c;
+                            }
+                        }
+                    }
+                }
+            }
+            (List(a), List(b)) | (Set(a), Set(b)) | (Vector(a), Vector(b)) => {
+                a.as_slice().cmp(b.as_slice())
+            }
+            (Bag(a), Bag(b)) => a.as_slice().cmp(b.as_slice()),
+            (Obj(a), Obj(b)) => a.cmp(b),
+            (Closure(a), Closure(b)) => a.id.cmp(&b.id),
+            (a, b) => a.rank().cmp(&b.rank()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn list_like(
+            f: &mut fmt::Formatter<'_>,
+            open: &str,
+            close: &str,
+            items: &[Value],
+        ) -> fmt::Result {
+            write!(f, "{open}")?;
+            for (i, v) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, "{close}")
+        }
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Record(fields) => {
+                write!(f, "⟨")?;
+                for (i, (n, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}={v}")?;
+                }
+                write!(f, "⟩")
+            }
+            Value::Tuple(items) => list_like(f, "(", ")", items),
+            Value::List(items) => list_like(f, "[", "]", items),
+            Value::Set(items) => list_like(f, "{", "}", items),
+            Value::Bag(runs) => {
+                write!(f, "{{{{")?;
+                let mut first = true;
+                for (v, n) in runs.iter() {
+                    for _ in 0..*n {
+                        if !first {
+                            write!(f, ", ")?;
+                        }
+                        first = false;
+                        write!(f, "{v}")?;
+                    }
+                }
+                write!(f, "}}}}")
+            }
+            Value::Vector(items) => list_like(f, "⟦", "⟧", items),
+            Value::Obj(oid) => write!(f, "{oid}"),
+            Value::Closure(c) => write!(f, "λ{}.…", c.param),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value-level monoid operations.
+// ---------------------------------------------------------------------------
+
+/// `zero_M` as a value. The vector monoid needs a size and is handled by
+/// [`zero_vector`].
+pub fn zero(monoid: &Monoid) -> EvalResult<Value> {
+    Ok(match monoid {
+        Monoid::List | Monoid::OSet | Monoid::Sorted | Monoid::SortedBag => {
+            Value::List(Arc::new(Vec::new()))
+        }
+        Monoid::Set => Value::Set(Arc::new(Vec::new())),
+        Monoid::Bag => Value::Bag(Arc::new(Vec::new())),
+        Monoid::Str => Value::str(""),
+        Monoid::Sum => Value::Int(0),
+        Monoid::Prod => Value::Int(1),
+        // −∞ / +∞: represented as Null, absorbed by merge.
+        Monoid::Max | Monoid::Min => Value::Null,
+        Monoid::Some => Value::Bool(false),
+        Monoid::All => Value::Bool(true),
+        Monoid::VecOf(_) => {
+            return Err(EvalError::Other(
+                "zero of a vector monoid requires a size; use zero_vector".into(),
+            ))
+        }
+    })
+}
+
+/// `zero_{M[n]}`: a vector of `n` copies of `zero_M`.
+pub fn zero_vector(elem: &Monoid, n: usize) -> EvalResult<Value> {
+    let z = zero(elem)?;
+    Ok(Value::Vector(Arc::new(vec![z; n])))
+}
+
+/// `unit_M(v)`. For primitive monoids the unit is the identity injection
+/// (the paper's `unit_sum(a) = a`); for collection monoids it builds a
+/// singleton. Vector units are built by [`unit_vector`].
+pub fn unit(monoid: &Monoid, v: Value) -> EvalResult<Value> {
+    Ok(match monoid {
+        Monoid::List | Monoid::OSet | Monoid::Sorted | Monoid::SortedBag => {
+            Value::List(Arc::new(vec![v]))
+        }
+        Monoid::Set => Value::Set(Arc::new(vec![v])),
+        Monoid::Bag => Value::Bag(Arc::new(vec![(v, 1)])),
+        Monoid::Str => match v {
+            s @ Value::Str(_) => s,
+            other => {
+                return Err(EvalError::TypeMismatch {
+                    op: "unit_string",
+                    detail: format!("expected string, got {}", other.kind()),
+                })
+            }
+        },
+        Monoid::Sum | Monoid::Prod | Monoid::Max | Monoid::Min => v,
+        Monoid::Some | Monoid::All => Value::Bool(v.as_bool()?),
+        Monoid::VecOf(_) => {
+            return Err(EvalError::Other(
+                "unit of a vector monoid takes (value, index, size); use unit_vector".into(),
+            ))
+        }
+    })
+}
+
+/// `unit_{M[n]}(a, i)`: the paper's sparse unit vector — `zero_M` everywhere
+/// except `a` at index `i` (e.g. `unit sum[4](8, 2) = (|0,0,8,0|)`).
+pub fn unit_vector(elem: &Monoid, n: usize, a: Value, i: usize) -> EvalResult<Value> {
+    if i >= n {
+        return Err(EvalError::IndexOutOfBounds { index: i as i64, len: n });
+    }
+    let mut items = match zero_vector(elem, n)? {
+        Value::Vector(v) => v.as_ref().clone(),
+        _ => unreachable!(),
+    };
+    items[i] = unit(elem, a)?;
+    Ok(Value::Vector(Arc::new(items)))
+}
+
+fn numeric_binop(
+    op: &'static str,
+    a: &Value,
+    b: &Value,
+    int_op: impl Fn(i64, i64) -> Option<i64>,
+    float_op: impl Fn(f64, f64) -> f64,
+) -> EvalResult<Value> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => int_op(*x, *y)
+            .map(Value::Int)
+            .ok_or_else(|| EvalError::Arithmetic(format!("{op} overflow on {x}, {y}"))),
+        (Value::Int(x), Value::Float(y)) => Ok(Value::Float(float_op(*x as f64, *y))),
+        (Value::Float(x), Value::Int(y)) => Ok(Value::Float(float_op(*x, *y as f64))),
+        (Value::Float(x), Value::Float(y)) => Ok(Value::Float(float_op(*x, *y))),
+        _ => Err(EvalError::TypeMismatch {
+            op,
+            detail: format!("expected numbers, got {} and {}", a.kind(), b.kind()),
+        }),
+    }
+}
+
+/// Merge two sorted vectors, optionally dropping duplicates.
+fn sorted_merge(a: &[Value], b: &[Value], dedup: bool) -> Vec<Value> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            Ordering::Less => {
+                out.push(a[i].clone());
+                i += 1;
+            }
+            Ordering::Greater => {
+                out.push(b[j].clone());
+                j += 1;
+            }
+            Ordering::Equal => {
+                out.push(a[i].clone());
+                if !dedup {
+                    out.push(b[j].clone());
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    if dedup {
+        out.dedup();
+    }
+    out
+}
+
+/// `a ⊕_M b`.
+pub fn merge(monoid: &Monoid, a: &Value, b: &Value) -> EvalResult<Value> {
+    let shape_err = |m: &Monoid| EvalError::TypeMismatch {
+        op: "merge",
+        detail: format!("cannot merge {} and {} with {}", a.kind(), b.kind(), m),
+    };
+    match monoid {
+        // list ++: concatenation.
+        Monoid::List => match (a, b) {
+            (Value::List(x), Value::List(y)) => {
+                let mut out = x.as_ref().clone();
+                out.extend_from_slice(y);
+                Ok(Value::List(Arc::new(out)))
+            }
+            _ => Err(shape_err(monoid)),
+        },
+        // set ∪.
+        Monoid::Set => match (a, b) {
+            (Value::Set(x), Value::Set(y)) => {
+                Ok(Value::Set(Arc::new(sorted_merge(x, y, true))))
+            }
+            _ => Err(shape_err(monoid)),
+        },
+        // bag ⊎: additive union.
+        Monoid::Bag => match (a, b) {
+            (Value::Bag(x), Value::Bag(y)) => {
+                let mut out: Vec<(Value, u64)> = Vec::with_capacity(x.len() + y.len());
+                let (mut i, mut j) = (0, 0);
+                while i < x.len() && j < y.len() {
+                    match x[i].0.cmp(&y[j].0) {
+                        Ordering::Less => {
+                            out.push(x[i].clone());
+                            i += 1;
+                        }
+                        Ordering::Greater => {
+                            out.push(y[j].clone());
+                            j += 1;
+                        }
+                        Ordering::Equal => {
+                            out.push((x[i].0.clone(), x[i].1 + y[j].1));
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                out.extend_from_slice(&x[i..]);
+                out.extend_from_slice(&y[j..]);
+                Ok(Value::Bag(Arc::new(out)))
+            }
+            _ => Err(shape_err(monoid)),
+        },
+        // oset ∪̇: x ++ (y − x), the paper's duplicate-dropping append.
+        Monoid::OSet => match (a, b) {
+            (Value::List(x), Value::List(y)) => {
+                let mut out = x.as_ref().clone();
+                for item in y.iter() {
+                    if !out.contains(item) {
+                        out.push(item.clone());
+                    }
+                }
+                Ok(Value::List(Arc::new(out)))
+            }
+            _ => Err(shape_err(monoid)),
+        },
+        // sorted: order-merge, duplicate-dropping (CI).
+        Monoid::Sorted => match (a, b) {
+            (Value::List(x), Value::List(y)) => {
+                Ok(Value::List(Arc::new(sorted_merge(x, y, true))))
+            }
+            _ => Err(shape_err(monoid)),
+        },
+        // sortedbag: order-merge, duplicate-keeping (C).
+        Monoid::SortedBag => match (a, b) {
+            (Value::List(x), Value::List(y)) => {
+                Ok(Value::List(Arc::new(sorted_merge(x, y, false))))
+            }
+            _ => Err(shape_err(monoid)),
+        },
+        Monoid::Str => match (a, b) {
+            (Value::Str(x), Value::Str(y)) => {
+                let mut s = String::with_capacity(x.len() + y.len());
+                s.push_str(x);
+                s.push_str(y);
+                Ok(Value::Str(Arc::from(s.as_str())))
+            }
+            _ => Err(shape_err(monoid)),
+        },
+        Monoid::Sum => numeric_binop("sum", a, b, i64::checked_add, |x, y| x + y),
+        Monoid::Prod => numeric_binop("prod", a, b, i64::checked_mul, |x, y| x * y),
+        Monoid::Max => match (a, b) {
+            (Value::Null, v) | (v, Value::Null) => Ok(v.clone()),
+            (x, y) => Ok(if x >= y { x.clone() } else { y.clone() }),
+        },
+        Monoid::Min => match (a, b) {
+            (Value::Null, v) | (v, Value::Null) => Ok(v.clone()),
+            (x, y) => Ok(if x <= y { x.clone() } else { y.clone() }),
+        },
+        Monoid::Some => Ok(Value::Bool(a.as_bool()? || b.as_bool()?)),
+        Monoid::All => Ok(Value::Bool(a.as_bool()? && b.as_bool()?)),
+        // M[n]: pointwise merge; sizes must agree.
+        Monoid::VecOf(elem) => match (a, b) {
+            (Value::Vector(x), Value::Vector(y)) => {
+                if x.len() != y.len() {
+                    return Err(EvalError::TypeMismatch {
+                        op: "merge",
+                        detail: format!(
+                            "vector size mismatch: {} vs {}",
+                            x.len(),
+                            y.len()
+                        ),
+                    });
+                }
+                let items = x
+                    .iter()
+                    .zip(y.iter())
+                    .map(|(xa, yb)| merge(elem, xa, yb))
+                    .collect::<EvalResult<Vec<_>>>()?;
+                Ok(Value::Vector(Arc::new(items)))
+            }
+            _ => Err(shape_err(monoid)),
+        },
+    }
+}
+
+/// An incremental monoid accumulator.
+///
+/// Folding a comprehension as `acc = merge(acc, unit(x))` re-copies the
+/// whole accumulator per element — `O(n²)` for collections. The
+/// accumulator instead buffers elements and canonicalizes once in
+/// [`Accumulator::finish`], which is observationally identical (the
+/// buffered fold computes exactly `unit(x₁) ⊕ … ⊕ unit(xₙ)`) but linear
+/// (up to the final sort). Primitive monoids fold directly.
+#[derive(Debug)]
+pub enum Accumulator {
+    /// list/bag/set/sorted/sortedbag: buffer, canonicalize at the end.
+    Buffered { monoid: Monoid, items: Vec<Value> },
+    /// oset: ordered insert-if-absent (the `∪̇` fold), with a search index.
+    OSet { items: Vec<Value>, seen: std::collections::BTreeSet<Value> },
+    Str(String),
+    Prim { monoid: Monoid, acc: Value },
+}
+
+impl Accumulator {
+    pub fn new(monoid: &Monoid) -> EvalResult<Accumulator> {
+        Ok(match monoid {
+            Monoid::List | Monoid::Bag | Monoid::Set | Monoid::Sorted | Monoid::SortedBag => {
+                Accumulator::Buffered { monoid: monoid.clone(), items: Vec::new() }
+            }
+            Monoid::OSet => Accumulator::OSet {
+                items: Vec::new(),
+                seen: std::collections::BTreeSet::new(),
+            },
+            Monoid::Str => Accumulator::Str(String::new()),
+            Monoid::Sum | Monoid::Prod | Monoid::Max | Monoid::Min | Monoid::Some
+            | Monoid::All => Accumulator::Prim { monoid: monoid.clone(), acc: zero(monoid)? },
+            Monoid::VecOf(_) => {
+                return Err(EvalError::Other(
+                    "vector comprehensions accumulate through indexed slots".into(),
+                ))
+            }
+        })
+    }
+
+    /// Fold in `unit(head)`.
+    pub fn push_unit(&mut self, head: Value) -> EvalResult<()> {
+        match self {
+            Accumulator::Buffered { items, .. } => items.push(head),
+            Accumulator::OSet { items, seen } => {
+                if seen.insert(head.clone()) {
+                    items.push(head);
+                }
+            }
+            Accumulator::Str(s) => match head {
+                Value::Str(piece) => s.push_str(&piece),
+                other => {
+                    return Err(EvalError::TypeMismatch {
+                        op: "unit_string",
+                        detail: format!("expected string, got {}", other.kind()),
+                    })
+                }
+            },
+            Accumulator::Prim { monoid, acc } => {
+                let u = unit(monoid, head)?;
+                *acc = merge(monoid, acc, &u)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold in a whole monoid value (the homomorphism fold).
+    pub fn merge_value(&mut self, v: Value) -> EvalResult<()> {
+        match self {
+            Accumulator::Buffered { items, .. } => items.extend(v.elements()?),
+            Accumulator::OSet { items, seen } => {
+                for e in v.elements()? {
+                    if seen.insert(e.clone()) {
+                        items.push(e);
+                    }
+                }
+            }
+            Accumulator::Str(s) => match v {
+                Value::Str(piece) => s.push_str(&piece),
+                other => {
+                    return Err(EvalError::TypeMismatch {
+                        op: "merge_string",
+                        detail: format!("expected string, got {}", other.kind()),
+                    })
+                }
+            },
+            Accumulator::Prim { monoid, acc } => {
+                *acc = merge(monoid, acc, &v)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// `some`/`all` have reached their absorbing element.
+    pub fn absorbed(&self) -> bool {
+        matches!(
+            self,
+            Accumulator::Prim { monoid: Monoid::Some, acc: Value::Bool(true) }
+                | Accumulator::Prim { monoid: Monoid::All, acc: Value::Bool(false) }
+        )
+    }
+
+    /// Canonicalize into the final monoid value.
+    pub fn finish(self) -> EvalResult<Value> {
+        Ok(match self {
+            Accumulator::Buffered { monoid, mut items } => match monoid {
+                Monoid::List => Value::list(items),
+                Monoid::Bag => Value::bag_from(items),
+                Monoid::Set => Value::set_from(items),
+                Monoid::Sorted => {
+                    items.sort();
+                    items.dedup();
+                    Value::list(items)
+                }
+                Monoid::SortedBag => {
+                    items.sort();
+                    Value::list(items)
+                }
+                _ => unreachable!("constructor restricts the monoid"),
+            },
+            Accumulator::OSet { items, .. } => Value::list(items),
+            Accumulator::Str(s) => Value::str(&s),
+            Accumulator::Prim { acc, .. } => acc,
+        })
+    }
+}
+
+/// Deterministic coercions (documented escape hatches outside the calculus;
+/// see `UnOp::{ToBag, ToList, ToSet}`).
+pub fn coerce_to_list(v: &Value) -> EvalResult<Value> {
+    Ok(Value::list(v.elements()?))
+}
+pub fn coerce_to_bag(v: &Value) -> EvalResult<Value> {
+    Ok(Value::bag_from(v.elements()?))
+}
+pub fn coerce_to_set(v: &Value) -> EvalResult<Value> {
+    Ok(Value::set_from(v.elements()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(v: &[i64]) -> Vec<Value> {
+        v.iter().map(|&i| Value::Int(i)).collect()
+    }
+
+    #[test]
+    fn set_is_canonical() {
+        let a = Value::set_from(ints(&[3, 1, 2, 3, 1]));
+        let b = Value::set_from(ints(&[1, 2, 3]));
+        assert_eq!(a, b);
+        assert_eq!(a.len().unwrap(), 3);
+    }
+
+    #[test]
+    fn bag_counts_duplicates() {
+        let b = Value::bag_from(ints(&[4, 5, 4]));
+        assert_eq!(b.len().unwrap(), 3);
+        assert_eq!(b.elements().unwrap(), ints(&[4, 4, 5]));
+        // Bags with same multiset content are equal regardless of build order.
+        assert_eq!(b, Value::bag_from(ints(&[5, 4, 4])));
+        assert_ne!(b, Value::bag_from(ints(&[4, 5])));
+    }
+
+    /// The paper's oset example: [2,5,3,1] ∪̇ [3,2,6] = [2,5,3,1,6].
+    #[test]
+    fn paper_oset_merge() {
+        let x = Value::list(ints(&[2, 5, 3, 1]));
+        let y = Value::list(ints(&[3, 2, 6]));
+        let r = merge(&Monoid::OSet, &x, &y).unwrap();
+        assert_eq!(r, Value::list(ints(&[2, 5, 3, 1, 6])));
+    }
+
+    /// The paper's sum[4] example: merging (|0,1,2,0|) and (|3,0,2,1|)
+    /// pointwise gives (|3,1,4,1|); unit sum[4](8,2) = (|0,0,8,0|).
+    #[test]
+    fn paper_vector_monoid_examples() {
+        let m = Monoid::VecOf(Box::new(Monoid::Sum));
+        let a = Value::vector(ints(&[0, 1, 2, 0]));
+        let b = Value::vector(ints(&[3, 0, 2, 1]));
+        assert_eq!(merge(&m, &a, &b).unwrap(), Value::vector(ints(&[3, 1, 4, 1])));
+        assert_eq!(
+            unit_vector(&Monoid::Sum, 4, Value::Int(8), 2).unwrap(),
+            Value::vector(ints(&[0, 0, 8, 0]))
+        );
+        assert_eq!(zero_vector(&Monoid::Sum, 4).unwrap(), Value::vector(ints(&[0, 0, 0, 0])));
+    }
+
+    #[test]
+    fn max_min_absorb_null_zero() {
+        assert_eq!(merge(&Monoid::Max, &Value::Null, &Value::Int(3)).unwrap(), Value::Int(3));
+        assert_eq!(merge(&Monoid::Min, &Value::Int(3), &Value::Null).unwrap(), Value::Int(3));
+        assert_eq!(
+            merge(&Monoid::Max, &Value::Int(3), &Value::Int(7)).unwrap(),
+            Value::Int(7)
+        );
+    }
+
+    #[test]
+    fn string_monoid_concatenates() {
+        let r = merge(&Monoid::Str, &Value::str("ab"), &Value::str("cd")).unwrap();
+        assert_eq!(r, Value::str("abcd"));
+        assert_eq!(zero(&Monoid::Str).unwrap(), Value::str(""));
+    }
+
+    #[test]
+    fn sorted_merge_is_ci() {
+        let x = Value::list(ints(&[1, 3, 5]));
+        let y = Value::list(ints(&[1, 2, 5, 9]));
+        let r = merge(&Monoid::Sorted, &x, &y).unwrap();
+        assert_eq!(r, Value::list(ints(&[1, 2, 3, 5, 9])));
+        // idempotence
+        assert_eq!(merge(&Monoid::Sorted, &x, &x).unwrap(), x);
+        // commutativity
+        assert_eq!(merge(&Monoid::Sorted, &y, &x).unwrap(), r);
+    }
+
+    #[test]
+    fn sortedbag_keeps_duplicates() {
+        let x = Value::list(ints(&[1, 3]));
+        let y = Value::list(ints(&[1, 2]));
+        let r = merge(&Monoid::SortedBag, &x, &y).unwrap();
+        assert_eq!(r, Value::list(ints(&[1, 1, 2, 3])));
+    }
+
+    #[test]
+    fn numeric_coercion_int_float() {
+        let r = merge(&Monoid::Sum, &Value::Int(1), &Value::Float(2.5)).unwrap();
+        assert_eq!(r, Value::Float(3.5));
+    }
+
+    #[test]
+    fn sum_overflow_is_an_error() {
+        let r = merge(&Monoid::Sum, &Value::Int(i64::MAX), &Value::Int(1));
+        assert!(matches!(r, Err(EvalError::Arithmetic(_))));
+    }
+
+    #[test]
+    fn env_shadows_innermost() {
+        let x = Symbol::new("x");
+        let env = Env::empty().bind(x, Value::Int(1)).bind(x, Value::Int(2));
+        assert_eq!(env.lookup(x), Some(&Value::Int(2)));
+        assert_eq!(env.lookup(Symbol::new("nope")), None);
+    }
+
+    #[test]
+    fn total_order_across_kinds_is_consistent() {
+        let mut vals = vec![
+            Value::str("a"),
+            Value::Int(5),
+            Value::Null,
+            Value::Bool(true),
+            Value::Float(2.5),
+            Value::list(ints(&[1])),
+        ];
+        vals.sort();
+        // Sorting twice gives the same order (total, antisymmetric).
+        let again = {
+            let mut v = vals.clone();
+            v.sort();
+            v
+        };
+        assert_eq!(vals, again);
+        // Int/Float compare numerically.
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(2.5) < Value::Int(3));
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+    }
+
+    #[test]
+    fn record_comparison_is_field_name_stable() {
+        let a = Value::record_from(vec![("x", Value::Int(1)), ("y", Value::Int(2))]);
+        let b = Value::record_from(vec![("y", Value::Int(2)), ("x", Value::Int(1))]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn coercions_are_deterministic() {
+        let s = Value::set_from(ints(&[3, 1, 2]));
+        assert_eq!(coerce_to_list(&s).unwrap(), Value::list(ints(&[1, 2, 3])));
+        let l = Value::list(ints(&[2, 1, 2]));
+        assert_eq!(coerce_to_set(&l).unwrap(), Value::set_from(ints(&[1, 2])));
+        assert_eq!(coerce_to_bag(&l).unwrap(), Value::bag_from(ints(&[1, 2, 2])));
+    }
+}

@@ -1,0 +1,180 @@
+//! The OQL abstract syntax (ODMG-93 subset used by the paper).
+//!
+//! Kept deliberately close to the grammar so the parser is transparent;
+//! all semantic work happens in `translate`, which maps this AST into the
+//! monoid calculus (the paper's §3 / Table 2).
+
+use monoid_calculus::symbol::Symbol;
+use std::fmt;
+
+/// A whole OQL program: zero or more `define name as query;` bindings
+/// followed by the main query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub defines: Vec<(Symbol, OqlExpr)>,
+    pub query: OqlExpr,
+}
+
+/// Sort direction in `order by`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    Asc,
+    Desc,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl fmt::Display for Agg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Agg::Count => "count",
+            Agg::Sum => "sum",
+            Agg::Avg => "avg",
+            Agg::Min => "min",
+            Agg::Max => "max",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Binary operators in OQL expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OqlBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    /// String concatenation `||`.
+    Concat,
+}
+
+/// Collection constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollCons {
+    Set,
+    Bag,
+    List,
+    Array,
+}
+
+/// Set-theoretic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    Union,
+    Intersect,
+    Except,
+}
+
+/// Quantifier kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quant {
+    /// `exists x in e: p`
+    Exists,
+    /// `for all x in e: p`
+    ForAll,
+}
+
+/// One `from` clause binding: `x in e` / `e as x` / `e x`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromClause {
+    pub var: Symbol,
+    pub source: OqlExpr,
+}
+
+/// One `group by` key: `label: expr`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupKey {
+    pub label: Symbol,
+    pub expr: OqlExpr,
+}
+
+/// One `order by` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    pub expr: OqlExpr,
+    pub dir: Dir,
+}
+
+/// The projection of a select: a single expression, or a named list
+/// (`select x.a as a, x.b as b …`, sugar for a struct).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    Expr(OqlExpr),
+    Named(Vec<(Symbol, OqlExpr)>),
+}
+
+/// An OQL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OqlExpr {
+    IntLit(i64),
+    FloatLit(f64),
+    StrLit(String),
+    BoolLit(bool),
+    Nil,
+    /// A variable or persistent-root / define name.
+    Name(Symbol),
+    /// Path expression `e.field`.
+    Path(Box<OqlExpr>, Symbol),
+    /// Indexing `e[i]` on lists/arrays.
+    Index(Box<OqlExpr>, Box<OqlExpr>),
+    BinOp(OqlBinOp, Box<OqlExpr>, Box<OqlExpr>),
+    Not(Box<OqlExpr>),
+    Neg(Box<OqlExpr>),
+    /// Membership `e1 in e2`.
+    In(Box<OqlExpr>, Box<OqlExpr>),
+    /// `e like 'pat%'` with `%` wildcards.
+    Like(Box<OqlExpr>, String),
+    /// Aggregates `count(e)`, `sum(e)`, …
+    Agg(Agg, Box<OqlExpr>),
+    /// `exists x in e: p` / `for all x in e: p`.
+    Quantified { quant: Quant, var: Symbol, source: Box<OqlExpr>, pred: Box<OqlExpr> },
+    /// `element(e)`.
+    Element(Box<OqlExpr>),
+    /// `flatten(e)`.
+    Flatten(Box<OqlExpr>),
+    /// `listtoset(e)`.
+    ListToSet(Box<OqlExpr>),
+    /// `struct(a: e1, b: e2, …)`.
+    Struct(Vec<(Symbol, OqlExpr)>),
+    /// `set(…)`, `bag(…)`, `list(…)`, `array(…)`.
+    Collection(CollCons, Vec<OqlExpr>),
+    /// `e1 union e2`, etc.
+    SetOp(SetOp, Box<OqlExpr>, Box<OqlExpr>),
+    /// The big one.
+    Select {
+        distinct: bool,
+        proj: Box<Projection>,
+        from: Vec<FromClause>,
+        filter: Option<Box<OqlExpr>>,
+        group_by: Vec<GroupKey>,
+        having: Option<Box<OqlExpr>>,
+        order_by: Vec<OrderKey>,
+    },
+}
+
+impl OqlExpr {
+    pub fn path(self, field: impl Into<Symbol>) -> OqlExpr {
+        OqlExpr::Path(Box::new(self), field.into())
+    }
+
+    pub fn name(n: &str) -> OqlExpr {
+        OqlExpr::Name(Symbol::new(n))
+    }
+}

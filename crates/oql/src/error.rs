@@ -1,0 +1,53 @@
+//! OQL front-end errors: lexing, parsing, and translation (which folds in
+//! calculus type errors, including the paper's C/I legality violations).
+
+use crate::token::Pos;
+use monoid_calculus::error::TypeError;
+use std::fmt;
+
+/// Any error from the OQL front end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OqlError {
+    /// Lexical error at a position.
+    Lex { pos: Pos, msg: String },
+    /// Parse error at a position.
+    Parse { pos: Pos, msg: String },
+    /// Translation-time error (unknown name, unsupported construct, …).
+    Translate(String),
+    /// A calculus type error surfaced while translating (e.g. an illegal
+    /// homomorphism).
+    Type(TypeError),
+}
+
+impl OqlError {
+    pub fn lex(pos: Pos, msg: impl Into<String>) -> OqlError {
+        OqlError::Lex { pos, msg: msg.into() }
+    }
+
+    pub fn parse(pos: Pos, msg: impl Into<String>) -> OqlError {
+        OqlError::Parse { pos, msg: msg.into() }
+    }
+
+    pub fn translate(msg: impl Into<String>) -> OqlError {
+        OqlError::Translate(msg.into())
+    }
+}
+
+impl fmt::Display for OqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OqlError::Lex { pos, msg } => write!(f, "lex error at {pos}: {msg}"),
+            OqlError::Parse { pos, msg } => write!(f, "parse error at {pos}: {msg}"),
+            OqlError::Translate(msg) => write!(f, "translation error: {msg}"),
+            OqlError::Type(e) => write!(f, "type error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OqlError {}
+
+impl From<TypeError> for OqlError {
+    fn from(e: TypeError) -> OqlError {
+        OqlError::Type(e)
+    }
+}

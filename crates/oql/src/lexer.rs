@@ -1,0 +1,334 @@
+//! The OQL lexer: source text → spanned tokens.
+//!
+//! OQL identifiers are letters, digits, `_`, and a trailing `#` (the
+//! paper's schema uses fields like `bed#` and `hotel#`). Keywords are
+//! case-insensitive. Strings use single or double quotes with `\`
+//! escapes. `--` starts a line comment (as in SQL).
+
+use crate::error::OqlError;
+use crate::token::{Pos, SpannedTok, Tok};
+
+/// Tokenize `src` completely (including a trailing `Eof` token).
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, OqlError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    offset: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer { src, bytes: src.as_bytes(), offset: 0, line: 1, col: 1 }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos { offset: self.offset, line: self.line, col: self.col }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.offset).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.offset + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.offset += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn run(mut self) -> Result<Vec<SpannedTok>, OqlError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws_and_comments();
+            let pos = self.pos();
+            let Some(b) = self.peek() else {
+                out.push(SpannedTok { tok: Tok::Eof, pos });
+                return Ok(out);
+            };
+            let tok = match b {
+                b'0'..=b'9' => self.number(pos)?,
+                b'\'' | b'"' => self.string(pos)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(),
+                b'(' => self.single(Tok::LParen),
+                b')' => self.single(Tok::RParen),
+                b'[' => self.single(Tok::LBracket),
+                b']' => self.single(Tok::RBracket),
+                b',' => self.single(Tok::Comma),
+                b'.' => self.single(Tok::Dot),
+                b':' => self.single(Tok::Colon),
+                b';' => self.single(Tok::Semicolon),
+                b'+' => self.single(Tok::Plus),
+                b'-' => self.single(Tok::Minus),
+                b'*' => self.single(Tok::Star),
+                b'/' => self.single(Tok::Slash),
+                b'%' => self.single(Tok::Mod),
+                b'=' => self.single(Tok::Eq),
+                b'|' => {
+                    if self.peek2() == Some(b'|') {
+                        self.bump();
+                        self.bump();
+                        Tok::Concat
+                    } else {
+                        return Err(OqlError::lex(pos, "stray `|` (did you mean `||`?)"));
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            Tok::Le
+                        }
+                        Some(b'>') => {
+                            self.bump();
+                            Tok::Ne
+                        }
+                        _ => Tok::Lt,
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::Ge
+                    } else {
+                        Tok::Gt
+                    }
+                }
+                b'!' => {
+                    if self.peek2() == Some(b'=') {
+                        self.bump();
+                        self.bump();
+                        Tok::Ne
+                    } else {
+                        return Err(OqlError::lex(pos, "stray `!` (did you mean `!=`?)"));
+                    }
+                }
+                other => {
+                    return Err(OqlError::lex(
+                        pos,
+                        format!("unexpected character `{}`", other as char),
+                    ))
+                }
+            };
+            out.push(SpannedTok { tok, pos });
+        }
+    }
+
+    fn single(&mut self, tok: Tok) -> Tok {
+        self.bump();
+        tok
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => {
+                    self.bump();
+                }
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn number(&mut self, pos: Pos) -> Result<Tok, OqlError> {
+        let start = self.offset;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        let mut is_float = false;
+        // A dot starts a fraction only if followed by a digit — `1.name`
+        // must lex as `1` `.` `name`.
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            let mut lookahead = self.offset + 1;
+            if matches!(self.bytes.get(lookahead), Some(b'+' | b'-')) {
+                lookahead += 1;
+            }
+            if matches!(self.bytes.get(lookahead), Some(b'0'..=b'9')) {
+                is_float = true;
+                self.bump(); // e
+                if matches!(self.peek(), Some(b'+' | b'-')) {
+                    self.bump();
+                }
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.bump();
+                }
+            }
+        }
+        let text = &self.src[start..self.offset];
+        if is_float {
+            text.parse::<f64>()
+                .map(Tok::Float)
+                .map_err(|_| OqlError::lex(pos, format!("bad float literal `{text}`")))
+        } else {
+            text.parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|_| OqlError::lex(pos, format!("integer literal `{text}` out of range")))
+        }
+    }
+
+    fn string(&mut self, pos: Pos) -> Result<Tok, OqlError> {
+        let quote = self.bump().expect("caller peeked");
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(OqlError::lex(pos, "unterminated string literal")),
+                Some(b) if b == quote => return Ok(Tok::Str(s)),
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => s.push('\n'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b) if b == quote => s.push(b as char),
+                    Some(other) => s.push(other as char),
+                    None => return Err(OqlError::lex(pos, "unterminated string literal")),
+                },
+                Some(b) => {
+                    // Re-assemble multi-byte UTF-8: push raw bytes via the
+                    // source slice to stay correct.
+                    if b.is_ascii() {
+                        s.push(b as char);
+                    } else {
+                        // Walk back one byte and take the full char.
+                        let start = self.offset - 1;
+                        let ch = self.src[start..].chars().next().expect("valid utf8");
+                        for _ in 1..ch.len_utf8() {
+                            self.bump();
+                        }
+                        s.push(ch);
+                    }
+                }
+            }
+        }
+    }
+
+    fn ident(&mut self) -> Tok {
+        let start = self.offset;
+        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+            self.bump();
+        }
+        // Trailing `#` for fields like `bed#`, `hotel#`.
+        if self.peek() == Some(b'#') {
+            self.bump();
+        }
+        let text = &self.src[start..self.offset];
+        Tok::keyword(text).unwrap_or_else(|| Tok::Ident(text.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            toks("SELECT distinct FrOm"),
+            vec![Tok::Select, Tok::Distinct, Tok::From, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers_and_paths() {
+        assert_eq!(
+            toks("x.bed# = 3"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Dot,
+                Tok::Ident("bed#".into()),
+                Tok::Eq,
+                Tok::Int(3),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(toks("1.5e2"), vec![Tok::Float(150.0), Tok::Eof]);
+        assert_eq!(
+            toks("r.price"),
+            vec![Tok::Ident("r".into()), Tok::Dot, Tok::Ident("price".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#"'Port\'land' "two""#),
+            vec![Tok::Str("Port'land".into()), Tok::Str("two".into()), Tok::Eof]
+        );
+        assert_eq!(toks("'héllo'"), vec![Tok::Str("héllo".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("<= >= <> != < > = || + - * / %"),
+            vec![
+                Tok::Le,
+                Tok::Ge,
+                Tok::Ne,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eq,
+                Tok::Concat,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Slash,
+                Tok::Mod,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("select -- the works\n 1"),
+            vec![Tok::Select, Tok::Int(1), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = lex("select @").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("1:8"), "position in {msg}");
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("'abc").is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! # monoid-oql
+//!
+//! An OQL (ODMG-93) front end for the monoid comprehension calculus —
+//! the language the paper demonstrates *coverage* for in §3.
+//!
+//! * [`lexer`] / [`token`] — spanned, case-insensitive-keyword tokens,
+//!   including the paper's `bed#`-style identifiers.
+//! * [`parser`] — recursive descent over the OQL subset the paper uses:
+//!   select-from-where (with `distinct`, `group by`/`having`, `order by`),
+//!   quantifiers (`exists x in e: p`, `for all x in e: p`), aggregates,
+//!   membership, path expressions, `struct`/collection constructors,
+//!   `element`/`flatten`/`listtoset`, set operators, `define`, `like`,
+//!   indexing, and subqueries at arbitrary points.
+//! * [`translate`] — the §3 translation into monoid comprehensions, with
+//!   the C/I legality restriction enforced and documented deterministic
+//!   coercions where OQL semantics demand them.
+//! * [`unparse`](mod@unparse) — render ASTs back to OQL source
+//!   (`parse ∘ unparse ∘ parse = parse`).
+//!
+//! ```
+//! use monoid_oql::compile;
+//! use monoid_calculus::pretty::pretty;
+//! # use monoid_calculus::types::{Schema, ClassDef, Type};
+//! # use monoid_calculus::symbol::Symbol;
+//! # let mut schema = Schema::new();
+//! # schema.add_class(ClassDef {
+//! #     name: Symbol::new("DocCity"),
+//! #     state: Type::record(vec![(Symbol::new("name"), Type::Str)]),
+//! #     extent: Some(Symbol::new("DocCities")),
+//! #     superclass: None,
+//! # });
+//! let q = compile(&schema, "select c.name from c in DocCities").unwrap();
+//! assert_eq!(pretty(&q), "bag{ c.name | c ← DocCities }");
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+pub mod translate;
+pub mod unparse;
+
+pub use error::OqlError;
+pub use parser::{parse_program, parse_query};
+pub use translate::{compile, compile_typed, Translator};
+pub use unparse::{unparse, unparse_program};

@@ -1,0 +1,665 @@
+//! Recursive-descent parser for the OQL subset.
+//!
+//! Operator precedence, loosest to tightest:
+//! `or` < `and` < `not` < comparison / `in` / `like` <
+//! `union`/`intersect`/`except` < `+ - ||` < `* / mod` < unary `-` <
+//! postfix (`.field`, `[index]`).
+//!
+//! `select … from … where … group by … having … order by …` is an
+//! expression and may appear anywhere an expression may (the paper: OQL
+//! permits "subqueries at arbitrary points in query expressions").
+
+use crate::ast::*;
+use crate::error::OqlError;
+use crate::lexer::lex;
+use crate::token::{Pos, SpannedTok, Tok};
+use monoid_calculus::symbol::Symbol;
+
+/// Parse a full OQL program (defines + main query).
+pub fn parse_program(src: &str) -> Result<Program, OqlError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, at: 0, depth: 0 };
+    let prog = p.program()?;
+    p.expect(Tok::Eof)?;
+    Ok(prog)
+}
+
+/// Parse a single OQL query (no defines).
+pub fn parse_query(src: &str) -> Result<OqlExpr, OqlError> {
+    let prog = parse_program(src)?;
+    if prog.defines.is_empty() {
+        Ok(prog.query)
+    } else {
+        Err(OqlError::translate("use parse_program for queries with `define`"))
+    }
+}
+
+/// Maximum expression nesting depth; deeper input gets a clean error
+/// instead of exhausting the stack.
+const MAX_DEPTH: usize = 32;
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    at: usize,
+    depth: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.at].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.at + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.at].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.at].tok.clone();
+        if self.at + 1 < self.toks.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: Tok) -> bool {
+        if *self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), OqlError> {
+        if self.eat(t.clone()) {
+            Ok(())
+        } else {
+            Err(OqlError::parse(
+                self.pos(),
+                format!("expected {t}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<Symbol, OqlError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(Symbol::new(&name))
+            }
+            other => Err(OqlError::parse(
+                self.pos(),
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, OqlError> {
+        let mut defines = Vec::new();
+        while self.eat(Tok::Define) {
+            let name = self.ident()?;
+            self.expect(Tok::As)?;
+            let q = self.expr()?;
+            self.expect(Tok::Semicolon)?;
+            defines.push((name, q));
+        }
+        let query = self.expr()?;
+        // Allow a trailing semicolon on the main query.
+        self.eat(Tok::Semicolon);
+        Ok(Program { defines, query })
+    }
+
+    // ---- precedence climb ----
+
+    fn expr(&mut self) -> Result<OqlExpr, OqlError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            self.depth -= 1;
+            return Err(OqlError::parse(
+                self.pos(),
+                format!("expression nesting exceeds {MAX_DEPTH} levels"),
+            ));
+        }
+        let r = self.or();
+        self.depth -= 1;
+        r
+    }
+
+    fn or(&mut self) -> Result<OqlExpr, OqlError> {
+        let mut lhs = self.and()?;
+        while self.eat(Tok::Or) {
+            let rhs = self.and()?;
+            lhs = OqlExpr::BinOp(OqlBinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<OqlExpr, OqlError> {
+        let mut lhs = self.not()?;
+        while self.eat(Tok::And) {
+            let rhs = self.not()?;
+            lhs = OqlExpr::BinOp(OqlBinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not(&mut self) -> Result<OqlExpr, OqlError> {
+        if self.eat(Tok::Not) {
+            return Ok(OqlExpr::Not(Box::new(self.not()?)));
+        }
+        // Quantifiers: `exists x in e: p` / `for all x in e: p`. Note that
+        // `exists(e)` (non-emptiness) is instead parsed below when the next
+        // token is `(`.
+        if *self.peek() == Tok::Exists && matches!(self.peek2(), Tok::Ident(_)) {
+            self.bump();
+            let var = self.ident()?;
+            self.expect(Tok::In)?;
+            let source = self.cmp()?;
+            self.expect(Tok::Colon)?;
+            let pred = self.not()?;
+            return Ok(OqlExpr::Quantified {
+                quant: Quant::Exists,
+                var,
+                source: Box::new(source),
+                pred: Box::new(pred),
+            });
+        }
+        if *self.peek() == Tok::For {
+            self.bump();
+            self.expect(Tok::All)?;
+            let var = self.ident()?;
+            self.expect(Tok::In)?;
+            let source = self.cmp()?;
+            self.expect(Tok::Colon)?;
+            let pred = self.not()?;
+            return Ok(OqlExpr::Quantified {
+                quant: Quant::ForAll,
+                var,
+                source: Box::new(source),
+                pred: Box::new(pred),
+            });
+        }
+        self.cmp()
+    }
+
+    fn cmp(&mut self) -> Result<OqlExpr, OqlError> {
+        let lhs = self.setop()?;
+        let op = match self.peek() {
+            Tok::Eq => OqlBinOp::Eq,
+            Tok::Ne => OqlBinOp::Ne,
+            Tok::Lt => OqlBinOp::Lt,
+            Tok::Le => OqlBinOp::Le,
+            Tok::Gt => OqlBinOp::Gt,
+            Tok::Ge => OqlBinOp::Ge,
+            Tok::In => {
+                self.bump();
+                let rhs = self.setop()?;
+                return Ok(OqlExpr::In(Box::new(lhs), Box::new(rhs)));
+            }
+            Tok::Like => {
+                self.bump();
+                match self.bump() {
+                    Tok::Str(pat) => return Ok(OqlExpr::Like(Box::new(lhs), pat)),
+                    other => {
+                        return Err(OqlError::parse(
+                            self.pos(),
+                            format!("expected string pattern after `like`, found {other}"),
+                        ))
+                    }
+                }
+            }
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.setop()?;
+        Ok(OqlExpr::BinOp(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn setop(&mut self) -> Result<OqlExpr, OqlError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Union => SetOp::Union,
+                Tok::Intersect => SetOp::Intersect,
+                Tok::Except => SetOp::Except,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.additive()?;
+            lhs = OqlExpr::SetOp(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn additive(&mut self) -> Result<OqlExpr, OqlError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => OqlBinOp::Add,
+                Tok::Minus => OqlBinOp::Sub,
+                Tok::Concat => OqlBinOp::Concat,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = OqlExpr::BinOp(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<OqlExpr, OqlError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => OqlBinOp::Mul,
+                Tok::Slash => OqlBinOp::Div,
+                Tok::Mod => OqlBinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = OqlExpr::BinOp(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn unary(&mut self) -> Result<OqlExpr, OqlError> {
+        if self.eat(Tok::Minus) {
+            return Ok(OqlExpr::Neg(Box::new(self.unary()?)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<OqlExpr, OqlError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat(Tok::Dot) {
+                let field = self.ident()?;
+                e = OqlExpr::Path(Box::new(e), field);
+            } else if self.eat(Tok::LBracket) {
+                let idx = self.expr()?;
+                self.expect(Tok::RBracket)?;
+                e = OqlExpr::Index(Box::new(e), Box::new(idx));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn call_arg(&mut self) -> Result<OqlExpr, OqlError> {
+        self.expect(Tok::LParen)?;
+        let e = self.expr()?;
+        self.expect(Tok::RParen)?;
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<OqlExpr, OqlError> {
+        match self.peek().clone() {
+            Tok::Int(i) => {
+                self.bump();
+                Ok(OqlExpr::IntLit(i))
+            }
+            Tok::Float(x) => {
+                self.bump();
+                Ok(OqlExpr::FloatLit(x))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(OqlExpr::StrLit(s))
+            }
+            Tok::True => {
+                self.bump();
+                Ok(OqlExpr::BoolLit(true))
+            }
+            Tok::False => {
+                self.bump();
+                Ok(OqlExpr::BoolLit(false))
+            }
+            Tok::Nil => {
+                self.bump();
+                Ok(OqlExpr::Nil)
+            }
+            Tok::Count => {
+                self.bump();
+                Ok(OqlExpr::Agg(Agg::Count, Box::new(self.call_arg()?)))
+            }
+            Tok::Sum => {
+                self.bump();
+                Ok(OqlExpr::Agg(Agg::Sum, Box::new(self.call_arg()?)))
+            }
+            Tok::Avg => {
+                self.bump();
+                Ok(OqlExpr::Agg(Agg::Avg, Box::new(self.call_arg()?)))
+            }
+            Tok::Min => {
+                self.bump();
+                Ok(OqlExpr::Agg(Agg::Min, Box::new(self.call_arg()?)))
+            }
+            Tok::Max => {
+                self.bump();
+                Ok(OqlExpr::Agg(Agg::Max, Box::new(self.call_arg()?)))
+            }
+            Tok::Element => {
+                self.bump();
+                Ok(OqlExpr::Element(Box::new(self.call_arg()?)))
+            }
+            Tok::Flatten => {
+                self.bump();
+                Ok(OqlExpr::Flatten(Box::new(self.call_arg()?)))
+            }
+            Tok::ListToSet => {
+                self.bump();
+                Ok(OqlExpr::ListToSet(Box::new(self.call_arg()?)))
+            }
+            Tok::Exists => {
+                // `exists(e)`: non-emptiness of a collection.
+                self.bump();
+                Ok(OqlExpr::Agg(Agg::Count, Box::new(self.call_arg()?)))
+                    .map(|count| {
+                        OqlExpr::BinOp(
+                            OqlBinOp::Gt,
+                            Box::new(count),
+                            Box::new(OqlExpr::IntLit(0)),
+                        )
+                    })
+            }
+            Tok::Struct => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let mut fields = Vec::new();
+                loop {
+                    let label = self.ident()?;
+                    self.expect(Tok::Colon)?;
+                    let value = self.expr()?;
+                    fields.push((label, value));
+                    if !self.eat(Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::RParen)?;
+                Ok(OqlExpr::Struct(fields))
+            }
+            Tok::Set | Tok::Bag | Tok::List | Tok::Array => {
+                let cons = match self.bump() {
+                    Tok::Set => CollCons::Set,
+                    Tok::Bag => CollCons::Bag,
+                    Tok::List => CollCons::List,
+                    Tok::Array => CollCons::Array,
+                    _ => unreachable!(),
+                };
+                self.expect(Tok::LParen)?;
+                let mut items = Vec::new();
+                if *self.peek() != Tok::RParen {
+                    loop {
+                        items.push(self.expr()?);
+                        if !self.eat(Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::RParen)?;
+                Ok(OqlExpr::Collection(cons, items))
+            }
+            Tok::Select => self.select(),
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(OqlExpr::Name(Symbol::new(&name)))
+            }
+            other => Err(OqlError::parse(
+                self.pos(),
+                format!("expected an expression, found {other}"),
+            )),
+        }
+    }
+
+    // ---- select ----
+
+    fn select(&mut self) -> Result<OqlExpr, OqlError> {
+        self.expect(Tok::Select)?;
+        let distinct = self.eat(Tok::Distinct);
+        let proj = self.projection()?;
+        self.expect(Tok::From)?;
+        let mut from = vec![self.parse_from_clause()?];
+        while self.eat(Tok::Comma) {
+            from.push(self.parse_from_clause()?);
+        }
+        let filter = if self.eat(Tok::Where) {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat(Tok::Group) {
+            self.expect(Tok::By)?;
+            loop {
+                let label = self.ident()?;
+                self.expect(Tok::Colon)?;
+                let expr = self.expr()?;
+                group_by.push(GroupKey { label, expr });
+                if !self.eat(Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat(Tok::Having) {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat(Tok::Order) {
+            self.expect(Tok::By)?;
+            loop {
+                let expr = self.expr()?;
+                let dir = if self.eat(Tok::Desc) {
+                    Dir::Desc
+                } else {
+                    self.eat(Tok::Asc);
+                    Dir::Asc
+                };
+                order_by.push(OrderKey { expr, dir });
+                if !self.eat(Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        Ok(OqlExpr::Select {
+            distinct,
+            proj: Box::new(proj),
+            from,
+            filter,
+            group_by,
+            having,
+            order_by,
+        })
+    }
+
+    fn projection(&mut self) -> Result<Projection, OqlError> {
+        let mut items: Vec<(Option<Symbol>, OqlExpr)> = Vec::new();
+        loop {
+            let e = self.expr()?;
+            let label = if self.eat(Tok::As) { Some(self.ident()?) } else { None };
+            items.push((label, e));
+            if !self.eat(Tok::Comma) {
+                break;
+            }
+        }
+        if items.len() == 1 && items[0].0.is_none() {
+            return Ok(Projection::Expr(items.pop().expect("one item").1));
+        }
+        // Multi-item (or labelled) projection: a struct. Unlabelled items
+        // take their field/variable name, as OQL does.
+        let named = items
+            .into_iter()
+            .map(|(label, e)| {
+                let label = match label {
+                    Some(l) => l,
+                    None => match &e {
+                        OqlExpr::Path(_, f) => *f,
+                        OqlExpr::Name(n) => *n,
+                        _ => {
+                            return Err(OqlError::parse(
+                                self.pos(),
+                                "projection item needs `as <name>`",
+                            ))
+                        }
+                    },
+                };
+                Ok((label, e))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Projection::Named(named))
+    }
+
+    fn parse_from_clause(&mut self) -> Result<FromClause, OqlError> {
+        // `x in e` — one-token lookahead distinguishes it from `e [as] x`.
+        if let Tok::Ident(_) = self.peek() {
+            if *self.peek2() == Tok::In {
+                let var = self.ident()?;
+                self.expect(Tok::In)?;
+                let source = self.expr()?;
+                return Ok(FromClause { var, source });
+            }
+        }
+        let source = self.expr()?;
+        self.eat(Tok::As);
+        let var = self.ident()?;
+        Ok(FromClause { var, source })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_select() {
+        let q = parse_query("select c.name from c in Cities where c.name = 'Portland'")
+            .unwrap();
+        let OqlExpr::Select { distinct, from, filter, .. } = q else {
+            panic!("expected select");
+        };
+        assert!(!distinct);
+        assert_eq!(from.len(), 1);
+        assert_eq!(from[0].var, Symbol::new("c"));
+        assert!(filter.is_some());
+    }
+
+    #[test]
+    fn parses_sql_style_from() {
+        let q = parse_query("select distinct h.name from Hotels h").unwrap();
+        let OqlExpr::Select { distinct, from, .. } = q else { panic!() };
+        assert!(distinct);
+        assert_eq!(from[0].var, Symbol::new("h"));
+        assert_eq!(from[0].source, OqlExpr::name("Hotels"));
+    }
+
+    #[test]
+    fn parses_nested_select_in_from() {
+        let q = parse_query(
+            "select h.name from h in (select c.hotels from c in Cities) , r in h.rooms",
+        );
+        // h ranges over a bag of lists here — nonsense semantically but
+        // fine syntactically; translation will flag it.
+        assert!(q.is_ok());
+    }
+
+    #[test]
+    fn parses_quantifiers() {
+        let q = parse_query("exists r in h.rooms: r.bed# = 3").unwrap();
+        assert!(matches!(q, OqlExpr::Quantified { quant: Quant::Exists, .. }));
+        let q = parse_query("for all r in h.rooms: r.price < 100").unwrap();
+        assert!(matches!(q, OqlExpr::Quantified { quant: Quant::ForAll, .. }));
+    }
+
+    #[test]
+    fn parses_aggregates_and_calls() {
+        let q = parse_query("sum(select r.price from r in h.rooms)").unwrap();
+        assert!(matches!(q, OqlExpr::Agg(Agg::Sum, _)));
+        assert!(matches!(
+            parse_query("count(Cities)").unwrap(),
+            OqlExpr::Agg(Agg::Count, _)
+        ));
+        assert!(matches!(parse_query("element(Cities)").unwrap(), OqlExpr::Element(_)));
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        // a + b * c parses as a + (b * c)
+        let q = parse_query("1 + 2 * 3").unwrap();
+        let OqlExpr::BinOp(OqlBinOp::Add, _, rhs) = q else { panic!() };
+        assert!(matches!(*rhs, OqlExpr::BinOp(OqlBinOp::Mul, _, _)));
+        // not binds tighter than and
+        let q = parse_query("not true and false").unwrap();
+        assert!(matches!(q, OqlExpr::BinOp(OqlBinOp::And, _, _)));
+    }
+
+    #[test]
+    fn parses_struct_and_collections() {
+        let q = parse_query("struct(name: c.name, n: 3)").unwrap();
+        assert!(matches!(q, OqlExpr::Struct(ref fs) if fs.len() == 2));
+        let q = parse_query("set(1, 2, 3)").unwrap();
+        assert!(matches!(q, OqlExpr::Collection(CollCons::Set, ref items) if items.len() == 3));
+        let q = parse_query("list()").unwrap();
+        assert!(matches!(q, OqlExpr::Collection(CollCons::List, ref items) if items.is_empty()));
+    }
+
+    #[test]
+    fn parses_group_by_and_order_by() {
+        let q = parse_query(
+            "select struct(city: cn, n: count(partition)) \
+             from h in Hotels group by cn: h.name having count(partition) > 1 \
+             order by cn desc",
+        )
+        .unwrap();
+        let OqlExpr::Select { group_by, having, order_by, .. } = q else { panic!() };
+        assert_eq!(group_by.len(), 1);
+        assert!(having.is_some());
+        assert_eq!(order_by.len(), 1);
+        assert_eq!(order_by[0].dir, Dir::Desc);
+    }
+
+    #[test]
+    fn parses_defines() {
+        let p = parse_program(
+            "define portland as select c from c in Cities where c.name = 'Portland'; \
+             select h.name from c in portland, h in c.hotels",
+        )
+        .unwrap();
+        assert_eq!(p.defines.len(), 1);
+        assert_eq!(p.defines[0].0, Symbol::new("portland"));
+    }
+
+    #[test]
+    fn parses_membership_and_setops() {
+        let q = parse_query("'pool' in h.facilities").unwrap();
+        assert!(matches!(q, OqlExpr::In(_, _)));
+        let q = parse_query("a union b intersect c").unwrap();
+        assert!(matches!(q, OqlExpr::SetOp(SetOp::Intersect, _, _)));
+    }
+
+    #[test]
+    fn parse_error_has_position() {
+        let err = parse_query("select from").unwrap_err();
+        assert!(err.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn parses_indexing() {
+        let q = parse_query("c.hotels[0]").unwrap();
+        assert!(matches!(q, OqlExpr::Index(_, _)));
+    }
+
+    #[test]
+    fn parses_like() {
+        let q = parse_query("c.name like 'Port%'").unwrap();
+        assert!(matches!(q, OqlExpr::Like(_, ref p) if p == "Port%"));
+    }
+}

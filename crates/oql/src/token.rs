@@ -1,0 +1,160 @@
+//! Tokens of the OQL surface language (ODMG-93 subset).
+
+use std::fmt;
+
+/// A source position (byte offset, line, column), for error reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    pub offset: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // literals
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Ident(String),
+    // keywords (case-insensitive in OQL)
+    Select,
+    Distinct,
+    From,
+    Where,
+    Group,
+    By,
+    Having,
+    Order,
+    Asc,
+    Desc,
+    In,
+    As,
+    And,
+    Or,
+    Not,
+    Exists,
+    For,
+    All,
+    Union,
+    Intersect,
+    Except,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    Element,
+    Flatten,
+    ListToSet,
+    Struct,
+    Set,
+    Bag,
+    List,
+    Array,
+    True,
+    False,
+    Nil,
+    Define,
+    Like,
+    // punctuation
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    Colon,
+    Semicolon,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Mod,
+    /// String concatenation `||`.
+    Concat,
+    Eof,
+}
+
+impl Tok {
+    /// Keyword lookup (OQL keywords are case-insensitive).
+    pub fn keyword(word: &str) -> Option<Tok> {
+        Some(match word.to_ascii_lowercase().as_str() {
+            "select" => Tok::Select,
+            "distinct" => Tok::Distinct,
+            "from" => Tok::From,
+            "where" => Tok::Where,
+            "group" => Tok::Group,
+            "by" => Tok::By,
+            "having" => Tok::Having,
+            "order" => Tok::Order,
+            "asc" => Tok::Asc,
+            "desc" => Tok::Desc,
+            "in" => Tok::In,
+            "as" => Tok::As,
+            "and" => Tok::And,
+            "or" => Tok::Or,
+            "not" => Tok::Not,
+            "exists" => Tok::Exists,
+            "for" => Tok::For,
+            "forall" => Tok::All, // `for all` also lexes as two tokens
+            "all" => Tok::All,
+            "union" => Tok::Union,
+            "intersect" => Tok::Intersect,
+            "except" => Tok::Except,
+            "count" => Tok::Count,
+            "sum" => Tok::Sum,
+            "avg" => Tok::Avg,
+            "min" => Tok::Min,
+            "max" => Tok::Max,
+            "element" => Tok::Element,
+            "flatten" => Tok::Flatten,
+            "listtoset" => Tok::ListToSet,
+            "struct" => Tok::Struct,
+            "set" => Tok::Set,
+            "bag" => Tok::Bag,
+            "list" => Tok::List,
+            "array" => Tok::Array,
+            "true" => Tok::True,
+            "false" => Tok::False,
+            "nil" | "null" => Tok::Nil,
+            "define" => Tok::Define,
+            "like" => Tok::Like,
+            "mod" => Tok::Mod,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Float(x) => write!(f, "{x}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Eof => write!(f, "<end of input>"),
+            other => write!(f, "{}", format!("{other:?}").to_ascii_lowercase()),
+        }
+    }
+}
+
+/// A token plus where it starts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    pub tok: Tok,
+    pub pos: Pos,
+}

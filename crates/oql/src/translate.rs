@@ -1,0 +1,584 @@
+//! Translation of OQL into the monoid comprehension calculus — the paper's
+//! §3 (coverage). Each OQL construct maps to a comprehension form:
+//!
+//! | OQL | calculus |
+//! |-----|----------|
+//! | `select e from x₁ in e₁, …  where p` | `bag{ e | x₁ ← e₁, …, p }` |
+//! | `select distinct …` | `set{ … }` |
+//! | `count(e)` | `sum{ 1 | x ← e }` |
+//! | `sum(e)` / `avg(e)` | `sum{ x | x ← e }` (+ count for avg) |
+//! | `max(e)` / `min(e)` | `max{ x | x ← e }` / `min{ … }` |
+//! | `exists x in e: p` | `some{ p | x ← e }` |
+//! | `for all x in e: p` | `all{ p | x ← e }` |
+//! | `e₁ in e₂` | `some{ x = e₁ | x ← e₂ }` |
+//! | `flatten(e)` | `K{ x | s ← e, x ← s }` |
+//! | `listtoset(e)` | `set{ x | x ← e }` |
+//! | `e₁ union e₂` | `e₁ ∪ e₂` / `e₁ ⊎ e₂` |
+//! | `e₁ intersect e₂` | `set{ x | x ← e₁, some{ x = y | y ← e₂ } }` |
+//! | `e₁ except e₂` | `set{ x | x ← e₁, ¬some{ x = y | y ← e₂ } }` |
+//! | `… order by k` | `sortedbag` pairs, then projected to a list |
+//! | `… group by l: k` | nested comprehension with `partition` |
+//! | `struct(a: e, …)` | record construction |
+//! | path expressions | projection (with object auto-deref) |
+//!
+//! **The C/I restriction and coercions.** The calculus rejects generators
+//! whose source monoid is not ≤ the output monoid (`set` into `bag` most
+//! prominently). Where OQL semantics require such an iteration — a plain
+//! `select` over a set-valued field, `count` of a set — the translator
+//! inserts the *explicit, deterministic* coercion `to_bag(·)` (well-defined
+//! because this implementation's sets are canonically ordered; see
+//! DESIGN.md §3). Everything else is the paper's translation verbatim.
+
+use crate::ast::*;
+use crate::error::OqlError;
+use monoid_calculus::expr::{BinOp, Expr, Qual, UnOp};
+use monoid_calculus::monoid::Monoid;
+use monoid_calculus::symbol::Symbol;
+use monoid_calculus::typecheck::{TypeChecker, TypeEnv};
+use monoid_calculus::types::{CollKind, Schema, Type};
+
+/// The OQL → calculus translator, bound to a database schema.
+pub struct Translator<'s> {
+    schema: &'s Schema,
+    /// `define`d names, already translated (inlined on use).
+    defines: Vec<(Symbol, Expr)>,
+}
+
+impl<'s> Translator<'s> {
+    pub fn new(schema: &'s Schema) -> Translator<'s> {
+        Translator { schema, defines: Vec::new() }
+    }
+
+    /// Translate a whole program; `define`s are translated in order and
+    /// inlined into later queries.
+    pub fn translate_program(&mut self, prog: &Program) -> Result<Expr, OqlError> {
+        for (name, q) in &prog.defines {
+            let e = self.trans(&TypeEnv::new(), q)?;
+            self.defines.push((*name, e));
+        }
+        self.translate_query(&prog.query)
+    }
+
+    /// Translate a single query and type-check the result.
+    pub fn translate_query(&mut self, q: &OqlExpr) -> Result<Expr, OqlError> {
+        let e = self.trans(&TypeEnv::new(), q)?;
+        // Validate: the translated query must type-check (this is where
+        // illegal homomorphisms surface).
+        self.type_of(&TypeEnv::new(), &e)?;
+        Ok(e)
+    }
+
+    /// Translate and return the result type too.
+    pub fn translate_typed(&mut self, q: &OqlExpr) -> Result<(Expr, Type), OqlError> {
+        let e = self.trans(&TypeEnv::new(), q)?;
+        let t = self.type_of(&TypeEnv::new(), &e)?;
+        Ok((e, t))
+    }
+
+    fn type_of(&self, scope: &TypeEnv, e: &Expr) -> Result<Type, OqlError> {
+        let mut tc = TypeChecker::with_schema(self.schema);
+        Ok(tc.check(scope, e)?)
+    }
+
+    /// The element type of a collection-typed source, plus its kind.
+    fn elem_of(&self, scope: &TypeEnv, src: &Expr) -> Result<(CollKind, Type), OqlError> {
+        let t = self.type_of(scope, src)?;
+        match t {
+            Type::Coll(k, elem) => Ok((k, *elem)),
+            Type::Vector(elem) => Ok((CollKind::List, *elem)),
+            Type::Str => Ok((CollKind::List, Type::Str)),
+            other => Err(OqlError::translate(format!(
+                "`from`/quantifier source is not a collection: `{other}`"
+            ))),
+        }
+    }
+
+    /// Coerce `src` so it may legally generate inside an `out`-monoid
+    /// comprehension: set-typed sources get an explicit `to_bag` when the
+    /// output monoid is not idempotent.
+    fn coerced_source(
+        &self,
+        scope: &TypeEnv,
+        src: Expr,
+        out: &Monoid,
+    ) -> Result<(Expr, Type), OqlError> {
+        let (kind, elem) = self.elem_of(scope, &src)?;
+        if kind.monoid().hom_legal_to(out) {
+            return Ok((src, elem));
+        }
+        if kind == CollKind::Set && !out.props().idempotent {
+            // The documented deterministic escape hatch.
+            return Ok((Expr::UnOp(UnOp::ToBag, Box::new(src)), elem));
+        }
+        Err(OqlError::translate(format!(
+            "cannot iterate a {kind} source inside a {out} comprehension \
+             (C/I restriction) and no coercion applies"
+        )))
+    }
+
+    // -----------------------------------------------------------------
+    // Expression translation.
+    // -----------------------------------------------------------------
+
+    fn trans(&self, scope: &TypeEnv, e: &OqlExpr) -> Result<Expr, OqlError> {
+        match e {
+            OqlExpr::IntLit(i) => Ok(Expr::int(*i)),
+            OqlExpr::FloatLit(x) => Ok(Expr::float(*x)),
+            OqlExpr::StrLit(s) => Ok(Expr::str(s)),
+            OqlExpr::BoolLit(b) => Ok(Expr::bool(*b)),
+            OqlExpr::Nil => Ok(Expr::null()),
+            OqlExpr::Name(n) => {
+                // A define inlines; anything else is a variable or a
+                // persistent root, resolved by the type checker later.
+                if let Some((_, def)) = self.defines.iter().find(|(d, _)| d == n) {
+                    return Ok(def.clone());
+                }
+                Ok(Expr::Var(*n))
+            }
+            OqlExpr::Path(base, field) => Ok(self.trans(scope, base)?.proj(field.as_str())),
+            OqlExpr::Index(base, idx) => {
+                Ok(self.trans(scope, base)?.vec_index(self.trans(scope, idx)?))
+            }
+            OqlExpr::BinOp(op, a, b) => {
+                let (a, b) = (self.trans(scope, a)?, self.trans(scope, b)?);
+                let op = match op {
+                    OqlBinOp::Add | OqlBinOp::Concat => BinOp::Add,
+                    OqlBinOp::Sub => BinOp::Sub,
+                    OqlBinOp::Mul => BinOp::Mul,
+                    OqlBinOp::Div => BinOp::Div,
+                    OqlBinOp::Mod => BinOp::Mod,
+                    OqlBinOp::Eq => BinOp::Eq,
+                    OqlBinOp::Ne => BinOp::Ne,
+                    OqlBinOp::Lt => BinOp::Lt,
+                    OqlBinOp::Le => BinOp::Le,
+                    OqlBinOp::Gt => BinOp::Gt,
+                    OqlBinOp::Ge => BinOp::Ge,
+                    OqlBinOp::And => BinOp::And,
+                    OqlBinOp::Or => BinOp::Or,
+                };
+                Ok(Expr::binop(op, a, b))
+            }
+            OqlExpr::Not(inner) => Ok(self.trans(scope, inner)?.not()),
+            OqlExpr::Neg(inner) => {
+                Ok(Expr::UnOp(UnOp::Neg, Box::new(self.trans(scope, inner)?)))
+            }
+            OqlExpr::In(item, coll) => {
+                // e₁ in e₂  ⇒  some{ x = e₁ | x ← e₂ }
+                let item = self.trans(scope, item)?;
+                let coll = self.trans(scope, coll)?;
+                let x = Symbol::fresh("x");
+                Ok(Expr::comp(
+                    Monoid::Some,
+                    Expr::Var(x).eq(item),
+                    vec![Qual::Gen(x, coll)],
+                ))
+            }
+            OqlExpr::Like(s, pattern) => Ok(Expr::binop(
+                BinOp::Like,
+                self.trans(scope, s)?,
+                Expr::str(pattern),
+            )),
+            OqlExpr::Agg(agg, arg) => self.trans_agg(scope, *agg, arg),
+            OqlExpr::Quantified { quant, var, source, pred } => {
+                let src = self.trans(scope, source)?;
+                let (_, elem) = self.elem_of(scope, &src)?;
+                let inner_scope = scope.bind(*var, elem);
+                let p = self.trans(&inner_scope, pred)?;
+                let monoid = match quant {
+                    Quant::Exists => Monoid::Some,
+                    Quant::ForAll => Monoid::All,
+                };
+                Ok(Expr::comp(monoid, p, vec![Qual::Gen(*var, src)]))
+            }
+            OqlExpr::Element(inner) => Ok(Expr::UnOp(
+                UnOp::Element,
+                Box::new(self.trans(scope, inner)?),
+            )),
+            OqlExpr::Flatten(inner) => self.trans_flatten(scope, inner),
+            OqlExpr::ListToSet(inner) => {
+                let src = self.trans(scope, inner)?;
+                let x = Symbol::fresh("x");
+                Ok(Expr::comp(Monoid::Set, Expr::Var(x), vec![Qual::Gen(x, src)]))
+            }
+            OqlExpr::Struct(fields) => {
+                let fs = fields
+                    .iter()
+                    .map(|(n, fe)| Ok((*n, self.trans(scope, fe)?)))
+                    .collect::<Result<Vec<_>, OqlError>>()?;
+                Ok(Expr::Record(fs))
+            }
+            OqlExpr::Collection(cons, items) => {
+                let its = items
+                    .iter()
+                    .map(|i| self.trans(scope, i))
+                    .collect::<Result<Vec<_>, OqlError>>()?;
+                Ok(match cons {
+                    CollCons::Set => Expr::CollLit(Monoid::Set, its),
+                    CollCons::Bag => Expr::CollLit(Monoid::Bag, its),
+                    CollCons::List => Expr::CollLit(Monoid::List, its),
+                    CollCons::Array => Expr::VecLit(its),
+                })
+            }
+            OqlExpr::SetOp(op, a, b) => self.trans_setop(scope, *op, a, b),
+            OqlExpr::Select { distinct, proj, from, filter, group_by, having, order_by } => {
+                self.trans_select(
+                    scope, *distinct, proj, from, filter.as_deref(), group_by,
+                    having.as_deref(), order_by,
+                )
+            }
+        }
+    }
+
+    fn trans_agg(&self, scope: &TypeEnv, agg: Agg, arg: &OqlExpr) -> Result<Expr, OqlError> {
+        let src = self.trans(scope, arg)?;
+        let x = Symbol::fresh("x");
+        let make = |monoid: Monoid, head: Expr, src: Expr| {
+            Expr::comp(monoid, head, vec![Qual::Gen(x, src)])
+        };
+        match agg {
+            Agg::Count => {
+                let (src, _) = self.coerced_source(scope, src, &Monoid::Sum)?;
+                Ok(make(Monoid::Sum, Expr::int(1), src))
+            }
+            Agg::Sum => {
+                let (src, _) = self.coerced_source(scope, src, &Monoid::Sum)?;
+                Ok(make(Monoid::Sum, Expr::Var(x), src))
+            }
+            Agg::Avg => {
+                // avg(e) = (sum{x|x←e} + 0.0) / sum{1|x←e}  — float division.
+                let (src, _) = self.coerced_source(scope, src, &Monoid::Sum)?;
+                let total = make(Monoid::Sum, Expr::Var(x), src.clone());
+                let count = make(Monoid::Sum, Expr::int(1), src);
+                Ok(total.add(Expr::float(0.0)).div(count))
+            }
+            Agg::Max => Ok(make(Monoid::Max, Expr::Var(x), src)),
+            Agg::Min => Ok(make(Monoid::Min, Expr::Var(x), src)),
+        }
+    }
+
+    fn trans_flatten(&self, scope: &TypeEnv, inner: &OqlExpr) -> Result<Expr, OqlError> {
+        let src = self.trans(scope, inner)?;
+        let (outer_kind, inner_ty) = self.elem_of(scope, &src)?;
+        let inner_kind = match inner_ty {
+            Type::Coll(k, _) => k,
+            Type::Vector(_) | Type::Str => CollKind::List,
+            other => {
+                return Err(OqlError::translate(format!(
+                    "flatten of a collection of non-collections: `{other}`"
+                )))
+            }
+        };
+        // The output kind is the join of the two kinds in the C/I order, so
+        // both generators are legal: set ⊔ anything = set, bag ⊔ list = bag.
+        let out = if outer_kind == CollKind::Set || inner_kind == CollKind::Set {
+            Monoid::Set
+        } else if outer_kind == CollKind::Bag || inner_kind == CollKind::Bag {
+            Monoid::Bag
+        } else {
+            Monoid::List
+        };
+        let s = Symbol::fresh("s");
+        let x = Symbol::fresh("x");
+        Ok(Expr::comp(
+            out,
+            Expr::Var(x),
+            vec![Qual::Gen(s, src), Qual::Gen(x, Expr::Var(s))],
+        ))
+    }
+
+    fn trans_setop(
+        &self,
+        scope: &TypeEnv,
+        op: SetOp,
+        a: &OqlExpr,
+        b: &OqlExpr,
+    ) -> Result<Expr, OqlError> {
+        let ea = self.trans(scope, a)?;
+        let eb = self.trans(scope, b)?;
+        let (ka, _) = self.elem_of(scope, &ea)?;
+        let (kb, _) = self.elem_of(scope, &eb)?;
+        match op {
+            SetOp::Union => match (ka, kb) {
+                (CollKind::Set, CollKind::Set) => Ok(Expr::merge(Monoid::Set, ea, eb)),
+                (CollKind::List, CollKind::List) => Ok(Expr::merge(Monoid::List, ea, eb)),
+                _ => {
+                    // Mixed / bag union: additive, with explicit coercions.
+                    let ba = if ka == CollKind::Bag {
+                        ea
+                    } else {
+                        Expr::UnOp(UnOp::ToBag, Box::new(ea))
+                    };
+                    let bb = if kb == CollKind::Bag {
+                        eb
+                    } else {
+                        Expr::UnOp(UnOp::ToBag, Box::new(eb))
+                    };
+                    Ok(Expr::merge(Monoid::Bag, ba, bb))
+                }
+            },
+            SetOp::Intersect | SetOp::Except => {
+                // set{ x | x ← a, [not] some{ x = y | y ← b } }
+                let x = Symbol::fresh("x");
+                let y = Symbol::fresh("y");
+                let membership = Expr::comp(
+                    Monoid::Some,
+                    Expr::Var(y).eq(Expr::Var(x)),
+                    vec![Qual::Gen(y, eb)],
+                );
+                let pred = if op == SetOp::Intersect { membership } else { membership.not() };
+                Ok(Expr::comp(
+                    Monoid::Set,
+                    Expr::Var(x),
+                    vec![Qual::Gen(x, ea), Qual::Pred(pred)],
+                ))
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn trans_select(
+        &self,
+        scope: &TypeEnv,
+        distinct: bool,
+        proj: &Projection,
+        from: &[FromClause],
+        filter: Option<&OqlExpr>,
+        group_by: &[GroupKey],
+        having: Option<&OqlExpr>,
+        order_by: &[OrderKey],
+    ) -> Result<Expr, OqlError> {
+        // The comprehension monoid before ordering: set for distinct,
+        // bag otherwise.
+        let base_monoid = if distinct { Monoid::Set } else { Monoid::Bag };
+
+        // FROM clauses become generators (with coercion where needed);
+        // the scope accumulates variable types left to right, because
+        // later sources may reference earlier variables (dependent joins).
+        let mut quals: Vec<Qual> = Vec::new();
+        let mut inner_scope = scope.clone();
+        for clause in from {
+            let src = self.trans(&inner_scope, &clause.source)?;
+            let (src, elem) = self.coerced_source(&inner_scope, src, &base_monoid)?;
+            inner_scope = inner_scope.bind(clause.var, elem);
+            quals.push(Qual::Gen(clause.var, src));
+        }
+        if let Some(f) = filter {
+            quals.push(Qual::Pred(self.trans(&inner_scope, f)?));
+        }
+
+        if !group_by.is_empty() {
+            return self.trans_group_by(
+                &inner_scope, base_monoid, proj, from, quals, group_by, having, order_by,
+            );
+        }
+        if let Some(h) = having {
+            // `having` without `group by` behaves as a second `where`.
+            quals.push(Qual::Pred(self.trans(&inner_scope, h)?));
+        }
+
+        let head = self.trans_projection(&inner_scope, proj)?;
+
+        if order_by.is_empty() {
+            return Ok(Expr::Comp {
+                monoid: base_monoid,
+                head: Box::new(head),
+                quals,
+            });
+        }
+        self.trans_order_by(&inner_scope, distinct, head, quals, order_by)
+    }
+
+    fn trans_projection(
+        &self,
+        scope: &TypeEnv,
+        proj: &Projection,
+    ) -> Result<Expr, OqlError> {
+        match proj {
+            Projection::Expr(e) => self.trans(scope, e),
+            Projection::Named(fields) => {
+                let fs = fields
+                    .iter()
+                    .map(|(n, fe)| Ok((*n, self.trans(scope, fe)?)))
+                    .collect::<Result<Vec<_>, OqlError>>()?;
+                Ok(Expr::Record(fs))
+            }
+        }
+    }
+
+    /// `order by` (paper: the `sorted[f]` monoid). Sort keys pair with the
+    /// head; the pairs comprehension uses `sortedbag` (duplicate-keeping,
+    /// commutative) — or `sorted` under `distinct` — and a final list
+    /// comprehension projects the heads out in key order.
+    fn trans_order_by(
+        &self,
+        scope: &TypeEnv,
+        distinct: bool,
+        head: Expr,
+        quals: Vec<Qual>,
+        order_by: &[OrderKey],
+    ) -> Result<Expr, OqlError> {
+        // All-descending sorts are handled by sorting ascending and
+        // reversing the final list; mixed asc/desc sorts invert each
+        // descending *numeric* key with negation (a non-numeric key in a
+        // mixed sort has no order-inverting expression in the calculus).
+        let all_desc = !order_by.is_empty() && order_by.iter().all(|k| k.dir == Dir::Desc);
+        let mut keys = Vec::with_capacity(order_by.len());
+        for k in order_by {
+            let ke = self.trans(scope, &k.expr)?;
+            let ke = match k.dir {
+                _ if all_desc => ke,
+                Dir::Asc => ke,
+                Dir::Desc => {
+                    let t = self.type_of(scope, &ke)?;
+                    if !matches!(t, Type::Int | Type::Float | Type::Null) {
+                        return Err(OqlError::translate(
+                            "`order by … desc` on a non-numeric key requires all \
+                             keys descending (sort-and-reverse); mix with asc is \
+                             unsupported",
+                        ));
+                    }
+                    Expr::UnOp(UnOp::Neg, Box::new(ke))
+                }
+            };
+            keys.push(ke);
+        }
+        let mut pair_items = keys;
+        pair_items.push(head);
+        let pair = Expr::Tuple(pair_items);
+        let sort_monoid = if distinct { Monoid::Sorted } else { Monoid::SortedBag };
+        let sorted_pairs = Expr::Comp {
+            monoid: sort_monoid,
+            head: Box::new(pair),
+            quals,
+        };
+        let p = Symbol::fresh("p");
+        let project = Expr::TupleProj(Box::new(Expr::Var(p)), order_by.len());
+        let sorted_list = Expr::comp(
+            Monoid::List,
+            project,
+            vec![Qual::Gen(p, sorted_pairs)],
+        );
+        Ok(if all_desc {
+            Expr::UnOp(UnOp::Reverse, Box::new(sorted_list))
+        } else {
+            sorted_list
+        })
+    }
+
+    /// `group by` — the nested-comprehension translation. For
+    /// `select P from x in e where w group by l₁: k₁, …, lₙ: kₙ having h`:
+    ///
+    /// ```text
+    /// set{ P' | g ← set{ ⟨l₁=k₁, …⟩ | x ← e, w },
+    ///           l₁ ≡ g.l₁, …,
+    ///           partition ≡ bag{ ⟨x=x, …⟩ | x ← e, w, k₁ = g.l₁, … },
+    ///           h' }
+    /// ```
+    ///
+    /// where `P'`/`h'` see the group labels and `partition` (a bag of
+    /// records of the from-variables), as OQL prescribes. The result is a
+    /// set: groups are unique by key.
+    #[allow(clippy::too_many_arguments)]
+    fn trans_group_by(
+        &self,
+        inner_scope: &TypeEnv,
+        base_monoid: Monoid,
+        proj: &Projection,
+        from: &[FromClause],
+        quals: Vec<Qual>,
+        group_by: &[GroupKey],
+        having: Option<&OqlExpr>,
+        order_by: &[OrderKey],
+    ) -> Result<Expr, OqlError> {
+        let _ = base_monoid; // groups are always distinct by key
+        // Key record ⟨l₁=k₁, …⟩ evaluated in the from-scope.
+        let key_fields = group_by
+            .iter()
+            .map(|k| Ok((k.label, self.trans(inner_scope, &k.expr)?)))
+            .collect::<Result<Vec<_>, OqlError>>()?;
+        let key_record = Expr::Record(key_fields.clone());
+        let key_set = Expr::Comp {
+            monoid: Monoid::Set,
+            head: Box::new(key_record),
+            quals: quals.clone(),
+        };
+        let g = Symbol::fresh("g");
+
+        // partition: re-run the from/where with the key equated to g's.
+        let row_record = Expr::Record(
+            from.iter()
+                .map(|c| (c.var, Expr::Var(c.var)))
+                .collect::<Vec<_>>(),
+        );
+        let mut part_quals = quals.clone();
+        for (label, key_expr) in &key_fields {
+            part_quals.push(Qual::Pred(
+                key_expr.clone().eq(Expr::Var(g).proj(label.as_str())),
+            ));
+        }
+        let partition = Expr::Comp {
+            monoid: Monoid::Bag,
+            head: Box::new(row_record),
+            quals: part_quals,
+        };
+
+        // Outer comprehension: bind labels and partition, filter having,
+        // project.
+        let mut outer_quals: Vec<Qual> = vec![Qual::Gen(g, key_set)];
+        for k in group_by {
+            outer_quals.push(Qual::Bind(k.label, Expr::Var(g).proj(k.label.as_str())));
+        }
+        let partition_sym = Symbol::new("partition");
+        outer_quals.push(Qual::Bind(partition_sym, partition));
+
+        // The scope for head/having: labels + partition.
+        let mut group_scope = TypeEnv::new();
+        for (label, key_expr) in &key_fields {
+            let t = self.type_of(inner_scope, key_expr)?;
+            group_scope = group_scope.bind(*label, t);
+        }
+        let row_ty = Type::record(
+            from.iter()
+                .map(|c| {
+                    let t = inner_scope.lookup(c.var).cloned().ok_or_else(|| {
+                        OqlError::translate(format!("unknown from-variable `{}`", c.var))
+                    })?;
+                    Ok((c.var, t))
+                })
+                .collect::<Result<Vec<_>, OqlError>>()?,
+        );
+        group_scope = group_scope.bind(partition_sym, Type::bag(row_ty));
+
+        if let Some(h) = having {
+            outer_quals.push(Qual::Pred(self.trans(&group_scope, h)?));
+        }
+        let head = self.trans_projection(&group_scope, proj)?;
+
+        if order_by.is_empty() {
+            return Ok(Expr::Comp {
+                monoid: Monoid::Set,
+                head: Box::new(head),
+                quals: outer_quals,
+            });
+        }
+        self.trans_order_by(&group_scope, true, head, outer_quals, order_by)
+    }
+}
+
+/// One-stop helper: parse and translate an OQL query against a schema.
+pub fn compile(schema: &Schema, src: &str) -> Result<Expr, OqlError> {
+    let prog = crate::parser::parse_program(src)?;
+    let mut tr = Translator::new(schema);
+    tr.translate_program(&prog)
+}
+
+/// Parse, translate, and report the result type.
+pub fn compile_typed(schema: &Schema, src: &str) -> Result<(Expr, Type), OqlError> {
+    let prog = crate::parser::parse_program(src)?;
+    let mut tr = Translator::new(schema);
+    for (name, q) in &prog.defines {
+        let e = tr.trans(&TypeEnv::new(), q)?;
+        tr.defines.push((*name, e));
+    }
+    tr.translate_typed(&prog.query)
+}

@@ -1,0 +1,318 @@
+//! Unparse an OQL AST back to source text.
+//!
+//! The printer produces text that re-parses to the *same* AST
+//! (`parse(unparse(q)) == q`), which the round-trip tests verify over the
+//! whole query battery. It parenthesizes conservatively: every operand of
+//! a binary operator, quantifier source, or set operation that is itself
+//! compound gets parentheses, which keeps the inverse property trivial to
+//! maintain as the grammar grows.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Render a query back to OQL text.
+pub fn unparse(e: &OqlExpr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, e);
+    out
+}
+
+/// Render a whole program (defines + query).
+pub fn unparse_program(p: &Program) -> String {
+    let mut out = String::new();
+    for (name, q) in &p.defines {
+        let _ = write!(out, "define {name} as ");
+        write_expr(&mut out, q);
+        out.push_str("; ");
+    }
+    write_expr(&mut out, &p.query);
+    out
+}
+
+fn atomic(e: &OqlExpr) -> bool {
+    matches!(
+        e,
+        OqlExpr::IntLit(_)
+            | OqlExpr::FloatLit(_)
+            | OqlExpr::StrLit(_)
+            | OqlExpr::BoolLit(_)
+            | OqlExpr::Nil
+            | OqlExpr::Name(_)
+            | OqlExpr::Path(..)
+            | OqlExpr::Index(..)
+            | OqlExpr::Agg(..)
+            | OqlExpr::Element(_)
+            | OqlExpr::Flatten(_)
+            | OqlExpr::ListToSet(_)
+            | OqlExpr::Struct(_)
+            | OqlExpr::Collection(..)
+    )
+}
+
+fn write_wrapped(out: &mut String, e: &OqlExpr) {
+    if atomic(e) {
+        write_expr(out, e);
+    } else {
+        out.push('(');
+        write_expr(out, e);
+        out.push(')');
+    }
+}
+
+fn write_expr(out: &mut String, e: &OqlExpr) {
+    match e {
+        OqlExpr::IntLit(i) => {
+            let _ = write!(out, "{i}");
+        }
+        OqlExpr::FloatLit(x) => {
+            // Keep a decimal point so it re-lexes as a float.
+            if x.fract() == 0.0 && x.is_finite() {
+                let _ = write!(out, "{x:.1}");
+            } else {
+                let _ = write!(out, "{x}");
+            }
+        }
+        OqlExpr::StrLit(s) => {
+            let escaped = s.replace('\\', "\\\\").replace('\'', "\\'");
+            let _ = write!(out, "'{escaped}'");
+        }
+        OqlExpr::BoolLit(b) => {
+            let _ = write!(out, "{b}");
+        }
+        OqlExpr::Nil => out.push_str("nil"),
+        OqlExpr::Name(n) => {
+            let _ = write!(out, "{n}");
+        }
+        OqlExpr::Path(base, field) => {
+            write_wrapped(out, base);
+            let _ = write!(out, ".{field}");
+        }
+        OqlExpr::Index(base, idx) => {
+            write_wrapped(out, base);
+            out.push('[');
+            write_expr(out, idx);
+            out.push(']');
+        }
+        OqlExpr::BinOp(op, a, b) => {
+            write_wrapped(out, a);
+            let sym = match op {
+                OqlBinOp::Add => "+",
+                OqlBinOp::Sub => "-",
+                OqlBinOp::Mul => "*",
+                OqlBinOp::Div => "/",
+                OqlBinOp::Mod => "mod",
+                OqlBinOp::Eq => "=",
+                OqlBinOp::Ne => "!=",
+                OqlBinOp::Lt => "<",
+                OqlBinOp::Le => "<=",
+                OqlBinOp::Gt => ">",
+                OqlBinOp::Ge => ">=",
+                OqlBinOp::And => "and",
+                OqlBinOp::Or => "or",
+                OqlBinOp::Concat => "||",
+            };
+            let _ = write!(out, " {sym} ");
+            write_wrapped(out, b);
+        }
+        OqlExpr::Not(inner) => {
+            out.push_str("not ");
+            write_wrapped(out, inner);
+        }
+        OqlExpr::Neg(inner) => {
+            out.push('-');
+            write_wrapped(out, inner);
+        }
+        OqlExpr::In(item, coll) => {
+            write_wrapped(out, item);
+            out.push_str(" in ");
+            write_wrapped(out, coll);
+        }
+        OqlExpr::Like(s, pat) => {
+            write_wrapped(out, s);
+            let escaped = pat.replace('\\', "\\\\").replace('\'', "\\'");
+            let _ = write!(out, " like '{escaped}'");
+        }
+        OqlExpr::Agg(agg, arg) => {
+            let _ = write!(out, "{agg}(");
+            write_expr(out, arg);
+            out.push(')');
+        }
+        OqlExpr::Quantified { quant, var, source, pred } => {
+            let kw = match quant {
+                Quant::Exists => "exists",
+                Quant::ForAll => "for all",
+            };
+            let _ = write!(out, "{kw} {var} in ");
+            write_wrapped(out, source);
+            out.push_str(": ");
+            write_wrapped(out, pred);
+        }
+        OqlExpr::Element(inner) => {
+            out.push_str("element(");
+            write_expr(out, inner);
+            out.push(')');
+        }
+        OqlExpr::Flatten(inner) => {
+            out.push_str("flatten(");
+            write_expr(out, inner);
+            out.push(')');
+        }
+        OqlExpr::ListToSet(inner) => {
+            out.push_str("listtoset(");
+            write_expr(out, inner);
+            out.push(')');
+        }
+        OqlExpr::Struct(fields) => {
+            out.push_str("struct(");
+            for (i, (name, fe)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{name}: ");
+                write_expr(out, fe);
+            }
+            out.push(')');
+        }
+        OqlExpr::Collection(cons, items) => {
+            let kw = match cons {
+                CollCons::Set => "set",
+                CollCons::Bag => "bag",
+                CollCons::List => "list",
+                CollCons::Array => "array",
+            };
+            let _ = write!(out, "{kw}(");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, item);
+            }
+            out.push(')');
+        }
+        OqlExpr::SetOp(op, a, b) => {
+            write_wrapped(out, a);
+            let kw = match op {
+                SetOp::Union => "union",
+                SetOp::Intersect => "intersect",
+                SetOp::Except => "except",
+            };
+            let _ = write!(out, " {kw} ");
+            write_wrapped(out, b);
+        }
+        OqlExpr::Select { distinct, proj, from, filter, group_by, having, order_by } => {
+            out.push_str("select ");
+            if *distinct {
+                out.push_str("distinct ");
+            }
+            match proj.as_ref() {
+                Projection::Expr(e) => write_expr(out, e),
+                Projection::Named(fields) => {
+                    for (i, (name, fe)) in fields.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        write_expr(out, fe);
+                        let _ = write!(out, " as {name}");
+                    }
+                }
+            }
+            out.push_str(" from ");
+            for (i, clause) in from.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{} in ", clause.var);
+                write_wrapped(out, &clause.source);
+            }
+            if let Some(f) = filter {
+                out.push_str(" where ");
+                write_expr(out, f);
+            }
+            if !group_by.is_empty() {
+                out.push_str(" group by ");
+                for (i, key) in group_by.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{}: ", key.label);
+                    write_expr(out, &key.expr);
+                }
+            }
+            if let Some(h) = having {
+                out.push_str(" having ");
+                write_expr(out, h);
+            }
+            if !order_by.is_empty() {
+                out.push_str(" order by ");
+                for (i, key) in order_by.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_expr(out, &key.expr);
+                    match key.dir {
+                        Dir::Asc => out.push_str(" asc"),
+                        Dir::Desc => out.push_str(" desc"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_program, parse_query};
+
+    /// parse ∘ unparse ∘ parse = parse on a representative battery.
+    #[test]
+    fn roundtrip_battery() {
+        let battery = [
+            "select c.name from c in Cities where c.hotel# > 3",
+            "select distinct r.bed# from h in Hotels, r in h.rooms",
+            "count(Cities)",
+            "avg(select e.salary from e in Employees)",
+            "select h.name from h in Hotels where exists r in h.rooms: r.bed# = 3",
+            "select h.name from h in Hotels where for all r in h.rooms: r.price < 100.0",
+            "'pool' in h.facilities",
+            "select c.name from c in Cities order by c.name desc",
+            "select struct(b: b, n: count(partition)) from h in Hotels, r in h.rooms \
+             group by b: r.bed# having count(partition) > 2",
+            "set(1, 2) union set(2, 3) intersect set(2)",
+            "flatten(select h.facilities from h in Hotels)",
+            "select c.name from c in Cities where c.name like 'Port%'",
+            "c.hotels[0].name",
+            "select c.name as n, c.hotel# as k from c in Cities",
+            "-(1 + 2) * 3 mod 4",
+            "not (a = b) and ('x' || 'y') != 'xy'",
+            "element(select c from c in Cities where c.name = 'Port\\'land')",
+            "list()",
+            "nil",
+        ];
+        for src in battery {
+            let ast1 = parse_query(src).unwrap_or_else(|e| panic!("parse `{src}`: {e}"));
+            let printed = unparse(&ast1);
+            let ast2 = parse_query(&printed)
+                .unwrap_or_else(|e| panic!("reparse `{printed}` (from `{src}`): {e}"));
+            assert_eq!(ast1, ast2, "round trip changed `{src}` → `{printed}`");
+        }
+    }
+
+    #[test]
+    fn roundtrip_program_with_defines() {
+        let src = "define p as select c from c in Cities where c.name = 'Portland'; \
+                   select h.name from c in p, h in c.hotels";
+        let p1 = parse_program(src).unwrap();
+        let printed = unparse_program(&p1);
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn floats_stay_floats() {
+        let ast = parse_query("1.0 + 2.5").unwrap();
+        let printed = unparse(&ast);
+        assert_eq!(parse_query(&printed).unwrap(), ast);
+        assert!(printed.contains("1.0"));
+    }
+}

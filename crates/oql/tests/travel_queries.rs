@@ -1,0 +1,387 @@
+//! End-to-end OQL coverage (experiment E4): every OQL feature the paper's
+//! §3 claims coverage for is parsed, translated to the calculus,
+//! type-checked against the travel schema, normalized, and evaluated on a
+//! generated travel database — with the normalized form required to agree
+//! with the direct evaluation (the normalizer is meaning-preserving).
+
+use monoid_calculus::normalize::normalize;
+use monoid_calculus::pretty::pretty;
+use monoid_calculus::value::Value;
+use monoid_oql::{compile, compile_typed};
+use monoid_store::travel::{self, TravelScale};
+use monoid_store::Database;
+
+fn db() -> Database {
+    travel::generate(TravelScale::tiny(), 42)
+}
+
+/// Compile, check, evaluate directly AND normalized; the two must agree.
+fn run(db: &mut Database, src: &str) -> Value {
+    let q = compile(db.schema(), src).unwrap_or_else(|e| panic!("compile `{src}`: {e}"));
+    db.check(&q).unwrap_or_else(|e| panic!("typecheck `{src}`: {e}"));
+    let direct = db
+        .query(&q)
+        .unwrap_or_else(|e| panic!("eval `{src}` ({}): {e}", pretty(&q)));
+    let n = normalize(&q);
+    let normalized = db
+        .query(&n)
+        .unwrap_or_else(|e| panic!("eval normalized `{src}` ({}): {e}", pretty(&n)));
+    assert_eq!(
+        direct, normalized,
+        "normalization changed the meaning of `{src}`\n  calculus: {}\n  normal:   {}",
+        pretty(&q),
+        pretty(&n)
+    );
+    direct
+}
+
+#[test]
+fn simple_select_is_a_bag() {
+    let mut db = db();
+    let v = run(&mut db, "select c.name from c in Cities");
+    assert!(matches!(v, Value::Bag(_)));
+    assert_eq!(v.len().unwrap(), TravelScale::tiny().cities);
+}
+
+#[test]
+fn select_distinct_is_a_set() {
+    let mut db = db();
+    let v = run(&mut db, "select distinct r.bed# from h in Hotels, r in h.rooms");
+    assert!(matches!(v, Value::Set(_)));
+    // bed# ∈ 1..=4
+    for bed in v.elements().unwrap() {
+        let b = bed.as_int().unwrap();
+        assert!((1..=4).contains(&b));
+    }
+}
+
+/// The paper's §3.1 query: hotel names in Portland with 3-bed rooms.
+#[test]
+fn portland_three_bed_rooms() {
+    let mut db = db();
+    let v = run(
+        &mut db,
+        "select h.name from c in Cities, h in c.hotels, r in h.rooms \
+         where c.name = 'Portland' and r.bed# = 3",
+    );
+    assert!(matches!(v, Value::Bag(_)));
+    // Every reported hotel is a Portland hotel.
+    for name in v.elements().unwrap() {
+        let Value::Str(s) = name else { panic!() };
+        assert!(s.starts_with("hotel_0_"), "{s} should be a city-0 hotel");
+    }
+}
+
+/// The paper's nested form of the same query — a subquery in `from` —
+/// must give the same answer as the flat form.
+#[test]
+fn nested_from_subquery_equals_flat() {
+    let mut db = db();
+    let nested = run(
+        &mut db,
+        "select h.name \
+         from h in (select h2 from c in Cities, h2 in c.hotels \
+                    where c.name = 'Portland'), \
+              r in h.rooms \
+         where r.bed# = 3",
+    );
+    let flat = run(
+        &mut db,
+        "select h.name from c in Cities, h in c.hotels, r in h.rooms \
+         where c.name = 'Portland' and r.bed# = 3",
+    );
+    assert_eq!(nested, flat);
+}
+
+#[test]
+fn exists_quantifier() {
+    let mut db = db();
+    let v = run(
+        &mut db,
+        "select h.name from h in Hotels \
+         where exists r in h.rooms: r.bed# = 3",
+    );
+    assert!(matches!(v, Value::Bag(_)));
+    // Cross-check against count of hotels with such a room computed per
+    // hotel via count().
+    let total = run(
+        &mut db,
+        "count(select h from h in Hotels \
+         where count(select r from r in h.rooms where r.bed# = 3) > 0)",
+    );
+    assert_eq!(Value::Int(v.len().unwrap() as i64), total);
+}
+
+#[test]
+fn forall_quantifier() {
+    let mut db = db();
+    let v = run(
+        &mut db,
+        "select h.name from h in Hotels \
+         where for all r in h.rooms: r.price < 10000",
+    );
+    // All generated prices are below 400, so every hotel qualifies.
+    assert_eq!(v.len().unwrap(), db.extent_len("Hotels"));
+}
+
+#[test]
+fn aggregates() {
+    let mut db = db();
+    let count = run(&mut db, "count(Cities)");
+    assert_eq!(count, Value::Int(TravelScale::tiny().cities as i64));
+
+    let max_salary = run(&mut db, "max(select e.salary from e in Employees)");
+    let min_salary = run(&mut db, "min(select e.salary from e in Employees)");
+    assert!(max_salary >= min_salary);
+
+    let total = run(&mut db, "sum(select e.salary from e in Employees)");
+    let avg = run(&mut db, "avg(select e.salary from e in Employees)");
+    let n = db.extent_len("Employees") as f64;
+    let Value::Int(t) = total else { panic!("sum is an int") };
+    let Value::Float(a) = avg else { panic!("avg is a float") };
+    assert!((a - t as f64 / n).abs() < 1e-9);
+}
+
+#[test]
+fn count_of_a_set_valued_field_coerces() {
+    let mut db = db();
+    // facilities is a set; count must insert to_bag and succeed.
+    let v = run(
+        &mut db,
+        "sum(select count(h.facilities) from h in Hotels)",
+    );
+    assert!(matches!(v, Value::Int(_)));
+}
+
+#[test]
+fn membership() {
+    let mut db = db();
+    let v = run(
+        &mut db,
+        "select h.name from h in Hotels where 'pool' in h.facilities",
+    );
+    assert!(matches!(v, Value::Bag(_)));
+}
+
+#[test]
+fn struct_projection_and_named_projection() {
+    let mut db = db();
+    let a = run(
+        &mut db,
+        "select struct(name: c.name, n: c.hotel#) from c in Cities",
+    );
+    let b = run(&mut db, "select c.name as name, c.hotel# as n from c in Cities");
+    assert_eq!(a, b);
+    // Unlabelled multi-projection takes field names.
+    let c = run(&mut db, "select c.name, c.hotel# from c in Cities");
+    // Field `hotel#` keeps its name; `name` keeps its name.
+    let first = c.elements().unwrap().into_iter().next().unwrap();
+    assert!(first.field(monoid_calculus::symbol::Symbol::new("name")).is_some());
+    assert!(first.field(monoid_calculus::symbol::Symbol::new("hotel#")).is_some());
+}
+
+#[test]
+fn order_by_sorts() {
+    let mut db = db();
+    let v = run(&mut db, "select c.name from c in Cities order by c.name");
+    let Value::List(items) = &v else { panic!("order by yields a list") };
+    let mut sorted = items.as_ref().clone();
+    sorted.sort();
+    assert_eq!(items.as_ref(), &sorted);
+
+    let desc = run(
+        &mut db,
+        "select c.hotel# from c in Cities order by c.hotel# desc",
+    );
+    let Value::List(items) = &desc else { panic!() };
+    let mut sorted = items.as_ref().clone();
+    sorted.sort();
+    sorted.reverse();
+    assert_eq!(items.as_ref(), &sorted);
+}
+
+#[test]
+fn order_by_keeps_duplicates() {
+    let mut db = db();
+    let v = run(
+        &mut db,
+        "select r.bed# from h in Hotels, r in h.rooms order by r.bed#",
+    );
+    let scale = TravelScale::tiny();
+    assert_eq!(v.len().unwrap(), scale.total_hotels() * scale.rooms_per_hotel);
+}
+
+#[test]
+fn group_by_partitions() {
+    let mut db = db();
+    let v = run(
+        &mut db,
+        "select struct(beds: b, n: count(partition)) \
+         from h in Hotels, r in h.rooms \
+         group by b: r.bed#",
+    );
+    let Value::Set(groups) = &v else { panic!("group by yields a set") };
+    // Total of group counts = total rooms.
+    let scale = TravelScale::tiny();
+    let total: i64 = groups
+        .iter()
+        .map(|g| {
+            g.field(monoid_calculus::symbol::Symbol::new("n"))
+                .unwrap()
+                .as_int()
+                .unwrap()
+        })
+        .sum();
+    assert_eq!(total as usize, scale.total_hotels() * scale.rooms_per_hotel);
+}
+
+#[test]
+fn group_by_with_having() {
+    let mut db = db();
+    let all_groups = run(
+        &mut db,
+        "select struct(beds: b, n: count(partition)) \
+         from h in Hotels, r in h.rooms group by b: r.bed#",
+    );
+    let filtered = run(
+        &mut db,
+        "select struct(beds: b, n: count(partition)) \
+         from h in Hotels, r in h.rooms group by b: r.bed# \
+         having count(partition) > 2",
+    );
+    assert!(filtered.len().unwrap() <= all_groups.len().unwrap());
+    for g in filtered.elements().unwrap() {
+        let n = g
+            .field(monoid_calculus::symbol::Symbol::new("n"))
+            .unwrap()
+            .as_int()
+            .unwrap();
+        assert!(n > 2);
+    }
+}
+
+#[test]
+fn set_operators() {
+    let mut db = db();
+    let u = run(&mut db, "set(1,2) union set(2,3)");
+    assert_eq!(
+        u,
+        Value::set_from(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+    );
+    let i = run(&mut db, "set(1,2,3) intersect set(2,3,4)");
+    assert_eq!(i, Value::set_from(vec![Value::Int(2), Value::Int(3)]));
+    let e = run(&mut db, "set(1,2,3) except set(2)");
+    assert_eq!(e, Value::set_from(vec![Value::Int(1), Value::Int(3)]));
+    // bag union is additive
+    let b = run(&mut db, "bag(1,2) union bag(2)");
+    assert_eq!(
+        b,
+        Value::bag_from(vec![Value::Int(1), Value::Int(2), Value::Int(2)])
+    );
+}
+
+#[test]
+fn element_flatten_listtoset() {
+    let mut db = db();
+    let e = run(
+        &mut db,
+        "element(select c from c in Cities where c.name = 'Portland')",
+    );
+    assert!(matches!(e, Value::Obj(_)));
+    let f = run(&mut db, "flatten(list(list(1,2), list(3)))");
+    assert_eq!(
+        f,
+        Value::list(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+    );
+    let s = run(&mut db, "listtoset(list(1,1,2))");
+    assert_eq!(s, Value::set_from(vec![Value::Int(1), Value::Int(2)]));
+    // flatten over a bag of sets joins to a set
+    let (q, t) = compile_typed(db.schema(), "flatten(select h.facilities from h in Hotels)")
+        .unwrap();
+    assert_eq!(t, monoid_calculus::types::Type::set(monoid_calculus::types::Type::Str));
+    let v = db.query(&q).unwrap();
+    assert!(matches!(v, Value::Set(_)));
+}
+
+#[test]
+fn defines_inline() {
+    let mut db = db();
+    let v = run(
+        &mut db,
+        "define portland as element(select c from c in Cities where c.name = 'Portland'); \
+         select h.name from h in portland.hotels",
+    );
+    assert_eq!(v.len().unwrap(), TravelScale::tiny().hotels_per_city);
+}
+
+#[test]
+fn like_patterns() {
+    let mut db = db();
+    let v = run(&mut db, "select c.name from c in Cities where c.name like 'Port%'");
+    assert_eq!(v.len().unwrap(), 1);
+    let v = run(&mut db, "select c.name from c in Cities where c.name like '%land'");
+    assert_eq!(v.len().unwrap(), 1);
+    let v = run(&mut db, "select c.name from c in Cities where c.name like '%ortlan%'");
+    assert_eq!(v.len().unwrap(), 1);
+    let v = run(&mut db, "select c.name from c in Cities where c.name like 'Portland'");
+    assert_eq!(v.len().unwrap(), 1);
+    let v = run(&mut db, "select c.name from c in Cities where c.name like 'Xyz%'");
+    assert_eq!(v.len().unwrap(), 0);
+}
+
+#[test]
+fn indexing_into_lists() {
+    let mut db = db();
+    let v = run(
+        &mut db,
+        "select c.hotels[0].name from c in Cities where c.name = 'Portland'",
+    );
+    assert_eq!(v.len().unwrap(), 1);
+}
+
+#[test]
+fn arithmetic_and_string_concat() {
+    let mut db = db();
+    assert_eq!(run(&mut db, "1 + 2 * 3"), Value::Int(7));
+    assert_eq!(run(&mut db, "(1 + 2) * 3"), Value::Int(9));
+    assert_eq!(run(&mut db, "7 mod 3"), Value::Int(1));
+    assert_eq!(run(&mut db, "'a' || 'b'"), Value::str("ab"));
+    assert_eq!(run(&mut db, "-(3) + 4"), Value::Int(1));
+}
+
+#[test]
+fn illegal_query_is_rejected_with_good_error() {
+    let db = db();
+    // Iterating hotels (a bag extent) is fine, but a *set* into an ordered
+    // list without sorting is not expressible: listtoset is the inverse;
+    // here we check a real C/I violation that coercion does not rescue —
+    // there is none via the OQL surface (the translator coerces), so check
+    // the calculus directly.
+    use monoid_calculus::expr::Expr;
+    use monoid_calculus::monoid::Monoid;
+    let bad = Expr::comp(
+        Monoid::List,
+        Expr::var("x"),
+        vec![Expr::gen("x", Expr::set_of(vec![Expr::int(1)]))],
+    );
+    let err = db.check(&bad).unwrap_err();
+    assert!(err.to_string().contains("illegal homomorphism"), "{err}");
+}
+
+#[test]
+fn translated_portland_matches_paper_calculus_form() {
+    let db = db();
+    let q = compile(
+        db.schema(),
+        "select h.name from c in Cities, h in c.hotels, r in h.rooms \
+         where c.name = 'Portland' and r.bed# = 3",
+    )
+    .unwrap();
+    // After normalization the term is the paper's §3.1 canonical form.
+    let n = normalize(&q);
+    assert_eq!(
+        pretty(&n),
+        "bag{ h.name | c ← Cities, h ← c.hotels, r ← h.rooms, \
+         c.name = \"Portland\", r.bed# = 3 }"
+    );
+}

@@ -1,0 +1,228 @@
+//! A second sample database: a company with a class *hierarchy* —
+//! `Manager <: Employee <: Person` — exercising the subtype features the
+//! paper lists among OQL's challenges ("a subtype hierarchy", §1).
+//!
+//! Inherited fields are flattened into subclass states (see
+//! `Schema::class_state`), subclass extents are disjoint from superclass
+//! extents here (each object lives in exactly one extent, ODMG's
+//! most-specific-class convention), and a `Staff` root unions the extents
+//! for queries that range over the whole hierarchy.
+
+use crate::database::Database;
+use monoid_calculus::symbol::Symbol;
+use monoid_calculus::types::{ClassDef, Schema, Type};
+use monoid_calculus::value::Value;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Class and root names.
+pub mod names {
+    pub const PERSON: &str = "Person";
+    pub const PERSONS: &str = "Persons";
+    pub const EMPLOYEE: &str = "CompanyEmployee";
+    pub const EMPLOYEES: &str = "CompanyEmployees";
+    pub const MANAGER: &str = "Manager";
+    pub const MANAGERS: &str = "Managers";
+    /// A root holding *all* staff (employees + managers), typed at the
+    /// superclass.
+    pub const STAFF: &str = "Staff";
+}
+
+/// The hierarchy schema.
+pub fn schema() -> Schema {
+    let s = |n: &str| Symbol::new(n);
+    let mut schema = Schema::new();
+    schema.add_class(ClassDef {
+        name: s(names::PERSON),
+        state: Type::record(vec![(s("name"), Type::Str), (s("age"), Type::Int)]),
+        extent: Some(s(names::PERSONS)),
+        superclass: None,
+    });
+    schema.add_class(ClassDef {
+        name: s(names::EMPLOYEE),
+        state: Type::record(vec![
+            (s("salary"), Type::Int),
+            (s("dept"), Type::Str),
+        ]),
+        extent: Some(s(names::EMPLOYEES)),
+        superclass: Some(s(names::PERSON)),
+    });
+    schema.add_class(ClassDef {
+        name: s(names::MANAGER),
+        state: Type::record(vec![(s(
+            "reports",
+        ), Type::list(Type::Class(s(names::EMPLOYEE))))]),
+        extent: Some(s(names::MANAGERS)),
+        superclass: Some(s(names::EMPLOYEE)),
+    });
+    // Staff: bag of Employee-typed objects (managers are employees).
+    schema.add_name(s(names::STAFF), Type::bag(Type::Class(s(names::EMPLOYEE))));
+    schema
+}
+
+const DEPTS: &[&str] = &["engineering", "sales", "support", "finance"];
+
+/// Generate a company: `managers` managers with `reports_per_manager`
+/// direct reports each, plus `extra_people` plain persons.
+pub fn generate(
+    managers: usize,
+    reports_per_manager: usize,
+    extra_people: usize,
+    seed: u64,
+) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new(schema());
+    let person_c = Symbol::new(names::PERSON);
+    let employee_c = Symbol::new(names::EMPLOYEE);
+    let manager_c = Symbol::new(names::MANAGER);
+
+    let mut staff = Vec::new();
+    for mi in 0..managers {
+        let mut reports = Vec::with_capacity(reports_per_manager);
+        for ri in 0..reports_per_manager {
+            let oid = db
+                .insert(
+                    employee_c,
+                    Value::record_from(vec![
+                        ("name", Value::str(&format!("emp_{mi}_{ri}"))),
+                        ("age", Value::Int(rng.random_range(21..65))),
+                        ("salary", Value::Int(rng.random_range(40_000..120_000))),
+                        (
+                            "dept",
+                            Value::str(DEPTS[rng.random_range(0..DEPTS.len())]),
+                        ),
+                    ]),
+                )
+                .expect("insert employee");
+            reports.push(Value::Obj(oid));
+        }
+        let moid = db
+            .insert(
+                manager_c,
+                Value::record_from(vec![
+                    ("name", Value::str(&format!("mgr_{mi}"))),
+                    ("age", Value::Int(rng.random_range(30..65))),
+                    ("salary", Value::Int(rng.random_range(90_000..200_000))),
+                    ("dept", Value::str(DEPTS[mi % DEPTS.len()])),
+                    ("reports", Value::list(reports.clone())),
+                ]),
+            )
+            .expect("insert manager");
+        staff.push(Value::Obj(moid));
+        staff.extend(reports);
+    }
+    for pi in 0..extra_people {
+        db.insert(
+            person_c,
+            Value::record_from(vec![
+                ("name", Value::str(&format!("person_{pi}"))),
+                ("age", Value::Int(rng.random_range(1..95))),
+            ]),
+        )
+        .expect("insert person");
+    }
+    db.set_root(names::STAFF, Value::bag_from(staff));
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monoid_calculus::expr::Expr;
+    use monoid_calculus::monoid::Monoid;
+    use monoid_calculus::typecheck::TypeChecker;
+    use monoid_calculus::types::Type;
+
+    #[test]
+    fn inherited_fields_type_check_through_subclasses() {
+        let schema = schema();
+        // Manager inherits name (Person) and salary (Employee).
+        let state = schema.class_state(Symbol::new(names::MANAGER)).unwrap();
+        assert!(state.field(Symbol::new("name")).is_some());
+        assert!(state.field(Symbol::new("salary")).is_some());
+        assert!(state.field(Symbol::new("reports")).is_some());
+        // And m.name type-checks on a Manager-typed generator.
+        let q = Expr::comp(
+            Monoid::Bag,
+            Expr::var("m").proj("name"),
+            vec![Expr::gen("m", Expr::var(names::MANAGERS))],
+        );
+        let mut tc = TypeChecker::with_schema(&schema);
+        let t = tc
+            .check(&monoid_calculus::typecheck::TypeEnv::new(), &q)
+            .unwrap();
+        assert_eq!(t, Type::bag(Type::Str));
+    }
+
+    #[test]
+    fn queries_over_superclass_typed_root() {
+        let mut db = generate(3, 4, 5, 11);
+        // Staff is typed at Employee; salary (Employee field) works even
+        // though some members are Managers.
+        let q = Expr::comp(
+            Monoid::Sum,
+            Expr::int(1),
+            vec![
+                Expr::gen("s", Expr::var(names::STAFF)),
+                Expr::pred(Expr::var("s").proj("salary").gt(Expr::int(0))),
+            ],
+        );
+        db.check(&q).unwrap();
+        assert_eq!(
+            db.query(&q).unwrap(),
+            Value::Int(3 * 4 + 3) // reports + managers
+        );
+    }
+
+    #[test]
+    fn navigating_manager_reports() {
+        let mut db = generate(2, 3, 0, 11);
+        // sum of report salaries per the whole company.
+        let q = Expr::comp(
+            Monoid::Sum,
+            Expr::var("r").proj("salary"),
+            vec![
+                Expr::gen("m", Expr::var(names::MANAGERS)),
+                Expr::gen("r", Expr::var("m").proj("reports")),
+            ],
+        );
+        db.check(&q).unwrap();
+        let Value::Int(total) = db.query(&q).unwrap() else { panic!() };
+        assert!(total >= 6 * 40_000);
+    }
+
+    #[test]
+    fn extents_are_most_specific_class() {
+        let db = generate(2, 3, 4, 11);
+        assert_eq!(db.extent_len(names::MANAGERS), 2);
+        assert_eq!(db.extent_len(names::EMPLOYEES), 6);
+        assert_eq!(db.extent_len(names::PERSONS), 4);
+        // Staff = managers + employees.
+        assert_eq!(
+            db.root(Symbol::new(names::STAFF)).unwrap().len().unwrap(),
+            8
+        );
+    }
+
+    #[test]
+    fn subclass_unifies_with_superclass_in_comparisons() {
+        let schema = schema();
+        let mut tc = TypeChecker::with_schema(&schema);
+        let t = tc
+            .unify(
+                &Type::Class(Symbol::new(names::MANAGER)),
+                &Type::Class(Symbol::new(names::EMPLOYEE)),
+                "test",
+            )
+            .unwrap();
+        assert_eq!(t, Type::Class(Symbol::new(names::EMPLOYEE)));
+        // Unrelated classes do not unify.
+        assert!(tc
+            .unify(
+                &Type::Class(Symbol::new(names::PERSON)),
+                &Type::Class(Symbol::new("City")),
+                "test",
+            )
+            .is_err());
+    }
+}

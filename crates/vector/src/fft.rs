@@ -1,0 +1,250 @@
+//! The Fourier transform as a database query (Buneman \[7\], paper §4.1).
+//!
+//! The DFT `X[k] = Σⱼ x[j]·ω^{jk}` (ω = e^{-2πi/n}) is one vector
+//! comprehension once the twiddle factors are data: two real-valued
+//! `sum[n]` comprehensions (real and imaginary parts) over a generator
+//! pair `(k, x[j])`, indexing a precomputed twiddle vector at `(j·k) mod n`.
+//! The calculus needs no trigonometry — exactly the paper's point that
+//! vector comprehensions subsume index-crunching computations.
+//!
+//! A plain-Rust iterative radix-2 FFT is provided as the `O(n log n)`
+//! reference; tests and benchmark B4 cross-check the two (same answers,
+//! crossing running times).
+
+use crate::ops::{eval_vector, float_vec, range};
+use monoid_calculus::error::{EvalError, EvalResult};
+use monoid_calculus::expr::Expr;
+use monoid_calculus::monoid::Monoid;
+use std::f64::consts::PI;
+
+/// A complex sample.
+pub type Complex = (f64, f64);
+
+/// Twiddle factors `ω^t = e^{-2πit/n}` for `t = 0..n`, as two real vectors.
+pub fn twiddles(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut re = Vec::with_capacity(n);
+    let mut im = Vec::with_capacity(n);
+    for t in 0..n {
+        let angle = -2.0 * PI * t as f64 / n as f64;
+        re.push(angle.cos());
+        im.push(angle.sin());
+    }
+    (re, im)
+}
+
+/// Build the DFT-as-a-query: returns the pair of calculus expressions
+/// `(X_re, X_im)` computing the transform of the (real, imaginary) input
+/// vectors. Each is a single `sum[n]` vector comprehension:
+///
+/// ```text
+/// sum[n]{ (x_re[j]·t_re − x_im[j]·t_im) [k] | k ← [0..n), xr[j] ← x_re }
+/// ```
+///
+/// with `t_re = tw_re[(j·k) mod n]` (and symmetrically for `X_im`).
+pub fn dft_query(x_re: &[f64], x_im: &[f64]) -> (Expr, Expr) {
+    let n = x_re.len();
+    assert_eq!(n, x_im.len(), "real/imaginary parts must have equal length");
+    let (tw_re, tw_im) = twiddles(n);
+    // The input and twiddle vectors are bound once with `let` — indexing a
+    // vector *literal* would re-evaluate it per access, turning the O(n²)
+    // transform into O(n³).
+    let t_index = Expr::binop(
+        monoid_calculus::expr::BinOp::Mod,
+        Expr::var("j").mul(Expr::var("k")),
+        Expr::int(n as i64),
+    );
+    let t_re = Expr::var("twr").vec_index(t_index.clone());
+    let t_im = Expr::var("twi").vec_index(t_index);
+    let x_im_at_j = Expr::var("xiv").vec_index(Expr::var("j"));
+
+    let quals = vec![
+        Expr::gen("k", range(n)),
+        Expr::vec_gen("xr", "j", Expr::var("xrv")),
+    ];
+
+    // (xr + i·xi)(t_re + i·t_im) = (xr·t_re − xi·t_im) + i(xr·t_im + xi·t_re)
+    let re_head = Expr::var("xr")
+        .mul(t_re.clone())
+        .sub(x_im_at_j.clone().mul(t_im.clone()));
+    let im_head = Expr::var("xr").mul(t_im).add(x_im_at_j.mul(t_re));
+
+    let bind_inputs = |body: Expr| {
+        Expr::let_(
+            "xrv",
+            float_vec(x_re),
+            Expr::let_(
+                "xiv",
+                float_vec(x_im),
+                Expr::let_(
+                    "twr",
+                    float_vec(&tw_re),
+                    Expr::let_("twi", float_vec(&tw_im), body),
+                ),
+            ),
+        )
+    };
+    let re = bind_inputs(Expr::vec_comp(
+        Monoid::Sum,
+        Expr::int(n as i64),
+        re_head,
+        Expr::var("k"),
+        quals.clone(),
+    ));
+    let im = bind_inputs(Expr::vec_comp(
+        Monoid::Sum,
+        Expr::int(n as i64),
+        im_head,
+        Expr::var("k"),
+        quals,
+    ));
+    (re, im)
+}
+
+/// Evaluate the DFT query for a real-valued input.
+pub fn dft_via_query(x: &[f64]) -> EvalResult<Vec<Complex>> {
+    let zeros = vec![0.0; x.len()];
+    let (re_e, im_e) = dft_query(x, &zeros);
+    let re = eval_vector(&re_e)?;
+    let im = eval_vector(&im_e)?;
+    re.into_iter()
+        .zip(im)
+        .map(|(r, i)| {
+            let fr = as_f64(&r)?;
+            let fi = as_f64(&i)?;
+            Ok((fr, fi))
+        })
+        .collect()
+}
+
+fn as_f64(v: &monoid_calculus::value::Value) -> EvalResult<f64> {
+    use monoid_calculus::value::Value;
+    match v {
+        Value::Int(i) => Ok(*i as f64),
+        Value::Float(x) => Ok(*x),
+        other => Err(EvalError::TypeMismatch {
+            op: "as_f64",
+            detail: format!("expected number, got {}", other.kind()),
+        }),
+    }
+}
+
+/// Plain-Rust naive DFT, the direct `O(n²)` reference.
+pub fn dft_reference(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = (0.0, 0.0);
+            for (j, &(xr, xi)) in x.iter().enumerate() {
+                let angle = -2.0 * PI * (j * k % n) as f64 / n as f64;
+                let (tr, ti) = (angle.cos(), angle.sin());
+                acc.0 += xr * tr - xi * ti;
+                acc.1 += xr * ti + xi * tr;
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Iterative radix-2 Cooley–Tukey FFT. `x.len()` must be a power of two.
+pub fn fft(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    let mut a = x.to_vec();
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits().wrapping_shr(64 - bits) as usize;
+        if j > i {
+            a.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let angle = -2.0 * PI / len as f64;
+        let (wr, wi) = (angle.cos(), angle.sin());
+        for start in (0..n).step_by(len) {
+            let (mut cr, mut ci) = (1.0, 0.0);
+            for off in 0..len / 2 {
+                let (er, ei) = a[start + off];
+                let (or, oi) = a[start + off + len / 2];
+                let (tr, ti) = (or * cr - oi * ci, or * ci + oi * cr);
+                a[start + off] = (er + tr, ei + ti);
+                a[start + off + len / 2] = (er - tr, ei - ti);
+                let next = (cr * wr - ci * wi, cr * wi + ci * wr);
+                cr = next.0;
+                ci = next.1;
+            }
+        }
+        len <<= 1;
+    }
+    a
+}
+
+/// Inverse FFT (for the round-trip property test).
+pub fn ifft(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len() as f64;
+    let conj: Vec<Complex> = x.iter().map(|&(r, i)| (r, -i)).collect();
+    fft(&conj).into_iter().map(|(r, i)| (r / n, -i / n)).collect()
+}
+
+/// Max absolute difference between two complex vectors.
+pub fn max_error(a: &[Complex], b: &[Complex]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&(ar, ai), &(br, bi))| (ar - br).abs().max((ai - bi).abs()))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dft_query_matches_reference() {
+        let x = [1.0, 2.0, 3.0, 4.0, 0.5, -1.5];
+        let got = dft_via_query(&x).unwrap();
+        let xs: Vec<Complex> = x.iter().map(|&r| (r, 0.0)).collect();
+        let want = dft_reference(&xs);
+        assert!(max_error(&got, &want) < 1e-9, "{got:?} vs {want:?}");
+    }
+
+    #[test]
+    fn fft_matches_dft_reference() {
+        let x: Vec<Complex> = (0..16).map(|i| ((i as f64).sin(), 0.0)).collect();
+        let got = fft(&x);
+        let want = dft_reference(&x);
+        assert!(max_error(&got, &want) < 1e-9);
+    }
+
+    #[test]
+    fn fft_matches_the_query_on_power_of_two() {
+        let x = [3.0, 1.0, -2.0, 5.0, 0.0, 0.0, 1.0, 1.0];
+        let via_query = dft_via_query(&x).unwrap();
+        let xs: Vec<Complex> = x.iter().map(|&r| (r, 0.0)).collect();
+        let via_fft = fft(&xs);
+        assert!(max_error(&via_query, &via_fft) < 1e-9);
+    }
+
+    #[test]
+    fn fft_round_trips() {
+        let x: Vec<Complex> = (0..32).map(|i| ((i as f64).cos(), (i as f64 / 3.0).sin())).collect();
+        let back = ifft(&fft(&x));
+        assert!(max_error(&back, &x) < 1e-9);
+    }
+
+    #[test]
+    fn dft_of_constant_is_impulse() {
+        let x = [1.0, 1.0, 1.0, 1.0];
+        let got = dft_via_query(&x).unwrap();
+        assert!((got[0].0 - 4.0).abs() < 1e-9);
+        for &(r, i) in &got[1..] {
+            assert!(r.abs() < 1e-9 && i.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let _ = fft(&[(0.0, 0.0); 3]);
+    }
+}

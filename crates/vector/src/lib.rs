@@ -1,0 +1,29 @@
+//! # monoid-vector
+//!
+//! Vectors and arrays as monoids — the paper's §4.1 extension, as a
+//! library.
+//!
+//! The lifted monoid `M[n]` (fixed-size vectors merged pointwise by `M`,
+//! `unit(a, i)` a sparse one-hot vector) lives in `monoid-calculus`; this
+//! crate builds the §4.1 programs on top of it:
+//!
+//! * [`ops`] — reverse (`sum[n]{ a [n−i−1] | a[i] ← x }`, the paper's
+//!   example), permute/gather, rotate, histogram, inner product, and the
+//!   `M[n]` merges themselves (pointwise add / max).
+//! * [`matrix`] — matrices as `vector(vector(number))`: matrix–vector and
+//!   matrix–matrix products and transpose as nested comprehensions, with
+//!   plain-Rust references for cross-checking.
+//! * [`fft`](mod@fft) — the Fourier transform as a query (Buneman \[7\]): the DFT as
+//!   a single `sum[n]` comprehension over a twiddle-factor vector, plus a
+//!   native radix-2 FFT used as the `O(n log n)` reference in benchmark
+//!   B4.
+
+pub mod fft;
+pub mod matrix;
+pub mod ops;
+
+pub use fft::{dft_query, dft_reference, dft_via_query, fft, ifft, Complex};
+pub use matrix::{matmul_expr, matmul_reference, matvec_expr, transpose_expr};
+pub use ops::{
+    eval_vector, histogram_expr, inner_product_expr, permute_expr, reverse_expr, rotate_expr,
+};

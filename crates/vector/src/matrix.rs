@@ -1,0 +1,185 @@
+//! Matrices as vectors of vectors — §4.1's "arbitrary composition of type
+//! constructors" applied to numerics.
+//!
+//! A matrix is a `vector(vector(number))`. Matrix–vector and
+//! matrix–matrix products are nested comprehensions: the inner `sum`
+//! comprehension is an inner product, the outer vector comprehension
+//! scatters one result per row index. `transpose` is the index-swap
+//! comprehension — something relational algebras cannot express without
+//! special operators, which is the paper's §4.1 motivation.
+
+use crate::ops::{eval_vector, range};
+use monoid_calculus::error::{EvalError, EvalResult};
+use monoid_calculus::expr::Expr;
+use monoid_calculus::monoid::Monoid;
+use monoid_calculus::value::Value;
+
+/// Build a matrix literal expression (row major).
+pub fn int_matrix(rows: &[Vec<i64>]) -> Expr {
+    Expr::VecLit(
+        rows.iter()
+            .map(|r| Expr::VecLit(r.iter().map(|&v| Expr::int(v)).collect()))
+            .collect(),
+    )
+}
+
+/// Matrix–vector product: `out[i] = sum{ row[j] * v[j] | row[i] ← m, … }`.
+pub fn matvec_expr(m: Expr, v: Expr, n_rows: usize) -> Expr {
+    let inner = Expr::comp(
+        Monoid::Sum,
+        Expr::var("x").mul(v.vec_index(Expr::var("j"))),
+        vec![Expr::vec_gen("x", "j", Expr::var("row"))],
+    );
+    Expr::vec_comp(
+        Monoid::Sum,
+        Expr::int(n_rows as i64),
+        inner,
+        Expr::var("i"),
+        vec![Expr::vec_gen("row", "i", m)],
+    )
+}
+
+/// Matrix–matrix product for an `n×k · k×m` pair, as one nested vector
+/// comprehension: `out[i] = vec[m]{ sum{ a_row[t]*b[t][j] } [j] | j ← 0..m }`.
+pub fn matmul_expr(a: Expr, b: Expr, n: usize, m: usize) -> Expr {
+    // Bind `b` once: indexing an unbound matrix expression would
+    // re-evaluate it per cell access.
+    let cell = Expr::comp(
+        Monoid::Sum,
+        Expr::var("x").mul(
+            Expr::var("bm").vec_index(Expr::var("t")).vec_index(Expr::var("j")),
+        ),
+        vec![Expr::vec_gen("x", "t", Expr::var("arow"))],
+    );
+    let out_row = Expr::vec_comp(
+        Monoid::Sum,
+        Expr::int(m as i64),
+        cell,
+        Expr::var("j"),
+        vec![Expr::gen("j", range(m))],
+    );
+    Expr::let_(
+        "bm",
+        b,
+        Expr::vec_comp(
+            Monoid::VecOf(Box::new(Monoid::Sum)),
+            Expr::int(n as i64),
+            out_row,
+            Expr::var("i"),
+            vec![Expr::vec_gen("arow", "i", a)],
+        ),
+    )
+}
+
+/// Transpose an `n×m` matrix: `out[j][i] = a[i][j]` — expressed by
+/// building each output row as a gather over the input column.
+pub fn transpose_expr(a: Expr, n: usize, m: usize) -> Expr {
+    let out_row = Expr::vec_comp(
+        Monoid::Sum,
+        Expr::int(n as i64),
+        Expr::var("am").vec_index(Expr::var("i")).vec_index(Expr::var("j")),
+        Expr::var("i"),
+        vec![Expr::gen("i", range(n))],
+    );
+    Expr::let_(
+        "am",
+        a,
+        Expr::vec_comp(
+            Monoid::VecOf(Box::new(Monoid::Sum)),
+            Expr::int(m as i64),
+            out_row,
+            Expr::var("j"),
+            vec![Expr::gen("j", range(m))],
+        ),
+    )
+}
+
+/// Evaluate a closed matrix expression into rows of `i64`.
+pub fn eval_int_matrix(e: &Expr) -> EvalResult<Vec<Vec<i64>>> {
+    let rows = eval_vector(e)?;
+    rows.into_iter()
+        .map(|row| match row {
+            Value::Vector(items) => items
+                .iter()
+                .map(|v| v.as_int())
+                .collect::<EvalResult<Vec<i64>>>(),
+            other => Err(EvalError::TypeMismatch {
+                op: "matrix row",
+                detail: format!("expected vector, got {}", other.kind()),
+            }),
+        })
+        .collect()
+}
+
+/// Plain-Rust reference matmul for cross-checking.
+pub fn matmul_reference(a: &[Vec<i64>], b: &[Vec<i64>]) -> Vec<Vec<i64>> {
+    let n = a.len();
+    let k = if n > 0 { a[0].len() } else { 0 };
+    let m = if b.is_empty() { 0 } else { b[0].len() };
+    let mut out = vec![vec![0i64; m]; n];
+    for i in 0..n {
+        for t in 0..k {
+            let x = a[i][t];
+            for j in 0..m {
+                out[i][j] += x * b[t][j];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monoid_calculus::eval::eval_closed;
+
+    #[test]
+    fn matvec_works() {
+        let m = int_matrix(&[vec![1, 2], vec![3, 4]]);
+        let v = Expr::VecLit(vec![Expr::int(10), Expr::int(20)]);
+        let e = matvec_expr(m, v, 2);
+        let out = eval_vector(&e).unwrap();
+        assert_eq!(out, vec![Value::Int(50), Value::Int(110)]);
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        let a = vec![vec![1, 2, 3], vec![4, 5, 6]];
+        let b = vec![vec![7, 8], vec![9, 10], vec![11, 12]];
+        let e = matmul_expr(int_matrix(&a), int_matrix(&b), 2, 2);
+        let got = eval_int_matrix(&e).unwrap();
+        assert_eq!(got, matmul_reference(&a, &b));
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let a = vec![vec![1, 2, 3], vec![4, 5, 6]];
+        let e = transpose_expr(int_matrix(&a), 2, 3);
+        let got = eval_int_matrix(&e).unwrap();
+        assert_eq!(got, vec![vec![1, 4], vec![2, 5], vec![3, 6]]);
+    }
+
+    #[test]
+    fn transpose_transpose_is_identity() {
+        let a = vec![vec![1, 2], vec![3, 4], vec![5, 6]];
+        let t = transpose_expr(int_matrix(&a), 3, 2);
+        let tt = transpose_expr(t, 2, 3);
+        assert_eq!(eval_int_matrix(&tt).unwrap(), a);
+    }
+
+    #[test]
+    fn identity_matrix_is_matmul_neutral() {
+        let a = vec![vec![3, 1], vec![2, 7]];
+        let id = vec![vec![1, 0], vec![0, 1]];
+        let e = matmul_expr(int_matrix(&a), int_matrix(&id), 2, 2);
+        assert_eq!(eval_int_matrix(&e).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_evaluates_closed() {
+        // sanity: whole thing is a closed calculus term
+        let a = vec![vec![1]];
+        let e = matmul_expr(int_matrix(&a), int_matrix(&a), 1, 1);
+        assert!(eval_closed(&e).is_ok());
+    }
+}

@@ -1,0 +1,203 @@
+//! Vector operations as monoid comprehensions (§4.1).
+//!
+//! The paper's point is that `M[n]` vector comprehensions express bulk
+//! *and* index-aware operations declaratively: the comprehension
+//! `vec[n]{ a [n−i−1] | a[i] ← x }` reverses a vector, a histogram is one
+//! comprehension with a collision-merging index, and the FFT is a query
+//! (Buneman \[7\]). This module provides builders that construct those
+//! comprehensions as calculus expressions, plus plain-Rust reference
+//! implementations used by tests and benchmarks to cross-check them.
+
+use monoid_calculus::error::EvalResult;
+use monoid_calculus::eval::eval_closed;
+use monoid_calculus::expr::Expr;
+use monoid_calculus::monoid::Monoid;
+use monoid_calculus::value::Value;
+
+/// Build a vector literal expression from integers.
+pub fn int_vec(values: &[i64]) -> Expr {
+    Expr::VecLit(values.iter().map(|&v| Expr::int(v)).collect())
+}
+
+/// Build a vector literal expression from floats.
+pub fn float_vec(values: &[f64]) -> Expr {
+    Expr::VecLit(values.iter().map(|&v| Expr::float(v)).collect())
+}
+
+/// A list-literal range `[0, 1, …, n-1]`, used as a generator source for
+/// index variables.
+pub fn range(n: usize) -> Expr {
+    Expr::CollLit(Monoid::List, (0..n as i64).map(Expr::int).collect())
+}
+
+/// The paper's reverse: `sum[n]{ a [n−i−1] | a[i] ← x }`.
+pub fn reverse_expr(x: Expr, n: usize) -> Expr {
+    Expr::vec_comp(
+        Monoid::Sum,
+        Expr::int(n as i64),
+        Expr::var("a"),
+        Expr::int(n as i64).sub(Expr::var("i")).sub(Expr::int(1)),
+        vec![Expr::vec_gen("a", "i", x)],
+    )
+}
+
+/// Gather by an index vector: `out[i] = x[perm[i]]`. The source is bound
+/// once with `let` so indexing does not re-evaluate it.
+pub fn permute_expr(x: Expr, perm: Expr, n: usize) -> Expr {
+    Expr::let_(
+        "xv",
+        x,
+        Expr::vec_comp(
+            Monoid::Sum,
+            Expr::int(n as i64),
+            Expr::var("xv").vec_index(Expr::var("p")),
+            Expr::var("i"),
+            vec![Expr::vec_gen("p", "i", perm)],
+        ),
+    )
+}
+
+/// Cyclic shift left by `k`: `out[(i − k) mod n] = x[i]`.
+pub fn rotate_expr(x: Expr, k: usize, n: usize) -> Expr {
+    let n_e = Expr::int(n as i64);
+    // (i + n - k) mod n
+    let target = Expr::var("i")
+        .add(Expr::int(n as i64 - k as i64))
+        .binop_mod(n_e.clone());
+    Expr::vec_comp(
+        Monoid::Sum,
+        n_e,
+        Expr::var("a"),
+        target,
+        vec![Expr::vec_gen("a", "i", x)],
+    )
+}
+
+/// Histogram with `buckets` bins: `sum[buckets]{ 1 [bucket(a)] | a ← xs }`
+/// where `bucket(a) = a / width` clamped into range by the caller.
+pub fn histogram_expr(xs: Expr, buckets: usize, width: i64) -> Expr {
+    Expr::vec_comp(
+        Monoid::Sum,
+        Expr::int(buckets as i64),
+        Expr::int(1),
+        Expr::var("a").div(Expr::int(width)),
+        vec![Expr::gen("a", xs)],
+    )
+}
+
+/// Inner product `sum{ x[i] * y[i] | _[i] ← x }`. `y` is bound once.
+pub fn inner_product_expr(x: Expr, y: Expr) -> Expr {
+    Expr::let_(
+        "yv",
+        y,
+        Expr::comp(
+            Monoid::Sum,
+            Expr::var("a").mul(Expr::var("yv").vec_index(Expr::var("i"))),
+            vec![Expr::vec_gen("a", "i", x)],
+        ),
+    )
+}
+
+/// Pointwise sum of two vectors via the `M[n]` merge itself.
+pub fn vector_add_expr(x: Expr, y: Expr) -> Expr {
+    Expr::merge(Monoid::VecOf(Box::new(Monoid::Sum)), x, y)
+}
+
+/// Pointwise maximum (the `max[n]` monoid).
+pub fn vector_max_expr(x: Expr, y: Expr) -> Expr {
+    Expr::merge(Monoid::VecOf(Box::new(Monoid::Max)), x, y)
+}
+
+/// Evaluate a closed vector expression to a `Vec<Value>`.
+pub fn eval_vector(e: &Expr) -> EvalResult<Vec<Value>> {
+    match eval_closed(e)? {
+        Value::Vector(items) => Ok(items.as_ref().clone()),
+        other => Err(monoid_calculus::error::EvalError::TypeMismatch {
+            op: "eval_vector",
+            detail: format!("expected vector, got {}", other.kind()),
+        }),
+    }
+}
+
+/// Small extension trait to keep builders readable.
+trait ExprExt {
+    fn binop_mod(self, rhs: Expr) -> Expr;
+}
+impl ExprExt for Expr {
+    fn binop_mod(self, rhs: Expr) -> Expr {
+        Expr::binop(monoid_calculus::expr::BinOp::Mod, self, rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(v: &[i64]) -> Vec<Value> {
+        v.iter().map(|&i| Value::Int(i)).collect()
+    }
+
+    #[test]
+    fn reverse_matches_paper() {
+        let e = reverse_expr(int_vec(&[1, 2, 3, 4]), 4);
+        assert_eq!(eval_vector(&e).unwrap(), ints(&[4, 3, 2, 1]));
+    }
+
+    #[test]
+    fn reverse_twice_is_identity() {
+        let x = [5, 9, -2, 0, 7];
+        let once = reverse_expr(int_vec(&x), x.len());
+        let twice = reverse_expr(once, x.len());
+        assert_eq!(eval_vector(&twice).unwrap(), ints(&x));
+    }
+
+    #[test]
+    fn permute_gathers() {
+        let e = permute_expr(int_vec(&[10, 20, 30]), int_vec(&[2, 0, 1]), 3);
+        assert_eq!(eval_vector(&e).unwrap(), ints(&[30, 10, 20]));
+    }
+
+    #[test]
+    fn rotate_shifts_cyclically() {
+        let e = rotate_expr(int_vec(&[1, 2, 3, 4, 5]), 2, 5);
+        assert_eq!(eval_vector(&e).unwrap(), ints(&[3, 4, 5, 1, 2]));
+        // rotate by 0 is identity
+        let e = rotate_expr(int_vec(&[1, 2, 3]), 0, 3);
+        assert_eq!(eval_vector(&e).unwrap(), ints(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn histogram_counts_collisions() {
+        // values 0..9 with width 5 → buckets [5, 5]
+        let xs = Expr::CollLit(Monoid::List, (0..10).map(Expr::int).collect());
+        let e = histogram_expr(xs, 2, 5);
+        assert_eq!(eval_vector(&e).unwrap(), ints(&[5, 5]));
+    }
+
+    #[test]
+    fn inner_product() {
+        let e = inner_product_expr(int_vec(&[1, 2, 3]), int_vec(&[4, 5, 6]));
+        assert_eq!(eval_closed(&e).unwrap(), Value::Int(32));
+    }
+
+    #[test]
+    fn vector_add_and_max_merge_pointwise() {
+        let e = vector_add_expr(int_vec(&[1, 2]), int_vec(&[10, 20]));
+        assert_eq!(eval_vector(&e).unwrap(), ints(&[11, 22]));
+        let e = vector_max_expr(int_vec(&[1, 20]), int_vec(&[10, 2]));
+        assert_eq!(eval_vector(&e).unwrap(), ints(&[10, 20]));
+    }
+
+    #[test]
+    fn out_of_range_index_is_an_error() {
+        // A rotate with a bad target (index n) must error, not wrap.
+        let e = Expr::vec_comp(
+            Monoid::Sum,
+            Expr::int(3),
+            Expr::var("a"),
+            Expr::int(3),
+            vec![Expr::vec_gen("a", "i", int_vec(&[1, 2, 3]))],
+        );
+        assert!(eval_vector(&e).is_err());
+    }
+}

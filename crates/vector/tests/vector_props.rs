@@ -1,0 +1,158 @@
+//! Property tests for the §4.1 vector library: algebraic identities of the
+//! comprehension-built operations, cross-checked against plain Rust.
+
+use monoid_calculus::eval::eval_closed;
+use monoid_calculus::expr::Expr;
+use monoid_calculus::monoid::Monoid;
+use monoid_calculus::value::Value;
+use monoid_vector::ops::{self, eval_vector};
+use monoid_vector::{fft, matrix};
+use proptest::prelude::*;
+
+fn ints(v: &[i64]) -> Vec<Value> {
+    v.iter().map(|&i| Value::Int(i)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// reverse ∘ reverse = id.
+    #[test]
+    fn reverse_involutive(xs in prop::collection::vec(-50i64..50, 1..12)) {
+        let n = xs.len();
+        let once = monoid_vector::reverse_expr(ops::int_vec(&xs), n);
+        let twice = monoid_vector::reverse_expr(once.clone(), n);
+        prop_assert_eq!(eval_vector(&twice).unwrap(), ints(&xs));
+        // And single reverse matches Rust's.
+        let mut rev = xs.clone();
+        rev.reverse();
+        prop_assert_eq!(eval_vector(&once).unwrap(), ints(&rev));
+    }
+
+    /// rotate(k) ∘ rotate(n−k) = id.
+    #[test]
+    fn rotate_inverse(xs in prop::collection::vec(-50i64..50, 1..12), k in 0usize..12) {
+        let n = xs.len();
+        let k = k % n;
+        let once = monoid_vector::rotate_expr(ops::int_vec(&xs), k, n);
+        let back = monoid_vector::rotate_expr(once, (n - k) % n, n);
+        prop_assert_eq!(eval_vector(&back).unwrap(), ints(&xs));
+    }
+
+    /// A histogram's bucket counts sum to the population size.
+    #[test]
+    fn histogram_total(xs in prop::collection::vec(0i64..100, 0..30)) {
+        let src = Expr::CollLit(Monoid::List, xs.iter().map(|&x| Expr::int(x)).collect());
+        let e = monoid_vector::histogram_expr(src, 10, 10);
+        let buckets = eval_vector(&e).unwrap();
+        let total: i64 = buckets.iter().map(|b| b.as_int().unwrap()).sum();
+        prop_assert_eq!(total, xs.len() as i64);
+    }
+
+    /// Inner product symmetry and linearity against plain Rust.
+    #[test]
+    fn inner_product_reference(
+        xs in prop::collection::vec(-20i64..20, 1..10),
+        ys_seed in prop::collection::vec(-20i64..20, 1..10),
+    ) {
+        let n = xs.len().min(ys_seed.len());
+        let xs = &xs[..n];
+        let ys = &ys_seed[..n];
+        let e = monoid_vector::inner_product_expr(ops::int_vec(xs), ops::int_vec(ys));
+        let want: i64 = xs.iter().zip(ys).map(|(a, b)| a * b).sum();
+        prop_assert_eq!(eval_closed(&e).unwrap(), Value::Int(want));
+        // symmetry
+        let sym = monoid_vector::inner_product_expr(ops::int_vec(ys), ops::int_vec(xs));
+        prop_assert_eq!(eval_closed(&sym).unwrap(), Value::Int(want));
+    }
+
+    /// matmul comprehension == reference on random small matrices.
+    #[test]
+    fn matmul_reference_agreement(
+        n in 1usize..4, k in 1usize..4, m in 1usize..4, seed in any::<u64>()
+    ) {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as i64 % 10) - 5
+        };
+        let a: Vec<Vec<i64>> = (0..n).map(|_| (0..k).map(|_| next()).collect()).collect();
+        let b: Vec<Vec<i64>> = (0..k).map(|_| (0..m).map(|_| next()).collect()).collect();
+        let e = matrix::matmul_expr(matrix::int_matrix(&a), matrix::int_matrix(&b), n, m);
+        prop_assert_eq!(
+            matrix::eval_int_matrix(&e).unwrap(),
+            monoid_vector::matmul_reference(&a, &b)
+        );
+    }
+
+    /// transpose ∘ transpose = id.
+    #[test]
+    fn transpose_involutive(n in 1usize..5, m in 1usize..5, seed in any::<u64>()) {
+        let a: Vec<Vec<i64>> = (0..n)
+            .map(|i| (0..m).map(|j| ((seed >> ((i + j) % 60)) & 0xf) as i64).collect())
+            .collect();
+        let t = matrix::transpose_expr(matrix::int_matrix(&a), n, m);
+        let tt = matrix::transpose_expr(t, m, n);
+        prop_assert_eq!(matrix::eval_int_matrix(&tt).unwrap(), a);
+    }
+
+    /// The DFT query agrees with the reference DFT for arbitrary real
+    /// inputs, and with the FFT on power-of-two sizes; Parseval's theorem
+    /// holds.
+    #[test]
+    fn fourier_properties(xs in prop::collection::vec(-4.0f64..4.0, 1..17)) {
+        let via_query = fft::dft_via_query(&xs).unwrap();
+        let cx: Vec<fft::Complex> = xs.iter().map(|&r| (r, 0.0)).collect();
+        let reference = fft::dft_reference(&cx);
+        prop_assert!(fft::max_error(&via_query, &reference) < 1e-6);
+        if xs.len().is_power_of_two() {
+            let via_fft = fft::fft(&cx);
+            prop_assert!(fft::max_error(&via_query, &via_fft) < 1e-6);
+        }
+        // Parseval: Σ|x|² = (1/n) Σ|X|².
+        let time: f64 = xs.iter().map(|x| x * x).sum();
+        let freq: f64 = via_query.iter().map(|(r, i)| r * r + i * i).sum::<f64>()
+            / xs.len() as f64;
+        prop_assert!((time - freq).abs() < 1e-6 * (1.0 + time.abs()));
+    }
+
+    /// ifft ∘ fft = id on power-of-two sizes.
+    #[test]
+    fn fft_roundtrip(log_n in 0u32..6, seed in any::<u64>()) {
+        let n = 1usize << log_n;
+        let xs: Vec<fft::Complex> = (0..n)
+            .map(|i| {
+                let a = ((seed >> (i % 60)) & 0xff) as f64 / 64.0 - 2.0;
+                (a, -a / 2.0)
+            })
+            .collect();
+        let back = fft::ifft(&fft::fft(&xs));
+        prop_assert!(fft::max_error(&back, &xs) < 1e-9);
+    }
+
+    /// Pointwise vector monoid merges are associative and sized-checked.
+    #[test]
+    fn pointwise_merge_assoc(
+        a in prop::collection::vec(-9i64..10, 1..8),
+        seed in any::<u64>(),
+    ) {
+        let n = a.len();
+        let derive = |off: u64| -> Vec<i64> {
+            (0..n).map(|i| ((seed >> ((i as u64 + off) % 60)) & 0xf) as i64).collect()
+        };
+        let (b, c) = (derive(7), derive(13));
+        let m = Monoid::VecOf(Box::new(Monoid::Sum));
+        let va = Value::vector(ints(&a));
+        let vb = Value::vector(ints(&b));
+        let vc = Value::vector(ints(&c));
+        use monoid_calculus::value::merge;
+        let l = merge(&m, &merge(&m, &va, &vb).unwrap(), &vc).unwrap();
+        let r = merge(&m, &va, &merge(&m, &vb, &vc).unwrap()).unwrap();
+        prop_assert_eq!(l, r);
+        // size mismatch errors
+        let short = Value::vector(ints(&a[..n - 1]));
+        if n > 1 {
+            prop_assert!(merge(&m, &va, &short).is_err());
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # monoid-db — umbrella crate
+//!
+//! Re-exports the whole system built around the monoid comprehension
+//! calculus of Fegaras & Maier (SIGMOD 1995):
+//!
+//! * [`calculus`] — the calculus itself: monoids, comprehensions, type
+//!   inference, normalization, evaluation, identity & updates.
+//! * [`store`] — the object database substrate (schemas, extents, the
+//!   paper's travel-agency database, synthetic data generation).
+//! * [`oql`] — the ODMG-93 OQL front end (lexer, parser, translation into
+//!   the calculus).
+//! * [`algebra`] — the logical/physical algebra back end (canonical
+//!   comprehension → pipelined iterator plans).
+//! * [`vector`] — vectors and arrays as monoids (§4.1 extension library).
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use monoid_algebra as algebra;
+pub use monoid_calculus as calculus;
+pub use monoid_oql as oql;
+pub use monoid_store as store;
+pub use monoid_vector as vector;
+
+pub use monoid_calculus::prelude;

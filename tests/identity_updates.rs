@@ -1,0 +1,255 @@
+//! E6 — §4.2 object identity & updates, and the §4.3 update sublanguage,
+//! exercised against the travel database.
+
+use monoid_db::calculus::eval::eval_closed;
+use monoid_db::calculus::expr::Expr;
+use monoid_db::calculus::monoid::Monoid;
+use monoid_db::calculus::value::Value;
+use monoid_db::oql::compile;
+use monoid_db::store::travel::{self, TravelScale};
+
+fn ints(v: &[i64]) -> Vec<Value> {
+    v.iter().map(|&i| Value::Int(i)).collect()
+}
+
+/// Paper: `some{ !x = !y | x ← new(1), y ← new(1) } → true` and its
+/// identity counterpart `x = y → false`.
+#[test]
+fn distinct_objects_equal_states() {
+    let states = Expr::comp(
+        Monoid::Some,
+        Expr::var("x").deref().eq(Expr::var("y").deref()),
+        vec![
+            Expr::gen("x", Expr::new_obj(Expr::int(1))),
+            Expr::gen("y", Expr::new_obj(Expr::int(1))),
+        ],
+    );
+    assert_eq!(eval_closed(&states).unwrap(), Value::Bool(true));
+    let identities = Expr::comp(
+        Monoid::Some,
+        Expr::var("x").eq(Expr::var("y")),
+        vec![
+            Expr::gen("x", Expr::new_obj(Expr::int(1))),
+            Expr::gen("y", Expr::new_obj(Expr::int(1))),
+        ],
+    );
+    assert_eq!(eval_closed(&identities).unwrap(), Value::Bool(false));
+}
+
+/// Paper: `some{ x = y | x ← new(1), y ≡ x, y := 2 } → true` and
+/// `sum{ !x | x ← new(1), y ≡ x, y := 2 } → 2`.
+#[test]
+fn aliasing_and_update_through_alias() {
+    let alias = Expr::comp(
+        Monoid::Some,
+        Expr::var("x").eq(Expr::var("y")),
+        vec![
+            Expr::gen("x", Expr::new_obj(Expr::int(1))),
+            Expr::bind("y", Expr::var("x")),
+            Expr::pred(Expr::var("y").assign(Expr::int(2))),
+        ],
+    );
+    assert_eq!(eval_closed(&alias).unwrap(), Value::Bool(true));
+    let through = Expr::comp(
+        Monoid::Sum,
+        Expr::var("x").deref(),
+        vec![
+            Expr::gen("x", Expr::new_obj(Expr::int(1))),
+            Expr::bind("y", Expr::var("x")),
+            Expr::pred(Expr::var("y").assign(Expr::int(2))),
+        ],
+    );
+    assert_eq!(eval_closed(&through).unwrap(), Value::Int(2));
+}
+
+/// Paper: `set{ e | x ← new([]), x := [1,2], e ← !x } → {1,2}`.
+#[test]
+fn assign_then_iterate() {
+    let e = Expr::comp(
+        Monoid::Set,
+        Expr::var("e"),
+        vec![
+            Expr::gen("x", Expr::new_obj(Expr::list_of(vec![]))),
+            Expr::pred(Expr::var("x").assign(Expr::list_of(vec![Expr::int(1), Expr::int(2)]))),
+            Expr::gen("e", Expr::var("x").deref()),
+        ],
+    );
+    assert_eq!(eval_closed(&e).unwrap(), Value::set_from(ints(&[1, 2])));
+}
+
+/// Paper: `list{ !x | x ← new(0), e ← [1,2,3,4], x := !x + e } → [1,3,6,10]`.
+#[test]
+fn running_sums() {
+    let e = Expr::comp(
+        Monoid::List,
+        Expr::var("x").deref(),
+        vec![
+            Expr::gen("x", Expr::new_obj(Expr::int(0))),
+            Expr::gen(
+                "e",
+                Expr::list_of(vec![Expr::int(1), Expr::int(2), Expr::int(3), Expr::int(4)]),
+            ),
+            Expr::pred(Expr::var("x").assign(Expr::var("x").deref().add(Expr::var("e")))),
+        ],
+    );
+    assert_eq!(eval_closed(&e).unwrap(), Value::list(ints(&[1, 3, 6, 10])));
+}
+
+/// Qualifiers see the heap effects of earlier qualifiers (left-to-right
+/// state threading): an assignment placed *between* two reads is visible
+/// to the second read only.
+#[test]
+fn left_to_right_effect_ordering() {
+    // list{ (a, b) | x ← new(1), a ≡ !x, x := 2, b ≡ !x }  → [(1, 2)]
+    let e = Expr::comp(
+        Monoid::List,
+        Expr::Tuple(vec![Expr::var("a"), Expr::var("b")]),
+        vec![
+            Expr::gen("x", Expr::new_obj(Expr::int(1))),
+            Expr::bind("a", Expr::var("x").deref()),
+            Expr::pred(Expr::var("x").assign(Expr::int(2))),
+            Expr::bind("b", Expr::var("x").deref()),
+        ],
+    );
+    assert_eq!(
+        eval_closed(&e).unwrap(),
+        Value::list(vec![Value::tuple(ints(&[1, 2]))])
+    );
+}
+
+/// Normalization must not duplicate or lose heap effects: the impure
+/// binding `y ≡ new(…)` is preserved, and evaluation still allocates
+/// exactly once.
+#[test]
+fn normalization_preserves_effects() {
+    use monoid_db::calculus::eval::Evaluator;
+    use monoid_db::calculus::normalize::normalize;
+    let e = Expr::comp(
+        Monoid::Sum,
+        Expr::var("x").deref().add(Expr::var("x").deref()),
+        vec![Expr::gen("x", Expr::new_obj(Expr::int(21)))],
+    );
+    let n = normalize(&e);
+    let mut ev1 = Evaluator::new();
+    let v1 = ev1.eval_expr(&e).unwrap();
+    let mut ev2 = Evaluator::new();
+    let v2 = ev2.eval_expr(&n).unwrap();
+    assert_eq!(v1, v2);
+    assert_eq!(v1, Value::Int(42));
+    assert_eq!(ev1.heap.len(), 1, "one allocation in the original");
+    assert_eq!(ev2.heap.len(), 1, "and exactly one after normalization");
+}
+
+/// The §4.3 update program: insert a hotel into Portland, bump `hotel#`,
+/// observe both through OQL afterwards.
+#[test]
+fn hotel_insertion_update_program() {
+    let mut db = travel::generate(TravelScale::tiny(), 17);
+    let update = Expr::comp(
+        Monoid::All,
+        Expr::var("c").assign(Expr::record(vec![
+            ("name", Expr::var("c").proj("name")),
+            (
+                "hotels",
+                Expr::merge(
+                    Monoid::List,
+                    Expr::var("c").proj("hotels"),
+                    Expr::CollLit(Monoid::List, vec![Expr::var("h")]),
+                ),
+            ),
+            ("hotel#", Expr::var("c").proj("hotel#").add(Expr::int(1))),
+        ])),
+        vec![
+            Expr::gen("c", Expr::var("Cities")),
+            Expr::pred(Expr::var("c").proj("name").eq(Expr::str("Portland"))),
+            Expr::gen(
+                "h",
+                Expr::new_obj(Expr::record(vec![
+                    ("name", Expr::str("Hotel Fegaras")),
+                    ("address", Expr::str("1 Maier Ave")),
+                    ("facilities", Expr::set_of(vec![])),
+                    ("employees", Expr::list_of(vec![])),
+                    ("rooms", Expr::list_of(vec![])),
+                ])),
+            ),
+        ],
+    );
+    assert_eq!(db.query(&update).unwrap(), Value::Bool(true));
+
+    let names = compile(
+        db.schema(),
+        "select h.name from c in Cities, h in c.hotels where c.name = 'Portland'",
+    )
+    .unwrap();
+    let got = db.query(&names).unwrap();
+    assert!(got.elements().unwrap().contains(&Value::str("Hotel Fegaras")));
+
+    let hotel_count = compile(
+        db.schema(),
+        "element(select c.hotel# from c in Cities where c.name = 'Portland')",
+    )
+    .unwrap();
+    assert_eq!(
+        db.query(&hotel_count).unwrap(),
+        Value::Int(TravelScale::tiny().hotels_per_city as i64 + 1)
+    );
+
+    // Other cities untouched.
+    let other = compile(
+        db.schema(),
+        "element(select c.hotel# from c in Cities where c.name = 'Seattle')",
+    )
+    .unwrap();
+    assert_eq!(
+        db.query(&other).unwrap(),
+        Value::Int(TravelScale::tiny().hotels_per_city as i64)
+    );
+}
+
+/// Bulk update through the calculus: everyone gets a raise; the database
+/// heap reflects it persistently.
+#[test]
+fn bulk_raise_persists() {
+    let mut db = travel::generate(TravelScale::tiny(), 17);
+    let total_q = compile(db.schema(), "sum(select e.salary from e in Employees)").unwrap();
+    let Value::Int(before) = db.query(&total_q).unwrap() else { panic!() };
+    let raise = Expr::comp(
+        Monoid::All,
+        Expr::var("e").assign(Expr::record(vec![
+            ("name", Expr::var("e").proj("name")),
+            ("salary", Expr::var("e").proj("salary").add(Expr::int(500))),
+        ])),
+        vec![Expr::gen("e", Expr::var("Employees"))],
+    );
+    db.query(&raise).unwrap();
+    let Value::Int(after) = db.query(&total_q).unwrap() else { panic!() };
+    let n = db.extent_len("Employees") as i64;
+    assert_eq!(after, before + 500 * n);
+}
+
+/// Objects are first-class values: identity survives being stored in
+/// collections, and dereference follows the *current* state.
+#[test]
+fn identity_in_collections() {
+    // sum{ !o | o ← objs, … } where objs = [a, a, b] and a is updated
+    // between construction and the sum.
+    let e = Expr::comp(
+        Monoid::Sum,
+        Expr::var("o").deref(),
+        vec![
+            Expr::gen("a", Expr::new_obj(Expr::int(1))),
+            Expr::gen("b", Expr::new_obj(Expr::int(10))),
+            Expr::bind(
+                "objs",
+                Expr::CollLit(
+                    Monoid::List,
+                    vec![Expr::var("a"), Expr::var("a"), Expr::var("b")],
+                ),
+            ),
+            Expr::pred(Expr::var("a").assign(Expr::int(100))),
+            Expr::gen("o", Expr::var("objs")),
+        ],
+    );
+    // a appears twice with updated state: 100 + 100 + 10.
+    assert_eq!(eval_closed(&e).unwrap(), Value::Int(210));
+}

@@ -1,0 +1,128 @@
+//! Property tests for normalization in the presence of §4.2 heap effects.
+//!
+//! The Table-3 rules are stated for the pure calculus; our normalizer
+//! gates the duplicating/deleting/reordering rules on purity (DESIGN.md,
+//! `normalize` module docs). These tests generate random *impure*
+//! comprehensions — `new`, `!`, `:=` in generators, bindings, predicates,
+//! and heads — and check that normalization preserves both the computed
+//! value and the final heap (same number of allocations, same states).
+
+use monoid_db::calculus::eval::Evaluator;
+use monoid_db::calculus::expr::Expr;
+use monoid_db::calculus::monoid::Monoid;
+use monoid_db::calculus::normalize::{normalize, normalize_traced};
+use monoid_db::calculus::pretty::pretty;
+use monoid_db::calculus::value::Value;
+use proptest::prelude::*;
+
+/// Evaluate and capture (result, allocation count, final heap states).
+fn observe(e: &Expr) -> Result<(Value, usize, Vec<Value>), String> {
+    let mut ev = Evaluator::with_budget(1_000_000);
+    let v = ev.eval_expr(e).map_err(|err| err.to_string())?;
+    let states: Vec<Value> = ev.heap.iter().map(|(_, s)| s.clone()).collect();
+    Ok((v, ev.heap.len(), states))
+}
+
+/// An impure comprehension: a counter object threaded through a loop, with
+/// random extras that tempt each gated rule.
+fn impure_comp() -> impl Strategy<Value = Expr> {
+    let monoid = prop::sample::select(vec![Monoid::List, Monoid::Sum, Monoid::Bag, Monoid::Set]);
+    (
+        monoid,
+        0i64..5,                                  // initial counter
+        prop::collection::vec(-3i64..4, 0..5),    // loop list
+        prop::bool::ANY,                          // alias bind y ≡ x?
+        prop::bool::ANY,                          // extra pure pred?
+        prop::bool::ANY,                          // singleton generator?
+        0usize..3,                                // head choice
+    )
+        .prop_map(|(m, init, items, alias, pure_pred, singleton, head_kind)| {
+            let mut quals = vec![Expr::gen("x", Expr::new_obj(Expr::int(init)))];
+            if alias {
+                // Tempts N7 (bind-inline): `y ≡ x` is pure (a variable), so
+                // inlining is fine; `y ≡ !x` is impure and must be kept.
+                quals.push(Expr::bind("y", Expr::var("x").deref()));
+            }
+            if singleton {
+                // Tempts N4 (singleton-generator) around an effect.
+                quals.push(Expr::gen("s", Expr::list_of(vec![Expr::int(9)])));
+            }
+            quals.push(Expr::gen(
+                "e",
+                Expr::CollLit(Monoid::List, items.iter().map(|&i| Expr::int(i)).collect()),
+            ));
+            if pure_pred {
+                quals.push(Expr::pred(Expr::var("e").ge(Expr::int(-5)).and(Expr::bool(true))));
+            }
+            // The effect: x := !x + e.
+            quals.push(Expr::pred(
+                Expr::var("x").assign(Expr::var("x").deref().add(Expr::var("e"))),
+            ));
+            let head = match head_kind {
+                0 => Expr::var("x").deref(),
+                1 => Expr::var("e").add(Expr::var("x").deref()),
+                _ => Expr::var("x").deref().mul(Expr::int(2)),
+            };
+            Expr::comp(m, head, quals)
+        })
+}
+
+/// Nested: an impure comprehension as a generator source of an outer pure
+/// one — flattening (N5) must refuse or stay correct.
+fn nested_impure() -> impl Strategy<Value = Expr> {
+    impure_comp().prop_filter_map("inner must be a collection", |inner| {
+        let Expr::Comp { monoid, .. } = &inner else { return None };
+        if !monoid.is_collection() {
+            return None;
+        }
+        let out = match monoid {
+            Monoid::List => Monoid::Bag,
+            _ => Monoid::Set,
+        };
+        Some(Expr::comp(
+            out,
+            Expr::var("z"),
+            vec![Expr::gen("z", inner)],
+        ))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn impure_comprehensions_normalize_soundly(e in impure_comp()) {
+        let before = observe(&e).map_err(TestCaseError::fail)?;
+        let n = normalize(&e);
+        let after = observe(&n).map_err(|err| TestCaseError::fail(format!(
+            "normalized form fails: {err}\n  before: {}\n  after:  {}",
+            pretty(&e), pretty(&n)
+        )))?;
+        prop_assert_eq!(
+            &before, &after,
+            "observable behaviour changed:\n  before: {}\n  after:  {}",
+            pretty(&e), pretty(&n)
+        );
+    }
+
+    #[test]
+    fn nested_impure_normalize_soundly(e in nested_impure()) {
+        let before = observe(&e).map_err(TestCaseError::fail)?;
+        let n = normalize(&e);
+        let after = observe(&n).map_err(|err| TestCaseError::fail(format!(
+            "normalized form fails: {err}\n  before: {}\n  after:  {}",
+            pretty(&e), pretty(&n)
+        )))?;
+        prop_assert_eq!(&before, &after,
+            "observable behaviour changed:\n  before: {}\n  after:  {}",
+            pretty(&e), pretty(&n));
+    }
+
+    /// Normalization of impure terms still terminates and is idempotent.
+    #[test]
+    fn impure_normalization_idempotent(e in nested_impure()) {
+        let (n, _, stats) = normalize_traced(&e);
+        prop_assert!(stats.steps < 1000, "suspiciously many steps");
+        prop_assert_eq!(normalize(&n), n);
+    }
+}

@@ -1,0 +1,246 @@
+//! E2 — every worked example in the paper's §2, asserted end-to-end
+//! through the umbrella crate (see EXPERIMENTS.md).
+
+use monoid_db::calculus::eval::eval_closed;
+use monoid_db::calculus::expr::Expr;
+use monoid_db::calculus::monoid::Monoid;
+use monoid_db::calculus::typecheck::infer;
+use monoid_db::calculus::value::Value;
+
+fn ints(v: &[i64]) -> Vec<Value> {
+    v.iter().map(|&i| Value::Int(i)).collect()
+}
+
+/// `{1} ∪ {2} ∪ {3}` constructs `{1,2,3}`; `[1]++[2]++[3]` constructs
+/// `[1,2,3]` (§2.1's opening examples).
+#[test]
+fn construction_by_merging_units() {
+    let set = Expr::merge(
+        Monoid::Set,
+        Expr::merge(
+            Monoid::Set,
+            Expr::unit(Monoid::Set, Expr::int(1)),
+            Expr::unit(Monoid::Set, Expr::int(2)),
+        ),
+        Expr::unit(Monoid::Set, Expr::int(3)),
+    );
+    assert_eq!(eval_closed(&set).unwrap(), Value::set_from(ints(&[1, 2, 3])));
+
+    let list = Expr::merge(
+        Monoid::List,
+        Expr::merge(
+            Monoid::List,
+            Expr::unit(Monoid::List, Expr::int(1)),
+            Expr::unit(Monoid::List, Expr::int(2)),
+        ),
+        Expr::unit(Monoid::List, Expr::int(3)),
+    );
+    assert_eq!(eval_closed(&list).unwrap(), Value::list(ints(&[1, 2, 3])));
+}
+
+/// `x ∪ x = x` distinguishes sets from bags and lists (§2.1).
+#[test]
+fn idempotence_distinguishes_sets() {
+    let x_set = Value::set_from(ints(&[1, 2]));
+    let x_bag = Value::bag_from(ints(&[1, 2]));
+    let x_list = Value::list(ints(&[1, 2]));
+    use monoid_db::calculus::value::merge;
+    assert_eq!(merge(&Monoid::Set, &x_set, &x_set).unwrap(), x_set);
+    assert_ne!(merge(&Monoid::Bag, &x_bag, &x_bag).unwrap(), x_bag);
+    assert_ne!(merge(&Monoid::List, &x_list, &x_list).unwrap(), x_list);
+}
+
+/// `set{ (a,b) | a ← [1,2,3], b ← {{4,5}} }` — a list joined with a bag,
+/// returning a set (§2.4).
+#[test]
+fn mixed_collection_join() {
+    let e = Expr::comp(
+        Monoid::Set,
+        Expr::Tuple(vec![Expr::var("a"), Expr::var("b")]),
+        vec![
+            Expr::gen("a", Expr::list_of(vec![Expr::int(1), Expr::int(2), Expr::int(3)])),
+            Expr::gen("b", Expr::bag_of(vec![Expr::int(4), Expr::int(5)])),
+        ],
+    );
+    let want = Value::set_from(vec![
+        Value::tuple(ints(&[1, 4])),
+        Value::tuple(ints(&[1, 5])),
+        Value::tuple(ints(&[2, 4])),
+        Value::tuple(ints(&[2, 5])),
+        Value::tuple(ints(&[3, 4])),
+        Value::tuple(ints(&[3, 5])),
+    ]);
+    assert_eq!(eval_closed(&e).unwrap(), want);
+}
+
+/// `sum{ a | a ← [1,2,3], a ≤ 2 } = 3` (§2.4).
+#[test]
+fn sum_with_predicate() {
+    let e = Expr::comp(
+        Monoid::Sum,
+        Expr::var("a"),
+        vec![
+            Expr::gen("a", Expr::list_of(vec![Expr::int(1), Expr::int(2), Expr::int(3)])),
+            Expr::pred(Expr::var("a").le(Expr::int(2))),
+        ],
+    );
+    assert_eq!(eval_closed(&e).unwrap(), Value::Int(3));
+}
+
+/// `set{ (x,y) | x ← [1,2], y ← {{3,4,3}} } = {(1,3),(1,4),(2,3),(2,4)}`.
+#[test]
+fn set_output_absorbs_bag_duplicates() {
+    let e = Expr::comp(
+        Monoid::Set,
+        Expr::Tuple(vec![Expr::var("x"), Expr::var("y")]),
+        vec![
+            Expr::gen("x", Expr::list_of(vec![Expr::int(1), Expr::int(2)])),
+            Expr::gen("y", Expr::bag_of(vec![Expr::int(3), Expr::int(4), Expr::int(3)])),
+        ],
+    );
+    let want = Value::set_from(vec![
+        Value::tuple(ints(&[1, 3])),
+        Value::tuple(ints(&[1, 4])),
+        Value::tuple(ints(&[2, 3])),
+        Value::tuple(ints(&[2, 4])),
+    ]);
+    assert_eq!(eval_closed(&e).unwrap(), want);
+}
+
+/// `[2,5,3,1] ∪̇ [3,2,6] = [2,5,3,1,6]` — the oset merge (§2.2).
+#[test]
+fn oset_merge_example() {
+    let e = Expr::merge(
+        Monoid::OSet,
+        Expr::list_of(vec![Expr::int(2), Expr::int(5), Expr::int(3), Expr::int(1)]),
+        Expr::list_of(vec![Expr::int(3), Expr::int(2), Expr::int(6)]),
+    );
+    assert_eq!(eval_closed(&e).unwrap(), Value::list(ints(&[2, 5, 3, 1, 6])));
+}
+
+/// Bag cardinality `hom[bag→sum](λx.1)` is well-formed; set cardinality
+/// `hom[set→sum](λx.1)` is not, because `+` is not idempotent — otherwise
+/// `1 = hom[set→sum]({a})` for `{a} = {a} ∪ {a}` would force `1 = 2`
+/// (§2.3's argument).
+#[test]
+fn cardinality_legality() {
+    let bag_card = Expr::hom(
+        Monoid::Sum,
+        "x",
+        Expr::int(1),
+        Expr::bag_of(vec![Expr::int(5), Expr::int(5), Expr::int(7)]),
+    );
+    assert_eq!(eval_closed(&bag_card).unwrap(), Value::Int(3));
+    assert!(infer(&bag_card).is_ok());
+
+    let set_card = Expr::hom(
+        Monoid::Sum,
+        "x",
+        Expr::int(1),
+        Expr::set_of(vec![Expr::int(5), Expr::int(7)]),
+    );
+    assert!(infer(&set_card).is_err());
+    assert!(eval_closed(&set_card).is_err());
+}
+
+/// Sets cannot convert to lists, but can convert to sorted lists (§2.3).
+#[test]
+fn set_conversions() {
+    let to_list = Expr::comp(
+        Monoid::List,
+        Expr::var("x"),
+        vec![Expr::gen("x", Expr::set_of(vec![Expr::int(2), Expr::int(1)]))],
+    );
+    assert!(infer(&to_list).is_err());
+
+    let to_sorted = Expr::comp(
+        Monoid::Sorted,
+        Expr::var("x"),
+        vec![Expr::gen("x", Expr::set_of(vec![Expr::int(2), Expr::int(1)]))],
+    );
+    assert_eq!(eval_closed(&to_sorted).unwrap(), Value::list(ints(&[1, 2])));
+}
+
+/// The §2.4 monoid-hom reduction: a comprehension equals its expansion
+/// into nested homomorphisms.
+#[test]
+fn comprehension_equals_hom_expansion() {
+    // set{ a*b | a ← [1,2], b ← {{3,4}} }
+    let comp = Expr::comp(
+        Monoid::Set,
+        Expr::var("a").mul(Expr::var("b")),
+        vec![
+            Expr::gen("a", Expr::list_of(vec![Expr::int(1), Expr::int(2)])),
+            Expr::gen("b", Expr::bag_of(vec![Expr::int(3), Expr::int(4)])),
+        ],
+    );
+    // hom[→set](λa. hom[→set](λb. unit(a*b))({{3,4}}))([1,2])
+    let hom = Expr::hom(
+        Monoid::Set,
+        "a",
+        Expr::hom(
+            Monoid::Set,
+            "b",
+            Expr::unit(Monoid::Set, Expr::var("a").mul(Expr::var("b"))),
+            Expr::bag_of(vec![Expr::int(3), Expr::int(4)]),
+        ),
+        Expr::list_of(vec![Expr::int(1), Expr::int(2)]),
+    );
+    assert_eq!(eval_closed(&comp).unwrap(), eval_closed(&hom).unwrap());
+}
+
+/// Quantifier comprehensions: `some`/`all` are the ∃/∀ monoids.
+#[test]
+fn quantifier_monoids() {
+    let some = Expr::comp(
+        Monoid::Some,
+        Expr::var("x").gt(Expr::int(2)),
+        vec![Expr::gen("x", Expr::set_of(vec![Expr::int(1), Expr::int(3)]))],
+    );
+    assert_eq!(eval_closed(&some).unwrap(), Value::Bool(true));
+    let all = Expr::comp(
+        Monoid::All,
+        Expr::var("x").gt(Expr::int(2)),
+        vec![Expr::gen("x", Expr::set_of(vec![Expr::int(1), Expr::int(3)]))],
+    );
+    assert_eq!(eval_closed(&all).unwrap(), Value::Bool(false));
+    // Vacuous truth over the empty set.
+    let vacuous = Expr::comp(
+        Monoid::All,
+        Expr::bool(false),
+        vec![Expr::gen("x", Expr::set_of(vec![]))],
+    );
+    assert_eq!(eval_closed(&vacuous).unwrap(), Value::Bool(true));
+}
+
+/// The string monoid is list(char) under concatenation (§2.2).
+#[test]
+fn string_monoid() {
+    let e = Expr::comp(
+        Monoid::Str,
+        Expr::var("c"),
+        vec![
+            Expr::gen("c", Expr::str("monoid")),
+            Expr::pred(Expr::var("c").ne(Expr::str("o"))),
+        ],
+    );
+    assert_eq!(eval_closed(&e).unwrap(), Value::str("mnid"));
+}
+
+/// `max`/`min` over non-numeric but ordered values (strings) work, and
+/// their zero (±∞) is absorbed.
+#[test]
+fn max_min_monoids() {
+    let e = Expr::comp(
+        Monoid::Max,
+        Expr::var("s"),
+        vec![Expr::gen("s", Expr::set_of(vec![Expr::str("b"), Expr::str("a")]))],
+    );
+    assert_eq!(eval_closed(&e).unwrap(), Value::str("b"));
+    let empty = Expr::comp(
+        Monoid::Min,
+        Expr::var("s"),
+        vec![Expr::gen("s", Expr::set_of(vec![]))],
+    );
+    assert_eq!(eval_closed(&empty).unwrap(), Value::Null);
+}

@@ -1,0 +1,430 @@
+//! Property-based tests over the calculus core:
+//!
+//! * **Meaning preservation** — `eval(normalize(e)) == eval(e)` for
+//!   randomly generated *well-typed* terms (the paper proves each Table-3
+//!   rule correct; this is the mechanized counterpart).
+//! * Normalization idempotence and canonicity.
+//! * Monoid laws on random values (associativity, identity, and the
+//!   declared C/I properties — Table 1's fine print).
+//! * Substitution/free-variable algebra.
+//! * `like` against a reference matcher.
+//! * The total order on values.
+
+use monoid_db::calculus::error::EvalError;
+use monoid_db::calculus::eval::{like_match, Evaluator};
+use monoid_db::calculus::expr::Expr;
+use monoid_db::calculus::monoid::Monoid;
+use monoid_db::calculus::normalize::{is_canonical, normalize};
+use monoid_db::calculus::pretty::pretty;
+use monoid_db::calculus::subst::{free_vars, subst};
+use monoid_db::calculus::symbol::Symbol;
+use monoid_db::calculus::typecheck::infer;
+use monoid_db::calculus::value::{self, Value};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// A generator of well-typed, pure, closed collection expressions over ints.
+// ---------------------------------------------------------------------------
+
+/// The collection kind of a generated expression (its type constructor).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Kind {
+    List,
+    Bag,
+    Set,
+}
+
+impl Kind {
+    fn monoid(self) -> Monoid {
+        match self {
+            Kind::List => Monoid::List,
+            Kind::Bag => Monoid::Bag,
+            Kind::Set => Monoid::Set,
+        }
+    }
+
+    /// Kinds legal as generator sources for an output monoid with these
+    /// props (the C/I restriction, statically respected by construction).
+    fn legal_sources(out: &Monoid) -> &'static [Kind] {
+        let p = out.props();
+        match (p.commutative, p.idempotent) {
+            (true, true) => &[Kind::List, Kind::Bag, Kind::Set],
+            (true, false) => &[Kind::List, Kind::Bag],
+            _ => &[Kind::List],
+        }
+    }
+}
+
+fn int_literal() -> impl Strategy<Value = Expr> {
+    (-5i64..6).prop_map(Expr::int)
+}
+
+/// A literal collection of the given kind.
+fn leaf(kind: Kind) -> BoxedStrategy<Expr> {
+    prop::collection::vec(int_literal(), 0..4)
+        .prop_map(move |items| Expr::CollLit(kind.monoid(), items))
+        .boxed()
+}
+
+/// Scalar head expression over a bound variable.
+fn head_over(var: Symbol) -> BoxedStrategy<Expr> {
+    prop_oneof![
+        Just(Expr::Var(var)),
+        (-3i64..4).prop_map(move |k| Expr::Var(var).add(Expr::int(k))),
+        (1i64..4).prop_map(move |k| Expr::Var(var).mul(Expr::int(k))),
+        (-3i64..4).prop_map(Expr::int),
+        // A record projection — exercises rule N2 under normalization.
+        (-3i64..4).prop_map(move |k| {
+            Expr::record(vec![("a", Expr::Var(var)), ("b", Expr::int(k))]).proj("a")
+        }),
+        // A tuple projection.
+        (-3i64..4).prop_map(move |k| {
+            Expr::Tuple(vec![Expr::int(k), Expr::Var(var)]).tproj(1)
+        }),
+        // A conditional head.
+        ((-3i64..4), (-3i64..4)).prop_map(move |(k, j)| {
+            Expr::if_(Expr::Var(var).gt(Expr::int(k)), Expr::Var(var), Expr::int(j))
+        }),
+        // A beta redex — exercises rule N1.
+        (-3i64..4).prop_map(move |k| {
+            Expr::lambda("lam_p", Expr::var("lam_p").add(Expr::int(k)))
+                .apply(Expr::Var(var))
+        }),
+        // A let — exercises rule N12.
+        (1i64..4).prop_map(move |k| {
+            Expr::let_("let_v", Expr::Var(var).mul(Expr::int(k)), {
+                Expr::var("let_v").add(Expr::var("let_v"))
+            })
+        }),
+    ]
+    .boxed()
+}
+
+/// Predicate over a bound variable — possibly an exists-subquery to
+/// exercise rule N6.
+fn pred_over(var: Symbol, depth: u32) -> BoxedStrategy<Expr> {
+    let simple = prop_oneof![
+        (-3i64..4).prop_map(move |k| Expr::Var(var).le(Expr::int(k))),
+        (-3i64..4).prop_map(move |k| Expr::Var(var).gt(Expr::int(k))),
+        (-3i64..4).prop_map(move |k| Expr::Var(var).eq(Expr::int(k))),
+        Just(Expr::bool(true)),
+        ((-3i64..4), (-3i64..4)).prop_map(move |(a, b)| {
+            Expr::Var(var).ge(Expr::int(a)).and(Expr::Var(var).le(Expr::int(b)))
+        }),
+    ];
+    if depth == 0 {
+        return simple.boxed();
+    }
+    let witness = Symbol::fresh("w");
+    let exists = leaf(Kind::Bag).prop_map(move |src| {
+        Expr::comp(
+            Monoid::Some,
+            Expr::Var(witness).eq(Expr::Var(var)),
+            vec![Expr::gen(witness, src)],
+        )
+    });
+    prop_oneof![3 => simple, 1 => exists].boxed()
+}
+
+/// A well-typed collection expression of the given kind.
+fn coll(kind: Kind, depth: u32) -> BoxedStrategy<Expr> {
+    if depth == 0 {
+        return leaf(kind);
+    }
+    let m = kind.monoid();
+    let sources = Kind::legal_sources(&m);
+
+    // A comprehension with 1–2 generators and 0–1 predicates.
+    let src_kind = prop::sample::select(sources.to_vec());
+    let comp = (src_kind, prop::bool::ANY, prop::bool::ANY).prop_flat_map(
+        move |(sk, two_gens, with_pred)| {
+            let v1 = Symbol::fresh("v");
+            let v2 = Symbol::fresh("v");
+            let head_var = if two_gens { v2 } else { v1 };
+            let g1 = coll(sk, depth - 1);
+            let g2 = if two_gens {
+                coll(sk, depth - 1).prop_map(Some).boxed()
+            } else {
+                Just(None).boxed()
+            };
+            let p = if with_pred {
+                pred_over(head_var, depth - 1).prop_map(Some).boxed()
+            } else {
+                Just(None).boxed()
+            };
+            let m = m.clone();
+            (g1, g2, p, head_over(head_var)).prop_map(move |(s1, s2, pred, head)| {
+                let mut quals = vec![Expr::gen(v1, s1)];
+                if let Some(s2) = s2 {
+                    quals.push(Expr::gen(v2, s2));
+                }
+                if let Some(pred) = pred {
+                    quals.push(Expr::pred(pred));
+                }
+                Expr::comp(m.clone(), head, quals)
+            })
+        },
+    );
+
+    // A merge of two sub-collections.
+    let m2 = kind.monoid();
+    let merge = (coll(kind, depth - 1), coll(kind, depth - 1))
+        .prop_map(move |(a, b)| Expr::merge(m2.clone(), a, b));
+
+    prop_oneof![2 => comp, 1 => merge, 1 => leaf(kind)].boxed()
+}
+
+/// A top-level term: a collection of any kind, or a primitive reduction
+/// (sum / max / some) over a legal source.
+fn term() -> BoxedStrategy<Expr> {
+    let coll_term = prop::sample::select(vec![Kind::List, Kind::Bag, Kind::Set])
+        .prop_flat_map(|k| coll(k, 2));
+    let prim = prop::sample::select(vec![Monoid::Sum, Monoid::Max, Monoid::Some, Monoid::All])
+        .prop_flat_map(|m| {
+            let sk = prop::sample::select(Kind::legal_sources(&m).to_vec());
+            sk.prop_flat_map(move |k| {
+                let m = m.clone();
+                let v = Symbol::fresh("t");
+                let head = match m {
+                    Monoid::Some | Monoid::All => {
+                        Expr::Var(v).gt(Expr::int(0))
+                    }
+                    _ => Expr::Var(v),
+                };
+                coll(k, 2).prop_map(move |src| {
+                    Expr::comp(m.clone(), head.clone(), vec![Expr::gen(v, src)])
+                })
+            })
+        });
+    prop_oneof![3 => coll_term, 1 => prim].boxed()
+}
+
+fn eval_budgeted(e: &Expr) -> Result<Value, EvalError> {
+    Evaluator::with_budget(2_000_000).eval_expr(e)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The central theorem: normalization preserves meaning on well-typed
+    /// terms, its output is canonical, and it is idempotent.
+    #[test]
+    fn normalize_preserves_meaning(e in term()) {
+        prop_assert!(infer(&e).is_ok(), "generated term must be well-typed: {}", pretty(&e));
+        let direct = match eval_budgeted(&e) {
+            Ok(v) => v,
+            Err(EvalError::BudgetExhausted) => return Ok(()), // pathological size
+            Err(other) => return Err(TestCaseError::fail(format!(
+                "well-typed term failed to evaluate: {other} in {}", pretty(&e)
+            ))),
+        };
+        let n = normalize(&e);
+        let normalized = eval_budgeted(&n).map_err(|err| TestCaseError::fail(format!(
+            "normalized term failed: {err} in {}", pretty(&n)
+        )))?;
+        prop_assert_eq!(
+            &direct, &normalized,
+            "meaning changed:\n  before: {}\n  after:  {}", pretty(&e), pretty(&n)
+        );
+        prop_assert!(is_canonical(&n), "not canonical: {}", pretty(&n));
+        let n2 = normalize(&n);
+        prop_assert_eq!(&n, &n2, "normalize not idempotent");
+    }
+
+    /// The calculus parser inverts the pretty-printer on the comprehension
+    /// fragment: `parse(pretty(e)) = e`.
+    #[test]
+    fn parse_inverts_pretty(e in term()) {
+        use monoid_db::calculus::parse::parse_expr;
+        let printed = pretty(&e);
+        let reparsed = parse_expr(&printed).map_err(|err| TestCaseError::fail(format!(
+            "could not reparse `{printed}`: {err}"
+        )))?;
+        prop_assert_eq!(&e, &reparsed, "round trip changed `{}`", printed);
+    }
+
+    /// Well-typed terms evaluate without type errors (soundness of the
+    /// static check w.r.t. the dynamic one).
+    #[test]
+    fn well_typed_terms_evaluate(e in term()) {
+        prop_assert!(infer(&e).is_ok());
+        match eval_budgeted(&e) {
+            Ok(_) | Err(EvalError::BudgetExhausted) => {}
+            Err(other) => prop_assert!(false, "eval failed: {other} in {}", pretty(&e)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Monoid laws on random values.
+// ---------------------------------------------------------------------------
+
+fn scalar_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-9i64..10).prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-c]{0,3}".prop_map(|s| Value::str(&s)),
+    ]
+}
+
+/// A value of the monoid's carrier built from units and merges.
+fn carrier_value(m: Monoid) -> BoxedStrategy<Value> {
+    match m {
+        Monoid::Sum | Monoid::Prod => (-9i64..10).prop_map(Value::Int).boxed(),
+        Monoid::Max | Monoid::Min => {
+            prop_oneof![(-9i64..10).prop_map(Value::Int), Just(Value::Null)].boxed()
+        }
+        Monoid::Some | Monoid::All => any::<bool>().prop_map(Value::Bool).boxed(),
+        Monoid::Str => "[a-c]{0,4}".prop_map(|s| Value::str(&s)).boxed(),
+        _ => prop::collection::vec(scalar_value(), 0..5)
+            .prop_map(move |items| {
+                // Build via the monoid's own unit/merge so values are valid
+                // carrier elements.
+                let mut acc = value::zero(&m).expect("zero");
+                for item in items {
+                    let u = value::unit(&m, item).expect("unit");
+                    acc = value::merge(&m, &acc, &u).expect("merge");
+                }
+                acc
+            })
+            .boxed(),
+    }
+}
+
+fn basic_monoid() -> impl Strategy<Value = Monoid> {
+    prop::sample::select(Monoid::all_basic().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Table 1's laws: associativity, identity, and the declared C/I
+    /// properties — on random carrier values.
+    #[test]
+    fn monoid_laws(m in basic_monoid(), seed in any::<u64>()) {
+        // Derive three carrier values deterministically from the seed.
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let _ = seed;
+        let strat = carrier_value(m.clone());
+        let a = strat.new_tree(&mut runner).unwrap().current();
+        let b = strat.new_tree(&mut runner).unwrap().current();
+        let c = strat.new_tree(&mut runner).unwrap().current();
+
+        let z = value::zero(&m).unwrap();
+        // identity
+        prop_assert_eq!(value::merge(&m, &z, &a).unwrap(), a.clone());
+        prop_assert_eq!(value::merge(&m, &a, &z).unwrap(), a.clone());
+        // associativity
+        let ab = value::merge(&m, &a, &b).unwrap();
+        let bc = value::merge(&m, &b, &c).unwrap();
+        prop_assert_eq!(
+            value::merge(&m, &ab, &c).unwrap(),
+            value::merge(&m, &a, &bc).unwrap()
+        );
+        // declared properties
+        if m.props().commutative {
+            prop_assert_eq!(value::merge(&m, &a, &b).unwrap(), value::merge(&m, &b, &a).unwrap());
+        }
+        if m.props().idempotent {
+            prop_assert_eq!(value::merge(&m, &a, &a).unwrap(), a.clone());
+        }
+    }
+
+    /// The total order on values really is total and consistent.
+    #[test]
+    fn value_order_is_total(mut vals in prop::collection::vec(scalar_value(), 2..6)) {
+        vals.sort();
+        for w in vals.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        // Equality is consistent with ordering.
+        for a in &vals {
+            for b in &vals {
+                let eq = a == b;
+                let cmp_eq = a.cmp(b) == std::cmp::Ordering::Equal;
+                prop_assert_eq!(eq, cmp_eq);
+            }
+        }
+    }
+
+    /// set_from is order-insensitive and idempotent.
+    #[test]
+    fn set_from_is_canonical(items in prop::collection::vec(scalar_value(), 0..8)) {
+        let a = Value::set_from(items.clone());
+        let mut rev = items.clone();
+        rev.reverse();
+        let b = Value::set_from(rev);
+        prop_assert_eq!(&a, &b);
+        let again = Value::set_from(a.elements().unwrap());
+        prop_assert_eq!(a, again);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Substitution algebra.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Substituting into a closed term is the identity; substituting a
+    /// closed value removes the variable from the free set.
+    #[test]
+    fn subst_properties(e in term(), k in -5i64..6) {
+        let x = Symbol::new("zz_unused");
+        // Terms from `term()` are closed: substitution is identity.
+        prop_assert_eq!(subst(&e, x, &Expr::int(k)), e.clone());
+        prop_assert!(free_vars(&e).is_empty(), "{}", pretty(&e));
+    }
+
+    /// An open term built by wrapping: e + x, then substituting x, is
+    /// closed and evaluates to the expected shifted result.
+    #[test]
+    fn subst_closes_open_terms(k in -5i64..6) {
+        let x = Symbol::new("free_x");
+        let open = Expr::Var(x).add(Expr::int(1));
+        prop_assert!(free_vars(&open).contains(&x));
+        let closed = subst(&open, x, &Expr::int(k));
+        prop_assert!(free_vars(&closed).is_empty());
+        let v = eval_budgeted(&closed).unwrap();
+        prop_assert_eq!(v, Value::Int(k + 1));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// like_match against a reference implementation.
+// ---------------------------------------------------------------------------
+
+/// Exponential-free reference matcher by dynamic programming.
+fn like_reference(s: &str, pat: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pat.chars().collect();
+    let mut dp = vec![vec![false; p.len() + 1]; s.len() + 1];
+    dp[0][0] = true;
+    for j in 1..=p.len() {
+        dp[0][j] = p[j - 1] == '%' && dp[0][j - 1];
+    }
+    for i in 1..=s.len() {
+        for j in 1..=p.len() {
+            dp[i][j] = if p[j - 1] == '%' {
+                dp[i - 1][j] || dp[i][j - 1]
+            } else {
+                p[j - 1] == s[i - 1] && dp[i - 1][j - 1]
+            };
+        }
+    }
+    dp[s.len()][p.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    #[test]
+    fn like_matches_reference(s in "[ab]{0,8}", pat in "[ab%]{0,6}") {
+        prop_assert_eq!(
+            like_match(&s, &pat),
+            like_reference(&s, &pat),
+            "s = {:?}, pattern = {:?}", s, pat
+        );
+    }
+}
