@@ -8,6 +8,13 @@
 //!
 //! `some`/`all` reductions short-circuit the entire pipeline through the
 //! sink's `false` return, mirroring the evaluator.
+//!
+//! The driver is generic over a [`Probe`]: a set of per-operator counter
+//! hooks. [`NoProbe`] (the default used by [`execute`]) monomorphizes
+//! every hook to an empty inline function, so the unprofiled pipeline pays
+//! nothing — no per-row allocation, no branch on a runtime flag. The
+//! profiled entry point lives in [`crate::trace`] and threads a
+//! `Cell`-based probe through the same code.
 
 use crate::error::ExecResult;
 use crate::logical::{JoinKind, Plan, Query};
@@ -17,51 +24,137 @@ use monoid_calculus::symbol::Symbol;
 use monoid_calculus::value::{self, Env, Value};
 use monoid_store::Database;
 use std::collections::BTreeMap;
+use std::time::Instant;
 
-/// Run a query against a database, returning the reduced value.
-pub fn execute(query: &Query, db: &mut Database) -> ExecResult<Value> {
+/// Per-operator instrumentation hooks. Operators are identified by their
+/// pre-order index in the plan tree (root = 0; a unary operator's input is
+/// `op + 1`; a join's left child is `op + 1` and its right child is
+/// `op + 1 + left.node_count()`) — the same order `explain` renders them.
+///
+/// All hooks take `&self` so a single shared probe can be captured by the
+/// nested sink closures; implementations use interior mutability.
+pub trait Probe {
+    /// `true` enables the timing instrumentation around operator-local
+    /// work. Counter hooks are called unconditionally — a disabled
+    /// probe's empty inline bodies compile to nothing.
+    const ENABLED: bool;
+
+    /// One row was pushed out of operator `op` into its consumer.
+    #[inline(always)]
+    fn row_out(&self, _op: usize) {}
+
+    /// Operator `op` materialized `n` build-side rows (joins).
+    #[inline(always)]
+    fn build_rows(&self, _op: usize, _n: u64) {}
+
+    /// `nanos` of operator-local work (source/predicate/path evaluation,
+    /// hash build) attributable to `op` alone.
+    #[inline(always)]
+    fn self_nanos(&self, _op: usize, _nanos: u64) {}
+
+    /// The reduction absorbed (`some`/`all`) and cut the pipeline short.
+    #[inline(always)]
+    fn short_circuit(&self) {}
+}
+
+/// The zero-cost probe: profiling off.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProbe;
+
+impl Probe for NoProbe {
+    const ENABLED: bool = false;
+}
+
+/// Time `f` and charge it to `op` — only when the probe type asks for it,
+/// so `NoProbe` pipelines never touch the clock.
+#[inline]
+fn timed<P: Probe, R>(probe: &P, op: usize, f: impl FnOnce() -> R) -> R {
+    if P::ENABLED {
+        let start = Instant::now();
+        let out = f();
+        probe.self_nanos(op, start.elapsed().as_nanos() as u64);
+        out
+    } else {
+        f()
+    }
+}
+
+/// Take the heap out of `db`, run `f` with a fresh evaluator over it, and
+/// put the (possibly mutated) heap back — the single shared shape of every
+/// execution entry point.
+fn with_evaluator<R>(
+    db: &mut Database,
+    f: impl FnOnce(&mut Evaluator, &Env) -> ExecResult<R>,
+) -> ExecResult<R> {
     let env = db.env();
     let heap = std::mem::take(db.heap_mut());
     let mut ev = Evaluator::with_heap(heap);
-    let result = run_reduce(query, &mut ev, &env);
+    let result = f(&mut ev, &env);
     *db.heap_mut() = ev.heap;
     result
 }
 
-/// Run a query and report evaluation steps (cost proxy for benchmarks).
-pub fn execute_counted(query: &Query, db: &mut Database) -> ExecResult<(Value, u64)> {
-    let env = db.env();
-    let heap = std::mem::take(db.heap_mut());
-    let mut ev = Evaluator::with_heap(heap);
-    let result = run_reduce(query, &mut ev, &env);
-    let steps = ev.steps_used();
-    *db.heap_mut() = ev.heap;
-    result.map(|v| (v, steps))
+/// Run a query against a database, returning the reduced value.
+pub fn execute(query: &Query, db: &mut Database) -> ExecResult<Value> {
+    with_evaluator(db, |ev, env| run_reduce(query, ev, env, &NoProbe))
 }
 
-fn run_reduce(query: &Query, ev: &mut Evaluator, env: &Env) -> ExecResult<Value> {
+/// Run a query and report evaluation steps (cost proxy for benchmarks).
+pub fn execute_counted(query: &Query, db: &mut Database) -> ExecResult<(Value, u64)> {
+    with_evaluator(db, |ev, env| {
+        let v = run_reduce(query, ev, env, &NoProbe)?;
+        Ok((v, ev.steps_used()))
+    })
+}
+
+/// Run a query with a caller-supplied probe; also reports evaluation
+/// steps. This is the entry the profiler in [`crate::trace`] uses.
+pub(crate) fn execute_probed<P: Probe>(
+    query: &Query,
+    db: &mut Database,
+    probe: &P,
+) -> ExecResult<(Value, u64)> {
+    with_evaluator(db, |ev, env| {
+        let v = run_reduce(query, ev, env, probe)?;
+        Ok((v, ev.steps_used()))
+    })
+}
+
+fn run_reduce<P: Probe>(
+    query: &Query,
+    ev: &mut Evaluator,
+    env: &Env,
+    probe: &P,
+) -> ExecResult<Value> {
     let monoid = &query.monoid;
     let mut acc = value::Accumulator::new(monoid)?;
-    run_plan(&query.plan, ev, env, &mut |ev, row_env| {
+    let completed = run_plan(&query.plan, 0, ev, env, probe, &mut |ev, row_env| {
         let h = ev.eval(row_env, &query.head)?;
         acc.push_unit(h)?;
         Ok(!acc.absorbed())
     })?;
+    if !completed {
+        probe.short_circuit();
+    }
     acc.finish()
 }
 
 /// Push every row of `plan` into `sink`; a `false` from the sink
-/// short-circuits. Returns `false` if short-circuited.
-pub(crate) fn run_plan(
+/// short-circuits. Returns `false` if short-circuited. `op` is this
+/// node's pre-order index (see [`Probe`]).
+pub(crate) fn run_plan<P: Probe>(
     plan: &Plan,
+    op: usize,
     ev: &mut Evaluator,
     env: &Env,
+    probe: &P,
     sink: &mut dyn FnMut(&mut Evaluator, &Env) -> ExecResult<bool>,
 ) -> ExecResult<bool> {
     match plan {
         Plan::Scan { var, source } => {
-            let sv = ev.eval(env, source)?;
+            let sv = timed(probe, op, || ev.eval(env, source))?;
             for elem in collection_elements(&sv)? {
+                probe.row_out(op);
                 if !sink(ev, &env.bind(*var, elem))? {
                     return Ok(false);
                 }
@@ -69,109 +162,131 @@ pub(crate) fn run_plan(
             Ok(true)
         }
         Plan::IndexLookup { var, index, key } => {
-            let kv = ev.eval(env, key)?;
+            let kv = timed(probe, op, || ev.eval(env, key))?;
             for member in index.lookup(&kv) {
+                probe.row_out(op);
                 if !sink(ev, &env.bind(*var, member.clone()))? {
                     return Ok(false);
                 }
             }
             Ok(true)
         }
-        Plan::Unnest { input, var, path } => run_plan(input, ev, env, &mut |ev, row| {
-            let sv = ev.eval(row, path)?;
-            for elem in collection_elements(&sv)? {
-                if !sink(ev, &row.bind(*var, elem))? {
-                    return Ok(false);
+        Plan::Unnest { input, var, path } => {
+            run_plan(input, op + 1, ev, env, probe, &mut |ev, row| {
+                let sv = timed(probe, op, || ev.eval(row, path))?;
+                for elem in collection_elements(&sv)? {
+                    probe.row_out(op);
+                    if !sink(ev, &row.bind(*var, elem))? {
+                        return Ok(false);
+                    }
                 }
-            }
-            Ok(true)
-        }),
-        Plan::Filter { input, pred } => run_plan(input, ev, env, &mut |ev, row| {
-            if ev.eval(row, pred)?.as_bool()? {
-                sink(ev, row)
-            } else {
                 Ok(true)
-            }
-        }),
-        Plan::Bind { input, var, expr } => run_plan(input, ev, env, &mut |ev, row| {
-            let v = ev.eval(row, expr)?;
-            sink(ev, &row.bind(*var, v))
-        }),
-        Plan::Join { left, right, on, kind } => match kind {
-            JoinKind::NestedLoop => {
-                // Materialize the right side's binding deltas once, then
-                // stream the left.
-                let right_rows = materialize(right, ev, env)?;
-                let on = on.clone();
-                run_plan(left, ev, env, &mut |ev, lrow| {
-                    'rows: for delta in &right_rows {
-                        let mut row = lrow.clone();
-                        for (var, val) in delta {
-                            row = row.bind(*var, val.clone());
-                        }
-                        for (lk, rk) in &on {
-                            let lv = ev.eval(lrow, lk)?;
-                            let rv = ev.eval(&row, rk)?;
-                            if lv != rv {
-                                continue 'rows;
-                            }
-                        }
-                        if !sink(ev, &row)? {
-                            return Ok(false);
-                        }
-                    }
+            })
+        }
+        Plan::Filter { input, pred } => {
+            run_plan(input, op + 1, ev, env, probe, &mut |ev, row| {
+                if timed(probe, op, || ev.eval(row, pred))?.as_bool()? {
+                    probe.row_out(op);
+                    sink(ev, row)
+                } else {
                     Ok(true)
-                })
-            }
-            JoinKind::Hash => {
-                // Build: key → binding deltas of the right side.
-                let right_rows = materialize(right, ev, env)?;
-                let mut table: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
-                for (i, delta) in right_rows.iter().enumerate() {
-                    let mut row = env.clone();
-                    for (var, val) in delta {
-                        row = row.bind(*var, val.clone());
-                    }
-                    let key = on
-                        .iter()
-                        .map(|(_, rk)| ev.eval(&row, rk))
-                        .collect::<ExecResult<Vec<_>>>()?;
-                    table.entry(key).or_default().push(i);
                 }
-                // Probe with the left.
-                run_plan(left, ev, env, &mut |ev, lrow| {
-                    let key = on
-                        .iter()
-                        .map(|(lk, _)| ev.eval(lrow, lk))
-                        .collect::<ExecResult<Vec<_>>>()?;
-                    if let Some(matches) = table.get(&key) {
-                        for &i in matches {
+            })
+        }
+        Plan::Bind { input, var, expr } => {
+            run_plan(input, op + 1, ev, env, probe, &mut |ev, row| {
+                let v = timed(probe, op, || ev.eval(row, expr))?;
+                probe.row_out(op);
+                sink(ev, &row.bind(*var, v))
+            })
+        }
+        Plan::Join { left, right, on, kind } => {
+            let right_op = op + 1 + left.node_count();
+            match kind {
+                JoinKind::NestedLoop => {
+                    // Materialize the right side's binding deltas once, then
+                    // stream the left.
+                    let right_rows = timed(probe, op, || materialize(right, right_op, ev, env, probe))?;
+                    probe.build_rows(op, right_rows.len() as u64);
+                    let on = on.clone();
+                    run_plan(left, op + 1, ev, env, probe, &mut |ev, lrow| {
+                        'rows: for delta in &right_rows {
                             let mut row = lrow.clone();
-                            for (var, val) in &right_rows[i] {
+                            for (var, val) in delta {
                                 row = row.bind(*var, val.clone());
                             }
+                            for (lk, rk) in &on {
+                                let lv = ev.eval(lrow, lk)?;
+                                let rv = ev.eval(&row, rk)?;
+                                if lv != rv {
+                                    continue 'rows;
+                                }
+                            }
+                            probe.row_out(op);
                             if !sink(ev, &row)? {
                                 return Ok(false);
                             }
                         }
-                    }
-                    Ok(true)
-                })
+                        Ok(true)
+                    })
+                }
+                JoinKind::Hash => {
+                    // Build: key → binding deltas of the right side.
+                    let (right_rows, table) = timed(probe, op, || {
+                        let right_rows = materialize(right, right_op, ev, env, probe)?;
+                        let mut table: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
+                        for (i, delta) in right_rows.iter().enumerate() {
+                            let mut row = env.clone();
+                            for (var, val) in delta {
+                                row = row.bind(*var, val.clone());
+                            }
+                            let key = on
+                                .iter()
+                                .map(|(_, rk)| ev.eval(&row, rk))
+                                .collect::<ExecResult<Vec<_>>>()?;
+                            table.entry(key).or_default().push(i);
+                        }
+                        Ok::<_, EvalError>((right_rows, table))
+                    })?;
+                    probe.build_rows(op, right_rows.len() as u64);
+                    // Probe with the left.
+                    run_plan(left, op + 1, ev, env, probe, &mut |ev, lrow| {
+                        let key = on
+                            .iter()
+                            .map(|(lk, _)| ev.eval(lrow, lk))
+                            .collect::<ExecResult<Vec<_>>>()?;
+                        if let Some(matches) = table.get(&key) {
+                            for &i in matches {
+                                let mut row = lrow.clone();
+                                for (var, val) in &right_rows[i] {
+                                    row = row.bind(*var, val.clone());
+                                }
+                                probe.row_out(op);
+                                if !sink(ev, &row)? {
+                                    return Ok(false);
+                                }
+                            }
+                        }
+                        Ok(true)
+                    })
+                }
             }
-        },
+        }
     }
 }
 
 /// Materialize a sub-plan as a list of binding deltas (only the variables
 /// the sub-plan itself binds).
-fn materialize(
+fn materialize<P: Probe>(
     plan: &Plan,
+    op: usize,
     ev: &mut Evaluator,
     env: &Env,
+    probe: &P,
 ) -> ExecResult<Vec<Vec<(Symbol, Value)>>> {
     let vars = plan.bound_vars();
     let mut rows = Vec::new();
-    run_plan(plan, ev, env, &mut |_, row| {
+    run_plan(plan, op, ev, env, probe, &mut |_, row| {
         let delta = vars
             .iter()
             .map(|v| {

@@ -1,12 +1,33 @@
 //! `EXPLAIN`: render a plan tree for humans. Used by the experiment
-//! harness to show how canonical comprehensions become pipelines.
+//! harness to show how canonical comprehensions become pipelines, and by
+//! [`crate::trace`] to render profiled plans with estimated and observed
+//! cardinalities side by side.
 
 use crate::logical::{JoinKind, Plan, Query};
+use crate::optimizer::Stats;
 use monoid_calculus::pretty::pretty;
 use std::fmt::Write as _;
 
 /// Render a query plan as an indented tree, reduce at the top.
 pub fn explain(query: &Query) -> String {
+    render_with(query, &mut |_, _| String::new())
+}
+
+/// Like [`explain`], with each operator annotated by its estimated output
+/// cardinality from `stats` — the optimizer's view of the plan, readable
+/// before anything runs.
+pub fn explain_with_estimates(query: &Query, stats: &Stats) -> String {
+    let est = stats.plan_estimates(&query.plan);
+    render_with(query, &mut |op, _| format!("  (est≈{})", fmt_rows(est[op])))
+}
+
+/// Shared tree renderer: `annotate` receives each operator's pre-order
+/// index (the numbering [`crate::exec::Probe`] and
+/// [`Stats::plan_estimates`] use) and returns a suffix for its line.
+pub(crate) fn render_with(
+    query: &Query,
+    annotate: &mut dyn FnMut(usize, &Plan) -> String,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -14,8 +35,18 @@ pub fn explain(query: &Query) -> String {
         query.monoid,
         pretty(&query.head)
     );
-    explain_plan(&query.plan, 1, &mut out);
+    explain_plan(&query.plan, 0, 1, annotate, &mut out);
     out
+}
+
+/// Format an estimated row count: whole numbers for anything ≥ 10, one
+/// decimal below that (selectivities make fractional estimates common).
+pub(crate) fn fmt_rows(est: f64) -> String {
+    if est >= 10.0 {
+        format!("{est:.0}")
+    } else {
+        format!("{est:.1}")
+    }
 }
 
 fn indent(out: &mut String, depth: usize) {
@@ -24,34 +55,20 @@ fn indent(out: &mut String, depth: usize) {
     }
 }
 
-fn explain_plan(plan: &Plan, depth: usize, out: &mut String) {
-    indent(out, depth);
+/// One operator's label, without its children.
+pub(crate) fn op_label(plan: &Plan) -> String {
     match plan {
-        Plan::Scan { var, source } => {
-            let _ = writeln!(out, "Scan {var} ← {}", pretty(source));
-        }
-        Plan::IndexLookup { var, index, key } => {
-            let _ = writeln!(
-                out,
-                "IndexLookup {var} ← {}[{} = {}]",
-                index.extent,
-                index.field,
-                pretty(key)
-            );
-        }
-        Plan::Unnest { input, var, path } => {
-            let _ = writeln!(out, "Unnest {var} ← {}", pretty(path));
-            explain_plan(input, depth + 1, out);
-        }
-        Plan::Filter { input, pred } => {
-            let _ = writeln!(out, "Filter {}", pretty(pred));
-            explain_plan(input, depth + 1, out);
-        }
-        Plan::Bind { input, var, expr } => {
-            let _ = writeln!(out, "Bind {var} ≡ {}", pretty(expr));
-            explain_plan(input, depth + 1, out);
-        }
-        Plan::Join { left, right, on, kind } => {
+        Plan::Scan { var, source } => format!("Scan {var} ← {}", pretty(source)),
+        Plan::IndexLookup { var, index, key } => format!(
+            "IndexLookup {var} ← {}[{} = {}]",
+            index.extent,
+            index.field,
+            pretty(key)
+        ),
+        Plan::Unnest { var, path, .. } => format!("Unnest {var} ← {}", pretty(path)),
+        Plan::Filter { pred, .. } => format!("Filter {}", pretty(pred)),
+        Plan::Bind { var, expr, .. } => format!("Bind {var} ≡ {}", pretty(expr)),
+        Plan::Join { on, kind, .. } => {
             let kind = match kind {
                 JoinKind::NestedLoop => "NestedLoopJoin",
                 JoinKind::Hash => "HashJoin",
@@ -60,9 +77,28 @@ fn explain_plan(plan: &Plan, depth: usize, out: &mut String) {
                 .iter()
                 .map(|(l, r)| format!("{} = {}", pretty(l), pretty(r)))
                 .collect();
-            let _ = writeln!(out, "{kind} on [{}]", keys.join(", "));
-            explain_plan(left, depth + 1, out);
-            explain_plan(right, depth + 1, out);
+            format!("{kind} on [{}]", keys.join(", "))
+        }
+    }
+}
+
+fn explain_plan(
+    plan: &Plan,
+    op: usize,
+    depth: usize,
+    annotate: &mut dyn FnMut(usize, &Plan) -> String,
+    out: &mut String,
+) {
+    indent(out, depth);
+    let _ = writeln!(out, "{}{}", op_label(plan), annotate(op, plan));
+    match plan {
+        Plan::Scan { .. } | Plan::IndexLookup { .. } => {}
+        Plan::Unnest { input, .. } | Plan::Filter { input, .. } | Plan::Bind { input, .. } => {
+            explain_plan(input, op + 1, depth + 1, annotate, out);
+        }
+        Plan::Join { left, right, .. } => {
+            explain_plan(left, op + 1, depth + 1, annotate, out);
+            explain_plan(right, op + 1 + left.node_count(), depth + 1, annotate, out);
         }
     }
 }
@@ -70,9 +106,11 @@ fn explain_plan(plan: &Plan, depth: usize, out: &mut String) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::index::IndexCatalog;
     use crate::logical::plan_comprehension;
     use monoid_calculus::expr::Expr;
     use monoid_calculus::monoid::Monoid;
+    use monoid_store::travel::{self, TravelScale};
 
     #[test]
     fn explain_renders_pipeline() {
@@ -83,6 +121,7 @@ mod tests {
                 Expr::gen("c", Expr::var("Cities")),
                 Expr::pred(Expr::var("c").proj("name").eq(Expr::str("Portland"))),
                 Expr::gen("h", Expr::var("c").proj("hotels")),
+                Expr::bind("city", Expr::var("c").proj("name")),
             ],
         );
         let plan = plan_comprehension(&q).unwrap();
@@ -91,5 +130,53 @@ mod tests {
         assert!(s.contains("Scan c ← Cities"), "{s}");
         assert!(s.contains("Unnest h ← c.hotels"), "{s}");
         assert!(s.contains("Filter"), "{s}");
+        assert!(s.contains("Bind city ≡ c.name"), "{s}");
+
+        // The same pipeline, bind-free so the filtered scan is eligible
+        // for index conversion, renders the IndexLookup operator.
+        let q = Expr::comp(
+            Monoid::Bag,
+            Expr::var("h").proj("name"),
+            vec![
+                Expr::gen("c", Expr::var("Cities")),
+                Expr::pred(Expr::var("c").proj("name").eq(Expr::str("Portland"))),
+                Expr::gen("h", Expr::var("c").proj("hotels")),
+            ],
+        );
+        let plan = plan_comprehension(&q).unwrap();
+        let db = travel::generate(TravelScale::tiny(), 42);
+        let mut catalog = IndexCatalog::new();
+        catalog.build(&db, "Cities", "name").unwrap();
+        let (indexed, hits) = crate::index::apply_indexes(&plan, &catalog);
+        assert_eq!(hits, 1);
+        let s = explain(&indexed);
+        assert!(
+            s.contains("IndexLookup c ← Cities[name = \"Portland\"]"),
+            "{s}"
+        );
+        assert!(!s.contains("Scan c"), "{s}");
+    }
+
+    #[test]
+    fn estimates_annotate_every_operator() {
+        let db = travel::generate(TravelScale::tiny(), 42);
+        let stats = Stats::gather(&db);
+        let q = Expr::comp(
+            Monoid::Bag,
+            Expr::var("h").proj("name"),
+            vec![
+                Expr::gen("c", Expr::var("Cities")),
+                Expr::pred(Expr::var("c").proj("name").eq(Expr::str("Portland"))),
+                Expr::gen("h", Expr::var("c").proj("hotels")),
+            ],
+        );
+        let plan = plan_comprehension(&q).unwrap();
+        let s = explain_with_estimates(&plan, &stats);
+        // Every operator line (all lines but the Reduce header) carries an
+        // estimate annotation.
+        for line in s.lines().skip(1) {
+            assert!(line.contains("(est≈"), "unannotated line: {line}");
+        }
+        assert!(s.contains(&format!("Scan c ← Cities  (est≈{})", fmt_rows(TravelScale::tiny().cities as f64))), "{s}");
     }
 }

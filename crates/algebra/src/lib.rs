@@ -19,10 +19,15 @@
 //! * [`index`] — secondary indexes on extent fields and the optimizer
 //!   pass that turns filtered scans into index lookups (the physical
 //!   design dimension of companion paper \[17\]).
-//! * [`explain`](mod@explain) — human-readable plan trees.
+//! * [`explain`](mod@explain) — human-readable plan trees, optionally
+//!   annotated with the optimizer's cardinality estimates.
+//! * [`trace`] — `EXPLAIN ANALYZE`: profiled execution with per-phase
+//!   wall-clock timings and per-operator row/time counters, serializable
+//!   to JSON.
 //!
 //! Typical flow: `compile` OQL → `normalize` → [`logical::plan_comprehension`]
-//! → [`exec::execute`].
+//! → [`exec::execute`] (or [`trace::explain_analyze`] to see where rows
+//! and time go).
 
 pub mod error;
 pub mod exec;
@@ -31,11 +36,13 @@ pub mod index;
 pub mod logical;
 pub mod optimizer;
 pub mod parallel;
+pub mod trace;
 
 pub use error::PlanError;
-pub use exec::{execute, execute_counted};
-pub use explain::explain;
+pub use exec::{execute, execute_counted, NoProbe, Probe};
+pub use explain::{explain, explain_with_estimates};
 pub use index::{apply_indexes, Index, IndexCatalog};
 pub use optimizer::{reorder_generators, Stats};
 pub use logical::{plan_comprehension, plan_with_options, JoinKind, Plan, PlanOptions, Query};
 pub use parallel::execute_parallel;
+pub use trace::{analyze_with_trace, execute_profiled, explain_analyze, Analysis, OperatorProfile, QueryProfile};

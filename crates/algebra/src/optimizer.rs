@@ -71,6 +71,47 @@ impl Stats {
         Stats { extent_sizes, fanouts }
     }
 
+    /// Estimated output cardinality of every operator in `plan`, indexed
+    /// by pre-order position (root = 0, a unary operator's input at
+    /// `op + 1`, a join's right child after the whole left subtree) — the
+    /// same numbering `explain` and the executor's probes use. These are
+    /// the estimates `explain_analyze` prints next to observed rows.
+    pub fn plan_estimates(&self, plan: &crate::logical::Plan) -> Vec<f64> {
+        let mut out = vec![0.0; plan.node_count()];
+        self.estimate_into(plan, 0, &mut out);
+        out
+    }
+
+    /// Fill `out[op]` with the estimate for `plan` and return it.
+    fn estimate_into(&self, plan: &crate::logical::Plan, op: usize, out: &mut [f64]) -> f64 {
+        use crate::logical::Plan;
+        let est = match plan {
+            Plan::Scan { source, .. } => self.source_cardinality(source),
+            Plan::IndexLookup { index, .. } => {
+                // One key's share of the indexed extent.
+                index.len() as f64 / index.distinct_keys().max(1) as f64
+            }
+            Plan::Unnest { input, path, .. } => {
+                // `source_cardinality` of a projection is its per-object
+                // fan-out, which is exactly the unnest multiplier.
+                self.estimate_into(input, op + 1, out) * self.source_cardinality(path)
+            }
+            Plan::Filter { input, pred } => {
+                self.estimate_into(input, op + 1, out) * predicate_selectivity(pred)
+            }
+            Plan::Bind { input, .. } => self.estimate_into(input, op + 1, out),
+            Plan::Join { left, right, on, .. } => {
+                let l = self.estimate_into(left, op + 1, out);
+                let r = self.estimate_into(right, op + 1 + left.node_count(), out);
+                // Each equi-key pair filters the cross product like an
+                // equality predicate; no keys means a cross product.
+                l * r * EQ_SELECTIVITY.powi(on.len() as i32)
+            }
+        };
+        out[op] = est;
+        est
+    }
+
     /// Estimated cardinality of a generator source.
     fn source_cardinality(&self, src: &Expr) -> f64 {
         match src {
@@ -233,6 +274,32 @@ mod tests {
         );
         let rooms_fanout = stats.fanouts.get(&Symbol::new("rooms")).copied().unwrap();
         assert!((rooms_fanout - scale.rooms_per_hotel as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_estimates_follow_preorder() {
+        let scale = TravelScale::tiny();
+        let db = travel::generate(scale, 3);
+        let stats = Stats::gather(&db);
+        let q = Expr::comp(
+            Monoid::Bag,
+            Expr::var("h").proj("name"),
+            vec![
+                Expr::gen("c", Expr::var("Cities")),
+                Expr::pred(Expr::var("c").proj("name").eq(Expr::str("Portland"))),
+                Expr::gen("h", Expr::var("c").proj("hotels")),
+            ],
+        );
+        let plan = crate::logical::plan_comprehension(&q).unwrap().plan;
+        let est = stats.plan_estimates(&plan);
+        assert_eq!(est.len(), plan.node_count());
+        // The plan is Unnest(Filter(Scan)), so pre-order is [unnest,
+        // filter, scan]: the scan sees the whole extent, the equality
+        // filter keeps a tenth, the unnest multiplies by the fan-out.
+        assert_eq!(est[2], scale.cities as f64);
+        assert!((est[1] - est[2] * 0.1).abs() < 1e-9, "{est:?}");
+        let fanout = stats.fanouts[&Symbol::new("hotels")];
+        assert!((est[0] - est[1] * fanout).abs() < 1e-9, "{est:?}");
     }
 
     #[test]

@@ -46,13 +46,13 @@ pub fn execute_parallel(
     }
 
     let chunk = elements.len().div_ceil(threads);
-    let partials = crossbeam::thread::scope(|scope| {
+    let partials = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for part in elements.chunks(chunk) {
             let env = env.clone();
             let heap = db.heap().clone();
             let query = query.clone();
-            handles.push(scope.spawn(move |_| -> ExecResult<Value> {
+            handles.push(scope.spawn(move || -> ExecResult<Value> {
                 let mut ev = Evaluator::with_heap(heap);
                 let mut acc = value::Accumulator::new(&query.monoid)?;
                 let sub = replace_outer_scan_rest(&query.plan);
@@ -67,8 +67,7 @@ pub fn execute_parallel(
             .into_iter()
             .map(|h| h.join().map_err(|_| EvalError::Other("worker panicked".into()))?)
             .collect::<ExecResult<Vec<Value>>>()
-    })
-    .map_err(|_| EvalError::Other("thread scope failed".into()))??;
+    })?;
 
     let mut acc = value::zero(&query.monoid)?;
     for p in partials {
@@ -135,7 +134,7 @@ fn run_rest(
     query: &Query,
     acc: &mut value::Accumulator,
 ) -> ExecResult<()> {
-    crate::exec::run_plan(plan, ev, row, &mut |ev, r| {
+    crate::exec::run_plan(plan, 0, ev, row, &crate::exec::NoProbe, &mut |ev, r| {
         let h = ev.eval(r, &query.head)?;
         acc.push_unit(h)?;
         Ok(true)

@@ -1,0 +1,403 @@
+//! `EXPLAIN ANALYZE`: profiled execution of algebra plans.
+//!
+//! This module runs the normalize → optimize → plan → execute pipeline
+//! with a [`QueryTrace`] recording wall-clock time per phase, and threads
+//! a [`Cell`]-based [`Probe`] through the push-based executor to count
+//! rows and operator-local time per plan node. The result is a
+//! [`QueryProfile`]: the `explain` tree annotated with the optimizer's
+//! *estimated* cardinalities ([`Stats::plan_estimates`]) next to the
+//! *observed* row counts — reading the skew between the two is how you
+//! find out where the cost model lies. Profiles serialize to JSON through
+//! [`monoid_calculus::json::Json`] for the bench harness.
+//!
+//! The unprofiled entry points ([`crate::execute`]) use [`NoProbe`] and
+//! compile all instrumentation away; nothing here taxes normal execution.
+
+use crate::error::ExecResult;
+use crate::exec::{self, Probe};
+use crate::explain;
+use crate::logical::{plan_comprehension, Plan, Query};
+use crate::optimizer::{reorder_generators, Stats};
+use monoid_calculus::error::EvalError;
+use monoid_calculus::expr::Expr;
+use monoid_calculus::json::Json;
+use monoid_calculus::normalize::normalize_traced;
+use monoid_calculus::pretty::pretty;
+use monoid_calculus::trace::{Phase, QueryTrace};
+use monoid_calculus::value::Value;
+use monoid_store::Database;
+use std::cell::Cell;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The counting probe: one set of cells per plan operator, indexed by the
+/// operator's pre-order position. `Cell` (not atomics) because profiled
+/// execution is single-threaded; interior mutability lets one `&ExecProbe`
+/// be shared by every nested sink closure in the pipeline.
+pub(crate) struct ExecProbe {
+    rows: Vec<Cell<u64>>,
+    build: Vec<Cell<u64>>,
+    nanos: Vec<Cell<u64>>,
+    short_circuited: Cell<bool>,
+}
+
+impl ExecProbe {
+    pub(crate) fn new(operators: usize) -> ExecProbe {
+        ExecProbe {
+            rows: (0..operators).map(|_| Cell::new(0)).collect(),
+            build: (0..operators).map(|_| Cell::new(0)).collect(),
+            nanos: (0..operators).map(|_| Cell::new(0)).collect(),
+            short_circuited: Cell::new(false),
+        }
+    }
+}
+
+impl Probe for ExecProbe {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn row_out(&self, op: usize) {
+        let c = &self.rows[op];
+        c.set(c.get() + 1);
+    }
+
+    #[inline]
+    fn build_rows(&self, op: usize, n: u64) {
+        let c = &self.build[op];
+        c.set(c.get() + n);
+    }
+
+    #[inline]
+    fn self_nanos(&self, op: usize, nanos: u64) {
+        let c = &self.nanos[op];
+        c.set(c.get() + nanos);
+    }
+
+    #[inline]
+    fn short_circuit(&self) {
+        self.short_circuited.set(true);
+    }
+}
+
+/// What one plan operator did during a profiled run, next to what the
+/// optimizer predicted it would do.
+#[derive(Debug, Clone)]
+pub struct OperatorProfile {
+    /// Pre-order position in the plan tree (0 = root).
+    pub op: usize,
+    /// The `explain` label, e.g. `Scan c ← Cities`.
+    pub label: String,
+    /// Tree depth (root = 0), for rendering.
+    pub depth: usize,
+    /// The optimizer's estimated output cardinality.
+    pub estimated_rows: f64,
+    /// Rows actually pushed to the consumer.
+    pub actual_rows: u64,
+    /// Build-side rows materialized (joins only; 0 elsewhere).
+    pub build_rows: u64,
+    /// Operator-local wall-clock time (source/predicate/path evaluation,
+    /// hash build), excluding time spent in its input or consumer.
+    pub self_nanos: u64,
+}
+
+/// The full profile of one query execution.
+#[derive(Debug, Clone)]
+pub struct QueryProfile {
+    /// Output monoid of the reduction, e.g. `bag`.
+    pub monoid: String,
+    /// The reduction head, pretty-printed.
+    pub head: String,
+    /// Per-operator metrics in pre-order (`operators[i].op == i`).
+    pub operators: Vec<OperatorProfile>,
+    /// Lifecycle phase timings (and normalization stats, when the query
+    /// came through `normalize`).
+    pub trace: QueryTrace,
+    /// Rows the plan root pushed into the `Reduce` accumulator.
+    pub rows_to_reduce: u64,
+    /// Did a `some`/`all` reduction absorb and cut execution short?
+    pub short_circuited: bool,
+    /// Evaluator steps consumed (the pre-existing opaque cost proxy).
+    pub eval_steps: u64,
+}
+
+impl QueryProfile {
+    fn assemble(query: &Query, estimates: &[f64], probe: &ExecProbe, trace: QueryTrace, eval_steps: u64) -> QueryProfile {
+        let mut operators = Vec::with_capacity(estimates.len());
+        collect_operators(&query.plan, 0, 0, estimates, probe, &mut operators);
+        QueryProfile {
+            monoid: query.monoid.to_string(),
+            head: pretty(&query.head),
+            operators,
+            rows_to_reduce: probe.rows.first().map(Cell::get).unwrap_or(0),
+            short_circuited: probe.short_circuited.get(),
+            eval_steps,
+            trace,
+        }
+    }
+
+    /// Render the annotated plan tree plus the phase table — the human
+    /// `EXPLAIN ANALYZE` output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Reduce[{}] head = {}  (rows in: {}{})",
+            self.monoid,
+            self.head,
+            self.rows_to_reduce,
+            if self.short_circuited { ", short-circuited" } else { "" },
+        );
+        for o in &self.operators {
+            for _ in 0..=o.depth {
+                out.push_str("  ");
+            }
+            let _ = write!(
+                out,
+                "{}  (est≈{}, actual {} rows",
+                o.label,
+                explain::fmt_rows(o.estimated_rows),
+                o.actual_rows
+            );
+            if o.build_rows > 0 {
+                let _ = write!(out, ", build {} rows", o.build_rows);
+            }
+            if o.self_nanos > 0 {
+                let _ = write!(out, ", self {}", fmt_nanos(o.self_nanos as u128));
+            }
+            out.push_str(")\n");
+        }
+        let _ = writeln!(out, "phases ({} total):", fmt_nanos(self.trace.total_nanos()));
+        for t in &self.trace.phases {
+            let _ = writeln!(out, "  {:<10} {}", t.phase.as_str(), fmt_nanos(t.nanos));
+        }
+        if let Some(stats) = &self.trace.normalize {
+            let _ = writeln!(
+                out,
+                "  normalize: {} rewrite steps, size {} → {}",
+                stats.steps, stats.size_before, stats.size_after
+            );
+        }
+        let _ = writeln!(out, "evaluator steps: {}", self.eval_steps);
+        out
+    }
+
+    /// Serialize the whole profile (the schema `docs/observability.md`
+    /// documents).
+    pub fn to_json(&self) -> Json {
+        let operators = Json::Arr(
+            self.operators
+                .iter()
+                .map(|o| {
+                    Json::obj(vec![
+                        ("op", Json::from(o.op)),
+                        ("operator", Json::str(o.label.clone())),
+                        ("depth", Json::from(o.depth)),
+                        ("estimated_rows", Json::Float(o.estimated_rows)),
+                        ("actual_rows", Json::from(o.actual_rows)),
+                        ("build_rows", Json::from(o.build_rows)),
+                        ("self_nanos", Json::from(o.self_nanos)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("monoid", Json::str(self.monoid.clone())),
+            ("head", Json::str(self.head.clone())),
+            ("operators", operators),
+            ("rows_to_reduce", Json::from(self.rows_to_reduce)),
+            ("short_circuited", Json::Bool(self.short_circuited)),
+            ("eval_steps", Json::from(self.eval_steps)),
+            ("trace", self.trace.to_json()),
+        ])
+    }
+}
+
+/// A profiled run: the query's value and how it was computed.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    pub value: Value,
+    pub profile: QueryProfile,
+}
+
+/// Run the whole back-end pipeline on a calculus expression — normalize,
+/// gather statistics and reorder, plan, execute — profiling each phase
+/// and every plan operator. For OQL source (adding parse/translate
+/// phases), use the umbrella crate's `explain_analyze`.
+pub fn explain_analyze(e: &Expr, db: &mut Database) -> ExecResult<Analysis> {
+    analyze_with_trace(e, db, QueryTrace::new())
+}
+
+/// [`explain_analyze`] continuing a trace the front end already started
+/// (with parse/translate timings and the source text filled in).
+pub fn analyze_with_trace(
+    e: &Expr,
+    db: &mut Database,
+    mut trace: QueryTrace,
+) -> ExecResult<Analysis> {
+    let start = Instant::now();
+    let (canonical, _derivation, nstats) = normalize_traced(e);
+    trace.record(Phase::Normalize, start.elapsed().as_nanos());
+    trace.normalize = Some(nstats);
+
+    let start = Instant::now();
+    let stats = Stats::gather(db);
+    let reordered = reorder_generators(&canonical, &stats);
+    trace.record(Phase::Optimize, start.elapsed().as_nanos());
+
+    let start = Instant::now();
+    // Plan errors surface as evaluation errors so profiled and unprofiled
+    // paths share one error type.
+    let query = plan_comprehension(&reordered).map_err(|pe| EvalError::Other(pe.to_string()))?;
+    trace.record(Phase::Plan, start.elapsed().as_nanos());
+
+    profile_execution(&query, &stats, db, trace)
+}
+
+/// Profile only the execution of an already-planned query (statistics are
+/// still gathered so the estimate column is populated).
+pub fn execute_profiled(query: &Query, db: &mut Database) -> ExecResult<Analysis> {
+    let stats = Stats::gather(db);
+    profile_execution(query, &stats, db, QueryTrace::new())
+}
+
+fn profile_execution(
+    query: &Query,
+    stats: &Stats,
+    db: &mut Database,
+    mut trace: QueryTrace,
+) -> ExecResult<Analysis> {
+    let probe = ExecProbe::new(query.plan.node_count());
+    let start = Instant::now();
+    let (value, eval_steps) = exec::execute_probed(query, db, &probe)?;
+    trace.record(Phase::Execute, start.elapsed().as_nanos());
+    let estimates = stats.plan_estimates(&query.plan);
+    let profile = QueryProfile::assemble(query, &estimates, &probe, trace, eval_steps);
+    Ok(Analysis { value, profile })
+}
+
+fn collect_operators(
+    plan: &Plan,
+    op: usize,
+    depth: usize,
+    estimates: &[f64],
+    probe: &ExecProbe,
+    out: &mut Vec<OperatorProfile>,
+) {
+    out.push(OperatorProfile {
+        op,
+        label: explain::op_label(plan),
+        depth,
+        estimated_rows: estimates.get(op).copied().unwrap_or(0.0),
+        actual_rows: probe.rows[op].get(),
+        build_rows: probe.build[op].get(),
+        self_nanos: probe.nanos[op].get(),
+    });
+    match plan {
+        Plan::Scan { .. } | Plan::IndexLookup { .. } => {}
+        Plan::Unnest { input, .. } | Plan::Filter { input, .. } | Plan::Bind { input, .. } => {
+            collect_operators(input, op + 1, depth + 1, estimates, probe, out);
+        }
+        Plan::Join { left, right, .. } => {
+            collect_operators(left, op + 1, depth + 1, estimates, probe, out);
+            collect_operators(right, op + 1 + left.node_count(), depth + 1, estimates, probe, out);
+        }
+    }
+}
+
+fn fmt_nanos(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monoid_calculus::monoid::Monoid;
+    use monoid_store::travel::{self, TravelScale};
+
+    #[test]
+    fn profile_counts_match_pipeline_shape() {
+        let mut db = travel::generate(TravelScale::tiny(), 42);
+        let q = Expr::comp(
+            Monoid::Bag,
+            Expr::var("h").proj("name"),
+            vec![
+                Expr::gen("c", Expr::var("Cities")),
+                Expr::pred(Expr::var("c").proj("name").eq(Expr::str("Portland"))),
+                Expr::gen("h", Expr::var("c").proj("hotels")),
+            ],
+        );
+        let analysis = explain_analyze(&q, &mut db).unwrap();
+        let p = &analysis.profile;
+        // Pre-order: Unnest, Filter, Scan.
+        assert_eq!(p.operators.len(), 3);
+        assert!(p.operators[2].label.starts_with("Scan c"), "{}", p.render());
+        let scan = p.operators[2].actual_rows;
+        let filtered = p.operators[1].actual_rows;
+        let unnested = p.operators[0].actual_rows;
+        assert_eq!(scan, TravelScale::tiny().cities as u64);
+        assert_eq!(filtered, 1, "one Portland");
+        assert!(unnested >= filtered, "unnest fans out");
+        assert_eq!(p.rows_to_reduce, unnested);
+        assert!(!p.short_circuited);
+        // The result agrees with direct execution.
+        let plan = plan_comprehension(&q).unwrap();
+        assert_eq!(analysis.value, crate::exec::execute(&plan, &mut db).unwrap());
+        // Phases normalize/optimize/plan/execute all recorded.
+        for phase in [Phase::Normalize, Phase::Optimize, Phase::Plan, Phase::Execute] {
+            assert!(p.trace.phase_nanos(phase).is_some(), "missing {phase}");
+        }
+    }
+
+    #[test]
+    fn hash_join_profile_reports_build_side() {
+        let mut db = travel::generate(TravelScale::tiny(), 42);
+        let q = Expr::comp(
+            Monoid::Sum,
+            Expr::int(1),
+            vec![
+                Expr::gen("a", Expr::var("Hotels")),
+                Expr::gen("b", Expr::var("Hotels")),
+                Expr::pred(Expr::var("a").proj("name").eq(Expr::var("b").proj("name"))),
+            ],
+        );
+        let analysis = explain_analyze(&q, &mut db).unwrap();
+        let p = &analysis.profile;
+        let join = p
+            .operators
+            .iter()
+            .find(|o| o.label.starts_with("HashJoin"))
+            .expect("hash join planned");
+        let hotels = db.extent_len("Hotels") as u64;
+        assert_eq!(join.build_rows, hotels);
+        assert_eq!(join.actual_rows, hotels, "self-join on a key");
+        // Estimated and actual are both present and positive.
+        assert!(join.estimated_rows > 0.0);
+        let json = p.to_json().render();
+        assert!(json.contains("\"build_rows\""), "{json}");
+        assert!(json.contains("\"operators\""), "{json}");
+    }
+
+    #[test]
+    fn render_shows_estimates_next_to_actuals() {
+        let mut db = travel::generate(TravelScale::tiny(), 42);
+        let q = Expr::comp(
+            Monoid::Sum,
+            Expr::int(1),
+            vec![Expr::gen("c", Expr::var("Cities"))],
+        );
+        let analysis = explain_analyze(&q, &mut db).unwrap();
+        let s = analysis.profile.render();
+        assert!(s.contains("est≈3.0"), "{s}");
+        assert!(s.contains("actual 3 rows"), "{s}");
+        assert!(s.contains("phases"), "{s}");
+        assert!(s.contains("execute"), "{s}");
+    }
+}

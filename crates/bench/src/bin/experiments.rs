@@ -2,9 +2,11 @@
 //! derivation of Fegaras & Maier (SIGMOD 1995), plus quick versions of the
 //! benchmark series. `cargo run --release -p monoid-bench --bin
 //! experiments [-- <experiment>]` where `<experiment>` is one of
-//! `table1 examples table3 oql vectors identity bench-unnesting
+//! `table1 examples table3 oql vectors identity profile bench-unnesting
 //! bench-pipelining bench-mixed bench-vectors bench-updates bench-ablation`
-//! (default: all). Output is the content of EXPERIMENTS.md.
+//! (default: all). Output is the content of EXPERIMENTS.md; the `profile`
+//! experiment additionally emits machine-readable `QueryProfile` JSON
+//! blocks (per-operator row counts and per-phase timings).
 
 use monoid_bench::harness::{fmt_nanos, median_nanos, Table};
 use monoid_bench::queries;
@@ -41,6 +43,9 @@ fn main() {
     }
     if want("identity") {
         identity();
+    }
+    if want("profile") {
+        profile();
     }
     if want("bench-unnesting") {
         bench_unnesting();
@@ -460,6 +465,56 @@ fn identity() {
     db.query(&upd).unwrap();
     let after = db.query(&count_q).unwrap();
     println!("  hotels in Portland: {before} → {after}");
+}
+
+// ---------------------------------------------------------------------------
+// E7 — EXPLAIN ANALYZE: profiled end-to-end runs with JSON output.
+// ---------------------------------------------------------------------------
+
+fn profile() {
+    heading("E7 — EXPLAIN ANALYZE: lifecycle timings and per-operator rows");
+    let schema = travel::schema();
+    let mut db = travel::generate(TravelScale::small(), 7);
+    let cases = [
+        ("portland-flat", queries::PORTLAND_FLAT_OQL),
+        (
+            "employee-city-join",
+            "select struct(e: e.name, c: c.name) \
+             from e in Employees, c in Cities \
+             where e.salary > c.hotel#",
+        ),
+        ("exists-hotel", "exists h in Hotels: h.name = 'hotel_0_0'"),
+    ];
+    for (name, src) in cases {
+        // Front-end phases are timed here; the algebra back end continues
+        // the same trace through normalize/optimize/plan/execute.
+        let mut trace = monoid_calculus::trace::QueryTrace::new();
+        trace.source = Some(src.to_string());
+        let program = trace
+            .time(monoid_calculus::trace::Phase::Parse, || {
+                monoid_oql::parse_program(src)
+            })
+            .expect("parses");
+        let q = trace
+            .time(monoid_calculus::trace::Phase::Translate, || {
+                monoid_oql::Translator::new(&schema).translate_program(&program)
+            })
+            .expect("translates");
+        let analysis = monoid_algebra::analyze_with_trace(&q, &mut db, trace).expect("executes");
+        println!("query `{name}`: {}", src.replace('\n', " "));
+        // The profile, not the answer, is the point here — elide big results.
+        let mut result = analysis.value.to_string();
+        if result.chars().count() > 120 {
+            result = format!(
+                "{}… ({} chars elided)",
+                result.chars().take(120).collect::<String>(),
+                result.chars().count() - 120
+            );
+        }
+        println!("result: {result}\n");
+        print!("{}", analysis.profile.render());
+        println!("\n{}", monoid_bench::harness::json_block(&format!("profile-{name}"), &analysis.profile.to_json()));
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,6 +1,8 @@
 //! Minimal timing and table-rendering utilities for the `experiments`
 //! binary (Criterion handles the statistically careful runs; this harness
-//! prints the paper-style tables quickly).
+//! prints the paper-style tables quickly), plus the fenced-JSON emitter
+//! the profiled experiments use for machine-readable per-operator
+//! breakdowns.
 
 use std::time::Instant;
 
@@ -29,6 +31,13 @@ pub fn fmt_nanos(ns: u128) -> String {
     } else {
         format!("{ns} ns")
     }
+}
+
+/// Render a named, fenced JSON block. Experiment output is a markdown
+/// document (EXPERIMENTS.md), so profiles ride along as ```json fences
+/// tagged with a stable `BENCH <name>` marker that scrapers can grep for.
+pub fn json_block(name: &str, json: &monoid_calculus::json::Json) -> String {
+    format!("<!-- BENCH {name} -->\n```json\n{}\n```\n", json.render_pretty())
 }
 
 /// A simple aligned text table.
@@ -115,5 +124,15 @@ mod tests {
     fn median_is_stable() {
         let m = median_nanos(5, || 1 + 1);
         assert!(m < 1_000_000);
+    }
+
+    #[test]
+    fn json_block_is_fenced_and_tagged() {
+        use monoid_calculus::json::Json;
+        let j = Json::obj(vec![("rows", Json::Int(3))]);
+        let s = json_block("profile-portland", &j);
+        assert!(s.starts_with("<!-- BENCH profile-portland -->\n```json\n"), "{s}");
+        assert!(s.ends_with("```\n"), "{s}");
+        assert!(s.contains("\"rows\": 3"), "{s}");
     }
 }

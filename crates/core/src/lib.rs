@@ -32,6 +32,9 @@
 //!   impractical to discharge.
 //! * [`pretty`] + [`parse`] — paper-notation printing and parsing
 //!   (`parse(pretty(e)) = e` on the comprehension fragment).
+//! * [`trace`] + [`json`] — query-lifecycle timing shared with the front
+//!   and back ends, and the dependency-free JSON writer that serializes
+//!   profiles.
 //!
 //! ## Quick taste
 //!
@@ -56,6 +59,7 @@ pub mod error;
 pub mod eval;
 pub mod expr;
 pub mod heap;
+pub mod json;
 pub mod monoid;
 pub mod normalize;
 pub mod parse;
@@ -63,6 +67,7 @@ pub mod pretty;
 pub mod sru;
 pub mod subst;
 pub mod symbol;
+pub mod trace;
 pub mod typecheck;
 pub mod types;
 pub mod value;
@@ -74,7 +79,9 @@ pub mod prelude {
     pub use crate::expr::{BinOp, Expr, Literal, Qual, UnOp};
     pub use crate::heap::Heap;
     pub use crate::monoid::{Monoid, Props};
+    pub use crate::json::Json;
     pub use crate::normalize::{normalize, normalize_traced, NormalizeStats, Rule, TraceStep};
+    pub use crate::trace::{Phase, PhaseTiming, QueryTrace};
     pub use crate::parse::parse_expr;
     pub use crate::pretty::{pretty, Pretty};
     pub use crate::subst::{free_vars, subst};

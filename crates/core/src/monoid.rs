@@ -31,11 +31,10 @@
 //!   that is `zero_M` everywhere except `a` at index `i`. It is *not* freely
 //!   generated, and its properties are inherited pointwise from `M`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The commutativity/idempotence signature of a monoid's merge operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Props {
     /// `∀x,y. x ⊕ y = y ⊕ x`
     pub commutative: bool,
@@ -68,7 +67,7 @@ impl fmt::Display for Props {
 }
 
 /// A monoid of the calculus. See the module docs for the paper mapping.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Monoid {
     // ---- collection monoids (Table 1, top half) ----
     /// `(list(α), [], ++)` — neither commutative nor idempotent.

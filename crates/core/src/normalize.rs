@@ -167,6 +167,8 @@ pub struct NormalizeStats {
     /// AST sizes before and after.
     pub size_before: usize,
     pub size_after: usize,
+    /// Wall-clock time the rewrite loop took, for lifecycle traces.
+    pub elapsed_nanos: u128,
 }
 
 /// Hard bound on rewrite steps; normalization of any reasonable query takes
@@ -209,6 +211,7 @@ pub fn normalize(e: &Expr) -> Expr {
 
 /// Normalize, returning the derivation trace and statistics alongside.
 pub fn normalize_traced(e: &Expr) -> (Expr, Vec<TraceStep>, NormalizeStats) {
+    let started = std::time::Instant::now();
     let mut current = e.clone();
     let mut trace = Vec::new();
     let mut counts: Vec<(Rule, usize)> = Rule::all().iter().map(|r| (*r, 0)).collect();
@@ -231,6 +234,7 @@ pub fn normalize_traced(e: &Expr) -> (Expr, Vec<TraceStep>, NormalizeStats) {
         rule_counts: counts,
         size_before,
         size_after: current.size(),
+        elapsed_nanos: started.elapsed().as_nanos(),
     };
     (current, trace, stats)
 }

@@ -10,10 +10,9 @@
 //! normalizer uses for capture-avoiding variable renaming (the paper's rules
 //! 5 and 6 "may require some variable renaming to avoid name conflicts").
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// An interned string. Cheap to copy, hash, and compare.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -39,7 +38,7 @@ fn interner() -> &'static Mutex<Interner> {
 impl Symbol {
     /// Intern `name` and return its symbol. Idempotent.
     pub fn new(name: &str) -> Symbol {
-        let mut i = interner().lock();
+        let mut i = interner().lock().unwrap();
         if let Some(&id) = i.table.get(name) {
             return Symbol(id);
         }
@@ -59,7 +58,7 @@ impl Symbol {
     /// collide with source-level names.
     pub fn fresh(hint: &str) -> Symbol {
         let n = {
-            let mut i = interner().lock();
+            let mut i = interner().lock().unwrap();
             i.fresh_counter += 1;
             i.fresh_counter
         };
@@ -69,7 +68,7 @@ impl Symbol {
 
     /// The interned string.
     pub fn as_str(&self) -> &'static str {
-        interner().lock().names[self.0 as usize]
+        interner().lock().unwrap().names[self.0 as usize]
     }
 }
 
@@ -82,19 +81,6 @@ impl fmt::Debug for Symbol {
 impl fmt::Display for Symbol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.as_str())
-    }
-}
-
-impl serde::Serialize for Symbol {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(self.as_str())
-    }
-}
-
-impl<'de> serde::Deserialize<'de> for Symbol {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = <String as serde::Deserialize>::deserialize(deserializer)?;
-        Ok(Symbol::new(&s))
     }
 }
 

@@ -13,11 +13,10 @@
 //! because `list`'s properties are the bottom of the C/I order.
 
 use crate::symbol::Symbol;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Collection kind at the type level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CollKind {
     List,
     Bag,
@@ -47,7 +46,7 @@ impl fmt::Display for CollKind {
 }
 
 /// A type of the calculus.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Type {
     Bool,
     Int,
@@ -159,7 +158,7 @@ impl fmt::Display for Type {
 /// A class definition: a named object type with a record state and an
 /// optional extent (the named collection of all its instances, e.g. the
 /// paper's `Cities`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassDef {
     pub name: Symbol,
     /// The state type; always a record in practice.
@@ -172,7 +171,7 @@ pub struct ClassDef {
 
 /// A database schema: class definitions plus typed named values (extents
 /// and any other persistent roots).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Schema {
     classes: Vec<ClassDef>,
     /// Named persistent roots: `(name, type)`. Extents of classes are

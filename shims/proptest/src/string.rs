@@ -1,0 +1,175 @@
+//! String generation from a small regex subset: sequences of character
+//! classes (`[a-z_%]`, with `\n`/`\t`/`\\` escapes and ranges) or literal
+//! characters, each optionally followed by a counted repetition
+//! (`{m,n}` or `{m}`). This covers every string strategy in the
+//! workspace's property tests.
+
+use crate::test_runner::TestRng;
+
+struct Group {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Draw one string matching `pattern`.
+pub fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let groups = parse(pattern);
+    let mut out = String::new();
+    for g in &groups {
+        let n = rng.usize_in(g.min, g.max + 1);
+        for _ in 0..n {
+            out.push(g.choices[rng.usize_in(0, g.choices.len())]);
+        }
+    }
+    out
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Group> {
+    let mut chars = pattern.chars().peekable();
+    let mut groups = Vec::new();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => {
+                // Collect class members with escapes resolved, then
+                // expand `a-z` ranges.
+                let mut raw: Vec<char> = Vec::new();
+                while let Some(m) = chars.next() {
+                    match m {
+                        ']' => break,
+                        '\\' => raw.push(unescape(chars.next().unwrap_or('\\'))),
+                        other => raw.push(other),
+                    }
+                }
+                expand_ranges(&raw)
+            }
+            '\\' => vec![unescape(chars.next().unwrap_or('\\'))],
+            lit => vec![lit],
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for d in chars.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().unwrap_or(0),
+                        n.trim().parse().unwrap_or(0),
+                    ),
+                    None => {
+                        let m = spec.trim().parse().unwrap_or(1);
+                        (m, m)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        assert!(!choices.is_empty(), "empty character class in `{pattern}`");
+        assert!(min <= max, "bad repetition in `{pattern}`");
+        groups.push(Group { choices, min, max });
+    }
+    groups
+}
+
+fn expand_ranges(raw: &[char]) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        if i + 2 < raw.len() && raw[i + 1] == '-' {
+            let (lo, hi) = (raw[i], raw[i + 2]);
+            let (lo, hi) = (lo as u32, hi as u32);
+            assert!(lo <= hi, "inverted range in character class");
+            for cp in lo..=hi {
+                if let Some(c) = char::from_u32(cp) {
+                    out.push(c);
+                }
+            }
+            i += 3;
+        } else {
+            out.push(raw[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::new(99)
+    }
+
+    #[test]
+    fn class_with_counted_repetition() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sample_regex("[a-c]{0,3}", &mut r);
+            assert!(s.len() <= 3);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s}");
+        }
+    }
+
+    #[test]
+    fn space_tilde_range_with_escapes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sample_regex("[ -~\\n\\t]{0,80}", &mut r);
+            assert!(s.chars().count() <= 80);
+            assert!(s
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+        }
+    }
+
+    #[test]
+    fn concatenated_classes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sample_regex("[a-zA-Z_][a-zA-Z0-9_]{0,10}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 11);
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_');
+        }
+    }
+
+    #[test]
+    fn unicode_classes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sample_regex("[a-zé√ü東]{0,10}", &mut r);
+            assert!(s.chars().count() <= 10);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || "é√ü東".contains(c)));
+        }
+    }
+
+    #[test]
+    fn literal_percent_class() {
+        let mut r = rng();
+        let mut saw_percent = false;
+        for _ in 0..500 {
+            let s = sample_regex("[ab%]{0,6}", &mut r);
+            assert!(s.chars().all(|c| "ab%".contains(c)));
+            saw_percent |= s.contains('%');
+        }
+        assert!(saw_percent);
+    }
+}

@@ -1,0 +1,271 @@
+//! Deterministic case runner, config, and the user-facing macros.
+
+use crate::strategy::Strategy;
+
+/// Why a strategy could not produce a tree (kept for API compatibility;
+/// this shim's strategies never fail to generate).
+#[derive(Debug, Clone)]
+pub struct Reason(pub String);
+
+impl std::fmt::Display for Reason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// A test-case failure: aborts the case and fails the test (no
+/// shrinking in this shim).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail<M: Into<String>>(message: M) -> TestCaseError {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Runner configuration; only `cases` is meaningful here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// SplitMix64 — deterministic so failures reproduce run-to-run without
+/// a persistence file.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`; `hi` must exceed `lo`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty usize range");
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Drives a strategy through N cases.
+pub struct TestRunner {
+    rng: TestRng,
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig) -> TestRunner {
+        TestRunner { rng: TestRng::new(0x5eed_cafe), config }
+    }
+
+    /// The fixed-seed runner used for derived deterministic values.
+    pub fn deterministic() -> TestRunner {
+        TestRunner::new(ProptestConfig::default())
+    }
+
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+
+    /// Run `test` over `config.cases` generated inputs. Returns a
+    /// human-readable failure description on the first failing case.
+    pub fn run_named<S: Strategy>(
+        &mut self,
+        name: &str,
+        strategy: &S,
+        test: impl Fn(S::Value) -> Result<(), TestCaseError>,
+    ) -> Result<(), String> {
+        for case in 0..self.config.cases {
+            let input = strategy.generate(&mut self.rng);
+            let shown = format!("{input:?}");
+            if let Err(TestCaseError::Fail(msg)) = test(input) {
+                return Err(format!(
+                    "proptest `{name}` failed at case {case}/{}:\n  {msg}\n  input: {shown}",
+                    self.config.cases
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// proptest-compatible entry point.
+    pub fn run<S: Strategy>(
+        &mut self,
+        strategy: &S,
+        test: impl Fn(S::Value) -> Result<(), TestCaseError>,
+    ) -> Result<(), String> {
+        self.run_named("anonymous", strategy, test)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { [$crate::test_runner::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case! { @munch [$cfg] [$name] [] [] [$($params)*] $body }
+        }
+        $crate::__proptest_items! { [$cfg] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    (@munch [$cfg:expr] [$name:ident] [$($pats:tt)*] [$($strats:tt)*]
+     [mut $p:ident in $strat:expr, $($rest:tt)*] $body:block) => {
+        $crate::__proptest_case! { @munch [$cfg] [$name]
+            [$($pats)* (mut $p)] [$($strats)* ($strat)] [$($rest)*] $body }
+    };
+    (@munch [$cfg:expr] [$name:ident] [$($pats:tt)*] [$($strats:tt)*]
+     [mut $p:ident in $strat:expr] $body:block) => {
+        $crate::__proptest_case! { @munch [$cfg] [$name]
+            [$($pats)* (mut $p)] [$($strats)* ($strat)] [] $body }
+    };
+    (@munch [$cfg:expr] [$name:ident] [$($pats:tt)*] [$($strats:tt)*]
+     [$p:ident in $strat:expr, $($rest:tt)*] $body:block) => {
+        $crate::__proptest_case! { @munch [$cfg] [$name]
+            [$($pats)* ($p)] [$($strats)* ($strat)] [$($rest)*] $body }
+    };
+    (@munch [$cfg:expr] [$name:ident] [$($pats:tt)*] [$($strats:tt)*]
+     [$p:ident in $strat:expr] $body:block) => {
+        $crate::__proptest_case! { @munch [$cfg] [$name]
+            [$($pats)* ($p)] [$($strats)* ($strat)] [] $body }
+    };
+    (@munch [$cfg:expr] [$name:ident]
+     [$(($($pat:tt)*))*] [$(($strat:expr))*] [] $body:block) => {{
+        let mut runner = $crate::test_runner::TestRunner::new($cfg);
+        let result = runner.run_named(
+            stringify!($name),
+            &($($strat,)*),
+            |($($($pat)*,)*)| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                $body
+                ::std::result::Result::Ok(())
+            },
+        );
+        if let ::std::result::Result::Err(message) = result {
+            panic!("{}", message);
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}

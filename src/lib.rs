@@ -22,3 +22,62 @@ pub use monoid_store as store;
 pub use monoid_vector as vector;
 
 pub use monoid_calculus::prelude;
+
+use monoid_algebra::Analysis;
+use monoid_calculus::error::EvalError;
+use monoid_calculus::trace::{Phase, QueryTrace};
+use monoid_oql::OqlError;
+use monoid_store::Database;
+
+/// Why a profiled end-to-end run failed: in the front end or at
+/// plan/execution time.
+#[derive(Debug, Clone)]
+pub enum AnalyzeError {
+    /// Lexing, parsing, or OQL → calculus translation failed.
+    Oql(OqlError),
+    /// Planning or execution failed.
+    Exec(EvalError),
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::Oql(e) => write!(f, "{e}"),
+            AnalyzeError::Exec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+impl From<OqlError> for AnalyzeError {
+    fn from(e: OqlError) -> AnalyzeError {
+        AnalyzeError::Oql(e)
+    }
+}
+
+impl From<EvalError> for AnalyzeError {
+    fn from(e: EvalError) -> AnalyzeError {
+        AnalyzeError::Exec(e)
+    }
+}
+
+/// `EXPLAIN ANALYZE` for OQL source: run the full lifecycle — lex/parse →
+/// translate → normalize → optimize → plan → execute — against `db`,
+/// timing every phase and counting rows per plan operator. Returns the
+/// query's value together with a [`monoid_algebra::QueryProfile`] whose
+/// plan tree shows the optimizer's estimated cardinalities next to the
+/// observed ones (`profile.render()` for humans, `profile.to_json()` for
+/// machines).
+///
+/// This is the only layer that sees both the OQL front end and the
+/// algebra back end, so it is where the two halves of the trace meet.
+pub fn explain_analyze(src: &str, db: &mut Database) -> Result<Analysis, AnalyzeError> {
+    let mut trace = QueryTrace::new();
+    trace.source = Some(src.to_string());
+    let program = trace.time(Phase::Parse, || monoid_oql::parse_program(src))?;
+    let expr = trace.time(Phase::Translate, || {
+        monoid_oql::Translator::new(db.schema()).translate_program(&program)
+    })?;
+    Ok(monoid_algebra::analyze_with_trace(&expr, db, trace)?)
+}

@@ -1,0 +1,136 @@
+//! End-to-end `EXPLAIN ANALYZE` coverage: full-lifecycle profiles for OQL
+//! queries over the company store, including the acceptance shape (a join
+//! with per-operator actual rows, per-phase timings, and estimated vs
+//! actual cardinalities side by side) and short-circuit accounting for
+//! `some`/`all` reductions.
+
+use monoid_calculus::trace::Phase;
+use monoid_db::explain_analyze;
+use monoid_store::company;
+
+#[test]
+fn company_join_profile_has_phases_operators_and_estimates() {
+    let mut db = company::generate(6, 15, 10, 42);
+    let src = "select struct(mgr: m.name, emp: e.name) \
+               from m in Managers, e in CompanyEmployees \
+               where m.dept = e.dept";
+    let analysis = explain_analyze(src, &mut db).unwrap();
+    let p = &analysis.profile;
+    let rendered = p.render();
+
+    // Every lifecycle phase is timed: parse, translate, normalize,
+    // optimize, plan, execute.
+    for phase in [
+        Phase::Parse,
+        Phase::Translate,
+        Phase::Normalize,
+        Phase::Optimize,
+        Phase::Plan,
+        Phase::Execute,
+    ] {
+        assert!(
+            p.trace.phase_nanos(phase).is_some(),
+            "missing phase {phase}:\n{rendered}"
+        );
+    }
+    assert!(p.trace.total_nanos() > 0);
+    assert!(p.trace.normalize.is_some(), "normalize stats attached");
+
+    // The dept equality across independent extents becomes a hash join
+    // whose profile reports actual rows, build size, and an estimate.
+    let join = p
+        .operators
+        .iter()
+        .find(|o| o.label.contains("Join"))
+        .unwrap_or_else(|| panic!("no join operator:\n{rendered}"));
+    assert!(join.actual_rows > 0, "{rendered}");
+    assert!(join.build_rows > 0, "{rendered}");
+    assert!(join.estimated_rows > 0.0, "{rendered}");
+
+    // Scans report the true extent sizes, and estimates sit next to
+    // actuals on every operator line.
+    let scans: Vec<_> = p
+        .operators
+        .iter()
+        .filter(|o| o.label.starts_with("Scan"))
+        .collect();
+    assert_eq!(scans.len(), 2, "{rendered}");
+    let mut scan_rows: Vec<u64> = scans.iter().map(|o| o.actual_rows).collect();
+    scan_rows.sort_unstable();
+    assert_eq!(
+        scan_rows,
+        vec![
+            db.extent_len(company::names::MANAGERS) as u64,
+            db.extent_len(company::names::EMPLOYEES) as u64,
+        ]
+    );
+    for scan in &scans {
+        assert_eq!(
+            scan.estimated_rows, scan.actual_rows as f64,
+            "extent sizes are known exactly:\n{rendered}"
+        );
+    }
+    assert!(rendered.contains("est≈"), "{rendered}");
+    assert!(rendered.contains("actual"), "{rendered}");
+
+    // Rows reaching the reduction match the join output.
+    assert_eq!(p.rows_to_reduce, join.actual_rows);
+    assert!(!p.short_circuited);
+
+    // The JSON profile carries the same data.
+    let json = p.to_json().render();
+    for key in [
+        "\"phases\"",
+        "\"operators\"",
+        "\"estimated_rows\"",
+        "\"actual_rows\"",
+        "\"rows_to_reduce\"",
+        "\"normalize\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    assert!(json.contains("select struct"), "source text embedded: {json}");
+}
+
+#[test]
+fn some_over_large_extent_short_circuits_and_reports_it() {
+    // 8 managers × 25 reports = 200 employees; every salary clears the
+    // generator's 40k floor, so `exists` must stop at the first row.
+    let mut db = company::generate(8, 25, 0, 7);
+    let extent = db.extent_len(company::names::EMPLOYEES) as u64;
+    assert!(extent >= 200);
+
+    let src = "exists e in CompanyEmployees: e.salary >= 40000";
+    let analysis = explain_analyze(src, &mut db).unwrap();
+    assert_eq!(analysis.value, monoid_calculus::value::Value::Bool(true));
+    let p = &analysis.profile;
+    assert!(p.short_circuited, "{}", p.render());
+    assert!(
+        p.rows_to_reduce < extent,
+        "pushed {} rows, extent holds {extent}",
+        p.rows_to_reduce
+    );
+    // Stronger: the scan itself stopped early, not just the reduce.
+    for o in &p.operators {
+        assert!(
+            o.actual_rows < extent,
+            "operator `{}` saw {} rows of {extent}",
+            o.label,
+            o.actual_rows
+        );
+    }
+}
+
+#[test]
+fn all_quantifier_without_counterexample_scans_everything() {
+    // The dual: `for all` over salaries that never dip below the floor
+    // cannot short-circuit — it must push every row.
+    let mut db = company::generate(4, 10, 0, 7);
+    let extent = db.extent_len(company::names::EMPLOYEES) as u64;
+    let src = "for all e in CompanyEmployees: e.salary >= 40000";
+    let analysis = explain_analyze(src, &mut db).unwrap();
+    assert_eq!(analysis.value, monoid_calculus::value::Value::Bool(true));
+    let p = &analysis.profile;
+    assert!(!p.short_circuited, "{}", p.render());
+    assert_eq!(p.rows_to_reduce, extent);
+}
