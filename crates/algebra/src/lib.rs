@@ -24,6 +24,9 @@
 //! * [`trace`] — `EXPLAIN ANALYZE`: profiled execution with per-phase
 //!   wall-clock timings and per-operator row/time counters, serializable
 //!   to JSON.
+//! * [`metrics`](mod@metrics) — fleet metering: a probe that feeds
+//!   cumulative per-operator-kind row/build/short-circuit counters into
+//!   the process-wide registry (`monoid_calculus::metrics`).
 //!
 //! Typical flow: `compile` OQL → `normalize` → [`logical::plan_comprehension`]
 //! → [`exec::execute`] (or [`trace::explain_analyze`] to see where rows
@@ -34,12 +37,14 @@ pub mod exec;
 pub mod explain;
 pub mod index;
 pub mod logical;
+pub mod metrics;
 pub mod optimizer;
 pub mod parallel;
 pub mod trace;
 
 pub use error::PlanError;
 pub use exec::{execute, execute_counted, NoProbe, Probe};
+pub use metrics::{execute_metered, MetricsProbe};
 pub use explain::{explain, explain_with_estimates};
 pub use index::{apply_indexes, Index, IndexCatalog};
 pub use optimizer::{reorder_generators, Stats};

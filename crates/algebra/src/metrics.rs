@@ -1,0 +1,182 @@
+//! Executor metering: a [`Probe`] that routes per-operator row counts,
+//! join build sizes, and short-circuit events into the process-wide
+//! metrics registry ([`monoid_calculus::metrics::global`]).
+//!
+//! Where [`crate::trace::ExecProbe`] profiles *one* query (per-operator
+//! cells read back into a `QueryProfile`), [`MetricsProbe`] accounts for
+//! a *fleet*: its counters are cumulative across every metered
+//! execution, labeled by operator kind (`scan`, `filter`, `hash-join`,
+//! …) so the registry stays bounded no matter how many distinct plans
+//! run.
+//!
+//! The zero-cost contract of the unprofiled path is preserved exactly as
+//! with [`NoProbe`]: `MetricsProbe` is just another monomorphization of
+//! the same generic executor — `ENABLED = false` keeps the timing
+//! instrumentation compiled out, hooks inline to a relaxed atomic add,
+//! and the plain [`crate::execute`] path still instantiates `NoProbe`,
+//! whose empty hooks compile to nothing and which never touches the
+//! registry (asserted by `tests/metrics.rs`).
+
+use crate::error::ExecResult;
+use crate::exec::{self, Probe};
+use crate::logical::{Plan, Query};
+use monoid_calculus::metrics::{global, Counter};
+use monoid_calculus::value::Value;
+use monoid_store::Database;
+use std::sync::{Arc, OnceLock};
+
+/// Operator kinds, the label space of the executor's registry series.
+const KINDS: [&str; 6] = ["scan", "index-lookup", "unnest", "filter", "bind", "join"];
+
+fn kind_index(plan: &Plan) -> usize {
+    match plan {
+        Plan::Scan { .. } => 0,
+        Plan::IndexLookup { .. } => 1,
+        Plan::Unnest { .. } => 2,
+        Plan::Filter { .. } => 3,
+        Plan::Bind { .. } => 4,
+        Plan::Join { .. } => 5,
+    }
+}
+
+/// Per-kind counter handles, resolved once per process.
+struct ExecMetrics {
+    rows: [Arc<Counter>; 6],
+    build_rows: [Arc<Counter>; 6],
+    short_circuits: Arc<Counter>,
+    executions: Arc<Counter>,
+    errors: Arc<Counter>,
+}
+
+fn exec_metrics() -> &'static ExecMetrics {
+    static METRICS: OnceLock<ExecMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global();
+        ExecMetrics {
+            rows: KINDS.map(|k| r.counter_with("exec_rows_pushed_total", &[("operator", k)])),
+            build_rows: KINDS.map(|k| r.counter_with("exec_build_rows_total", &[("operator", k)])),
+            short_circuits: r.counter("exec_short_circuits_total"),
+            executions: r.counter("exec_queries_total"),
+            errors: r.counter("exec_query_errors_total"),
+        }
+    })
+}
+
+/// A probe that charges every row an operator pushes to the cumulative
+/// per-operator-kind counters in the global registry. Construct one per
+/// query with [`MetricsProbe::for_query`] (it needs the plan to map
+/// pre-order operator indexes to kinds), or run straight through
+/// [`execute_metered`].
+pub struct MetricsProbe {
+    /// Pre-order operator index → position in [`KINDS`].
+    op_kind: Vec<usize>,
+}
+
+impl MetricsProbe {
+    pub fn for_query(query: &Query) -> MetricsProbe {
+        let mut op_kind = Vec::with_capacity(query.plan.node_count());
+        collect_kinds(&query.plan, &mut op_kind);
+        MetricsProbe { op_kind }
+    }
+}
+
+/// Pre-order kind collection, mirroring the executor's operator
+/// numbering (self, then children left-to-right).
+fn collect_kinds(plan: &Plan, out: &mut Vec<usize>) {
+    out.push(kind_index(plan));
+    match plan {
+        Plan::Scan { .. } | Plan::IndexLookup { .. } => {}
+        Plan::Unnest { input, .. } | Plan::Filter { input, .. } | Plan::Bind { input, .. } => {
+            collect_kinds(input, out);
+        }
+        Plan::Join { left, right, .. } => {
+            collect_kinds(left, out);
+            collect_kinds(right, out);
+        }
+    }
+}
+
+impl Probe for MetricsProbe {
+    /// Timing stays compiled out — metering counts flows, it does not
+    /// time operators (that is `ExecProbe`'s job).
+    const ENABLED: bool = false;
+
+    #[inline]
+    fn row_out(&self, op: usize) {
+        exec_metrics().rows[self.op_kind[op]].inc();
+    }
+
+    #[inline]
+    fn build_rows(&self, op: usize, n: u64) {
+        exec_metrics().build_rows[self.op_kind[op]].add(n);
+    }
+
+    #[inline]
+    fn short_circuit(&self) {
+        exec_metrics().short_circuits.inc();
+    }
+}
+
+/// [`crate::execute`] with fleet metering: rows pushed, build sizes, and
+/// short-circuits land in the global registry, labeled by operator kind,
+/// alongside execution and error counters.
+pub fn execute_metered(query: &Query, db: &mut Database) -> ExecResult<Value> {
+    let m = exec_metrics();
+    m.executions.inc();
+    let probe = MetricsProbe::for_query(query);
+    let result = exec::execute_probed(query, db, &probe).map(|(v, _)| v);
+    if result.is_err() {
+        m.errors.inc();
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::plan_comprehension;
+    use monoid_calculus::expr::Expr;
+    use monoid_calculus::monoid::Monoid;
+    use monoid_store::travel::{self, TravelScale};
+
+    #[test]
+    fn pre_order_kinds_match_plan_shape() {
+        let q = Expr::comp(
+            Monoid::Bag,
+            Expr::var("h").proj("name"),
+            vec![
+                Expr::gen("c", Expr::var("Cities")),
+                Expr::pred(Expr::var("c").proj("name").eq(Expr::str("Portland"))),
+                Expr::gen("h", Expr::var("c").proj("hotels")),
+            ],
+        );
+        let plan = plan_comprehension(&q).unwrap();
+        let probe = MetricsProbe::for_query(&plan);
+        // Pre-order: Unnest, Filter, Scan.
+        assert_eq!(
+            probe.op_kind.iter().map(|&i| KINDS[i]).collect::<Vec<_>>(),
+            vec!["unnest", "filter", "scan"]
+        );
+    }
+
+    #[test]
+    fn metered_execution_agrees_with_plain() {
+        let mut db = travel::generate(TravelScale::tiny(), 42);
+        let q = Expr::comp(
+            Monoid::Sum,
+            Expr::int(1),
+            vec![Expr::gen("c", Expr::var("Cities"))],
+        );
+        let plan = plan_comprehension(&q).unwrap();
+        let plain = exec::execute(&plan, &mut db).unwrap();
+        let before = global().snapshot();
+        let metered = execute_metered(&plan, &mut db).unwrap();
+        assert_eq!(plain, metered);
+        let d = global().snapshot().diff(&before);
+        assert!(d.counter("exec_queries_total") >= 1);
+        assert!(
+            d.counter_with("exec_rows_pushed_total", &[("operator", "scan")])
+                >= TravelScale::tiny().cities as u64
+        );
+    }
+}

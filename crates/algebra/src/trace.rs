@@ -176,6 +176,9 @@ impl QueryProfile {
                 "  normalize: {} rewrite steps, size {} → {}",
                 stats.steps, stats.size_before, stats.size_after
             );
+            if stats.steps > 0 {
+                let _ = writeln!(out, "  rules fired: {}", stats.render_rules());
+            }
         }
         let _ = writeln!(out, "evaluator steps: {}", self.eval_steps);
         out

@@ -8,7 +8,7 @@
 //! experiment additionally emits machine-readable `QueryProfile` JSON
 //! blocks (per-operator row counts and per-phase timings).
 
-use monoid_bench::harness::{fmt_nanos, median_nanos, Table};
+use monoid_bench::harness::{fmt_nanos, med_p95_cell, percentile_nanos, sample_nanos, Table};
 use monoid_bench::queries;
 use monoid_calculus::eval::eval_closed;
 use monoid_calculus::expr::Expr;
@@ -517,6 +517,32 @@ fn profile() {
     }
 }
 
+/// Three timed runs of `f`, keeping center and spread: `cell()` renders
+/// the table entry as `median (p95 …)`; speedup ratios compare medians.
+struct Timing {
+    median: u128,
+    p95: u128,
+}
+
+fn timed<T>(f: impl FnMut() -> T) -> Timing {
+    let samples = sample_nanos(3, f);
+    Timing {
+        median: percentile_nanos(&samples, 50.0),
+        p95: percentile_nanos(&samples, 95.0),
+    }
+}
+
+impl Timing {
+    fn cell(&self) -> String {
+        format!("{} (p95 {})", fmt_nanos(self.median), fmt_nanos(self.p95))
+    }
+
+    /// `self` is the slower side: how many times faster is `faster`?
+    fn speedup(&self, faster: &Timing) -> String {
+        format!("{:.1}×", self.median as f64 / faster.median as f64)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // B1 — unnesting: naive vs normalized vs normalized+algebra.
 // ---------------------------------------------------------------------------
@@ -534,17 +560,17 @@ fn bench_unnesting() {
         let q = queries::clients_preferring_existing_city();
         let n = normalize(&q);
         let plan = monoid_algebra::plan_comprehension(&n).unwrap();
-        let naive = median_nanos(3, || db.query(&q).unwrap());
-        let flat = median_nanos(3, || db.query(&n).unwrap());
-        let piped = median_nanos(3, || monoid_algebra::execute(&plan, &mut db).unwrap());
+        let naive = timed(|| db.query(&q).unwrap());
+        let flat = timed(|| db.query(&n).unwrap());
+        let piped = timed(|| monoid_algebra::execute(&plan, &mut db).unwrap());
         t.row(&[
             scale.total_hotels().to_string(),
             scale.clients.to_string(),
             scale.cities.to_string(),
-            fmt_nanos(naive),
-            fmt_nanos(flat),
-            fmt_nanos(piped),
-            format!("{:.1}×", naive as f64 / piped as f64),
+            naive.cell(),
+            flat.cell(),
+            piped.cell(),
+            naive.speedup(&piped),
         ]);
     }
     print!("{}", t.render());
@@ -569,15 +595,15 @@ fn bench_pipelining() {
         let q = queries::deep_navigation_nested(200);
         let n = normalize(&q);
         let plan = monoid_algebra::plan_comprehension(&n).unwrap();
-        let nested = median_nanos(3, || db.query(&q).unwrap());
-        let flat = median_nanos(3, || db.query(&n).unwrap());
-        let piped = median_nanos(3, || monoid_algebra::execute(&plan, &mut db).unwrap());
+        let nested = timed(|| db.query(&q).unwrap());
+        let flat = timed(|| db.query(&n).unwrap());
+        let piped = timed(|| monoid_algebra::execute(&plan, &mut db).unwrap());
         t.row(&[
             scale.total_hotels().to_string(),
-            fmt_nanos(nested),
-            fmt_nanos(flat),
-            fmt_nanos(piped),
-            format!("{:.1}×", nested as f64 / piped as f64),
+            nested.cell(),
+            flat.cell(),
+            piped.cell(),
+            nested.speedup(&piped),
         ]);
     }
     print!("{}", t.render());
@@ -599,14 +625,9 @@ fn bench_mixed() {
         let q = queries::mixed_join(n, n);
         let plan = monoid_algebra::plan_comprehension(&q).unwrap();
         let mut db = monoid_store::Database::new(monoid_calculus::types::Schema::new());
-        let direct = median_nanos(3, || eval_closed(&q).unwrap());
-        let piped = median_nanos(3, || monoid_algebra::execute(&plan, &mut db).unwrap());
-        t.row(&[
-            n.to_string(),
-            fmt_nanos(direct),
-            fmt_nanos(piped),
-            format!("{:.1}×", direct as f64 / piped as f64),
-        ]);
+        let direct = timed(|| eval_closed(&q).unwrap());
+        let piped = timed(|| monoid_algebra::execute(&plan, &mut db).unwrap());
+        t.row(&[n.to_string(), direct.cell(), piped.cell(), direct.speedup(&piped)]);
     }
     print!("{}", t.render());
     println!(
@@ -625,10 +646,10 @@ fn bench_vectors() {
     for n in [16usize, 64, 256] {
         let x: Vec<f64> = (0..n).map(|i| (i as f64 / 3.0).sin()).collect();
         let xs: Vec<vector::Complex> = x.iter().map(|&r| (r, 0.0)).collect();
-        let dq = median_nanos(3, || vector::dft_via_query(&x).unwrap());
-        let df = median_nanos(3, || vector::fft(&xs));
+        let dq = med_p95_cell(3, || vector::dft_via_query(&x).unwrap());
+        let df = med_p95_cell(3, || vector::fft(&xs));
         let err = vector::fft::max_error(&vector::dft_via_query(&x).unwrap(), &vector::fft(&xs));
-        t.row(&[n.to_string(), fmt_nanos(dq), fmt_nanos(df), format!("{err:.2e}")]);
+        t.row(&[n.to_string(), dq, df, format!("{err:.2e}")]);
     }
     print!("{}", t.render());
 
@@ -642,15 +663,10 @@ fn bench_vectors() {
             n,
             n,
         );
-        let tc = median_nanos(3, || vector::matrix::eval_int_matrix(&e).unwrap());
-        let tn = median_nanos(3, || vector::matmul_reference(&a, &a));
+        let tc = med_p95_cell(3, || vector::matrix::eval_int_matrix(&e).unwrap());
+        let tn = med_p95_cell(3, || vector::matmul_reference(&a, &a));
         let agree = vector::matrix::eval_int_matrix(&e).unwrap() == vector::matmul_reference(&a, &a);
-        t.row(&[
-            format!("{n}×{n}"),
-            fmt_nanos(tc),
-            fmt_nanos(tn),
-            agree.to_string(),
-        ]);
+        t.row(&[format!("{n}×{n}"), tc, tn, agree.to_string()]);
     }
     print!("{}", t.render());
     println!(
@@ -673,12 +689,12 @@ fn bench_updates() {
         let upd = queries::raise_salaries(1);
         let calc = {
             let mut db = travel::generate(scale, 7);
-            median_nanos(3, || db.query(&upd).unwrap())
+            timed(|| db.query(&upd).unwrap())
         };
         let direct = {
             let db = travel::generate(scale, 7);
             let heap_len = db.heap().len();
-            median_nanos(3, || {
+            timed(|| {
                 let mut db2 = db.clone();
                 let name = monoid_calculus::symbol::Symbol::new("salary");
                 for i in 0..heap_len {
@@ -699,12 +715,7 @@ fn bench_updates() {
                 db2
             })
         };
-        t.row(&[
-            employees.to_string(),
-            fmt_nanos(calc),
-            fmt_nanos(direct),
-            format!("{:.1}×", calc as f64 / direct as f64),
-        ]);
+        t.row(&[employees.to_string(), calc.cell(), direct.cell(), calc.speedup(&direct)]);
     }
     print!("{}", t.render());
     println!(
@@ -731,14 +742,14 @@ fn bench_ablation() {
                 monoid_algebra::PlanOptions { hash_joins: false, push_predicates: true },
             )
             .unwrap();
-            let th = median_nanos(3, || monoid_algebra::execute(&hash, &mut db).unwrap());
-            let tn = median_nanos(3, || monoid_algebra::execute(&nl, &mut db).unwrap());
+            let th = timed(|| monoid_algebra::execute(&hash, &mut db).unwrap());
+            let tn = timed(|| monoid_algebra::execute(&nl, &mut db).unwrap());
             t.row(&[
                 scale.total_hotels().to_string(),
                 k.to_string(),
-                fmt_nanos(tn),
-                fmt_nanos(th),
-                format!("{:.1}×", tn as f64 / th as f64),
+                tn.cell(),
+                th.cell(),
+                tn.speedup(&th),
             ]);
         }
     }
@@ -758,13 +769,13 @@ fn bench_ablation() {
             monoid_algebra::PlanOptions { hash_joins: true, push_predicates: false },
         )
         .unwrap();
-        let t_on = median_nanos(3, || monoid_algebra::execute(&on, &mut db).unwrap());
-        let t_off = median_nanos(3, || monoid_algebra::execute(&off, &mut db).unwrap());
+        let t_on = timed(|| monoid_algebra::execute(&on, &mut db).unwrap());
+        let t_off = timed(|| monoid_algebra::execute(&off, &mut db).unwrap());
         t.row(&[
             scale.total_hotels().to_string(),
-            fmt_nanos(t_off),
-            fmt_nanos(t_on),
-            format!("{:.1}×", t_off as f64 / t_on as f64),
+            t_off.cell(),
+            t_on.cell(),
+            t_off.speedup(&t_on),
         ]);
     }
     print!("{}", t.render());
@@ -782,13 +793,13 @@ fn bench_ablation() {
         catalog.build(&db, "Cities", "name").unwrap();
         let (indexed, hits) = monoid_algebra::apply_indexes(&plan, &catalog);
         assert_eq!(hits, 1);
-        let t_scan = median_nanos(3, || monoid_algebra::execute(&plan, &mut db).unwrap());
-        let t_index = median_nanos(3, || monoid_algebra::execute(&indexed, &mut db).unwrap());
+        let t_scan = timed(|| monoid_algebra::execute(&plan, &mut db).unwrap());
+        let t_index = timed(|| monoid_algebra::execute(&indexed, &mut db).unwrap());
         t.row(&[
             scale.total_hotels().to_string(),
-            fmt_nanos(t_scan),
-            fmt_nanos(t_index),
-            format!("{:.1}×", t_scan as f64 / t_index as f64),
+            t_scan.cell(),
+            t_index.cell(),
+            t_scan.speedup(&t_index),
         ]);
     }
     print!("{}", t.render());
@@ -816,18 +827,13 @@ fn bench_ablation() {
         let written = monoid_algebra::plan_comprehension(&q).unwrap();
         let reordered = monoid_algebra::reorder_generators(&q, &stats);
         let optimized = monoid_algebra::plan_comprehension(&reordered).unwrap();
-        let tw = median_nanos(3, || monoid_algebra::execute(&written, &mut db).unwrap());
-        let to = median_nanos(3, || monoid_algebra::execute(&optimized, &mut db).unwrap());
+        let tw = timed(|| monoid_algebra::execute(&written, &mut db).unwrap());
+        let to = timed(|| monoid_algebra::execute(&optimized, &mut db).unwrap());
         assert_eq!(
             monoid_algebra::execute(&written, &mut db).unwrap(),
             monoid_algebra::execute(&optimized, &mut db).unwrap()
         );
-        t.row(&[
-            scale.total_hotels().to_string(),
-            fmt_nanos(tw),
-            fmt_nanos(to),
-            format!("{:.1}×", tw as f64 / to as f64),
-        ]);
+        t.row(&[scale.total_hotels().to_string(), tw.cell(), to.cell(), tw.speedup(&to)]);
     }
     print!("{}", t.render());
     println!(

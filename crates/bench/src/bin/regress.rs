@@ -1,0 +1,79 @@
+//! `regress` — the bench-regression harness binary.
+//!
+//! Runs the canonical paper queries (company + travel stores) through the
+//! full normalize → plan → metered-execute pipeline N times, then writes
+//! `BENCH_regress.json` at the repo root: per-query median/p95/p99 wall
+//! times plus the metrics-registry delta (per-rule normalization counts,
+//! per-operator row totals, store counters, phase histograms).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p monoid-bench --bin regress [-- --quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks the stores and run counts for CI smoke runs.
+
+use monoid_bench::harness::{fmt_nanos, Table};
+use monoid_bench::regress;
+
+fn main() {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: regress [--quick] [--out PATH]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out = out.unwrap_or_else(|| {
+        // The binary lives in crates/bench; the report belongs at the
+        // repo root so PRs diff it in place.
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_regress.json").to_string()
+    });
+
+    let report = regress::run(quick);
+
+    let mut table = Table::new(&["query", "store", "p50", "p95", "p99", "rows→reduce", "norm steps"]);
+    for q in &report.queries {
+        table.row(&[
+            q.name.to_string(),
+            q.store.to_string(),
+            fmt_nanos(q.p50_nanos),
+            fmt_nanos(q.p95_nanos),
+            fmt_nanos(q.p99_nanos),
+            q.rows_to_reduce.to_string(),
+            q.normalize.steps.to_string(),
+        ]);
+    }
+    println!(
+        "regress: {} queries × {} runs{}\n",
+        report.queries.len(),
+        report.runs_per_query,
+        if report.quick { " (quick)" } else { "" }
+    );
+    println!("{}", table.render());
+    println!("operator rows: {:?}", report.operator_rows());
+    println!("rules fired:   {:?}", report.rule_firings());
+
+    let json = report.to_json().render_pretty();
+    if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out}");
+}

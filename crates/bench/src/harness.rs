@@ -6,8 +6,8 @@
 
 use std::time::Instant;
 
-/// Median wall-time of `runs` executions of `f`, in nanoseconds.
-pub fn median_nanos<T>(runs: usize, mut f: impl FnMut() -> T) -> u128 {
+/// Wall-time samples of `runs` executions of `f`, in nanoseconds.
+pub fn sample_nanos<T>(runs: usize, mut f: impl FnMut() -> T) -> Vec<u128> {
     assert!(runs > 0);
     let mut samples = Vec::with_capacity(runs);
     for _ in 0..runs {
@@ -16,8 +16,40 @@ pub fn median_nanos<T>(runs: usize, mut f: impl FnMut() -> T) -> u128 {
         samples.push(start.elapsed().as_nanos());
         drop(out);
     }
-    samples.sort_unstable();
-    samples[samples.len() / 2]
+    samples
+}
+
+/// The `p`-th percentile (`0.0 ≤ p ≤ 100.0`) of a sample vec, by the
+/// nearest-rank method (`p = 50` is the median for odd-length inputs;
+/// `p = 100` is the max). Panics on an empty slice, like `median_nanos`
+/// does on `runs = 0`.
+pub fn percentile_nanos(samples: &[u128], p: f64) -> u128 {
+    assert!(!samples.is_empty(), "percentile of no samples");
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Median wall-time of `runs` executions of `f`, in nanoseconds.
+pub fn median_nanos<T>(runs: usize, f: impl FnMut() -> T) -> u128 {
+    let samples = sample_nanos(runs, f);
+    // Keep the historical convention (upper median for even lengths).
+    let mut sorted = samples;
+    sorted.sort_unstable();
+    sorted[sorted.len() / 2]
+}
+
+/// Median and p95 of `runs` executions of `f`, rendered as
+/// `"<median> (p95 <p95>)"` — the cell format the experiment tables use
+/// now that the harness reports distribution, not just center.
+pub fn med_p95_cell<T>(runs: usize, f: impl FnMut() -> T) -> String {
+    let samples = sample_nanos(runs, f);
+    format!(
+        "{} (p95 {})",
+        fmt_nanos(percentile_nanos(&samples, 50.0)),
+        fmt_nanos(percentile_nanos(&samples, 95.0)),
+    )
 }
 
 /// Render nanoseconds human-readably.
@@ -124,6 +156,25 @@ mod tests {
     fn median_is_stable() {
         let m = median_nanos(5, || 1 + 1);
         assert!(m < 1_000_000);
+    }
+
+    #[test]
+    fn percentiles_by_nearest_rank() {
+        let samples: Vec<u128> = (1..=100).collect();
+        assert_eq!(percentile_nanos(&samples, 50.0), 50);
+        assert_eq!(percentile_nanos(&samples, 95.0), 95);
+        assert_eq!(percentile_nanos(&samples, 99.0), 99);
+        assert_eq!(percentile_nanos(&samples, 100.0), 100);
+        assert_eq!(percentile_nanos(&samples, 0.0), 1);
+        // Unsorted input is handled (the helper sorts a copy).
+        assert_eq!(percentile_nanos(&[30, 10, 20], 50.0), 20);
+        assert_eq!(percentile_nanos(&[7], 95.0), 7);
+    }
+
+    #[test]
+    fn med_p95_cell_renders_both() {
+        let cell = med_p95_cell(5, || 1 + 1);
+        assert!(cell.contains("(p95 "), "{cell}");
     }
 
     #[test]

@@ -7,7 +7,12 @@
 //!   derivation in the paper plus quick versions of the benchmark series
 //!   (E1–E6, B1–B6 in DESIGN.md / EXPERIMENTS.md);
 //! * the Criterion benches (`cargo bench -p monoid-bench`), one target per
-//!   benchmark series.
+//!   benchmark series;
+//! * the `regress` binary (`cargo run --release -p monoid-bench --bin
+//!   regress`), which runs the canonical paper queries through the
+//!   metered pipeline and writes `BENCH_regress.json` — latency
+//!   percentiles plus the metrics-registry delta — at the repo root.
 
 pub mod harness;
 pub mod queries;
+pub mod regress;

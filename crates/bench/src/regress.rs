@@ -1,0 +1,307 @@
+//! The bench-regression harness: run the canonical paper queries
+//! (company + travel stores) many times through the full
+//! normalize → plan → metered-execute pipeline, and report per-query
+//! latency percentiles plus the metrics-registry account of the whole
+//! workload — per-rule normalization firings, per-operator-kind row
+//! totals, store counters, and phase-latency histograms.
+//!
+//! The `regress` binary serializes the report to `BENCH_regress.json`
+//! at the repo root: the first point on the perf trajectory every
+//! future PR regresses against. The report deliberately contains no
+//! timestamps or host details — two runs on the same machine diff
+//! cleanly.
+
+use crate::harness::percentile_nanos;
+use crate::queries;
+use monoid_calculus::expr::Expr;
+use monoid_calculus::json::Json;
+use monoid_calculus::metrics::{self, validate_prometheus_text, Snapshot};
+use monoid_calculus::normalize::{normalize_traced, NormalizeStats};
+use monoid_calculus::trace::{Phase, QueryTrace};
+use monoid_store::{company, travel, Database, TravelScale};
+use std::time::Instant;
+
+/// One canonical query in the regression suite.
+struct Case {
+    name: &'static str,
+    store: &'static str,
+    /// OQL source, or a paper-notation description for calculus-built
+    /// queries.
+    source: String,
+    expr: Expr,
+}
+
+/// What one query did across `runs` executions.
+pub struct QueryReport {
+    pub name: &'static str,
+    pub store: &'static str,
+    pub source: String,
+    pub runs: usize,
+    pub p50_nanos: u128,
+    pub p95_nanos: u128,
+    pub p99_nanos: u128,
+    /// Rows the plan root pushed into the reduction (single run).
+    pub rows_to_reduce: u64,
+    /// Normalization statistics of a single run (identical every run —
+    /// normalization is deterministic).
+    pub normalize: NormalizeStats,
+}
+
+/// The full regression report.
+pub struct RegressReport {
+    pub quick: bool,
+    pub runs_per_query: usize,
+    pub queries: Vec<QueryReport>,
+    /// Registry delta attributable to this workload (snapshot diff
+    /// around the run).
+    pub registry: Snapshot,
+    /// The same delta in Prometheus text format.
+    pub prometheus: String,
+}
+
+fn suite(quick: bool) -> (Database, Database, Vec<Case>) {
+    let travel_scale = if quick { TravelScale::tiny() } else { TravelScale::small() };
+    let travel_db = travel::generate(travel_scale, 7);
+    let (managers, reports, floaters) = if quick { (4, 8, 6) } else { (8, 20, 15) };
+    let company_db = company::generate(managers, reports, floaters, 42);
+
+    let tschema = travel::schema();
+    let cschema = company_db.schema().clone();
+    let oql = |schema: &monoid_calculus::types::Schema, src: &str| {
+        monoid_oql::compile(schema, src).expect("canonical query compiles")
+    };
+
+    let company_join = "select struct(mgr: m.name, emp: e.name) \
+                        from m in Managers, e in CompanyEmployees \
+                        where m.dept = e.dept";
+    let company_forall = "for all e in CompanyEmployees: e.salary >= 40000";
+    let cases = vec![
+        Case {
+            name: "portland-flat",
+            store: "travel",
+            source: queries::PORTLAND_FLAT_OQL.to_string(),
+            expr: oql(&tschema, queries::PORTLAND_FLAT_OQL),
+        },
+        Case {
+            name: "portland-nested",
+            store: "travel",
+            source: queries::PORTLAND_NESTED_OQL.to_string(),
+            expr: oql(&tschema, queries::PORTLAND_NESTED_OQL),
+        },
+        Case {
+            name: "clients-existing-city",
+            store: "travel",
+            source: "set{ cl.name | cl ← Clients, p ← cl.preferred, some{ c.name = p | c ← Cities } }"
+                .to_string(),
+            expr: queries::clients_preferring_existing_city(),
+        },
+        Case {
+            name: "exists-hotel",
+            store: "travel",
+            source: "exists h in Hotels: h.name = 'hotel_0_0'".to_string(),
+            expr: oql(&tschema, "exists h in Hotels: h.name = 'hotel_0_0'"),
+        },
+        Case {
+            name: "company-dept-join",
+            store: "company",
+            source: company_join.to_string(),
+            expr: oql(&cschema, company_join),
+        },
+        Case {
+            name: "company-forall-salary",
+            store: "company",
+            source: company_forall.to_string(),
+            expr: oql(&cschema, company_forall),
+        },
+    ];
+    (travel_db, company_db, cases)
+}
+
+/// Run the suite. `quick` shrinks stores and run counts for CI smoke.
+pub fn run(quick: bool) -> RegressReport {
+    let runs = if quick { 5 } else { 25 };
+    let (mut travel_db, mut company_db, cases) = suite(quick);
+    let before = metrics::global().snapshot();
+    let mut reports = Vec::with_capacity(cases.len());
+    for case in cases {
+        let db = match case.store {
+            "travel" => &mut travel_db,
+            _ => &mut company_db,
+        };
+        // One profiled pass for per-operator accounting…
+        let analysis =
+            monoid_algebra::explain_analyze(&case.expr, db).expect("canonical query executes");
+        let rows_to_reduce = analysis.profile.rows_to_reduce;
+        let normalize = analysis
+            .profile
+            .trace
+            .normalize
+            .clone()
+            .expect("explain_analyze always normalizes");
+        // …then the timed runs through the metered pipeline, each one
+        // exercising normalize → plan → execute end to end.
+        let mut samples = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let started = Instant::now();
+            let mut trace = QueryTrace::new();
+            let canonical = trace.time(Phase::Normalize, || {
+                let (canonical, _, _) = normalize_traced(&case.expr);
+                canonical
+            });
+            let plan = trace.time(Phase::Plan, || {
+                monoid_algebra::plan_comprehension(&canonical).expect("canonical query plans")
+            });
+            let value = trace.time(Phase::Execute, || {
+                monoid_algebra::execute_metered(&plan, db).expect("canonical query executes")
+            });
+            drop(value);
+            samples.push(started.elapsed().as_nanos());
+        }
+        reports.push(QueryReport {
+            name: case.name,
+            store: case.store,
+            source: case.source,
+            runs,
+            p50_nanos: percentile_nanos(&samples, 50.0),
+            p95_nanos: percentile_nanos(&samples, 95.0),
+            p99_nanos: percentile_nanos(&samples, 99.0),
+            rows_to_reduce,
+            normalize,
+        });
+    }
+    let registry = metrics::global().snapshot().diff(&before);
+    let prometheus = registry.to_prometheus();
+    validate_prometheus_text(&prometheus).expect("exporter emits valid text format");
+    RegressReport { quick, runs_per_query: runs, queries: reports, registry, prometheus }
+}
+
+impl RegressReport {
+    /// Cumulative rows pushed, by operator kind, from the registry
+    /// delta.
+    pub fn operator_rows(&self) -> Vec<(String, u64)> {
+        self.registry
+            .series
+            .iter()
+            .filter(|s| s.key.name == "exec_rows_pushed_total")
+            .filter_map(|s| match s.value {
+                metrics::MetricValue::Counter(n) if n > 0 => {
+                    s.key.labels.first().map(|(_, kind)| (kind.clone(), n))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Cumulative rule firings from the registry delta.
+    pub fn rule_firings(&self) -> Vec<(String, u64)> {
+        self.registry
+            .series
+            .iter()
+            .filter(|s| s.key.name == "normalize_rule_fired_total")
+            .filter_map(|s| match s.value {
+                metrics::MetricValue::Counter(n) if n > 0 => {
+                    s.key.labels.first().map(|(_, rule)| (rule.clone(), n))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The `BENCH_regress.json` document.
+    pub fn to_json(&self) -> Json {
+        let queries = Json::Arr(
+            self.queries
+                .iter()
+                .map(|q| {
+                    let rules = Json::Arr(
+                        q.normalize
+                            .rule_counts()
+                            .filter(|(_, n)| *n > 0)
+                            .map(|(rule, n)| {
+                                Json::obj(vec![
+                                    ("rule", Json::str(format!("N{}", rule.number()))),
+                                    ("name", Json::str(rule.name())),
+                                    ("fired", Json::from(n)),
+                                ])
+                            })
+                            .collect(),
+                    );
+                    Json::obj(vec![
+                        ("name", Json::str(q.name)),
+                        ("store", Json::str(q.store)),
+                        ("source", Json::str(q.source.clone())),
+                        ("runs", Json::from(q.runs)),
+                        ("median_nanos", Json::from(q.p50_nanos)),
+                        ("p50_nanos", Json::from(q.p50_nanos)),
+                        ("p95_nanos", Json::from(q.p95_nanos)),
+                        ("p99_nanos", Json::from(q.p99_nanos)),
+                        ("rows_to_reduce", Json::from(q.rows_to_reduce)),
+                        (
+                            "normalize",
+                            Json::obj(vec![
+                                ("steps", Json::from(q.normalize.steps)),
+                                ("size_before", Json::from(q.normalize.size_before)),
+                                ("size_after", Json::from(q.normalize.size_after)),
+                                ("rules", rules),
+                            ]),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let pairs_json = |pairs: Vec<(String, u64)>| {
+            Json::Obj(pairs.into_iter().map(|(k, n)| (k, Json::from(n))).collect())
+        };
+        Json::obj(vec![
+            ("bench", Json::str("regress")),
+            ("schema_version", Json::Int(1)),
+            ("quick", Json::Bool(self.quick)),
+            ("runs_per_query", Json::from(self.runs_per_query)),
+            ("queries", queries),
+            ("operator_rows", pairs_json(self.operator_rows())),
+            ("normalize_rules", pairs_json(self.rule_firings())),
+            ("registry", self.registry.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_regress_produces_a_complete_report() {
+        let report = run(true);
+        assert_eq!(report.queries.len(), 6);
+        for q in &report.queries {
+            assert!(q.p50_nanos > 0, "{} has a latency", q.name);
+            assert!(q.p95_nanos >= q.p50_nanos, "{}: p95 ≥ p50", q.name);
+            assert!(q.p99_nanos >= q.p95_nanos, "{}: p99 ≥ p95", q.name);
+        }
+        // The nested Portland query must exercise the unnesting rules.
+        let nested = report.queries.iter().find(|q| q.name == "portland-nested").unwrap();
+        assert!(nested.normalize.steps > 0, "nested form normalizes");
+        // Per-operator rows and per-rule firings made it into the delta.
+        assert!(
+            report.operator_rows().iter().any(|(k, n)| k == "scan" && *n > 0),
+            "scans counted: {:?}",
+            report.operator_rows()
+        );
+        assert!(!report.rule_firings().is_empty(), "rules counted");
+        // The Prometheus rendering of the delta is valid text format.
+        validate_prometheus_text(&report.prometheus).unwrap();
+        assert!(report.prometheus.contains("exec_rows_pushed_total"), "{}", report.prometheus);
+        // And the JSON document carries the acceptance fields.
+        let json = report.to_json().render();
+        for key in [
+            "\"median_nanos\"",
+            "\"p95_nanos\"",
+            "\"normalize_rules\"",
+            "\"operator_rows\"",
+            "\"registry\"",
+            "\"rows_to_reduce\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+    }
+}

@@ -130,6 +130,17 @@ fn write_float(out: &mut String, x: f64) {
 
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
+    escape_into(out, s);
+    out.push('"');
+}
+
+/// Escape `s` for embedding inside a double-quoted string literal:
+/// backslash-escapes `"`, `\`, `\n`, `\r`, `\t`, and `\u00XX` for other
+/// control characters. This one helper backs both the JSON writer and
+/// the Prometheus label-value escaping in [`crate::metrics`] — the
+/// escape sets agree on everything a metric or operator label can
+/// contain, so sharing it keeps the two exporters from drifting.
+pub fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -143,7 +154,14 @@ fn write_escaped(out: &mut String, s: &str) {
             c => out.push(c),
         }
     }
-    out.push('"');
+}
+
+/// [`escape_into`] returning a fresh `String` (convenience for tests
+/// and callers without a buffer in hand).
+pub fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(&mut out, s);
+    out
 }
 
 impl From<bool> for Json {
@@ -218,6 +236,19 @@ mod tests {
     fn escapes_strings() {
         let j = Json::str("a\"b\\c\nd\u{1}");
         assert_eq!(j.render(), r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn shared_escape_helper_covers_both_exporters() {
+        // The same helper backs JSON strings and Prometheus label
+        // values: quotes, backslashes, newlines, tabs, controls.
+        assert_eq!(escape_str("plain"), "plain");
+        assert_eq!(escape_str("a\"b"), "a\\\"b");
+        assert_eq!(escape_str("back\\slash"), "back\\\\slash");
+        assert_eq!(escape_str("line\nbreak\ttab\rcr"), "line\\nbreak\\ttab\\rcr");
+        assert_eq!(escape_str("\u{2}"), "\\u0002");
+        // Unicode (operator labels use ← and ⟨⟩) passes through raw.
+        assert_eq!(escape_str("Scan c ← Cities"), "Scan c ← Cities");
     }
 
     #[test]

@@ -35,6 +35,9 @@
 //! * [`trace`] + [`json`] — query-lifecycle timing shared with the front
 //!   and back ends, and the dependency-free JSON writer that serializes
 //!   profiles.
+//! * [`metrics`] — the process-wide registry of counters, gauges, and
+//!   log-bucketed latency histograms every layer records into, with
+//!   Prometheus text and JSON exporters (`docs/observability.md`).
 //!
 //! ## Quick taste
 //!
@@ -60,6 +63,7 @@ pub mod eval;
 pub mod expr;
 pub mod heap;
 pub mod json;
+pub mod metrics;
 pub mod monoid;
 pub mod normalize;
 pub mod parse;
@@ -80,6 +84,7 @@ pub mod prelude {
     pub use crate::heap::Heap;
     pub use crate::monoid::{Monoid, Props};
     pub use crate::json::Json;
+    pub use crate::metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
     pub use crate::normalize::{normalize, normalize_traced, NormalizeStats, Rule, TraceStep};
     pub use crate::trace::{Phase, PhaseTiming, QueryTrace};
     pub use crate::parse::parse_expr;

@@ -1,0 +1,895 @@
+//! Process-wide metrics: counters, gauges, and log-bucketed latency
+//! histograms, exported as Prometheus text format or [`Json`].
+//!
+//! PR 1 made a *single* query observable (`EXPLAIN ANALYZE`); this module
+//! makes the *fleet* observable — cumulative counters, latency
+//! distributions, and per-rule normalization accounting across every
+//! query a process runs. The design is dependency-free and mirrors the
+//! usual client-library shape:
+//!
+//! * a [`Registry`] owns named series; registration takes a lock, but
+//!   the returned [`Counter`]/[`Gauge`]/[`Histogram`] handles are
+//!   `Arc`-shared atomics, so the hot path is a single
+//!   `fetch_add(Relaxed)` — cache the handle in a `OnceLock` and never
+//!   touch the lock again;
+//! * series are identified by a metric name plus ordered labels
+//!   (`normalize_rule_fired_total{rule="beta"}`), one series per label
+//!   combination;
+//! * [`Histogram`]s are log₂-bucketed: bucket *i* counts observations
+//!   `v ≤ 2^i` (the last bucket is +∞), which spans 1 ns to ~4.6 s in
+//!   63 buckets with ≤ 2× relative error — plenty for latency work.
+//!   [`HistogramSnapshot::quantile`] reads p50/p95/p99 back out;
+//! * [`Registry::snapshot`] captures a consistent-enough point-in-time
+//!   view; [`Snapshot::diff`] subtracts an earlier snapshot so tests
+//!   and the bench harness can meter a *known workload* without caring
+//!   what ran before;
+//! * [`Snapshot::to_prometheus`] renders text exposition format
+//!   (validated by [`validate_prometheus_text`]) and
+//!   [`Snapshot::to_json`] renders through the repo's own [`Json`].
+//!
+//! The process-wide registry is [`global()`]. Instrumented layers
+//! (store, normalizer, executor probes, the umbrella OQL path) all feed
+//! it; nothing is recorded on paths that opt out (the `NoProbe`
+//! executor stays zero-cost).
+
+use crate::json::{escape_into, Json};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of histogram buckets: bucket `i < 63` counts observations
+/// `≤ 2^i`; bucket 63 is the +∞ overflow.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (heap sizes, pool occupancy).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` observations (typically
+/// nanoseconds). Recording is lock-free: one bucket increment plus
+/// count/sum updates.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// The bucket an observation lands in: the smallest `i` with `v ≤ 2^i`
+/// (so a value exactly on a power of two lands in *its own* bucket, not
+/// the next one up), clamped to the +∞ bucket.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        (64 - (v - 1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// The inclusive upper bound of bucket `i` (`None` for the +∞ bucket).
+pub fn bucket_bound(i: usize) -> Option<u64> {
+    if i < HISTOGRAM_BUCKETS - 1 {
+        Some(1u64 << i)
+    } else {
+        None
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Observe a nanosecond duration held as `u128` (the type
+    /// `Instant::elapsed().as_nanos()` returns), saturating.
+    #[inline]
+    pub fn observe_nanos(&self, nanos: u128) {
+        self.observe(u64::try_from(nanos).unwrap_or(u64::MAX));
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One registered series: a metric name plus its ordered labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesKey {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A registry of named metric series. Cheap to share (`Arc` the handles,
+/// not the registry); all recording is atomic.
+#[derive(Debug, Default)]
+pub struct Registry {
+    series: Mutex<BTreeMap<SeriesKey, Metric>>,
+}
+
+fn key(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+    SeriesKey {
+        name: name.to_string(),
+        labels: labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+    }
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or register the label-less counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Get or register a counter series. Panics if `name`+`labels` is
+    /// already registered as a different metric type — that is a
+    /// programming error, not a runtime condition.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let mut series = self.series.lock().unwrap();
+        match series
+            .entry(key(name, labels))
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("`{name}` is registered as a {}", other.kind()),
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let mut series = self.series.lock().unwrap();
+        match series
+            .entry(key(name, labels))
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("`{name}` is registered as a {}", other.kind()),
+        }
+    }
+
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let mut series = self.series.lock().unwrap();
+        match series
+            .entry(key(name, labels))
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("`{name}` is registered as a {}", other.kind()),
+        }
+    }
+
+    /// A point-in-time view of every registered series. Each series is
+    /// read atomically; the snapshot as a whole is not a transaction,
+    /// which is the usual (and sufficient) exporter guarantee.
+    pub fn snapshot(&self) -> Snapshot {
+        let series = self.series.lock().unwrap();
+        Snapshot {
+            series: series
+                .iter()
+                .map(|(k, m)| SeriesSnapshot {
+                    key: k.clone(),
+                    value: match m {
+                        Metric::Counter(c) => MetricValue::Counter(c.get()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The process-wide registry every instrumented layer records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots.
+// ---------------------------------------------------------------------------
+
+/// Frozen value of one series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramSnapshot),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (*not* cumulative), length
+    /// [`HISTOGRAM_BUCKETS`].
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) read from the buckets: the
+    /// inclusive upper bound of the bucket holding the rank-`⌈q·count⌉`
+    /// observation. `None` when empty. Resolution is the bucket width
+    /// (≤ 2× the true value).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // The +∞ bucket has no bound; the mean of what landed
+                // there is the best point estimate we can give.
+                return Some(bucket_bound(i).unwrap_or_else(|| {
+                    self.sum.checked_div(self.count).unwrap_or(u64::MAX)
+                }));
+            }
+        }
+        None
+    }
+
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+}
+
+/// One series in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesSnapshot {
+    pub key: SeriesKey,
+    pub value: MetricValue,
+}
+
+/// A frozen view of a [`Registry`], ordered by series key.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    pub series: Vec<SeriesSnapshot>,
+}
+
+impl Snapshot {
+    /// Look up a series by name and labels.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        let k = key(name, labels);
+        self.series.iter().find(|s| s.key == k).map(|s| &s.value)
+    }
+
+    /// Counter value (0 when absent — counters that never fired are
+    /// simply unregistered).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counter_with(name, &[])
+    }
+
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        match self.get(name, labels) {
+            Some(MetricValue::Counter(n)) => *n,
+            _ => 0,
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.get(name, &[]) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        match self.get(name, labels) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// `self − earlier`: what a workload between two snapshots did.
+    /// Counters and histogram buckets subtract (saturating, so a series
+    /// born after `earlier` passes through unchanged); gauges keep
+    /// their current value — a gauge is a level, not a flow.
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let before: BTreeMap<&SeriesKey, &MetricValue> =
+            earlier.series.iter().map(|s| (&s.key, &s.value)).collect();
+        Snapshot {
+            series: self
+                .series
+                .iter()
+                .map(|s| {
+                    let value = match (&s.value, before.get(&s.key)) {
+                        (MetricValue::Counter(now), Some(MetricValue::Counter(then))) => {
+                            MetricValue::Counter(now.saturating_sub(*then))
+                        }
+                        (MetricValue::Histogram(now), Some(MetricValue::Histogram(then))) => {
+                            MetricValue::Histogram(HistogramSnapshot {
+                                buckets: now
+                                    .buckets
+                                    .iter()
+                                    .zip(&then.buckets)
+                                    .map(|(a, b)| a.saturating_sub(*b))
+                                    .collect(),
+                                count: now.count.saturating_sub(then.count),
+                                sum: now.sum.saturating_sub(then.sum),
+                            })
+                        }
+                        (v, _) => v.clone(),
+                    };
+                    SeriesSnapshot { key: s.key.clone(), value }
+                })
+                .collect(),
+        }
+    }
+
+    /// Render in Prometheus text exposition format. Histograms emit
+    /// cumulative `_bucket{le=…}` series plus `_sum` and `_count`;
+    /// label values are escaped with the same helper the JSON writer
+    /// uses ([`crate::json::escape_into`]).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut typed: BTreeMap<&str, &'static str> = BTreeMap::new();
+        for s in &self.series {
+            let kind = match &s.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            };
+            // One TYPE line per metric name, before its first sample.
+            if typed.insert(&s.key.name, kind).is_none() {
+                out.push_str("# TYPE ");
+                out.push_str(&s.key.name);
+                out.push(' ');
+                out.push_str(kind);
+                out.push('\n');
+            }
+            match &s.value {
+                MetricValue::Counter(n) => {
+                    write_sample(&mut out, &s.key.name, &s.key.labels, None, &n.to_string());
+                }
+                MetricValue::Gauge(v) => {
+                    write_sample(&mut out, &s.key.name, &s.key.labels, None, &v.to_string());
+                }
+                MetricValue::Histogram(h) => {
+                    let bucket_name = format!("{}_bucket", s.key.name);
+                    let mut cumulative = 0u64;
+                    for (i, n) in h.buckets.iter().enumerate() {
+                        cumulative += n;
+                        // Keep the exposition readable: skip empty
+                        // buckets below the first and past the last
+                        // observation. Cumulative counts are unaffected,
+                        // and the +∞ bucket (i = 63) is always emitted.
+                        if *n == 0
+                            && (cumulative == 0 || cumulative == h.count)
+                            && i < HISTOGRAM_BUCKETS - 1
+                        {
+                            continue;
+                        }
+                        let le = match bucket_bound(i) {
+                            Some(b) => b.to_string(),
+                            None => "+Inf".to_string(),
+                        };
+                        write_sample(
+                            &mut out,
+                            &bucket_name,
+                            &s.key.labels,
+                            Some(("le", &le)),
+                            &cumulative.to_string(),
+                        );
+                    }
+                    write_sample(
+                        &mut out,
+                        &format!("{}_sum", s.key.name),
+                        &s.key.labels,
+                        None,
+                        &h.sum.to_string(),
+                    );
+                    write_sample(
+                        &mut out,
+                        &format!("{}_count", s.key.name),
+                        &s.key.labels,
+                        None,
+                        &h.count.to_string(),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as a JSON document: one object per series with `name`,
+    /// `labels`, `type`, and the value (histograms carry count/sum,
+    /// p50/p95/p99, and the non-empty buckets).
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.series
+                .iter()
+                .map(|s| {
+                    let labels = Json::Obj(
+                        s.key
+                            .labels
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+                            .collect(),
+                    );
+                    let mut fields = vec![
+                        ("name", Json::str(s.key.name.clone())),
+                        ("labels", labels),
+                    ];
+                    match &s.value {
+                        MetricValue::Counter(n) => {
+                            fields.push(("type", Json::str("counter")));
+                            fields.push(("value", Json::from(*n)));
+                        }
+                        MetricValue::Gauge(v) => {
+                            fields.push(("type", Json::str("gauge")));
+                            fields.push(("value", Json::Int(*v)));
+                        }
+                        MetricValue::Histogram(h) => {
+                            fields.push(("type", Json::str("histogram")));
+                            fields.push(("count", Json::from(h.count)));
+                            fields.push(("sum", Json::from(h.sum)));
+                            fields.push(("p50", opt_u64(h.p50())));
+                            fields.push(("p95", opt_u64(h.p95())));
+                            fields.push(("p99", opt_u64(h.p99())));
+                            fields.push((
+                                "buckets",
+                                Json::Arr(
+                                    h.buckets
+                                        .iter()
+                                        .enumerate()
+                                        .filter(|(_, n)| **n > 0)
+                                        .map(|(i, n)| {
+                                            Json::obj(vec![
+                                                (
+                                                    "le",
+                                                    match bucket_bound(i) {
+                                                        Some(b) => Json::from(b),
+                                                        None => Json::str("+Inf"),
+                                                    },
+                                                ),
+                                                ("count", Json::from(*n)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ));
+                        }
+                    }
+                    Json::obj(fields)
+                })
+                .collect(),
+        )
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> Json {
+    v.map(Json::from).unwrap_or(Json::Null)
+}
+
+/// One `name{labels} value` exposition line. `extra` appends a label
+/// (histogram `le`) after the series' own labels.
+fn write_sample(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    extra: Option<(&str, &str)>,
+    value: &str,
+) {
+    out.push_str(name);
+    let extra_iter = extra.iter().map(|(k, v)| (*k, *v));
+    let mut all = labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).chain(extra_iter).peekable();
+    if all.peek().is_some() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in all {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_into(out, v);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text-format validation (for tests and the bench harness).
+// ---------------------------------------------------------------------------
+
+/// Check that `text` is well-formed Prometheus text exposition format:
+/// every line is a comment (`# HELP`/`# TYPE`), blank, or a sample
+/// `name{label="value",…} value`, with legal metric/label identifiers,
+/// properly quoted-and-escaped label values, and a numeric sample value
+/// (`+Inf`/`-Inf`/`NaN` allowed). Returns the first offending line.
+pub fn validate_prometheus_text(text: &str) -> Result<(), String> {
+    for (lineno, line) in text.lines().enumerate() {
+        validate_line(line).map_err(|e| format!("line {}: {e}: `{line}`", lineno + 1))?;
+    }
+    Ok(())
+}
+
+fn validate_line(line: &str) -> Result<(), String> {
+    if line.is_empty() {
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix('#') {
+        let rest = rest.trim_start();
+        if rest.starts_with("TYPE ") {
+            let mut parts = rest.split_whitespace();
+            parts.next(); // TYPE
+            let name = parts.next().ok_or("TYPE without metric name")?;
+            validate_name(name)?;
+            let kind = parts.next().ok_or("TYPE without kind")?;
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(format!("unknown metric type `{kind}`"));
+            }
+        }
+        // HELP and free comments are unconstrained.
+        return Ok(());
+    }
+    let bytes = line.as_bytes();
+    let name_end = bytes
+        .iter()
+        .position(|&b| b == b'{' || b == b' ')
+        .ok_or("sample line without value")?;
+    validate_name(&line[..name_end])?;
+    let mut rest = &line[name_end..];
+    if let Some(after_brace) = rest.strip_prefix('{') {
+        rest = validate_labels(after_brace)?;
+    }
+    let value = rest.trim_start();
+    if value.is_empty() {
+        return Err("missing sample value".into());
+    }
+    // Value (and optional timestamp).
+    let mut parts = value.split_whitespace();
+    let v = parts.next().unwrap();
+    if !matches!(v, "+Inf" | "-Inf" | "NaN") && v.parse::<f64>().is_err() {
+        return Err(format!("non-numeric sample value `{v}`"));
+    }
+    if let Some(ts) = parts.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("non-integer timestamp `{ts}`"));
+        }
+    }
+    if parts.next().is_some() {
+        return Err("trailing tokens after timestamp".into());
+    }
+    Ok(())
+}
+
+fn validate_name(name: &str) -> Result<(), String> {
+    let mut chars = name.chars();
+    let ok_first = |c: char| c.is_ascii_alphabetic() || c == '_' || c == ':';
+    match chars.next() {
+        Some(c) if ok_first(c) => {}
+        _ => return Err(format!("bad metric name `{name}`")),
+    }
+    if chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+        Ok(())
+    } else {
+        Err(format!("bad metric name `{name}`"))
+    }
+}
+
+/// Validate `label="value",…}` (the part after `{`); returns what
+/// follows the closing brace.
+fn validate_labels(mut rest: &str) -> Result<&str, String> {
+    loop {
+        if let Some(after) = rest.strip_prefix('}') {
+            return Ok(after);
+        }
+        let eq = rest.find('=').ok_or("label without `=`")?;
+        let label = &rest[..eq];
+        if label.is_empty()
+            || !label.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+            || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            return Err(format!("bad label name `{label}`"));
+        }
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or("label value not quoted")?;
+        // Scan the quoted value, honoring backslash escapes.
+        let mut chars = rest.char_indices();
+        let close = loop {
+            match chars.next() {
+                None => return Err("unterminated label value".into()),
+                Some((_, '\\')) => {
+                    if chars.next().is_none() {
+                        return Err("dangling escape in label value".into());
+                    }
+                }
+                Some((i, '"')) => break i,
+                Some(_) => {}
+            }
+        };
+        rest = &rest[close + 1..];
+        if let Some(after) = rest.strip_prefix(',') {
+            rest = after;
+        } else if !rest.starts_with('}') {
+            return Err("expected `,` or `}` after label value".into());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let r = Registry::new();
+        let c = r.counter("requests_total");
+        c.inc();
+        c.add(4);
+        let g = r.gauge("pool_size");
+        g.set(7);
+        g.add(-2);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("requests_total"), 5);
+        assert_eq!(snap.gauge("pool_size"), Some(5));
+        // Handles are shared: a second lookup hits the same atomic.
+        r.counter("requests_total").inc();
+        assert_eq!(r.snapshot().counter("requests_total"), 6);
+    }
+
+    #[test]
+    fn labeled_series_are_distinct() {
+        let r = Registry::new();
+        r.counter_with("rule_fired", &[("rule", "beta")]).add(3);
+        r.counter_with("rule_fired", &[("rule", "proj")]).add(1);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_with("rule_fired", &[("rule", "beta")]), 3);
+        assert_eq!(snap.counter_with("rule_fired", &[("rule", "proj")]), 1);
+        assert_eq!(snap.counter_with("rule_fired", &[("rule", "other")]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as a counter")]
+    fn type_confusion_panics() {
+        let r = Registry::new();
+        r.counter("x").inc();
+        let _ = r.gauge("x");
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_on_powers_of_two() {
+        // A value exactly 2^k lands in the bucket whose inclusive upper
+        // bound is 2^k — not the next one up.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        for k in 0..63u32 {
+            let v = 1u64 << k;
+            let i = bucket_index(v);
+            assert_eq!(
+                bucket_bound(i),
+                Some(v),
+                "2^{k} must land in the bucket bounded by itself"
+            );
+            if v > 1 {
+                assert_eq!(bucket_index(v + 1), i + 1, "2^{k}+1 spills to the next bucket");
+            }
+        }
+        // Everything past 2^62 lands in +Inf.
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_bound(HISTOGRAM_BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let h = Histogram::default();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 5050);
+        // Bucketed quantiles overestimate by at most 2×.
+        let p50 = s.p50().unwrap();
+        assert!((50..=64).contains(&p50), "p50 = {p50}");
+        let p95 = s.p95().unwrap();
+        assert!((95..=128).contains(&p95), "p95 = {p95}");
+        let p99 = s.p99().unwrap();
+        assert!((99..=128).contains(&p99), "p99 = {p99}");
+        assert!(Histogram::default().snapshot().p50().is_none());
+    }
+
+    #[test]
+    fn snapshot_diff_subtracts_counters_and_keeps_gauges() {
+        let r = Registry::new();
+        r.counter("c").add(10);
+        r.gauge("g").set(3);
+        r.histogram("h").observe(5);
+        let before = r.snapshot();
+        r.counter("c").add(7);
+        r.gauge("g").set(9);
+        r.histogram("h").observe(5);
+        r.histogram("h").observe(4096);
+        r.counter_with("born_later", &[]).inc();
+        let d = r.snapshot().diff(&before);
+        assert_eq!(d.counter("c"), 7);
+        assert_eq!(d.gauge("g"), Some(9), "gauges are levels, not flows");
+        let h = d.histogram_with("h", &[]).unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 5 + 4096);
+        assert_eq!(d.counter("born_later"), 1, "new series pass through");
+    }
+
+    #[test]
+    fn empty_registry_exports_cleanly() {
+        let r = Registry::new();
+        let snap = r.snapshot();
+        let text = snap.to_prometheus();
+        assert_eq!(text, "");
+        validate_prometheus_text(&text).unwrap();
+        assert_eq!(snap.to_json().render(), "[]");
+    }
+
+    #[test]
+    fn prometheus_export_is_valid_and_escaped() {
+        let r = Registry::new();
+        r.counter_with("ops_total", &[("label", "tricky \"quote\" \\slash\nnewline")])
+            .add(2);
+        r.gauge("level").set(-4);
+        r.histogram_with("latency_nanos", &[("phase", "parse")]).observe(1000);
+        let text = r.snapshot().to_prometheus();
+        validate_prometheus_text(&text).unwrap();
+        assert!(text.contains("# TYPE ops_total counter"), "{text}");
+        assert!(text.contains(r#"label="tricky \"quote\" \\slash\nnewline""#), "{text}");
+        assert!(text.contains("latency_nanos_bucket{phase=\"parse\",le=\"1024\"} 1"), "{text}");
+        assert!(text.contains("latency_nanos_bucket{phase=\"parse\",le=\"+Inf\"} 1"), "{text}");
+        assert!(text.contains("latency_nanos_sum{phase=\"parse\"} 1000"), "{text}");
+        assert!(text.contains("latency_nanos_count{phase=\"parse\"} 1"), "{text}");
+        assert!(text.contains("level -4"), "{text}");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        for bad in [
+            "1bad_name 3",
+            "name{unclosed=\"x\" 3",
+            "name{bad-label=\"x\"} 3",
+            "name{l=\"v\"} not-a-number",
+            "name{l=unquoted} 3",
+            "no_value",
+        ] {
+            assert!(
+                validate_prometheus_text(bad).is_err(),
+                "`{bad}` should be rejected"
+            );
+        }
+        validate_prometheus_text("ok_name{l=\"v\"} 3 1234567\nplain 1.5\nx +Inf\n").unwrap();
+    }
+
+    #[test]
+    fn json_export_carries_quantiles() {
+        let r = Registry::new();
+        let h = r.histogram("lat");
+        for v in [10u64, 20, 30, 4000] {
+            h.observe(v);
+        }
+        let json = r.snapshot().to_json().render();
+        assert!(json.contains("\"p50\""), "{json}");
+        assert!(json.contains("\"p95\""), "{json}");
+        assert!(json.contains("\"buckets\""), "{json}");
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        let r = Arc::new(Registry::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let r = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                let c = r.counter("shared");
+                let h = r.histogram("hist");
+                for i in 0..1000u64 {
+                    c.inc();
+                    h.observe(i);
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("shared"), 4000);
+        assert_eq!(snap.histogram_with("hist", &[]).unwrap().count, 4000);
+    }
+}

@@ -85,6 +85,9 @@ pub enum Rule {
 }
 
 impl Rule {
+    /// How many rules there are (N1…N14) — sizes per-rule count arrays.
+    pub const COUNT: usize = 14;
+
     /// Our Table-3 numbering (N1…N14).
     pub fn number(self) -> u8 {
         match self {
@@ -162,13 +165,38 @@ pub struct TraceStep {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NormalizeStats {
     pub steps: usize,
-    /// How many times each rule fired, indexed by `Rule::all()` order.
-    pub rule_counts: Vec<(Rule, usize)>,
+    /// How many times each rule fired, keyed by [`Rule::number`]
+    /// (slot `number − 1`; use [`NormalizeStats::fired`] / `rule_counts`
+    /// for keyed access).
+    pub per_rule: [u64; Rule::COUNT],
     /// AST sizes before and after.
     pub size_before: usize,
     pub size_after: usize,
     /// Wall-clock time the rewrite loop took, for lifecycle traces.
     pub elapsed_nanos: u128,
+}
+
+impl NormalizeStats {
+    /// How many times `rule` fired.
+    pub fn fired(&self, rule: Rule) -> u64 {
+        self.per_rule[rule.number() as usize - 1]
+    }
+
+    /// `(rule, count)` pairs in `Rule::all()` order (the shape the old
+    /// `rule_counts` field held).
+    pub fn rule_counts(&self) -> impl Iterator<Item = (Rule, u64)> + '_ {
+        Rule::all().iter().map(|r| (*r, self.fired(*r)))
+    }
+
+    /// One line per fired rule, e.g. `N9 and-split ×2` — the rendering
+    /// E7 and `QueryProfile::render` embed.
+    pub fn render_rules(&self) -> String {
+        self.rule_counts()
+            .filter(|(_, n)| *n > 0)
+            .map(|(r, n)| format!("N{} {} ×{n}", r.number(), r.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
 }
 
 /// Hard bound on rewrite steps; normalization of any reasonable query takes
@@ -210,11 +238,15 @@ pub fn normalize(e: &Expr) -> Expr {
 }
 
 /// Normalize, returning the derivation trace and statistics alongside.
+/// Per-rule firing counts are also accumulated into the process-wide
+/// metrics registry (`normalize_rule_fired_total{rule=…}`), so a fleet
+/// of queries leaves an aggregate account of which rewrites carry the
+/// normalization load.
 pub fn normalize_traced(e: &Expr) -> (Expr, Vec<TraceStep>, NormalizeStats) {
     let started = std::time::Instant::now();
     let mut current = e.clone();
     let mut trace = Vec::new();
-    let mut counts: Vec<(Rule, usize)> = Rule::all().iter().map(|r| (*r, 0)).collect();
+    let mut per_rule = [0u64; Rule::COUNT];
     let size_before = e.size();
     let mut steps = 0;
     while let Some((rule, next)) = rewrite_once(&current) {
@@ -223,20 +255,51 @@ pub fn normalize_traced(e: &Expr) -> (Expr, Vec<TraceStep>, NormalizeStats) {
             // Give up gracefully: the term is still meaning-equivalent.
             break;
         }
-        if let Some(slot) = counts.iter_mut().find(|(r, _)| *r == rule) {
-            slot.1 += 1;
-        }
+        per_rule[rule.number() as usize - 1] += 1;
         trace.push(TraceStep { rule, after: pretty(&next) });
         current = next;
     }
+    record_rule_metrics(&per_rule, steps);
     let stats = NormalizeStats {
         steps,
-        rule_counts: counts,
+        per_rule,
         size_before,
         size_after: current.size(),
         elapsed_nanos: started.elapsed().as_nanos(),
     };
     (current, trace, stats)
+}
+
+/// Feed one run's firing counts into [`crate::metrics::global`]. Counter
+/// handles are resolved once per process and cached; a normalization
+/// run then costs one atomic add per *fired* rule plus one for runs.
+fn record_rule_metrics(per_rule: &[u64; Rule::COUNT], steps: usize) {
+    use crate::metrics::{global, Counter};
+    use std::sync::{Arc, OnceLock};
+    struct Handles {
+        runs: Arc<Counter>,
+        total_steps: Arc<Counter>,
+        rules: Vec<Arc<Counter>>,
+    }
+    static HANDLES: OnceLock<Handles> = OnceLock::new();
+    let h = HANDLES.get_or_init(|| {
+        let r = global();
+        Handles {
+            runs: r.counter("normalize_runs_total"),
+            total_steps: r.counter("normalize_steps_total"),
+            rules: Rule::all()
+                .iter()
+                .map(|rule| r.counter_with("normalize_rule_fired_total", &[("rule", rule.name())]))
+                .collect(),
+        }
+    });
+    h.runs.inc();
+    h.total_steps.add(steps as u64);
+    for (i, n) in per_rule.iter().enumerate() {
+        if *n > 0 {
+            h.rules[i].add(*n);
+        }
+    }
 }
 
 /// Is `e` in canonical form (no rule applies anywhere)?
@@ -1192,7 +1255,12 @@ mod tests {
         );
         let (_, _, stats) = normalize_traced(&e);
         assert_eq!(stats.steps, 2);
-        let fired: usize = stats.rule_counts.iter().map(|(_, c)| c).sum();
+        let fired: u64 = stats.per_rule.iter().sum();
         assert_eq!(fired, 2);
+        // The keyed accessors agree with the raw array.
+        assert_eq!(stats.rule_counts().map(|(_, n)| n).sum::<u64>(), 2);
+        assert_eq!(stats.fired(Rule::SingletonGen), 1, "{}", stats.render_rules());
+        assert_eq!(stats.fired(Rule::MergeGen), 0);
+        assert!(stats.render_rules().contains("singleton-generator ×1"), "{}", stats.render_rules());
     }
 }

@@ -29,6 +29,16 @@ pub enum Phase {
 }
 
 impl Phase {
+    /// All phases in pipeline order (indexable by [`Phase::index`]).
+    pub const ALL: [Phase; 6] = [
+        Phase::Parse,
+        Phase::Translate,
+        Phase::Normalize,
+        Phase::Optimize,
+        Phase::Plan,
+        Phase::Execute,
+    ];
+
     pub fn as_str(&self) -> &'static str {
         match self {
             Phase::Parse => "parse",
@@ -37,6 +47,18 @@ impl Phase {
             Phase::Optimize => "optimize",
             Phase::Plan => "plan",
             Phase::Execute => "execute",
+        }
+    }
+
+    /// Position in [`Phase::ALL`].
+    pub fn index(&self) -> usize {
+        match self {
+            Phase::Parse => 0,
+            Phase::Translate => 1,
+            Phase::Normalize => 2,
+            Phase::Optimize => 3,
+            Phase::Plan => 4,
+            Phase::Execute => 5,
         }
     }
 }
@@ -70,8 +92,12 @@ impl QueryTrace {
         QueryTrace::default()
     }
 
-    /// Record `nanos` spent in `phase` (accumulates on repeat).
+    /// Record `nanos` spent in `phase` (accumulates on repeat). Every
+    /// recording also lands in the process-wide per-phase latency
+    /// histogram `query_phase_nanos{phase=…}`, so fleet-level phase
+    /// distributions fall out of ordinary tracing for free.
     pub fn record(&mut self, phase: Phase, nanos: u128) {
+        phase_histogram(phase).observe_nanos(nanos);
         if let Some(t) = self.phases.iter_mut().find(|t| t.phase == phase) {
             t.nanos += nanos;
         } else {
@@ -125,17 +151,28 @@ impl QueryTrace {
     }
 }
 
+/// The per-phase latency histogram in the global registry, resolved
+/// once per process.
+fn phase_histogram(phase: Phase) -> &'static crate::metrics::Histogram {
+    use crate::metrics::{global, Histogram};
+    use std::sync::{Arc, OnceLock};
+    static HANDLES: OnceLock<[Arc<Histogram>; 6]> = OnceLock::new();
+    &HANDLES.get_or_init(|| {
+        Phase::ALL
+            .map(|p| global().histogram_with("query_phase_nanos", &[("phase", p.as_str())]))
+    })[phase.index()]
+}
+
 fn normalize_stats_json(stats: &NormalizeStats) -> Json {
     let rules = Json::Arr(
         stats
-            .rule_counts
-            .iter()
+            .rule_counts()
             .filter(|(_, n)| *n > 0)
             .map(|(rule, n)| {
                 Json::obj(vec![
                     ("rule", Json::str(format!("N{}", rule.number()))),
                     ("name", Json::str(rule.name())),
-                    ("fired", Json::from(*n)),
+                    ("fired", Json::from(n)),
                 ])
             })
             .collect(),

@@ -12,11 +12,52 @@ use monoid_calculus::error::{EvalError, EvalResult, TypeResult};
 use monoid_calculus::eval::Evaluator;
 use monoid_calculus::expr::Expr;
 use monoid_calculus::heap::Heap;
+use monoid_calculus::metrics::{self, Counter, Gauge, Histogram};
 use monoid_calculus::symbol::Symbol;
 use monoid_calculus::typecheck::{TypeChecker, TypeEnv};
 use monoid_calculus::types::{Schema, Type};
 use monoid_calculus::value::{Env, Oid, Value};
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// The store's series in the process-wide metrics registry, resolved
+/// once. Counters are cumulative across every `Database` instance in
+/// the process — fleet accounting, not per-database accounting.
+struct StoreMetrics {
+    /// Objects allocated through [`Database::insert`].
+    inserts: Arc<Counter>,
+    /// Object states read through [`Database::state`] (and `field`).
+    state_reads: Arc<Counter>,
+    /// Extents made scannable: one count per extent bound into a query
+    /// environment by [`Database::env`], plus direct extent reads via
+    /// [`Database::root`].
+    extent_scans: Arc<Counter>,
+    /// Queries evaluated via [`Database::query`]/`query_counted`.
+    queries: Arc<Counter>,
+    /// Queries that returned an error.
+    query_errors: Arc<Counter>,
+    /// End-to-end `Database::query` latency distribution.
+    query_nanos: Arc<Histogram>,
+    /// Heap size of the most recently mutated database (a level).
+    heap_objects: Arc<Gauge>,
+}
+
+fn store_metrics() -> &'static StoreMetrics {
+    static METRICS: OnceLock<StoreMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = metrics::global();
+        StoreMetrics {
+            inserts: r.counter("store_objects_inserted_total"),
+            state_reads: r.counter("store_state_reads_total"),
+            extent_scans: r.counter("store_extent_scans_total"),
+            queries: r.counter("store_queries_total"),
+            query_errors: r.counter("store_query_errors_total"),
+            query_nanos: r.histogram("store_query_nanos"),
+            heap_objects: r.gauge("store_heap_objects"),
+        }
+    })
+}
 
 /// An object database.
 #[derive(Debug, Default, Clone)]
@@ -62,6 +103,9 @@ impl Database {
     /// it to the class's extent (if it has one). Returns the new identity.
     pub fn insert(&mut self, class: Symbol, state: Value) -> EvalResult<Oid> {
         let oid = self.heap.alloc(state);
+        let m = store_metrics();
+        m.inserts.inc();
+        m.heap_objects.set(self.heap.len() as i64);
         if let Some(extent) = self.extent_of.get(&class).copied() {
             let obj = Value::Obj(oid);
             let current = self
@@ -82,7 +126,15 @@ impl Database {
     }
 
     pub fn root(&self, name: Symbol) -> Option<&Value> {
+        if self.is_extent(name) {
+            store_metrics().extent_scans.inc();
+        }
         self.roots.get(&name)
+    }
+
+    /// Is `name` the extent of some class?
+    fn is_extent(&self, name: Symbol) -> bool {
+        self.extent_of.values().any(|e| *e == name)
     }
 
     pub fn roots(&self) -> impl Iterator<Item = (Symbol, &Value)> {
@@ -90,7 +142,11 @@ impl Database {
     }
 
     /// The environment binding every persistent root, for evaluation.
+    /// Counts each extent bound into scope as a (potential) extent scan
+    /// — this is the point where a query gains access to the extents.
     pub fn env(&self) -> Env {
+        let extents = self.extent_of.values().filter(|e| self.roots.contains_key(e)).count();
+        store_metrics().extent_scans.add(extents as u64);
         Env::from_bindings(self.roots.iter().map(|(k, v)| (*k, v.clone())))
     }
 
@@ -102,29 +158,35 @@ impl Database {
 
     /// Evaluate a query. The heap is moved into the evaluator and back, so
     /// update programs mutate the database in place without copying.
+    /// Records query count, latency, and errors in the process-wide
+    /// metrics registry.
     pub fn query(&mut self, e: &Expr) -> EvalResult<Value> {
-        let heap = std::mem::take(&mut self.heap);
-        let mut ev = Evaluator::with_heap(heap);
-        let env = self.env();
-        let result = ev.eval(&env, e);
-        self.heap = ev.heap;
-        result
+        self.query_counted(e).map(|(v, _)| v)
     }
 
     /// Evaluate a query and report the number of evaluation steps taken —
     /// an implementation-independent cost measure used by the benchmarks.
     pub fn query_counted(&mut self, e: &Expr) -> EvalResult<(Value, u64)> {
+        let m = store_metrics();
+        m.queries.inc();
+        let started = Instant::now();
         let heap = std::mem::take(&mut self.heap);
         let mut ev = Evaluator::with_heap(heap);
         let env = self.env();
         let result = ev.eval(&env, e);
         let steps = ev.steps_used();
         self.heap = ev.heap;
+        m.query_nanos.observe_nanos(started.elapsed().as_nanos());
+        m.heap_objects.set(self.heap.len() as i64);
+        if result.is_err() {
+            m.query_errors.inc();
+        }
         result.map(|v| (v, steps))
     }
 
     /// Read the current state of an object.
     pub fn state(&self, oid: Oid) -> EvalResult<&Value> {
+        store_metrics().state_reads.inc();
         self.heap.get(oid)
     }
 
@@ -244,5 +306,35 @@ mod tests {
     fn unknown_root_is_an_error() {
         let mut db = Database::new(Schema::new());
         assert!(db.query(&Expr::var("nothing")).is_err());
+    }
+
+    #[test]
+    fn store_operations_feed_the_metrics_registry() {
+        // Other tests in this binary also hit the global registry
+        // concurrently, so assert deltas as lower bounds.
+        let before = metrics::global().snapshot();
+        let mut db = Database::new(tiny_schema());
+        let class = Symbol::new("Point");
+        let oid = db
+            .insert(class, Value::record_from(vec![("x", Value::Int(1)), ("y", Value::Int(2))]))
+            .unwrap();
+        let _ = db.state(oid).unwrap();
+        let q = Expr::comp(
+            Monoid::Sum,
+            Expr::var("p").proj("x"),
+            vec![Expr::gen("p", Expr::var("Points"))],
+        );
+        db.query(&q).unwrap();
+        assert!(db.query(&Expr::var("missing")).is_err());
+        let d = metrics::global().snapshot().diff(&before);
+        assert!(d.counter("store_objects_inserted_total") >= 1);
+        assert!(d.counter("store_state_reads_total") >= 1);
+        assert!(d.counter("store_queries_total") >= 2);
+        assert!(d.counter("store_query_errors_total") >= 1);
+        // Both queries bound the Points extent into scope.
+        assert!(d.counter("store_extent_scans_total") >= 2);
+        let lat = d.histogram_with("store_query_nanos", &[]).unwrap();
+        assert!(lat.count >= 2, "two queries timed, saw {}", lat.count);
+        assert!(metrics::global().snapshot().gauge("store_heap_objects").is_some());
     }
 }

@@ -73,6 +73,18 @@ impl From<EvalError> for AnalyzeError {
 /// This is the only layer that sees both the OQL front end and the
 /// algebra back end, so it is where the two halves of the trace meet.
 pub fn explain_analyze(src: &str, db: &mut Database) -> Result<Analysis, AnalyzeError> {
+    let m = oql_metrics();
+    m.queries.inc();
+    let started = std::time::Instant::now();
+    let result = explain_analyze_inner(src, db);
+    m.query_nanos.observe_nanos(started.elapsed().as_nanos());
+    if result.is_err() {
+        m.errors.inc();
+    }
+    result
+}
+
+fn explain_analyze_inner(src: &str, db: &mut Database) -> Result<Analysis, AnalyzeError> {
     let mut trace = QueryTrace::new();
     trace.source = Some(src.to_string());
     let program = trace.time(Phase::Parse, || monoid_oql::parse_program(src))?;
@@ -80,4 +92,26 @@ pub fn explain_analyze(src: &str, db: &mut Database) -> Result<Analysis, Analyze
         monoid_oql::Translator::new(db.schema()).translate_program(&program)
     })?;
     Ok(monoid_algebra::analyze_with_trace(&expr, db, trace)?)
+}
+
+/// The umbrella OQL path's series in the process-wide registry: query
+/// and error counters plus an end-to-end (parse → execute) latency
+/// histogram. Per-phase histograms (`query_phase_nanos{phase=…}`) are
+/// recorded by `QueryTrace` itself.
+struct OqlMetrics {
+    queries: std::sync::Arc<monoid_calculus::metrics::Counter>,
+    errors: std::sync::Arc<monoid_calculus::metrics::Counter>,
+    query_nanos: std::sync::Arc<monoid_calculus::metrics::Histogram>,
+}
+
+fn oql_metrics() -> &'static OqlMetrics {
+    static METRICS: std::sync::OnceLock<OqlMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = monoid_calculus::metrics::global();
+        OqlMetrics {
+            queries: r.counter("oql_queries_total"),
+            errors: r.counter("oql_query_errors_total"),
+            query_nanos: r.histogram("oql_query_nanos"),
+        }
+    })
 }

@@ -1,0 +1,178 @@
+//! Acceptance tests for the process-wide metrics registry: a known
+//! workload produces exact registry deltas, the metered executor agrees
+//! with the per-query `ExecProbe`, the unprofiled `NoProbe` path never
+//! touches the registry, and the Prometheus rendering of a real workload
+//! is valid exposition text.
+//!
+//! Everything here lives in ONE test function on purpose: integration
+//! test files run as their own process, but test functions within a file
+//! share that process — and therefore the global registry. Sequencing
+//! the assertions keeps the exact-count comparisons race-free.
+
+use monoid_calculus::metrics::{self, MetricValue};
+use monoid_calculus::normalize::normalize_traced;
+use monoid_store::company;
+
+const JOIN_SRC: &str = "select struct(mgr: m.name, emp: e.name) \
+                        from m in Managers, e in CompanyEmployees \
+                        where m.dept = e.dept";
+
+/// Operator kind for an `explain` label, mirroring the label space of
+/// `exec_rows_pushed_total{operator=…}`.
+fn kind_of(label: &str) -> &'static str {
+    if label.starts_with("Scan") {
+        "scan"
+    } else if label.starts_with("IndexLookup") {
+        "index-lookup"
+    } else if label.starts_with("Unnest") {
+        "unnest"
+    } else if label.starts_with("Filter") {
+        "filter"
+    } else if label.starts_with("Bind") {
+        "bind"
+    } else if label.contains("Join") {
+        "join"
+    } else {
+        panic!("unknown operator label: {label}")
+    }
+}
+
+#[test]
+fn registry_accounts_for_a_known_workload() {
+    let mut db = company::generate(6, 15, 10, 42);
+    let expr = monoid_oql::compile(db.schema(), JOIN_SRC).unwrap();
+    let (canonical, _, nstats) = normalize_traced(&expr);
+    let plan = monoid_algebra::plan_comprehension(&canonical).unwrap();
+
+    // --- 1. The unprofiled path is invisible to the registry. ----------
+    // `execute` instantiates `NoProbe`, whose hooks compile to nothing;
+    // no `exec_*` series may move (store counters legitimately move —
+    // the executor reads extents and object state through the store).
+    let before = metrics::global().snapshot();
+    let plain = monoid_algebra::execute(&plan, &mut db).unwrap();
+    let diff = metrics::global().snapshot().diff(&before);
+    for series in &diff.series {
+        if series.key.name.starts_with("exec_") {
+            assert_eq!(
+                series.value,
+                MetricValue::Counter(0),
+                "NoProbe moved {}{:?}",
+                series.key.name,
+                series.key.labels
+            );
+        }
+    }
+
+    // --- 2. The metered executor agrees with ExecProbe, exactly. -------
+    // Same plan, same store: per-kind sums of the single-query profile
+    // must equal the registry delta of one metered run.
+    let analysis = monoid_algebra::execute_profiled(&plan, &mut db).unwrap();
+    assert_eq!(analysis.value, plain);
+    let before = metrics::global().snapshot();
+    let metered = monoid_algebra::execute_metered(&plan, &mut db).unwrap();
+    assert_eq!(metered, plain);
+    let diff = metrics::global().snapshot().diff(&before);
+    for kind in ["scan", "index-lookup", "unnest", "filter", "bind", "join"] {
+        let profiled: u64 = analysis
+            .profile
+            .operators
+            .iter()
+            .filter(|o| kind_of(&o.label) == kind)
+            .map(|o| o.actual_rows)
+            .sum();
+        assert_eq!(
+            diff.counter_with("exec_rows_pushed_total", &[("operator", kind)]),
+            profiled,
+            "row count mismatch for operator kind {kind}"
+        );
+        let built: u64 = analysis
+            .profile
+            .operators
+            .iter()
+            .filter(|o| kind_of(&o.label) == kind)
+            .map(|o| o.build_rows)
+            .sum();
+        assert_eq!(
+            diff.counter_with("exec_build_rows_total", &[("operator", kind)]),
+            built,
+            "build size mismatch for operator kind {kind}"
+        );
+    }
+    assert_eq!(diff.counter("exec_queries_total"), 1);
+    assert_eq!(diff.counter("exec_query_errors_total"), 0);
+    // The dept equi-join really is a join with a non-empty build side.
+    assert!(diff.counter_with("exec_rows_pushed_total", &[("operator", "join")]) > 0);
+    assert!(diff.counter_with("exec_build_rows_total", &[("operator", "join")]) > 0);
+
+    // --- 3. Normalization feeds per-rule counters. ---------------------
+    let before = metrics::global().snapshot();
+    let (_, _, nstats2) = normalize_traced(&expr);
+    let diff = metrics::global().snapshot().diff(&before);
+    assert_eq!(diff.counter("normalize_runs_total"), 1);
+    assert_eq!(diff.counter("normalize_steps_total"), nstats2.steps as u64);
+    for (rule, fired) in nstats2.rule_counts() {
+        assert_eq!(
+            diff.counter_with("normalize_rule_fired_total", &[("rule", rule.name())]),
+            fired,
+            "rule counter mismatch for {}",
+            rule.name()
+        );
+    }
+    assert_eq!(nstats2.steps, nstats.steps);
+
+    // --- 4. The umbrella path times phases and counts queries. ---------
+    let before = metrics::global().snapshot();
+    let analysis = monoid_db::explain_analyze(JOIN_SRC, &mut db).unwrap();
+    assert_eq!(analysis.value, plain);
+    let diff = metrics::global().snapshot().diff(&before);
+    assert_eq!(diff.counter("oql_queries_total"), 1);
+    assert_eq!(diff.counter("oql_query_errors_total"), 0);
+    for phase in ["parse", "translate", "normalize", "optimize", "plan", "execute"] {
+        let h = diff
+            .histogram_with("query_phase_nanos", &[("phase", phase)])
+            .unwrap_or_else(|| panic!("no histogram for phase {phase}"));
+        assert_eq!(h.count, 1, "phase {phase} observed once");
+    }
+    let e2e = diff.histogram_with("oql_query_nanos", &[]).unwrap();
+    assert_eq!(e2e.count, 1);
+    assert!(e2e.sum > 0);
+    // The store under it counted the extents bound into query scope
+    // (the executor reads objects through the moved heap, so per-object
+    // state reads are only counted on the direct `Database::state` path).
+    assert!(diff.counter("store_extent_scans_total") > 0);
+
+    // And the store's own query entry point counts queries and times them.
+    let before = metrics::global().snapshot();
+    let via_store = db.query(&canonical).unwrap();
+    assert_eq!(via_store, plain);
+    let diff = metrics::global().snapshot().diff(&before);
+    assert_eq!(diff.counter("store_queries_total"), 1);
+    assert_eq!(diff.counter("store_query_errors_total"), 0);
+    assert_eq!(diff.histogram_with("store_query_nanos", &[]).unwrap().count, 1);
+
+    // --- 5. A failing query lands in the error counters, not the hot
+    //        ones. ------------------------------------------------------
+    let before = metrics::global().snapshot();
+    assert!(monoid_db::explain_analyze("select ! from", &mut db).is_err());
+    let diff = metrics::global().snapshot().diff(&before);
+    assert_eq!(diff.counter("oql_queries_total"), 1);
+    assert_eq!(diff.counter("oql_query_errors_total"), 1);
+
+    // --- 6. The whole registry renders as valid Prometheus text and
+    //        JSON after all of the above. -------------------------------
+    let snap = metrics::global().snapshot();
+    let text = snap.to_prometheus();
+    metrics::validate_prometheus_text(&text)
+        .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{text}"));
+    for series in [
+        "exec_rows_pushed_total",
+        "normalize_rule_fired_total",
+        "query_phase_nanos_bucket",
+        "store_state_reads_total",
+        "oql_queries_total",
+    ] {
+        assert!(text.contains(series), "missing {series} in:\n{text}");
+    }
+    let json = snap.to_json().render();
+    assert!(json.contains("\"exec_rows_pushed_total\"") || json.contains("exec_rows_pushed_total"));
+}
