@@ -272,12 +272,35 @@ pub(crate) fn run_plan<P: Probe>(
                 }
             }
         }
+        Plan::HashProbe { left, table, on_left } => {
+            // The build side is already materialized and shared; probe it
+            // with the left rows.
+            run_plan(left, op + 1, ev, env, probe, &mut |ev, lrow| {
+                let key = on_left
+                    .iter()
+                    .map(|lk| ev.eval(lrow, lk))
+                    .collect::<ExecResult<Vec<_>>>()?;
+                if let Some(matches) = table.index.get(&key) {
+                    for &i in matches {
+                        let mut row = lrow.clone();
+                        for (var, val) in &table.rows[i] {
+                            row = row.bind(*var, val.clone());
+                        }
+                        probe.row_out(op);
+                        if !sink(ev, &row)? {
+                            return Ok(false);
+                        }
+                    }
+                }
+                Ok(true)
+            })
+        }
     }
 }
 
 /// Materialize a sub-plan as a list of binding deltas (only the variables
 /// the sub-plan itself binds).
-fn materialize<P: Probe>(
+pub(crate) fn materialize<P: Probe>(
     plan: &Plan,
     op: usize,
     ev: &mut Evaluator,
@@ -302,7 +325,7 @@ fn materialize<P: Probe>(
     Ok(rows)
 }
 
-fn collection_elements(v: &Value) -> ExecResult<Vec<Value>> {
+pub(crate) fn collection_elements(v: &Value) -> ExecResult<Vec<Value>> {
     // An object in generator position binds once (§4.2 idiom), matching
     // the evaluator.
     if matches!(v, Value::Obj(_)) {

@@ -79,6 +79,14 @@ pub(crate) fn op_label(plan: &Plan) -> String {
                 .collect();
             format!("{kind} on [{}]", keys.join(", "))
         }
+        Plan::HashProbe { table, on_left, .. } => {
+            let keys: Vec<String> = on_left.iter().map(pretty).collect();
+            format!(
+                "HashProbe on [{}] (prebuilt {} rows)",
+                keys.join(", "),
+                table.rows.len()
+            )
+        }
     }
 }
 
@@ -99,6 +107,9 @@ fn explain_plan(
         Plan::Join { left, right, .. } => {
             explain_plan(left, op + 1, depth + 1, annotate, out);
             explain_plan(right, op + 1 + left.node_count(), depth + 1, annotate, out);
+        }
+        Plan::HashProbe { left, .. } => {
+            explain_plan(left, op + 1, depth + 1, annotate, out);
         }
     }
 }
@@ -147,7 +158,7 @@ mod tests {
         let db = travel::generate(TravelScale::tiny(), 42);
         let mut catalog = IndexCatalog::new();
         catalog.build(&db, "Cities", "name").unwrap();
-        let (indexed, hits) = crate::index::apply_indexes(&plan, &catalog);
+        let (indexed, hits) = crate::index::apply_indexes(&plan, &catalog, &db);
         assert_eq!(hits, 1);
         let s = explain(&indexed);
         assert!(

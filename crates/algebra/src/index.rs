@@ -6,8 +6,12 @@
 //! fields, and an optimizer pass that rewrites `Scan → Filter(var.f = k)`
 //! pipelines into index lookups.
 //!
-//! Indexes are immutable snapshots of the database at build time; after
-//! updates, rebuild ([`IndexCatalog::build`] is cheap — one extent scan).
+//! Indexes are immutable snapshots of the database at build time, stamped
+//! with the database's [mutation epoch](Database::mutation_epoch). The
+//! rewrite pass refuses a stale index — a lookup built before the last
+//! update would silently answer from old data — and either skips it
+//! ([`apply_indexes`]) or rebuilds it in place
+//! ([`apply_indexes_rebuilding`]; one extent scan).
 
 use crate::error::ExecResult;
 use crate::logical::{Plan, Query};
@@ -27,9 +31,22 @@ pub struct Index {
     pub field: Symbol,
     entries: BTreeMap<Value, Vec<Value>>,
     len: usize,
+    /// The database's mutation epoch when this snapshot was built.
+    epoch: u64,
 }
 
 impl Index {
+    /// The [mutation epoch](Database::mutation_epoch) this index was built
+    /// at; it answers correctly only while the database still reports the
+    /// same epoch.
+    pub fn built_at_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Is this snapshot still consistent with `db`?
+    pub fn is_fresh(&self, db: &Database) -> bool {
+        self.epoch == db.mutation_epoch()
+    }
     /// All members whose field equals `key`.
     pub fn lookup(&self, key: &Value) -> &[Value] {
         self.entries.get(key).map(Vec::as_slice).unwrap_or(&[])
@@ -91,9 +108,26 @@ impl IndexCatalog {
             entries.entry(key).or_default().push(member);
             len += 1;
         }
-        self.indexes
-            .insert((extent, field), Arc::new(Index { extent, field, entries, len }));
+        self.indexes.insert(
+            (extent, field),
+            Arc::new(Index { extent, field, entries, len, epoch: db.mutation_epoch() }),
+        );
         Ok(())
+    }
+
+    /// Rebuild every index whose snapshot epoch no longer matches `db`.
+    /// Returns how many were rebuilt.
+    pub fn rebuild_stale(&mut self, db: &Database) -> ExecResult<usize> {
+        let stale: Vec<(Symbol, Symbol)> = self
+            .indexes
+            .values()
+            .filter(|ix| !ix.is_fresh(db))
+            .map(|ix| (ix.extent, ix.field))
+            .collect();
+        for (extent, field) in &stale {
+            self.build(db, *extent, *field)?;
+        }
+        Ok(stale.len())
     }
 
     pub fn get(&self, extent: Symbol, field: Symbol) -> Option<&Arc<Index>> {
@@ -110,54 +144,77 @@ impl IndexCatalog {
 }
 
 /// Rewrite `Filter(var.field = key) ∘ Scan(var ← Extent)` into an index
-/// lookup wherever the catalog has a matching index and the key expression
-/// is independent of the scan variable. Returns the rewritten query and
-/// how many lookups were introduced.
-pub fn apply_indexes(query: &Query, catalog: &IndexCatalog) -> (Query, usize) {
+/// lookup wherever the catalog has a matching **fresh** index and the key
+/// expression is independent of the scan variable. Indexes whose snapshot
+/// epoch trails `db.mutation_epoch()` are refused — the filter pipeline
+/// stays as-is rather than answering from stale data. Returns the
+/// rewritten query and how many lookups were introduced.
+pub fn apply_indexes(query: &Query, catalog: &IndexCatalog, db: &Database) -> (Query, usize) {
     let mut count = 0;
-    let plan = rewrite(&query.plan, catalog, &mut count);
+    let epoch = db.mutation_epoch();
+    let plan = rewrite(&query.plan, catalog, epoch, &mut count);
     (
         Query { plan, monoid: query.monoid.clone(), head: query.head.clone() },
         count,
     )
 }
 
-fn rewrite(plan: &Plan, catalog: &IndexCatalog, count: &mut usize) -> Plan {
+/// [`apply_indexes`], but stale indexes are rebuilt (one extent scan each)
+/// before the rewrite instead of being skipped.
+pub fn apply_indexes_rebuilding(
+    query: &Query,
+    catalog: &mut IndexCatalog,
+    db: &Database,
+) -> ExecResult<(Query, usize)> {
+    catalog.rebuild_stale(db)?;
+    Ok(apply_indexes(query, catalog, db))
+}
+
+fn rewrite(plan: &Plan, catalog: &IndexCatalog, epoch: u64, count: &mut usize) -> Plan {
     match plan {
         Plan::Filter { input, pred } => {
             // Try the pattern on this filter + an immediate scan below.
             if let Plan::Scan { var, source: Expr::Var(extent) } = input.as_ref() {
                 if let Some((field, key)) = match_field_equality(pred, *var) {
                     if let Some(index) = catalog.get(*extent, field) {
-                        *count += 1;
-                        return Plan::IndexLookup {
-                            var: *var,
-                            index: index.clone(),
-                            key: Box::new(key),
-                        };
+                        // A snapshot from an earlier epoch would answer
+                        // with pre-update data; keep the scan instead.
+                        if index.built_at_epoch() == epoch {
+                            *count += 1;
+                            return Plan::IndexLookup {
+                                var: *var,
+                                index: index.clone(),
+                                key: Box::new(key),
+                            };
+                        }
                     }
                 }
             }
             Plan::Filter {
-                input: Box::new(rewrite(input, catalog, count)),
+                input: Box::new(rewrite(input, catalog, epoch, count)),
                 pred: pred.clone(),
             }
         }
         Plan::Unnest { input, var, path } => Plan::Unnest {
-            input: Box::new(rewrite(input, catalog, count)),
+            input: Box::new(rewrite(input, catalog, epoch, count)),
             var: *var,
             path: path.clone(),
         },
         Plan::Bind { input, var, expr } => Plan::Bind {
-            input: Box::new(rewrite(input, catalog, count)),
+            input: Box::new(rewrite(input, catalog, epoch, count)),
             var: *var,
             expr: expr.clone(),
         },
         Plan::Join { left, right, on, kind } => Plan::Join {
-            left: Box::new(rewrite(left, catalog, count)),
-            right: Box::new(rewrite(right, catalog, count)),
+            left: Box::new(rewrite(left, catalog, epoch, count)),
+            right: Box::new(rewrite(right, catalog, epoch, count)),
             on: on.clone(),
             kind: *kind,
+        },
+        Plan::HashProbe { left, table, on_left } => Plan::HashProbe {
+            left: Box::new(rewrite(left, catalog, epoch, count)),
+            table: table.clone(),
+            on_left: on_left.clone(),
         },
         Plan::Scan { .. } | Plan::IndexLookup { .. } => plan.clone(),
     }
@@ -216,7 +273,7 @@ mod tests {
         let mut cat = IndexCatalog::new();
         cat.build(&db, "Cities", "name").unwrap();
         let q = plan_comprehension(&portland_query()).unwrap();
-        let (indexed, hits) = apply_indexes(&q, &cat);
+        let (indexed, hits) = apply_indexes(&q, &cat, &db);
         assert_eq!(hits, 1);
         assert!(format!("{:?}", indexed.plan).contains("IndexLookup"));
         // Results agree with the unindexed plan.
@@ -231,7 +288,7 @@ mod tests {
         let mut cat = IndexCatalog::new();
         cat.build(&db, "Cities", "name").unwrap();
         let q = plan_comprehension(&portland_query()).unwrap();
-        let (indexed, _) = apply_indexes(&q, &cat);
+        let (indexed, _) = apply_indexes(&q, &cat, &db);
         let (v1, plain_steps) = crate::exec::execute_counted(&q, &mut db).unwrap();
         let (v2, index_steps) = crate::exec::execute_counted(&indexed, &mut db).unwrap();
         assert_eq!(v1, v2);
@@ -243,25 +300,28 @@ mod tests {
 
     #[test]
     fn no_index_no_rewrite() {
+        let db = travel::generate(TravelScale::tiny(), 5);
         let q = plan_comprehension(&portland_query()).unwrap();
-        let (same, hits) = apply_indexes(&q, &IndexCatalog::new());
+        let (same, hits) = apply_indexes(&q, &IndexCatalog::new(), &db);
         assert_eq!(hits, 0);
         assert_eq!(same.plan, q.plan);
     }
 
     #[test]
-    fn indexes_are_snapshots() {
-        // After an update, a stale index still answers with old data;
-        // rebuilding fixes it.
+    fn stale_indexes_are_refused() {
+        // Regression: the rewrite pass used to install index lookups built
+        // before the latest update, answering queries from stale data.
+        // Now snapshots carry the mutation epoch and a trailing index is
+        // skipped (the plan keeps its scan, which reads live data).
         let mut db = travel::generate(TravelScale::tiny(), 5);
         let mut cat = IndexCatalog::new();
-        cat.build(&db, "Employees", "salary").unwrap();
-        let before = cat
-            .get(Symbol::new("Employees"), Symbol::new("salary"))
-            .unwrap()
-            .distinct_keys();
-        // Set every salary to 1.
-        let flatten_salaries = Expr::comp(
+        cat.build(&db, "Cities", "name").unwrap();
+        let q = plan_comprehension(&portland_query()).unwrap();
+        let (_, hits) = apply_indexes(&q, &cat, &db);
+        assert_eq!(hits, 1, "fresh index is used");
+
+        // Any mutation — here a field update — advances the epoch.
+        let touch = Expr::comp(
             Monoid::All,
             Expr::var("e").assign(Expr::record(vec![
                 ("name", Expr::var("e").proj("name")),
@@ -269,17 +329,32 @@ mod tests {
             ])),
             vec![Expr::gen("e", Expr::var("Employees"))],
         );
-        db.query(&flatten_salaries).unwrap();
-        let stale = cat
-            .get(Symbol::new("Employees"), Symbol::new("salary"))
+        db.query(&touch).unwrap();
+        let idx = cat.get(Symbol::new("Cities"), Symbol::new("name")).unwrap();
+        assert!(!idx.is_fresh(&db), "snapshot trails the database");
+        let (plan, hits) = apply_indexes(&q, &cat, &db);
+        assert_eq!(hits, 0, "stale index is refused");
+        assert!(!format!("{:?}", plan.plan).contains("IndexLookup"));
+
+        // The rebuilding variant refreshes the snapshot and uses it.
+        let (plan, hits) = apply_indexes_rebuilding(&q, &mut cat, &db).unwrap();
+        assert_eq!(hits, 1);
+        assert!(format!("{:?}", plan.plan).contains("IndexLookup"));
+        assert!(cat
+            .get(Symbol::new("Cities"), Symbol::new("name"))
             .unwrap()
-            .distinct_keys();
-        assert_eq!(before, stale, "index is a snapshot");
+            .is_fresh(&db));
+    }
+
+    #[test]
+    fn rebuild_stale_touches_only_trailing_indexes() {
+        let mut db = travel::generate(TravelScale::tiny(), 5);
+        let mut cat = IndexCatalog::new();
+        cat.build(&db, "Cities", "name").unwrap();
+        db.set_root("Spare", Value::list(vec![]));
         cat.build(&db, "Employees", "salary").unwrap();
-        let fresh = cat
-            .get(Symbol::new("Employees"), Symbol::new("salary"))
-            .unwrap()
-            .distinct_keys();
-        assert_eq!(fresh, 1);
+        // Cities/name predates the set_root, Employees/salary does not.
+        assert_eq!(cat.rebuild_stale(&db).unwrap(), 1);
+        assert_eq!(cat.rebuild_stale(&db).unwrap(), 0, "now all fresh");
     }
 }

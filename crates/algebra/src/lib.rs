@@ -11,8 +11,10 @@
 //! * [`exec`] — push-based pipelined execution: no intermediate
 //!   materialization except hash-join build sides, with `some`/`all`
 //!   short-circuiting.
-//! * [`parallel`] — partitioned parallel reduction, sound because monoid
-//!   merges are associative (and commutative where required).
+//! * [`parallel`] — ordered partitioned parallel reduction: partials merge
+//!   in partition order, so associativity alone makes every monoid —
+//!   including lists, strings, and sorted collections — parallelizable;
+//!   worker-allocated objects are reconciled back into the shared heap.
 //! * [`optimizer`] — cost-based qualifier reordering (join ordering as a
 //!   calculus-level permutation, valid by commutativity) with statistics
 //!   gathered from the database.
@@ -44,10 +46,15 @@ pub mod trace;
 
 pub use error::PlanError;
 pub use exec::{execute, execute_counted, NoProbe, Probe};
-pub use metrics::{execute_metered, MetricsProbe};
+pub use metrics::{execute_metered, execute_parallel_metered, MetricsProbe};
 pub use explain::{explain, explain_with_estimates};
-pub use index::{apply_indexes, Index, IndexCatalog};
+pub use index::{apply_indexes, apply_indexes_rebuilding, Index, IndexCatalog};
 pub use optimizer::{reorder_generators, Stats};
-pub use logical::{plan_comprehension, plan_with_options, JoinKind, Plan, PlanOptions, Query};
-pub use parallel::execute_parallel;
+pub use logical::{
+    plan_comprehension, plan_with_options, BuildTable, JoinKind, Plan, PlanOptions, Query,
+};
+pub use parallel::{
+    default_threads, execute_parallel, execute_parallel_auto, execute_parallel_traced,
+    execute_parallel_with, Fallback, ParallelReport,
+};
 pub use trace::{analyze_with_trace, execute_profiled, explain_analyze, Analysis, OperatorProfile, QueryProfile};

@@ -55,6 +55,26 @@ pub enum Plan {
     /// (introduced by `index::apply_indexes`; the index snapshot is
     /// embedded in the plan).
     IndexLookup { var: Symbol, index: std::sync::Arc<crate::index::Index>, key: Box<Expr> },
+    /// Probe a *prebuilt* hash-join build side (introduced by the parallel
+    /// driver, which materializes a `Join`'s right side once and shares it
+    /// across workers through the `Arc`). `on_left` holds the left-side
+    /// key expressions, in the same order as the table's keys; empty keys
+    /// make it a shared cross product.
+    HashProbe { left: Box<Plan>, table: std::sync::Arc<BuildTable>, on_left: Vec<Expr> },
+}
+
+/// A materialized hash-join build side: the right sub-plan's binding
+/// deltas plus a key → row-indexes map. Built once (by the parallel
+/// driver) and probed by many workers concurrently.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BuildTable {
+    /// Variables the build side binds, in plan order.
+    pub vars: Vec<Symbol>,
+    /// One binding delta per build row.
+    pub rows: Vec<Vec<(Symbol, monoid_calculus::value::Value)>>,
+    /// Right-side key values → indexes into `rows`. With no equi-keys
+    /// every row lives under the empty key (a cross product).
+    pub index: std::collections::BTreeMap<Vec<monoid_calculus::value::Value>, Vec<usize>>,
 }
 
 impl Plan {
@@ -73,10 +93,16 @@ impl Plan {
                 v.extend(right.bound_vars());
                 v
             }
+            Plan::HashProbe { left, table, .. } => {
+                let mut v = left.bound_vars();
+                v.extend(table.vars.iter().copied());
+                v
+            }
         }
     }
 
-    /// Number of operators (for stats / tests).
+    /// Number of operators (for stats / tests). A `HashProbe`'s build side
+    /// is materialized data, not a plan subtree, so it counts as one node.
     pub fn node_count(&self) -> usize {
         match self {
             Plan::Scan { .. } | Plan::IndexLookup { .. } => 1,
@@ -84,6 +110,7 @@ impl Plan {
                 1 + input.node_count()
             }
             Plan::Join { left, right, .. } => 1 + left.node_count() + right.node_count(),
+            Plan::HashProbe { left, .. } => 1 + left.node_count(),
         }
     }
 
@@ -97,6 +124,7 @@ impl Plan {
             Plan::Join { left, right, kind, .. } => {
                 *kind == JoinKind::Hash || left.uses_hash_join() || right.uses_hash_join()
             }
+            Plan::HashProbe { .. } => true,
         }
     }
 }
@@ -382,7 +410,7 @@ mod tests {
                     matches!(input.as_ref(), Plan::Scan { .. }) || scan_is_filtered(input)
                 }
                 Plan::Unnest { input, .. } | Plan::Bind { input, .. } => scan_is_filtered(input),
-                Plan::Join { left, .. } => scan_is_filtered(left),
+                Plan::Join { left, .. } | Plan::HashProbe { left, .. } => scan_is_filtered(left),
                 Plan::Scan { .. } | Plan::IndexLookup { .. } => false,
             }
         }

@@ -20,13 +20,15 @@
 use crate::error::ExecResult;
 use crate::exec::{self, Probe};
 use crate::logical::{Plan, Query};
-use monoid_calculus::metrics::{global, Counter};
+use crate::parallel::{self, Fallback, ParallelReport};
+use monoid_calculus::metrics::{global, Counter, Histogram};
 use monoid_calculus::value::Value;
 use monoid_store::Database;
 use std::sync::{Arc, OnceLock};
 
 /// Operator kinds, the label space of the executor's registry series.
-const KINDS: [&str; 6] = ["scan", "index-lookup", "unnest", "filter", "bind", "join"];
+const KINDS: [&str; 7] =
+    ["scan", "index-lookup", "unnest", "filter", "bind", "join", "hash-probe"];
 
 fn kind_index(plan: &Plan) -> usize {
     match plan {
@@ -36,13 +38,14 @@ fn kind_index(plan: &Plan) -> usize {
         Plan::Filter { .. } => 3,
         Plan::Bind { .. } => 4,
         Plan::Join { .. } => 5,
+        Plan::HashProbe { .. } => 6,
     }
 }
 
 /// Per-kind counter handles, resolved once per process.
 struct ExecMetrics {
-    rows: [Arc<Counter>; 6],
-    build_rows: [Arc<Counter>; 6],
+    rows: [Arc<Counter>; 7],
+    build_rows: [Arc<Counter>; 7],
     short_circuits: Arc<Counter>,
     executions: Arc<Counter>,
     errors: Arc<Counter>,
@@ -74,8 +77,15 @@ pub struct MetricsProbe {
 
 impl MetricsProbe {
     pub fn for_query(query: &Query) -> MetricsProbe {
-        let mut op_kind = Vec::with_capacity(query.plan.node_count());
-        collect_kinds(&query.plan, &mut op_kind);
+        MetricsProbe::for_plan(&query.plan)
+    }
+
+    /// Build from a bare plan — the parallel driver rewrites worker plans
+    /// (singleton scans, prebuilt probes) whose operator numbering differs
+    /// from the original query's.
+    pub fn for_plan(plan: &Plan) -> MetricsProbe {
+        let mut op_kind = Vec::with_capacity(plan.node_count());
+        collect_kinds(plan, &mut op_kind);
         MetricsProbe { op_kind }
     }
 }
@@ -93,6 +103,7 @@ fn collect_kinds(plan: &Plan, out: &mut Vec<usize>) {
             collect_kinds(left, out);
             collect_kinds(right, out);
         }
+        Plan::HashProbe { left, .. } => collect_kinds(left, out),
     }
 }
 
@@ -114,6 +125,76 @@ impl Probe for MetricsProbe {
     #[inline]
     fn short_circuit(&self) {
         exec_metrics().short_circuits.inc();
+    }
+}
+
+/// Parallel-engine counter handles, resolved once per process. The
+/// `reason` label space of `parallel_fallback_total` is the closed
+/// [`Fallback`] enum, so the registry stays bounded.
+struct ParallelMetrics {
+    executions: Arc<Counter>,
+    workers: Arc<Counter>,
+    fallbacks: [Arc<Counter>; 2],
+    worker_rows: Arc<Histogram>,
+    prebuilt_rows: Arc<Counter>,
+    reconciled_objects: Arc<Counter>,
+}
+
+fn parallel_metrics() -> &'static ParallelMetrics {
+    static METRICS: OnceLock<ParallelMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global();
+        ParallelMetrics {
+            executions: r.counter("parallel_executions_total"),
+            workers: r.counter("parallel_workers_total"),
+            fallbacks: [Fallback::SingleThread, Fallback::Mutation]
+                .map(|f| r.counter_with("parallel_fallback_total", &[("reason", f.as_str())])),
+            worker_rows: r.histogram("parallel_worker_rows"),
+            prebuilt_rows: r.counter("parallel_prebuilt_rows_total"),
+            reconciled_objects: r.counter("parallel_reconciled_objects_total"),
+        }
+    })
+}
+
+fn record_parallel(report: &ParallelReport) {
+    let m = parallel_metrics();
+    m.executions.inc();
+    m.workers.add(report.workers as u64);
+    if let Some(reason) = report.fallback {
+        let i = match reason {
+            Fallback::SingleThread => 0,
+            Fallback::Mutation => 1,
+        };
+        m.fallbacks[i].inc();
+    }
+    for &rows in &report.worker_rows {
+        m.worker_rows.observe(rows);
+    }
+    m.prebuilt_rows.add(report.prebuilt_rows);
+    m.reconciled_objects.add(report.reconciled_objects);
+}
+
+/// [`crate::execute_parallel`] with fleet metering: per-operator row and
+/// build counters flow through a shared [`MetricsProbe`] (built from the
+/// rewritten worker plan), and the engine's [`ParallelReport`] lands in
+/// the `parallel_*` family — executions, workers spawned, per-worker row
+/// distribution, prebuilt build rows, reconciled heap objects, and
+/// `parallel_fallback_total{reason=…}` when the query ran sequentially.
+pub fn execute_parallel_metered(
+    query: &Query,
+    db: &mut Database,
+    threads: usize,
+) -> ExecResult<Value> {
+    let result = parallel::execute_parallel_with(query, db, threads, MetricsProbe::for_plan);
+    match result {
+        Ok((v, report)) => {
+            record_parallel(&report);
+            Ok(v)
+        }
+        Err(e) => {
+            exec_metrics().errors.inc();
+            Err(e)
+        }
     }
 }
 
@@ -177,6 +258,44 @@ mod tests {
         assert!(
             d.counter_with("exec_rows_pushed_total", &[("operator", "scan")])
                 >= TravelScale::tiny().cities as u64
+        );
+    }
+
+    #[test]
+    fn parallel_metering_records_workers_and_fallbacks() {
+        let mut db = travel::generate(TravelScale::tiny(), 42);
+        let q = Expr::comp(
+            Monoid::List,
+            Expr::var("h").proj("name"),
+            vec![Expr::gen("h", Expr::var("Hotels"))],
+        );
+        let plan = plan_comprehension(&q).unwrap();
+        let seq = exec::execute(&plan, &mut db).unwrap();
+
+        let before = global().snapshot();
+        let par = execute_parallel_metered(&plan, &mut db, 4).unwrap();
+        assert_eq!(seq, par);
+        let d = global().snapshot().diff(&before);
+        assert!(d.counter("parallel_executions_total") >= 1);
+        assert!(d.counter("parallel_workers_total") >= 2);
+        assert_eq!(
+            d.counter_with("parallel_fallback_total", &[("reason", "single-thread")]),
+            0
+        );
+
+        // threads = 1 falls back and says why — and the series shows up
+        // in the Prometheus exposition.
+        let before = global().snapshot();
+        execute_parallel_metered(&plan, &mut db, 1).unwrap();
+        let d = global().snapshot().diff(&before);
+        assert_eq!(
+            d.counter_with("parallel_fallback_total", &[("reason", "single-thread")]),
+            1
+        );
+        let text = global().snapshot().to_prometheus();
+        assert!(
+            text.contains("parallel_fallback_total{reason=\"single-thread\"}"),
+            "{text}"
         );
     }
 }

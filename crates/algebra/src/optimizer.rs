@@ -107,6 +107,11 @@ impl Stats {
                 // equality predicate; no keys means a cross product.
                 l * r * EQ_SELECTIVITY.powi(on.len() as i32)
             }
+            Plan::HashProbe { left, table, on_left } => {
+                // The build side is materialized: its cardinality is exact.
+                let l = self.estimate_into(left, op + 1, out);
+                l * table.rows.len() as f64 * EQ_SELECTIVITY.powi(on_left.len() as i32)
+            }
         };
         out[op] = est;
         est

@@ -304,6 +304,9 @@ fn collect_operators(
             collect_operators(left, op + 1, depth + 1, estimates, probe, out);
             collect_operators(right, op + 1 + left.node_count(), depth + 1, estimates, probe, out);
         }
+        Plan::HashProbe { left, .. } => {
+            collect_operators(left, op + 1, depth + 1, estimates, probe, out);
+        }
     }
 }
 

@@ -44,7 +44,7 @@ fn full_pipeline(db: &mut Database, src: &str) -> Option<Value> {
     let mut catalog = IndexCatalog::new();
     catalog.build(db, "Cities", "name").unwrap();
     catalog.build(db, "Hotels", "name").unwrap();
-    let (indexed, _) = apply_indexes(&plan, &catalog);
+    let (indexed, _) = apply_indexes(&plan, &catalog, db);
     for (label, p) in [("plain", &plan), ("indexed", &indexed)] {
         let got = execute(p, db).unwrap();
         assert_eq!(direct, got, "{label} plan changed `{src}`");
@@ -82,7 +82,7 @@ fn index_reduces_step_count() {
     let plan = plan_comprehension(&normalize(&q)).unwrap();
     let mut catalog = IndexCatalog::new();
     catalog.build(&db, "Cities", "name").unwrap();
-    let (indexed, hits) = apply_indexes(&plan, &catalog);
+    let (indexed, hits) = apply_indexes(&plan, &catalog, &db);
     assert_eq!(hits, 1);
     let (v1, scan_steps) = execute_counted(&plan, &mut db).unwrap();
     let (v2, index_steps) = execute_counted(&indexed, &mut db).unwrap();

@@ -7,7 +7,8 @@
 //! * predicate pushdown on vs off — expected: pushing the city filter
 //!   below the unnests skips navigating every non-matching city;
 //! * parallel partitioned reduction vs sequential — expected: near-linear
-//!   scaling for commutative monoids on large scans.
+//!   scaling for any monoid on large scans (partials merge in partition
+//!   order, so associativity suffices), bounded by the host's core count.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use monoid_bench::queries::{employee_client_join, PORTLAND_FLAT_OQL};
@@ -80,7 +81,7 @@ fn bench_index(c: &mut Criterion) {
         let plan = monoid_algebra::plan_comprehension(&normalize(&q)).expect("plan");
         let mut catalog = monoid_algebra::IndexCatalog::new();
         catalog.build(&db, "Cities", "name").expect("index");
-        let (indexed, _) = monoid_algebra::apply_indexes(&plan, &catalog);
+        let (indexed, _) = monoid_algebra::apply_indexes(&plan, &catalog, &db);
         group.bench_with_input(BenchmarkId::new("scan", hotels), &hotels, |b, _| {
             b.iter(|| monoid_algebra::execute(&plan, &mut db).expect("scan"))
         });

@@ -791,7 +791,7 @@ fn bench_ablation() {
         let plan = monoid_algebra::plan_comprehension(&n).unwrap();
         let mut catalog = monoid_algebra::IndexCatalog::new();
         catalog.build(&db, "Cities", "name").unwrap();
-        let (indexed, hits) = monoid_algebra::apply_indexes(&plan, &catalog);
+        let (indexed, hits) = monoid_algebra::apply_indexes(&plan, &catalog, &db);
         assert_eq!(hits, 1);
         let t_scan = timed(|| monoid_algebra::execute(&plan, &mut db).unwrap());
         let t_index = timed(|| monoid_algebra::execute(&indexed, &mut db).unwrap());

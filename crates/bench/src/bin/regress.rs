@@ -67,6 +67,21 @@ fn main() {
         if report.quick { " (quick)" } else { "" }
     );
     println!("{}", table.render());
+
+    let mut ptable = Table::new(&["parallel query", "threads", "workers", "p50", "p95", "speedup"]);
+    for p in &report.parallel {
+        for t in &p.threads {
+            ptable.row(&[
+                p.name.to_string(),
+                t.threads.to_string(),
+                t.workers.to_string(),
+                fmt_nanos(t.p50_nanos),
+                fmt_nanos(t.p95_nanos),
+                format!("{:.2}x", t.speedup_vs_sequential),
+            ]);
+        }
+    }
+    println!("{}", ptable.render());
     println!("operator rows: {:?}", report.operator_rows());
     println!("rules fired:   {:?}", report.rule_firings());
 

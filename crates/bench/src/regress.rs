@@ -14,6 +14,7 @@
 use crate::harness::percentile_nanos;
 use crate::queries;
 use monoid_calculus::expr::Expr;
+use monoid_calculus::monoid::Monoid;
 use monoid_calculus::json::Json;
 use monoid_calculus::metrics::{self, validate_prometheus_text, Snapshot};
 use monoid_calculus::normalize::{normalize_traced, NormalizeStats};
@@ -47,11 +48,37 @@ pub struct QueryReport {
     pub normalize: NormalizeStats,
 }
 
+/// One thread count's latency for a parallel-bench query.
+pub struct ParallelPoint {
+    pub threads: usize,
+    /// Workers the engine actually spawned (0 when it fell back, e.g.
+    /// `threads = 1`).
+    pub workers: usize,
+    pub p50_nanos: u128,
+    pub p95_nanos: u128,
+    /// Sequential median ÷ this median. On a single-core host this hovers
+    /// around (or below) 1.0 — the point of tracking it per thread count
+    /// is the trajectory across machines and PRs, not one absolute number.
+    pub speedup_vs_sequential: f64,
+}
+
+/// The ordered-parallel-reduction section: one query run at several
+/// thread counts against its sequential baseline.
+pub struct ParallelBench {
+    pub name: &'static str,
+    pub monoid: &'static str,
+    pub source: String,
+    pub sequential_p50_nanos: u128,
+    pub threads: Vec<ParallelPoint>,
+}
+
 /// The full regression report.
 pub struct RegressReport {
     pub quick: bool,
     pub runs_per_query: usize,
     pub queries: Vec<QueryReport>,
+    /// Parallel reduction latencies per thread count (B6-style section).
+    pub parallel: Vec<ParallelBench>,
     /// Registry delta attributable to this workload (snapshot diff
     /// around the run).
     pub registry: Snapshot,
@@ -169,10 +196,87 @@ pub fn run(quick: bool) -> RegressReport {
             normalize,
         });
     }
+    let parallel = run_parallel_section(quick, runs);
     let registry = metrics::global().snapshot().diff(&before);
     let prometheus = registry.to_prometheus();
     validate_prometheus_text(&prometheus).expect("exporter emits valid text format");
-    RegressReport { quick, runs_per_query: runs, queries: reports, registry, prometheus }
+    RegressReport { quick, runs_per_query: runs, queries: reports, parallel, registry, prometheus }
+}
+
+/// Time the ordered parallel reduction engine at several thread counts —
+/// a commutative fold and an order-sensitive list build — against their
+/// sequential medians. Runs through [`monoid_algebra::execute_parallel_metered`]
+/// so the `parallel_*` registry family (workers, per-worker rows,
+/// `parallel_fallback_total{reason}`) lands in the report's Prometheus
+/// section.
+fn run_parallel_section(quick: bool, runs: usize) -> Vec<ParallelBench> {
+    let scale = TravelScale::with_hotels(if quick { 64 } else { 1024 });
+    let mut db = travel::generate(scale, 7);
+    let thread_counts = [1usize, 2, 4, 8];
+    let cases = [
+        (
+            "sum-beds",
+            "sum",
+            "sum{ r.bed# | h ← Hotels, r ← h.rooms }",
+            Expr::comp(
+                Monoid::Sum,
+                Expr::var("r").proj("bed#"),
+                vec![
+                    Expr::gen("h", Expr::var("Hotels")),
+                    Expr::gen("r", Expr::var("h").proj("rooms")),
+                ],
+            ),
+        ),
+        (
+            "list-prices",
+            "list",
+            "list{ r.price | h ← Hotels, r ← h.rooms }",
+            Expr::comp(
+                Monoid::List,
+                Expr::var("r").proj("price"),
+                vec![
+                    Expr::gen("h", Expr::var("Hotels")),
+                    Expr::gen("r", Expr::var("h").proj("rooms")),
+                ],
+            ),
+        ),
+    ];
+    cases
+        .into_iter()
+        .map(|(name, monoid, source, expr)| {
+            let plan = monoid_algebra::plan_comprehension(&expr).expect("parallel case plans");
+            let mut seq_samples = Vec::with_capacity(runs);
+            for _ in 0..runs {
+                let started = Instant::now();
+                monoid_algebra::execute(&plan, &mut db).expect("sequential baseline");
+                seq_samples.push(started.elapsed().as_nanos());
+            }
+            let sequential_p50_nanos = percentile_nanos(&seq_samples, 50.0);
+            let threads = thread_counts
+                .iter()
+                .map(|&t| {
+                    let (_, report) = monoid_algebra::execute_parallel_traced(&plan, &mut db, t)
+                        .expect("parallel case executes");
+                    let mut samples = Vec::with_capacity(runs);
+                    for _ in 0..runs {
+                        let started = Instant::now();
+                        monoid_algebra::execute_parallel_metered(&plan, &mut db, t)
+                            .expect("parallel case executes");
+                        samples.push(started.elapsed().as_nanos());
+                    }
+                    let p50 = percentile_nanos(&samples, 50.0);
+                    ParallelPoint {
+                        threads: t,
+                        workers: report.workers,
+                        p50_nanos: p50,
+                        p95_nanos: percentile_nanos(&samples, 95.0),
+                        speedup_vs_sequential: sequential_p50_nanos as f64 / p50.max(1) as f64,
+                    }
+                })
+                .collect();
+            ParallelBench { name, monoid, source: source.to_string(), sequential_p50_nanos, threads }
+        })
+        .collect()
 }
 
 impl RegressReport {
@@ -249,15 +353,47 @@ impl RegressReport {
                 })
                 .collect(),
         );
+        let parallel = Json::Arr(
+            self.parallel
+                .iter()
+                .map(|p| {
+                    let threads = Json::Arr(
+                        p.threads
+                            .iter()
+                            .map(|t| {
+                                Json::obj(vec![
+                                    ("threads", Json::from(t.threads)),
+                                    ("workers", Json::from(t.workers)),
+                                    ("median_nanos", Json::from(t.p50_nanos)),
+                                    ("p95_nanos", Json::from(t.p95_nanos)),
+                                    (
+                                        "speedup_vs_sequential",
+                                        Json::Float(t.speedup_vs_sequential),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    );
+                    Json::obj(vec![
+                        ("name", Json::str(p.name)),
+                        ("monoid", Json::str(p.monoid)),
+                        ("source", Json::str(p.source.clone())),
+                        ("sequential_median_nanos", Json::from(p.sequential_p50_nanos)),
+                        ("threads", threads),
+                    ])
+                })
+                .collect(),
+        );
         let pairs_json = |pairs: Vec<(String, u64)>| {
             Json::Obj(pairs.into_iter().map(|(k, n)| (k, Json::from(n))).collect())
         };
         Json::obj(vec![
             ("bench", Json::str("regress")),
-            ("schema_version", Json::Int(1)),
+            ("schema_version", Json::Int(2)),
             ("quick", Json::Bool(self.quick)),
             ("runs_per_query", Json::from(self.runs_per_query)),
             ("queries", queries),
+            ("parallel", parallel),
             ("operator_rows", pairs_json(self.operator_rows())),
             ("normalize_rules", pairs_json(self.rule_firings())),
             ("registry", self.registry.to_json()),
@@ -291,6 +427,27 @@ mod tests {
         // The Prometheus rendering of the delta is valid text format.
         validate_prometheus_text(&report.prometheus).unwrap();
         assert!(report.prometheus.contains("exec_rows_pushed_total"), "{}", report.prometheus);
+        // The parallel section covers both a commutative and an ordered
+        // monoid, across the full thread ladder, and its threads=1 runs
+        // put the fallback series into the Prometheus exposition.
+        assert_eq!(report.parallel.len(), 2);
+        for p in &report.parallel {
+            assert_eq!(
+                p.threads.iter().map(|t| t.threads).collect::<Vec<_>>(),
+                vec![1, 2, 4, 8]
+            );
+            assert_eq!(p.threads[0].workers, 0, "threads=1 falls back");
+            assert!(p.threads[2].workers >= 2, "threads=4 fans out");
+            for t in &p.threads {
+                assert!(t.p50_nanos > 0 && t.speedup_vs_sequential > 0.0);
+            }
+        }
+        assert!(
+            report.prometheus.contains("parallel_fallback_total{reason=\"single-thread\"}"),
+            "{}",
+            report.prometheus
+        );
+        assert!(report.prometheus.contains("parallel_workers_total"), "{}", report.prometheus);
         // And the JSON document carries the acceptance fields.
         let json = report.to_json().render();
         for key in [
@@ -300,6 +457,8 @@ mod tests {
             "\"operator_rows\"",
             "\"registry\"",
             "\"rows_to_reduce\"",
+            "\"parallel\"",
+            "\"speedup_vs_sequential\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }

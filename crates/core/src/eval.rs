@@ -472,7 +472,7 @@ impl Evaluator {
                 _ => num_op("%", &a, &b, i64::checked_rem, |x, y| x % y),
             },
             BinOp::Like => match (&a, &b) {
-                (Value::Str(s), Value::Str(p)) => Ok(Value::Bool(like_match(s, p))),
+                (Value::Str(s), Value::Str(p)) => Ok(Value::Bool(like_match(s, p)?)),
                 _ => Err(EvalError::TypeMismatch {
                     op: "like",
                     detail: format!("expected strings, got {} and {}", a.kind(), b.kind()),
@@ -557,32 +557,72 @@ fn num_op(
     }
 }
 
-/// OQL `like` matching: `%` matches any (possibly empty) substring; every
-/// other character matches itself.
-pub fn like_match(s: &str, pattern: &str) -> bool {
-    let segs: Vec<&str> = pattern.split('%').collect();
-    let n = segs.len();
-    if n == 1 {
-        // No wildcard: exact match.
-        return s == pattern;
-    }
-    // First segment anchors at the start, last at the end; middles match
-    // leftmost-greedily (leftmost leaves the longest tail, which is optimal
-    // for the anchored suffix).
-    let mut rest = match s.strip_prefix(segs[0]) {
-        Some(r) => r,
-        None => return false,
-    };
-    for seg in &segs[1..n - 1] {
-        if seg.is_empty() {
-            continue;
+/// One token of a parsed `like` pattern.
+enum LikeTok {
+    /// Match exactly this character.
+    Lit(char),
+    /// `_`: match any single character.
+    One,
+    /// `%`: match any (possibly empty) run of characters.
+    Many,
+}
+
+/// Tokenize a `like` pattern. `\` escapes the next character (so `\%`,
+/// `\_`, and `\\` are literals); a pattern ending in a bare `\` is an
+/// error rather than a silent literal.
+fn parse_like(pattern: &str) -> EvalResult<Vec<LikeTok>> {
+    let mut toks = Vec::new();
+    let mut chars = pattern.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '%' => toks.push(LikeTok::Many),
+            '_' => toks.push(LikeTok::One),
+            '\\' => match chars.next() {
+                Some(lit) => toks.push(LikeTok::Lit(lit)),
+                None => {
+                    return Err(EvalError::Other(
+                        "`like` pattern ends with a dangling `\\` escape".into(),
+                    ))
+                }
+            },
+            lit => toks.push(LikeTok::Lit(lit)),
         }
-        match rest.find(seg) {
-            Some(at) => rest = &rest[at + seg.len()..],
-            None => return false,
-        }
     }
-    rest.ends_with(segs[n - 1])
+    Ok(toks)
+}
+
+/// OQL `like` matching: `%` matches any (possibly empty) substring, `_`
+/// matches exactly one character, and `\c` matches `c` literally. Errors
+/// on a pattern ending in a bare `\`.
+pub fn like_match(s: &str, pattern: &str) -> EvalResult<bool> {
+    let toks = parse_like(pattern)?;
+    let chars: Vec<char> = s.chars().collect();
+    let n = chars.len();
+    // dp[i] ⇔ chars[i..] matches the token suffix processed so far;
+    // tokens are folded in from the end of the pattern.
+    let mut dp = vec![false; n + 1];
+    dp[n] = true;
+    for tok in toks.iter().rev() {
+        let mut next = vec![false; n + 1];
+        match tok {
+            LikeTok::Many => {
+                // `%` then rest: rest may start at any position ≥ i.
+                let mut any = false;
+                for i in (0..=n).rev() {
+                    any = any || dp[i];
+                    next[i] = any;
+                }
+            }
+            LikeTok::One => next[..n].copy_from_slice(&dp[1..]),
+            LikeTok::Lit(c) => {
+                for i in 0..n {
+                    next[i] = chars[i] == *c && dp[i + 1];
+                }
+            }
+        }
+        dp = next;
+    }
+    Ok(dp[0])
 }
 
 /// Convenience: evaluate a closed expression with a fresh evaluator.
@@ -621,6 +661,38 @@ mod tests {
             Value::tuple(ints(&[3, 5])),
         ]);
         assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn like_supports_percent_underscore_and_escapes() {
+        // `%`: any run.
+        assert!(like_match("hotel", "h%l").unwrap());
+        assert!(like_match("hotel", "%").unwrap());
+        assert!(!like_match("hotel", "h%x").unwrap());
+        // `_`: exactly one character.
+        assert!(like_match("hotel", "h_tel").unwrap());
+        assert!(like_match("hotel", "_____").unwrap());
+        assert!(!like_match("hotel", "______").unwrap());
+        assert!(!like_match("hotel", "h_el").unwrap());
+        // `\%` and `\_` are literals; `\\` is a literal backslash.
+        assert!(like_match("a%b", r"a\%b").unwrap());
+        assert!(!like_match("axb", r"a\%b").unwrap());
+        assert!(like_match("a_b", r"a\_b").unwrap());
+        assert!(!like_match("axb", r"a\_b").unwrap());
+        assert!(like_match(r"a\b", r"a\\b").unwrap());
+        // Wildcards combine.
+        assert!(like_match("hotel_3_2", r"hotel\__\_%").unwrap());
+        // Exact match still works with no wildcards at all.
+        assert!(like_match("abc", "abc").unwrap());
+        assert!(!like_match("abc", "abd").unwrap());
+    }
+
+    #[test]
+    fn like_trailing_escape_is_an_error() {
+        assert!(like_match("anything", r"abc\").is_err());
+        // …including through the evaluator's `like` operator.
+        let e = Expr::str("abc").like(Expr::str("abc\\"));
+        assert!(eval_closed(&e).is_err());
     }
 
     /// Paper §2.4: sum{ a | a ← [1,2,3], a ≤ 2 } = 3.

@@ -254,6 +254,9 @@ impl Expr {
     pub fn eq(self, rhs: Expr) -> Expr {
         Expr::binop(BinOp::Eq, self, rhs)
     }
+    pub fn like(self, pattern: Expr) -> Expr {
+        Expr::binop(BinOp::Like, self, pattern)
+    }
     pub fn ne(self, rhs: Expr) -> Expr {
         Expr::binop(BinOp::Ne, self, rhs)
     }

@@ -15,6 +15,11 @@ use crate::value::{Oid, Value};
 #[derive(Debug, Default, Clone)]
 pub struct Heap {
     states: Vec<Value>,
+    /// Bumped on every mutation (`alloc`/`set`). Consumers (the store's
+    /// mutation epoch, index staleness checks) compare versions to detect
+    /// that the heap changed between two points in time; the counter
+    /// travels with the heap through clone and `mem::take`/restore cycles.
+    version: u64,
 }
 
 impl Heap {
@@ -29,6 +34,7 @@ impl Heap {
     pub fn alloc(&mut self, state: Value) -> Oid {
         let oid = Oid(self.states.len() as u64);
         self.states.push(state);
+        self.version += 1;
         oid
     }
 
@@ -44,10 +50,23 @@ impl Heap {
         match self.states.get_mut(oid.0 as usize) {
             Some(slot) => {
                 *slot = state;
+                self.version += 1;
                 Ok(())
             }
             None => Err(EvalError::InvalidOid(oid.0)),
         }
+    }
+
+    /// Mutation counter: strictly increases across `alloc`/`set` calls.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The states allocated at or after index `base`, in allocation order
+    /// — what a worker that cloned this heap at `len() == base` has added
+    /// since. Used by the parallel driver to reconcile worker heaps.
+    pub fn states_from(&self, base: usize) -> &[Value] {
+        &self.states[base.min(self.states.len())..]
     }
 
     /// Number of live objects.
@@ -87,6 +106,33 @@ mod tests {
         let a = h.alloc(Value::Int(1));
         h.set(a, Value::Int(42)).unwrap();
         assert_eq!(h.get(a).unwrap(), &Value::Int(42));
+    }
+
+    #[test]
+    fn version_tracks_mutations() {
+        let mut h = Heap::new();
+        let v0 = h.version();
+        let a = h.alloc(Value::Int(1));
+        assert!(h.version() > v0);
+        let v1 = h.version();
+        h.set(a, Value::Int(2)).unwrap();
+        assert!(h.version() > v1);
+        // Clones carry the version; reads do not bump it.
+        let c = h.clone();
+        assert_eq!(c.version(), h.version());
+        let _ = h.get(a).unwrap();
+        assert_eq!(c.version(), h.version());
+    }
+
+    #[test]
+    fn states_from_returns_the_tail() {
+        let mut h = Heap::new();
+        h.alloc(Value::Int(0));
+        let base = h.len();
+        h.alloc(Value::Int(1));
+        h.alloc(Value::Int(2));
+        assert_eq!(h.states_from(base), &[Value::Int(1), Value::Int(2)]);
+        assert_eq!(h.states_from(h.len() + 10), &[] as &[Value]);
     }
 
     #[test]

@@ -69,6 +69,10 @@ pub struct Database {
     roots: BTreeMap<Symbol, Value>,
     /// Which class each extent member list belongs to, for `insert`.
     extent_of: BTreeMap<Symbol, Symbol>,
+    /// Bumped on every root mutation (`insert` extent growth, `set_root`).
+    /// Heap mutations are tracked by the heap's own version counter; the
+    /// two together form [`Database::mutation_epoch`].
+    roots_epoch: u64,
 }
 
 impl Database {
@@ -83,7 +87,17 @@ impl Database {
                 extent_of.insert(class.name, extent);
             }
         }
-        Database { schema, heap: Heap::new(), roots, extent_of }
+        Database { schema, heap: Heap::new(), roots, extent_of, roots_epoch: 0 }
+    }
+
+    /// A counter that strictly increases across every mutation of the
+    /// database — object allocation, state update (including updates made
+    /// by query evaluation), extent growth, and root rebinding. Two equal
+    /// epochs mean no mutation happened in between; secondary indexes are
+    /// stamped with the epoch at build time so lookup rewriting can refuse
+    /// (or rebuild) indexes that no longer reflect the data.
+    pub fn mutation_epoch(&self) -> u64 {
+        self.heap.version() + self.roots_epoch
     }
 
     pub fn schema(&self) -> &Schema {
@@ -116,6 +130,7 @@ impl Database {
             let mut elems = current.elements()?;
             elems.push(obj);
             self.roots.insert(extent, Value::bag_from(elems));
+            self.roots_epoch += 1;
         }
         Ok(oid)
     }
@@ -123,6 +138,7 @@ impl Database {
     /// Set (or create) a named persistent root.
     pub fn set_root(&mut self, name: impl Into<Symbol>, value: Value) {
         self.roots.insert(name.into(), value);
+        self.roots_epoch += 1;
     }
 
     pub fn root(&self, name: Symbol) -> Option<&Value> {
@@ -292,6 +308,46 @@ mod tests {
         );
         assert_eq!(db.query(&update).unwrap(), Value::Bool(true));
         assert_eq!(db.field(oid, "x").unwrap(), Value::Int(10));
+    }
+
+    #[test]
+    fn mutation_epoch_advances_on_every_mutation_kind() {
+        let mut db = Database::new(tiny_schema());
+        let e0 = db.mutation_epoch();
+        // Insert: heap alloc + extent growth.
+        let oid = db
+            .insert(
+                Symbol::new("Point"),
+                Value::record_from(vec![("x", Value::Int(1)), ("y", Value::Int(2))]),
+            )
+            .unwrap();
+        let e1 = db.mutation_epoch();
+        assert!(e1 > e0);
+        // Root rebinding.
+        db.set_root("marker", Value::Int(7));
+        let e2 = db.mutation_epoch();
+        assert!(e2 > e1);
+        // Heap update through query evaluation (`:=`).
+        let update = Expr::comp(
+            Monoid::All,
+            Expr::var("p").assign(Expr::record(vec![
+                ("x", Expr::int(10)),
+                ("y", Expr::int(20)),
+            ])),
+            vec![Expr::gen("p", Expr::var("Points"))],
+        );
+        db.query(&update).unwrap();
+        let e3 = db.mutation_epoch();
+        assert!(e3 > e2, "heap mutation inside a query advances the epoch");
+        // Read-only operations do not.
+        let _ = db.state(oid).unwrap();
+        let sum = Expr::comp(
+            Monoid::Sum,
+            Expr::var("p").proj("x"),
+            vec![Expr::gen("p", Expr::var("Points"))],
+        );
+        db.query(&sum).unwrap();
+        assert_eq!(db.mutation_epoch(), e3);
     }
 
     #[test]

@@ -36,8 +36,8 @@ fn check_agreement(db: &mut Database, src: &str) {
         Ok(plan) => {
             let piped = algebra::execute(&plan, db).unwrap();
             assert_eq!(direct, piped, "pipeline changed `{src}`");
-            // Parallel execution must agree too (falls back when the
-            // monoid is order-sensitive).
+            // Parallel execution must agree too — ordered merge makes
+            // even order-sensitive monoids parallelizable.
             let par = algebra::execute_parallel(&plan, db, 4).unwrap();
             assert_eq!(direct, par, "parallel changed `{src}`");
         }
