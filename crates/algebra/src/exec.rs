@@ -94,13 +94,25 @@ fn with_evaluator<R>(
     result
 }
 
+/// Re-check the plan invariants (`crate::verify`) when stage verification
+/// is on; a violation aborts execution with the stage-tagged message.
+fn verify_if_enabled(query: &Query, db: &Database) -> ExecResult<()> {
+    if monoid_calculus::analysis::verify_enabled() {
+        crate::verify::verify_query(query, db)
+            .map_err(|e| EvalError::Other(e.to_string()))?;
+    }
+    Ok(())
+}
+
 /// Run a query against a database, returning the reduced value.
 pub fn execute(query: &Query, db: &mut Database) -> ExecResult<Value> {
+    verify_if_enabled(query, db)?;
     with_evaluator(db, |ev, env| run_reduce(query, ev, env, &NoProbe))
 }
 
 /// Run a query and report evaluation steps (cost proxy for benchmarks).
 pub fn execute_counted(query: &Query, db: &mut Database) -> ExecResult<(Value, u64)> {
+    verify_if_enabled(query, db)?;
     with_evaluator(db, |ev, env| {
         let v = run_reduce(query, ev, env, &NoProbe)?;
         Ok((v, ev.steps_used()))
@@ -114,6 +126,7 @@ pub(crate) fn execute_probed<P: Probe>(
     db: &mut Database,
     probe: &P,
 ) -> ExecResult<(Value, u64)> {
+    verify_if_enabled(query, db)?;
     with_evaluator(db, |ev, env| {
         let v = run_reduce(query, ev, env, probe)?;
         Ok((v, ev.steps_used()))

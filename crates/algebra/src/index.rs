@@ -153,8 +153,12 @@ pub fn apply_indexes(query: &Query, catalog: &IndexCatalog, db: &Database) -> (Q
     let mut count = 0;
     let epoch = db.mutation_epoch();
     let plan = rewrite(&query.plan, catalog, epoch, &mut count);
+    // Recompute the static effect classification: the rewrite replaces
+    // filter+scan pipelines with index lookups, which can only shrink the
+    // set of embedded expressions.
+    let plan_effects = plan.effects();
     (
-        Query { plan, monoid: query.monoid.clone(), head: query.head.clone() },
+        Query { plan, monoid: query.monoid.clone(), head: query.head.clone(), plan_effects },
         count,
     )
 }

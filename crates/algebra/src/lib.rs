@@ -29,6 +29,10 @@
 //! * [`metrics`](mod@metrics) — fleet metering: a probe that feeds
 //!   cumulative per-operator-kind row/build/short-circuit counters into
 //!   the process-wide registry (`monoid_calculus::metrics`).
+//! * [`verify`] — plan invariant verifier: binder consistency, build-table
+//!   shape, index snapshot freshness, and mutation-freedom, re-checked
+//!   before every execution when stage verification is on
+//!   (`MONOID_VERIFY=1`, or any debug build).
 //!
 //! Typical flow: `compile` OQL → `normalize` → [`logical::plan_comprehension`]
 //! → [`exec::execute`] (or [`trace::explain_analyze`] to see where rows
@@ -43,6 +47,7 @@ pub mod metrics;
 pub mod optimizer;
 pub mod parallel;
 pub mod trace;
+pub mod verify;
 
 pub use error::PlanError;
 pub use exec::{execute, execute_counted, NoProbe, Probe};
@@ -58,3 +63,4 @@ pub use parallel::{
     execute_parallel_with, Fallback, ParallelReport,
 };
 pub use trace::{analyze_with_trace, execute_profiled, explain_analyze, Analysis, OperatorProfile, QueryProfile};
+pub use verify::verify_query;

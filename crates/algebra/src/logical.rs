@@ -16,6 +16,7 @@
 //! * the comprehension monoid and head become the top `Reduce`.
 
 use crate::error::PlanError;
+use monoid_calculus::analysis::{effects_of, Effects};
 use monoid_calculus::expr::{BinOp, Expr, Qual};
 use monoid_calculus::monoid::Monoid;
 use monoid_calculus::normalize::is_pure;
@@ -114,6 +115,50 @@ impl Plan {
         }
     }
 
+    /// Visit every calculus expression embedded in the plan (scan
+    /// sources, unnest paths, predicates, bind expressions, join keys).
+    pub fn for_each_expr(&self, f: &mut impl FnMut(&Expr)) {
+        match self {
+            Plan::Scan { source, .. } => f(source),
+            Plan::IndexLookup { key, .. } => f(key),
+            Plan::Unnest { input, path, .. } => {
+                f(path);
+                input.for_each_expr(f);
+            }
+            Plan::Filter { input, pred } => {
+                f(pred);
+                input.for_each_expr(f);
+            }
+            Plan::Bind { input, expr, .. } => {
+                f(expr);
+                input.for_each_expr(f);
+            }
+            Plan::Join { left, right, on, .. } => {
+                for (l, r) in on {
+                    f(l);
+                    f(r);
+                }
+                left.for_each_expr(f);
+                right.for_each_expr(f);
+            }
+            Plan::HashProbe { left, on_left, .. } => {
+                for k in on_left {
+                    f(k);
+                }
+                left.for_each_expr(f);
+            }
+        }
+    }
+
+    /// The join of the effects of every embedded expression — the static
+    /// classification the parallel engine consults instead of re-scanning
+    /// the plan at runtime (`docs/analysis.md`).
+    pub fn effects(&self) -> Effects {
+        let mut eff = Effects::PURE;
+        self.for_each_expr(&mut |e| eff = eff.join(effects_of(e)));
+        eff
+    }
+
     /// Does any join in the plan use the hash strategy?
     pub fn uses_hash_join(&self) -> bool {
         match self {
@@ -135,6 +180,12 @@ pub struct Query {
     pub plan: Plan,
     pub monoid: Monoid,
     pub head: Expr,
+    /// Static effect classification of every expression embedded in
+    /// `plan`, computed once at plan time ([`Plan::effects`]). The head is
+    /// *not* included: it is re-classified at execution time (it is one
+    /// small expression, and tests swap it post-planning to exercise
+    /// impure reductions).
+    pub plan_effects: Effects,
 }
 
 /// Planner options (the ablation switches for benchmark B6).
@@ -283,7 +334,8 @@ pub fn plan_with_options(e: &Expr, opts: PlanOptions) -> Result<Query, PlanError
         plan = Plan::Filter { input: Box::new(plan), pred: p };
     }
 
-    Ok(Query { plan, monoid: monoid.clone(), head: head.as_ref().clone() })
+    let plan_effects = plan.effects();
+    Ok(Query { plan, monoid: monoid.clone(), head: head.as_ref().clone(), plan_effects })
 }
 
 /// If `p` is `lhs = rhs` with one side's variables all bound (left of the

@@ -149,7 +149,11 @@ fn predicate_selectivity(p: &Expr) -> f64 {
 /// non-commutative monoids, and impure terms come back unchanged.
 pub fn reorder_generators(e: &Expr, stats: &Stats) -> Expr {
     let Expr::Comp { monoid, head, quals } = e else { return e.clone() };
-    if !monoid.props().commutative || !monoid_calculus::normalize::is_pure(e) {
+    // Reordering permutes evaluation order, so it is licensed only for
+    // commutative monoids over effect-free terms; the static classifier
+    // (`analysis::effects_of`) agrees with `normalize::is_pure` by
+    // construction and is what every other stage consults.
+    if !monoid.props().commutative || !monoid_calculus::analysis::effects_of(e).is_pure() {
         return e.clone();
     }
     // Split into generators / binds / preds, remembering dependencies.

@@ -42,6 +42,7 @@
 use crate::error::ExecResult;
 use crate::exec::{self, NoProbe, Probe};
 use crate::logical::{BuildTable, JoinKind, Plan, Query};
+use monoid_calculus::analysis::{effects_of, Effects};
 use monoid_calculus::error::EvalError;
 use monoid_calculus::eval::Evaluator;
 use monoid_calculus::expr::Expr;
@@ -133,7 +134,7 @@ pub fn default_threads() -> usize {
         .and_then(|s| s.trim().parse::<usize>().ok())
     {
         Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        _ => std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1),
     }
 }
 
@@ -154,11 +155,23 @@ pub fn execute_parallel_with<P: Probe + Sync>(
     threads: usize,
     make_probe: impl FnOnce(&Plan) -> P,
 ) -> ExecResult<(Value, ParallelReport)> {
+    if monoid_calculus::analysis::verify_enabled() {
+        crate::verify::verify_query(query, db).map_err(|e| EvalError::Other(e.to_string()))?;
+    }
     let mut report = ParallelReport::new(threads);
     if threads <= 1 {
         return run_fallback(query, db, make_probe, report, Fallback::SingleThread);
     }
-    if query_mutates(query) {
+    // Static classification: the planner computed `plan_effects` once at
+    // plan time; only the head — one small expression, swappable by tests
+    // after planning — is re-classified here. The plan is never re-scanned.
+    let effects = effects_of(&query.head).join(query.plan_effects);
+    debug_assert_eq!(
+        effects.mutates,
+        query_mutates(query),
+        "static effect analysis disagrees with the runtime plan scan"
+    );
+    if effects.mutates {
         return run_fallback(query, db, make_probe, report, Fallback::Mutation);
     }
 
@@ -166,7 +179,8 @@ pub fn execute_parallel_with<P: Probe + Sync>(
     // the same order sequential execution would, and collect the partition
     // point (scan/index-lookup members) at the bottom.
     let env = db.env();
-    let (plan, partition) = prepare(&query.plan, db, &env, threads, &mut report)?;
+    let (plan, partition) =
+        prepare(&query.plan, db, &env, threads, query.plan_effects, &mut report)?;
     let PartitionPoint { var, elements } = partition;
     if elements.is_empty() {
         return Ok((value::zero(&query.monoid)?, report));
@@ -265,6 +279,7 @@ fn prepare(
     db: &mut Database,
     env: &Env,
     threads: usize,
+    plan_effects: Effects,
     report: &mut ParallelReport,
 ) -> ExecResult<(Plan, PartitionPoint)> {
     match plan {
@@ -279,15 +294,15 @@ fn prepare(
             Ok((plan.clone(), PartitionPoint { var: *var, elements }))
         }
         Plan::Unnest { input, var, path } => {
-            let (input, pp) = prepare(input, db, env, threads, report)?;
+            let (input, pp) = prepare(input, db, env, threads, plan_effects, report)?;
             Ok((Plan::Unnest { input: Box::new(input), var: *var, path: path.clone() }, pp))
         }
         Plan::Filter { input, pred } => {
-            let (input, pp) = prepare(input, db, env, threads, report)?;
+            let (input, pp) = prepare(input, db, env, threads, plan_effects, report)?;
             Ok((Plan::Filter { input: Box::new(input), pred: pred.clone() }, pp))
         }
         Plan::Bind { input, var, expr } => {
-            let (input, pp) = prepare(input, db, env, threads, report)?;
+            let (input, pp) = prepare(input, db, env, threads, plan_effects, report)?;
             Ok((Plan::Bind { input: Box::new(input), var: *var, expr: expr.clone() }, pp))
         }
         Plan::Join { left, right, on, kind } => {
@@ -297,12 +312,12 @@ fn prepare(
             // keys against combined rows, so it stays per-worker (the
             // planner never emits that shape).
             if *kind == JoinKind::Hash || on.is_empty() {
-                let table = build_table(right, on, db, env, threads, report)?;
-                let (left, pp) = prepare(left, db, env, threads, report)?;
+                let table = build_table(right, on, db, env, threads, plan_effects, report)?;
+                let (left, pp) = prepare(left, db, env, threads, plan_effects, report)?;
                 let on_left = on.iter().map(|(lk, _)| lk.clone()).collect();
                 Ok((Plan::HashProbe { left: Box::new(left), table, on_left }, pp))
             } else {
-                let (left, pp) = prepare(left, db, env, threads, report)?;
+                let (left, pp) = prepare(left, db, env, threads, plan_effects, report)?;
                 Ok((
                     Plan::Join {
                         left: Box::new(left),
@@ -315,7 +330,7 @@ fn prepare(
             }
         }
         Plan::HashProbe { left, table, on_left } => {
-            let (left, pp) = prepare(left, db, env, threads, report)?;
+            let (left, pp) = prepare(left, db, env, threads, plan_effects, report)?;
             Ok((
                 Plan::HashProbe {
                     left: Box::new(left),
@@ -339,10 +354,11 @@ fn build_table(
     db: &mut Database,
     env: &Env,
     threads: usize,
+    plan_effects: Effects,
     report: &mut ParallelReport,
 ) -> ExecResult<Arc<BuildTable>> {
     let vars = right.bound_vars();
-    let keyed_rows = parallel_build_rows(right, on, db, env, threads)?;
+    let keyed_rows = parallel_build_rows(right, on, db, env, threads, plan_effects)?;
     let keyed_rows = match keyed_rows {
         Some(rows) => rows,
         None => {
@@ -398,8 +414,17 @@ fn parallel_build_rows(
     db: &mut Database,
     env: &Env,
     threads: usize,
+    plan_effects: Effects,
 ) -> ExecResult<Option<Vec<(Vec<(Symbol, Value)>, Vec<Value>)>>> {
-    if threads < 2 || plan_allocates(right) {
+    // Static gate: `plan_effects` covers every expression in the whole
+    // plan, so `!plan_effects.allocates` implies this build side is
+    // allocation-free (conservative in the other direction). The old
+    // per-build runtime scan survives only as the debug cross-check.
+    debug_assert!(
+        plan_effects.allocates || !plan_allocates(right),
+        "static effect analysis disagrees with the runtime build-side scan"
+    );
+    if threads < 2 || plan_effects.allocates {
         return Ok(None);
     }
     let Some((bvar, bsource)) = spine_scan(right) else {
@@ -542,72 +567,18 @@ fn run_partition<P: Probe>(
     Ok((acc.finish()?, rows))
 }
 
-/// Does any expression in the query (head or plan) contain `:=`?
+/// Fresh re-scan of the whole query for `:=` — the cross-check for the
+/// cached `plan_effects` (which goes stale only if the plan is altered
+/// after planning). Referenced only from `debug_assert!`s; release builds
+/// trust the cached classification.
 fn query_mutates(query: &Query) -> bool {
-    expr_has_assign(&query.head) || {
-        let mut found = false;
-        for_each_plan_expr(&query.plan, &mut |e| found = found || expr_has_assign(e));
-        found
-    }
+    effects_of(&query.head).join(query.plan.effects()).mutates
 }
 
-/// Does any expression in `plan` allocate (`new`)? Allocation-free build
-/// sides can be materialized by workers on throwaway heap clones.
+/// Fresh re-scan of a build side for `new` — cross-check for the cached
+/// whole-plan allocation flag. Referenced only from `debug_assert!`s.
 fn plan_allocates(plan: &Plan) -> bool {
-    let mut found = false;
-    for_each_plan_expr(plan, &mut |e| {
-        let mut has_new = false;
-        e.visit(&mut |n| {
-            if matches!(n, Expr::New(_)) {
-                has_new = true;
-            }
-        });
-        found = found || has_new;
-    });
-    found
-}
-
-fn expr_has_assign(e: &Expr) -> bool {
-    let mut found = false;
-    e.visit(&mut |n| {
-        if matches!(n, Expr::Assign(..)) {
-            found = true;
-        }
-    });
-    found
-}
-
-fn for_each_plan_expr(plan: &Plan, f: &mut impl FnMut(&Expr)) {
-    match plan {
-        Plan::Scan { source, .. } => f(source),
-        Plan::IndexLookup { key, .. } => f(key),
-        Plan::Unnest { input, path, .. } => {
-            f(path);
-            for_each_plan_expr(input, f);
-        }
-        Plan::Filter { input, pred } => {
-            f(pred);
-            for_each_plan_expr(input, f);
-        }
-        Plan::Bind { input, expr, .. } => {
-            f(expr);
-            for_each_plan_expr(input, f);
-        }
-        Plan::Join { left, right, on, .. } => {
-            for (l, r) in on {
-                f(l);
-                f(r);
-            }
-            for_each_plan_expr(left, f);
-            for_each_plan_expr(right, f);
-        }
-        Plan::HashProbe { left, on_left, .. } => {
-            for k in on_left {
-                f(k);
-            }
-            for_each_plan_expr(left, f);
-        }
-    }
+    plan.effects().allocates
 }
 
 #[cfg(test)]

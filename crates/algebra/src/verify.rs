@@ -1,0 +1,301 @@
+//! Plan invariant verifier — the physical-layer half of the stage
+//! verifier (`monoid_calculus::analysis::verify` checks the calculus
+//! rewrites; this module checks the [`Plan`] handed to an executor).
+//!
+//! Run before execution whenever
+//! [`verify_enabled`](monoid_calculus::analysis::verify_enabled) holds
+//! (debug builds by default, `MONOID_VERIFY=1` anywhere). Each check is
+//! tagged with a stage so failures land in
+//! `analysis_verify_failures_total{stage}` and error messages say *which*
+//! invariant broke:
+//!
+//! * `plan/binders` — no operator on a pipeline path rebinds a variable an
+//!   upstream operator already bound (a rebind would silently shadow rows).
+//! * `plan/build` — every [`BuildTable`] is internally consistent: row
+//!   deltas bind exactly the advertised `vars`, index entries point at
+//!   real rows, and probe-key arity matches the table's key arity.
+//! * `plan/index` — embedded [`Index`](crate::index::Index) snapshots are
+//!   epoch-fresh for the database about to be scanned; a stale snapshot
+//!   would resurrect deleted objects or miss inserts.
+//! * `plan/effects` — plan expressions are mutation-free, matching the
+//!   planner's own `PlanError::Impure` refusal (a mutating expression can
+//!   only appear through post-planning surgery on the `Query`).
+
+use crate::logical::{Plan, Query};
+use monoid_calculus::analysis::verify::record_failure;
+use monoid_calculus::analysis::VerifyError;
+use monoid_calculus::symbol::Symbol;
+use monoid_store::Database;
+use std::collections::BTreeSet;
+
+/// Check every plan invariant over `query` against `db`. Returns the
+/// first violation, tagged with its stage; also bumps
+/// `analysis_verify_failures_total{stage}` on failure.
+pub fn verify_query(query: &Query, db: &Database) -> Result<(), VerifyError> {
+    let result = check_binders(&query.plan, &mut BTreeSet::new())
+        .and_then(|()| check_build_tables(&query.plan))
+        .and_then(|()| check_indexes(&query.plan, db))
+        .and_then(|()| check_effects(&query.plan));
+    if let Err(e) = &result {
+        record_failure(e.stage);
+    }
+    result
+}
+
+/// `plan/binders`: walk the pipeline root-to-leaf collecting bound
+/// variables; any operator that rebinds an already-bound name is refused.
+fn check_binders(plan: &Plan, bound: &mut BTreeSet<Symbol>) -> Result<(), VerifyError> {
+    let bind = |var: Symbol, bound: &mut BTreeSet<Symbol>| {
+        if bound.insert(var) {
+            Ok(())
+        } else {
+            Err(VerifyError::new(
+                "plan/binders",
+                format!("operator rebinds `{var}`, which an upstream operator already bound"),
+            ))
+        }
+    };
+    match plan {
+        Plan::Scan { var, .. } | Plan::IndexLookup { var, .. } => bind(*var, bound),
+        Plan::Unnest { input, var, .. } | Plan::Bind { input, var, .. } => {
+            check_binders(input, bound)?;
+            bind(*var, bound)
+        }
+        Plan::Filter { input, .. } => check_binders(input, bound),
+        Plan::Join { left, right, .. } => {
+            check_binders(left, bound)?;
+            check_binders(right, bound)
+        }
+        Plan::HashProbe { left, table, .. } => {
+            check_binders(left, bound)?;
+            for var in &table.vars {
+                bind(*var, bound)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// `plan/build`: every [`BuildTable`](crate::logical::BuildTable) row
+/// must bind exactly `vars` (same names, same order), every index entry
+/// must reference an existing row, and the probe's `on_left` arity must
+/// equal the table's key arity.
+fn check_build_tables(plan: &Plan) -> Result<(), VerifyError> {
+    match plan {
+        Plan::Scan { .. } | Plan::IndexLookup { .. } => Ok(()),
+        Plan::Unnest { input, .. } | Plan::Filter { input, .. } | Plan::Bind { input, .. } => {
+            check_build_tables(input)
+        }
+        Plan::Join { left, right, .. } => {
+            check_build_tables(left)?;
+            check_build_tables(right)
+        }
+        Plan::HashProbe { left, table, on_left } => {
+            check_build_tables(left)?;
+            for (i, row) in table.rows.iter().enumerate() {
+                let names: Vec<Symbol> = row.iter().map(|(s, _)| *s).collect();
+                if names != table.vars {
+                    return Err(VerifyError::new(
+                        "plan/build",
+                        format!(
+                            "build row {i} binds {} variable(s) {:?} but the table advertises \
+                             {} var(s) {:?}",
+                            names.len(),
+                            names,
+                            table.vars.len(),
+                            table.vars
+                        ),
+                    ));
+                }
+            }
+            for (key, rows) in &table.index {
+                if key.len() != on_left.len() {
+                    return Err(VerifyError::new(
+                        "plan/build",
+                        format!(
+                            "build index key arity {} does not match probe key arity {}",
+                            key.len(),
+                            on_left.len()
+                        ),
+                    ));
+                }
+                if let Some(&idx) = rows.iter().find(|&&idx| idx >= table.rows.len()) {
+                    return Err(VerifyError::new(
+                        "plan/build",
+                        format!(
+                            "build index references row {idx} but the table has only {} row(s)",
+                            table.rows.len()
+                        ),
+                    ));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// `plan/index`: every embedded index snapshot must carry the database's
+/// current mutation epoch — the same freshness rule
+/// `index::apply_indexes` enforces at planning time, re-checked here
+/// because mutations may have landed between planning and execution.
+fn check_indexes(plan: &Plan, db: &Database) -> Result<(), VerifyError> {
+    match plan {
+        Plan::Scan { .. } => Ok(()),
+        Plan::IndexLookup { index, .. } => {
+            if index.is_fresh(db) {
+                Ok(())
+            } else {
+                Err(VerifyError::new(
+                    "plan/index",
+                    format!(
+                        "index on {}.{} was built at mutation epoch {} but the database is at \
+                         epoch {}; rebuild with `apply_indexes_rebuilding`",
+                        index.extent,
+                        index.field,
+                        index.built_at_epoch(),
+                        db.mutation_epoch()
+                    ),
+                ))
+            }
+        }
+        Plan::Unnest { input, .. } | Plan::Filter { input, .. } | Plan::Bind { input, .. } => {
+            check_indexes(input, db)
+        }
+        Plan::Join { left, right, .. } => {
+            check_indexes(left, db)?;
+            check_indexes(right, db)
+        }
+        Plan::HashProbe { left, .. } => check_indexes(left, db),
+    }
+}
+
+/// `plan/effects`: the planner refuses impure comprehensions
+/// (`PlanError::Impure`), so a mutating expression inside a plan means
+/// the plan was modified after planning — refuse to execute it.
+fn check_effects(plan: &Plan) -> Result<(), VerifyError> {
+    let effects = plan.effects();
+    if effects.mutates {
+        return Err(VerifyError::new(
+            "plan/effects",
+            "plan contains a mutating (`:=`) expression; the planner never emits one, so the \
+             plan was altered after planning"
+                .to_string(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexCatalog;
+    use crate::logical::{plan_comprehension, BuildTable};
+    use monoid_calculus::expr::Expr;
+    use monoid_calculus::monoid::Monoid;
+    use monoid_calculus::value::Value;
+    use monoid_store::travel::{self, TravelScale};
+    use std::sync::Arc;
+
+    fn sample_query() -> Query {
+        let e = Expr::comp(
+            Monoid::Bag,
+            Expr::var("c").proj("name"),
+            vec![Expr::gen("c", Expr::var("Cities"))],
+        );
+        plan_comprehension(&e).unwrap()
+    }
+
+    #[test]
+    fn well_formed_query_passes() {
+        let db = travel::generate(TravelScale::tiny(), 5);
+        let query = sample_query();
+        assert!(verify_query(&query, &db).is_ok());
+    }
+
+    #[test]
+    fn duplicate_binder_is_caught() {
+        let db = travel::generate(TravelScale::tiny(), 5);
+        let mut query = sample_query();
+        query.plan = Plan::Unnest {
+            input: Box::new(query.plan.clone()),
+            var: Symbol::new("c"),
+            path: Expr::var("c").proj("hotels"),
+        };
+        let err = verify_query(&query, &db).unwrap_err();
+        assert_eq!(err.stage, "plan/binders");
+        assert!(err.to_string().contains("rebinds"), "{err}");
+    }
+
+    #[test]
+    fn stale_index_is_refused() {
+        let mut db = travel::generate(TravelScale::tiny(), 5);
+        let mut cat = IndexCatalog::new();
+        cat.build(&db, "Cities", "name").unwrap();
+        let index = cat.get(Symbol::new("Cities"), Symbol::new("name")).unwrap().clone();
+        let mut query = sample_query();
+        query.plan = Plan::IndexLookup {
+            var: Symbol::new("c"),
+            index,
+            key: Box::new(Expr::str("Portland")),
+        };
+        assert!(verify_query(&query, &db).is_ok(), "fresh snapshot passes");
+
+        // Any root mutation advances the epoch and strands the snapshot.
+        db.set_root("Spare", Value::list(vec![]));
+        let err = verify_query(&query, &db).unwrap_err();
+        assert_eq!(err.stage, "plan/index");
+        assert!(err.to_string().contains("epoch"), "{err}");
+    }
+
+    #[test]
+    fn inconsistent_build_table_is_caught() {
+        let db = travel::generate(TravelScale::tiny(), 5);
+        let mut query = sample_query();
+        let x = Symbol::new("x");
+        let y = Symbol::new("y");
+        let table = BuildTable {
+            vars: vec![x, y],
+            rows: vec![vec![(x, Value::Int(1))]], // missing `y`
+            index: Default::default(),
+        };
+        query.plan = Plan::HashProbe {
+            left: Box::new(query.plan.clone()),
+            table: Arc::new(table),
+            on_left: vec![],
+        };
+        let err = verify_query(&query, &db).unwrap_err();
+        assert_eq!(err.stage, "plan/build");
+    }
+
+    #[test]
+    fn probe_key_arity_mismatch_is_caught() {
+        let db = travel::generate(TravelScale::tiny(), 5);
+        let mut query = sample_query();
+        let x = Symbol::new("x");
+        let mut index = std::collections::BTreeMap::new();
+        index.insert(vec![Value::Int(1), Value::Int(2)], vec![0]);
+        let table =
+            BuildTable { vars: vec![x], rows: vec![vec![(x, Value::Int(1))]], index };
+        query.plan = Plan::HashProbe {
+            left: Box::new(query.plan.clone()),
+            table: Arc::new(table),
+            on_left: vec![Expr::var("c").proj("name")], // arity 1 vs key arity 2
+        };
+        let err = verify_query(&query, &db).unwrap_err();
+        assert_eq!(err.stage, "plan/build");
+        assert!(err.to_string().contains("arity"), "{err}");
+    }
+
+    #[test]
+    fn post_planning_mutation_is_caught() {
+        let db = travel::generate(TravelScale::tiny(), 5);
+        let mut query = sample_query();
+        query.plan = Plan::Filter {
+            input: Box::new(query.plan.clone()),
+            pred: Expr::var("c").assign(Expr::int(0)),
+        };
+        let err = verify_query(&query, &db).unwrap_err();
+        assert_eq!(err.stage, "plan/effects");
+        assert!(err.to_string().contains(":="), "{err}");
+    }
+}

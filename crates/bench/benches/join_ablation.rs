@@ -33,10 +33,10 @@ fn bench_join_strategy(c: &mut Criterion) {
             .expect("nl plan");
             let id = format!("h{hotels}_k{k}");
             group.bench_with_input(BenchmarkId::new("hash", &id), &id, |b, _| {
-                b.iter(|| monoid_algebra::execute(&hash, &mut db).expect("hash"))
+                b.iter(|| monoid_algebra::execute(&hash, &mut db).expect("hash"));
             });
             group.bench_with_input(BenchmarkId::new("nested_loop", &id), &id, |b, _| {
-                b.iter(|| monoid_algebra::execute(&nl, &mut db).expect("nl"))
+                b.iter(|| monoid_algebra::execute(&nl, &mut db).expect("nl"));
             });
         }
     }
@@ -59,7 +59,7 @@ fn bench_pushdown(c: &mut Criterion) {
         )
         .expect("off");
         group.bench_with_input(BenchmarkId::new("pushdown_on", hotels), &hotels, |b, _| {
-            b.iter(|| monoid_algebra::execute(&on, &mut db).expect("on"))
+            b.iter(|| monoid_algebra::execute(&on, &mut db).expect("on"));
         });
         group.bench_with_input(
             BenchmarkId::new("pushdown_off", hotels),
@@ -83,10 +83,10 @@ fn bench_index(c: &mut Criterion) {
         catalog.build(&db, "Cities", "name").expect("index");
         let (indexed, _) = monoid_algebra::apply_indexes(&plan, &catalog, &db);
         group.bench_with_input(BenchmarkId::new("scan", hotels), &hotels, |b, _| {
-            b.iter(|| monoid_algebra::execute(&plan, &mut db).expect("scan"))
+            b.iter(|| monoid_algebra::execute(&plan, &mut db).expect("scan"));
         });
         group.bench_with_input(BenchmarkId::new("index", hotels), &hotels, |b, _| {
-            b.iter(|| monoid_algebra::execute(&indexed, &mut db).expect("index"))
+            b.iter(|| monoid_algebra::execute(&indexed, &mut db).expect("index"));
         });
     }
     group.finish();
@@ -108,7 +108,7 @@ fn bench_parallel(c: &mut Criterion) {
     let plan = monoid_algebra::plan_comprehension(&q).expect("plan");
     for threads in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
-            b.iter(|| monoid_algebra::execute_parallel(&plan, &mut db, t).expect("parallel"))
+            b.iter(|| monoid_algebra::execute_parallel(&plan, &mut db, t).expect("parallel"));
         });
     }
     group.finish();

@@ -18,10 +18,10 @@ fn bench(c: &mut Criterion) {
         let mut db = Database::new(Schema::new());
 
         group.bench_with_input(BenchmarkId::new("direct_eval", n), &n, |b, _| {
-            b.iter(|| eval_closed(&q).expect("direct"))
+            b.iter(|| eval_closed(&q).expect("direct"));
         });
         group.bench_with_input(BenchmarkId::new("pipeline_hash_join", n), &n, |b, _| {
-            b.iter(|| monoid_algebra::execute(&plan, &mut db).expect("pipeline"))
+            b.iter(|| monoid_algebra::execute(&plan, &mut db).expect("pipeline"));
         });
     }
     group.finish();

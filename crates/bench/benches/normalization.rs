@@ -36,7 +36,7 @@ fn bench(c: &mut Criterion) {
     for depth in [2usize, 8, 32] {
         let e = deep_nest(depth);
         group.bench_with_input(BenchmarkId::new("depth", depth), &depth, |b, _| {
-            b.iter(|| normalize(&e))
+            b.iter(|| normalize(&e));
         });
     }
     group.finish();

@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion) {
         let plan = monoid_algebra::plan_comprehension(&n).expect("plans");
 
         group.bench_with_input(BenchmarkId::new("nested_eval", hotels), &hotels, |b, _| {
-            b.iter(|| db.query(&q).expect("nested"))
+            b.iter(|| db.query(&q).expect("nested"));
         });
         group.bench_with_input(
             BenchmarkId::new("canonical_eval", hotels),

@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
         let plan = monoid_algebra::plan_comprehension(&n).expect("plans");
 
         group.bench_with_input(BenchmarkId::new("naive_eval", hotels), &hotels, |b, _| {
-            b.iter(|| db.query(&q).expect("naive"))
+            b.iter(|| db.query(&q).expect("naive"));
         });
         group.bench_with_input(
             BenchmarkId::new("normalized_eval", hotels),

@@ -23,7 +23,7 @@ fn bench_raise(c: &mut Criterion) {
                 let mut db = base.clone();
                 db.query(&upd).expect("update");
                 db
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("direct", hotels), &hotels, |b, _| {
             b.iter(|| {
@@ -45,7 +45,7 @@ fn bench_raise(c: &mut Criterion) {
                     }
                 }
                 db
-            })
+            });
         });
     }
     group.finish();
@@ -61,7 +61,7 @@ fn bench_insert(c: &mut Criterion) {
             let mut db = base.clone();
             db.query(&upd).expect("insert");
             db
-        })
+        });
     });
     group.finish();
 }

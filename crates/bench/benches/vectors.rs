@@ -17,13 +17,13 @@ fn bench_fft(c: &mut Criterion) {
         let x: Vec<f64> = (0..n).map(|i| (i as f64 / 3.0).sin()).collect();
         let xs: Vec<vector::Complex> = x.iter().map(|&r| (r, 0.0)).collect();
         group.bench_with_input(BenchmarkId::new("dft_query", n), &n, |b, _| {
-            b.iter(|| vector::dft_via_query(&x).expect("dft"))
+            b.iter(|| vector::dft_via_query(&x).expect("dft"));
         });
         group.bench_with_input(BenchmarkId::new("native_fft", n), &n, |b, _| {
-            b.iter(|| vector::fft(&xs))
+            b.iter(|| vector::fft(&xs));
         });
         group.bench_with_input(BenchmarkId::new("native_dft", n), &n, |b, _| {
-            b.iter(|| vector::dft_reference(&xs))
+            b.iter(|| vector::dft_reference(&xs));
         });
     }
     group.finish();
@@ -39,7 +39,7 @@ fn bench_histogram(c: &mut Criterion) {
         );
         let q = vector::histogram_expr(xs, 10, 100);
         group.bench_with_input(BenchmarkId::new("comprehension", n), &n, |b, _| {
-            b.iter(|| eval_closed(&q).expect("histogram"))
+            b.iter(|| eval_closed(&q).expect("histogram"));
         });
         let data: Vec<i64> = (0..n as i64).map(|i| i * 37 % 1000).collect();
         group.bench_with_input(BenchmarkId::new("native", n), &n, |b, _| {
@@ -49,7 +49,7 @@ fn bench_histogram(c: &mut Criterion) {
                     buckets[(v / 100) as usize] += 1;
                 }
                 buckets
-            })
+            });
         });
     }
     group.finish();
@@ -69,10 +69,10 @@ fn bench_matmul(c: &mut Criterion) {
             n,
         );
         group.bench_with_input(BenchmarkId::new("comprehension", n), &n, |b, _| {
-            b.iter(|| vector::matrix::eval_int_matrix(&q).expect("matmul"))
+            b.iter(|| vector::matrix::eval_int_matrix(&q).expect("matmul"));
         });
         group.bench_with_input(BenchmarkId::new("native", n), &n, |b, _| {
-            b.iter(|| vector::matmul_reference(&a, &a))
+            b.iter(|| vector::matmul_reference(&a, &a));
         });
     }
     group.finish();

@@ -1,0 +1,119 @@
+//! `oqlint` — static diagnostics for OQL queries, no execution.
+//!
+//! Compiles each input against the paper's travel-agency schema (or the
+//! company schema with `--schema company`), runs effect inference and the
+//! MC001–MC006 lint pass, and prints one line per finding with the source
+//! position where the front end recorded one.
+//!
+//! ```text
+//! oqlint [--schema travel|company] [--deny-warnings] [--json] [FILE...]
+//! ```
+//!
+//! With no files, reads one query from stdin. Exit status: 0 clean (or
+//! info-only), 1 on error-level diagnostics or compile failures, and with
+//! `--deny-warnings` also on warnings.
+
+use monoid_calculus::analysis::{AnalysisReport, Severity};
+use monoid_calculus::types::Schema;
+use std::io::Read;
+use std::process::ExitCode;
+
+struct Options {
+    schema: Schema,
+    deny_warnings: bool,
+    json: bool,
+    files: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: oqlint [--schema travel|company] [--deny-warnings] [--json] [FILE...]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut schema = monoid_store::travel::schema();
+    let mut deny_warnings = false;
+    let mut json = false;
+    let mut files = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--schema" => {
+                schema = match args.next().as_deref() {
+                    Some("travel") => monoid_store::travel::schema(),
+                    Some("company") => monoid_store::company::schema(),
+                    _ => usage(),
+                }
+            }
+            "--deny-warnings" => deny_warnings = true,
+            "--json" => json = true,
+            "--help" | "-h" => usage(),
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            _ => usage(),
+        }
+    }
+    Options { schema, deny_warnings, json, files }
+}
+
+/// Lint one source text; returns whether it should fail the run.
+fn lint_source(name: &str, src: &str, opts: &Options) -> bool {
+    let report = match monoid_oql::compile_analyzed(&opts.schema, src) {
+        Ok((expr, spans)) => AnalysisReport::with_spans(&expr, &spans),
+        Err(e) => {
+            if opts.json {
+                use monoid_calculus::json::Json;
+                let j = Json::obj(vec![
+                    ("file", Json::str(name)),
+                    ("error", Json::str(e.to_string())),
+                ]);
+                println!("{}", j.render());
+            } else {
+                eprintln!("{name}: error: {e}");
+            }
+            return true;
+        }
+    };
+    if opts.json {
+        use monoid_calculus::json::Json;
+        let j = Json::obj(vec![("file", Json::str(name)), ("report", report.to_json())]);
+        println!("{}", j.render());
+    } else {
+        for d in &report.diagnostics {
+            println!("{name}: {d}");
+        }
+        if report.diagnostics.is_empty() {
+            eprintln!("{name}: clean ({})", report.effects);
+        }
+    }
+    let deny_at = if opts.deny_warnings { Severity::Warning } else { Severity::Error };
+    report.max_severity().is_some_and(|s| s >= deny_at)
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let mut failed = false;
+    if opts.files.is_empty() {
+        let mut src = String::new();
+        if std::io::stdin().read_to_string(&mut src).is_err() || src.trim().is_empty() {
+            usage();
+        }
+        failed |= lint_source("<stdin>", &src, &opts);
+    } else {
+        for f in &opts.files {
+            match std::fs::read_to_string(f) {
+                Ok(src) => failed |= lint_source(f, &src, &opts),
+                Err(e) => {
+                    eprintln!("{f}: error: {e}");
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -81,7 +81,7 @@ pub struct Table {
 impl Table {
     pub fn new(header: &[&str]) -> Table {
         Table {
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header.iter().map(ToString::to_string).collect(),
             rows: Vec::new(),
         }
     }

@@ -46,6 +46,10 @@ pub struct QueryReport {
     /// Normalization statistics of a single run (identical every run —
     /// normalization is deterministic).
     pub normalize: NormalizeStats,
+    /// Median wall-time of the static analyzer (effect inference + lint)
+    /// over the raw translated expression — the cost `oqlint` adds on top
+    /// of compilation.
+    pub analysis_p50_nanos: u128,
 }
 
 /// One thread count's latency for a parallel-bench query.
@@ -184,6 +188,15 @@ pub fn run(quick: bool) -> RegressReport {
             drop(value);
             samples.push(started.elapsed().as_nanos());
         }
+        // The static analyzer's own cost, timed separately: it never
+        // runs inside the execute path, so it gets its own series.
+        let mut analysis_samples = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let started = Instant::now();
+            let report = monoid_calculus::analysis::AnalysisReport::of(&case.expr);
+            std::hint::black_box(&report);
+            analysis_samples.push(started.elapsed().as_nanos());
+        }
         reports.push(QueryReport {
             name: case.name,
             store: case.store,
@@ -194,6 +207,7 @@ pub fn run(quick: bool) -> RegressReport {
             p99_nanos: percentile_nanos(&samples, 99.0),
             rows_to_reduce,
             normalize,
+            analysis_p50_nanos: percentile_nanos(&analysis_samples, 50.0),
         });
     }
     let parallel = run_parallel_section(quick, runs);
@@ -340,6 +354,7 @@ impl RegressReport {
                         ("p95_nanos", Json::from(q.p95_nanos)),
                         ("p99_nanos", Json::from(q.p99_nanos)),
                         ("rows_to_reduce", Json::from(q.rows_to_reduce)),
+                        ("analysis_nanos", Json::from(q.analysis_p50_nanos)),
                         (
                             "normalize",
                             Json::obj(vec![
@@ -457,6 +472,7 @@ mod tests {
             "\"operator_rows\"",
             "\"registry\"",
             "\"rows_to_reduce\"",
+            "\"analysis_nanos\"",
             "\"parallel\"",
             "\"speedup_vs_sequential\"",
         ] {

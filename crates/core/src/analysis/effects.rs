@@ -1,0 +1,361 @@
+//! Effect inference: a bottom-up pass that classifies every subterm on a
+//! small effect lattice.
+//!
+//! The lattice is a product of four boolean flags ordered by implication
+//! (`pure` at the bottom, everything set at the top); joining two effects
+//! is field-wise `or`. The flags are exactly the hazards the rest of the
+//! pipeline cares about:
+//!
+//! * **allocates** — contains `new(e)`: evaluating it grows the heap, so a
+//!   hash-join build side containing it cannot be shared across threads
+//!   without OID reconciliation.
+//! * **mutates** — contains `e₁ := e₂`: evaluating it writes the heap, so
+//!   partitioned parallel evaluation would race.
+//! * **reads_heap** — contains `!e`: result depends on heap state, so the
+//!   term cannot be freely duplicated/deleted/reordered (same bar as
+//!   [`crate::normalize::is_pure`]).
+//! * **short_circuits** — contains a `some`/`all` reduction: executors may
+//!   stop early, which the parallel engine turns into a cross-worker stop
+//!   flag.
+//!
+//! [`EffectSummary::of`] pairs the root effect with the term's free
+//! variables; at a query root the free variables are precisely the named
+//! extents the query reads, so `reads_extents()` falls out for free.
+
+use crate::expr::{Expr, Qual};
+use crate::monoid::Monoid;
+use crate::subst::free_vars;
+use crate::symbol::Symbol;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One point of the effect lattice. `join` is field-wise `or`; the bottom
+/// element is [`Effects::PURE`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Effects {
+    /// Contains `new(e)` — evaluation allocates heap objects.
+    pub allocates: bool,
+    /// Contains `e₁ := e₂` — evaluation writes the heap.
+    pub mutates: bool,
+    /// Contains `!e` — evaluation reads object state from the heap.
+    pub reads_heap: bool,
+    /// Contains a `some`/`all` reduction — evaluation may stop early.
+    pub short_circuits: bool,
+}
+
+impl Effects {
+    /// The bottom of the lattice: no effects at all.
+    pub const PURE: Effects = Effects {
+        allocates: false,
+        mutates: false,
+        reads_heap: false,
+        short_circuits: false,
+    };
+
+    /// Least upper bound: field-wise `or`.
+    pub fn join(self, other: Effects) -> Effects {
+        Effects {
+            allocates: self.allocates || other.allocates,
+            mutates: self.mutates || other.mutates,
+            reads_heap: self.reads_heap || other.reads_heap,
+            short_circuits: self.short_circuits || other.short_circuits,
+        }
+    }
+
+    /// Heap-independent: no allocation, no mutation, no dereference.
+    /// Matches [`crate::normalize::is_pure`] exactly (short-circuiting is
+    /// not an effect in that sense — a pure `some{…}` is still pure).
+    pub fn is_pure(self) -> bool {
+        !self.allocates && !self.mutates && !self.reads_heap
+    }
+
+    /// Safe to evaluate under partitioned parallelism: workers may
+    /// allocate (reconciled afterwards) and read, but never write.
+    pub fn parallel_safe(self) -> bool {
+        !self.mutates
+    }
+}
+
+impl fmt::Display for Effects {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<&str> = Vec::new();
+        if self.allocates {
+            parts.push("allocates");
+        }
+        if self.mutates {
+            parts.push("mutates");
+        }
+        if self.reads_heap {
+            parts.push("reads-heap");
+        }
+        if self.short_circuits {
+            parts.push("short-circuits");
+        }
+        if parts.is_empty() {
+            write!(f, "pure")
+        } else {
+            write!(f, "{}", parts.join("+"))
+        }
+    }
+}
+
+/// Does this monoid's reduction admit early exit?
+fn monoid_short_circuits(m: &Monoid) -> bool {
+    matches!(m, Monoid::Some | Monoid::All)
+}
+
+/// The direct (node-local) effect of `e`, ignoring children.
+fn node_effect(e: &Expr) -> Effects {
+    let mut eff = Effects::PURE;
+    match e {
+        Expr::New(_) => eff.allocates = true,
+        Expr::Assign(..) => eff.mutates = true,
+        Expr::Deref(_) => eff.reads_heap = true,
+        Expr::Comp { monoid, .. } | Expr::Hom { monoid, .. } => {
+            eff.short_circuits = monoid_short_circuits(monoid);
+        }
+        _ => {}
+    }
+    eff
+}
+
+/// The effect of `e`: the join of its node-local effect with all its
+/// subterms' effects. Single bottom-up pass, no allocation.
+pub fn effects_of(e: &Expr) -> Effects {
+    let mut eff = Effects::PURE;
+    e.visit(&mut |node| eff = eff.join(node_effect(node)));
+    eff
+}
+
+/// Per-subterm effects in **pre-order** (the same order [`Expr::visit`]
+/// calls its callback), so `annotate(e)[0] == effects_of(e)` and the slot
+/// of any node found by a `visit`-based search lines up with its effect.
+pub fn annotate(e: &Expr) -> Vec<Effects> {
+    let mut out = Vec::with_capacity(e.size());
+    annotate_into(e, &mut out);
+    out
+}
+
+fn annotate_into(e: &Expr, out: &mut Vec<Effects>) -> Effects {
+    let slot = out.len();
+    out.push(Effects::PURE);
+    let mut eff = node_effect(e);
+    // Children in exactly Expr::visit's order.
+    match e {
+        Expr::Lit(_) | Expr::Var(_) | Expr::Zero(_) => {}
+        Expr::Record(fields) => {
+            for (_, fe) in fields {
+                eff = eff.join(annotate_into(fe, out));
+            }
+        }
+        Expr::Tuple(items) | Expr::CollLit(_, items) | Expr::VecLit(items) => {
+            for i in items {
+                eff = eff.join(annotate_into(i, out));
+            }
+        }
+        Expr::Proj(inner, _)
+        | Expr::TupleProj(inner, _)
+        | Expr::UnOp(_, inner)
+        | Expr::Lambda(_, inner)
+        | Expr::Unit(_, inner)
+        | Expr::New(inner)
+        | Expr::Deref(inner) => eff = eff.join(annotate_into(inner, out)),
+        Expr::BinOp(_, a, b)
+        | Expr::Apply(a, b)
+        | Expr::Merge(_, a, b)
+        | Expr::VecIndex(a, b)
+        | Expr::Assign(a, b)
+        | Expr::Let(_, a, b) => {
+            eff = eff.join(annotate_into(a, out));
+            eff = eff.join(annotate_into(b, out));
+        }
+        Expr::If(c, t, f) => {
+            eff = eff.join(annotate_into(c, out));
+            eff = eff.join(annotate_into(t, out));
+            eff = eff.join(annotate_into(f, out));
+        }
+        Expr::Hom { body, source, .. } => {
+            eff = eff.join(annotate_into(body, out));
+            eff = eff.join(annotate_into(source, out));
+        }
+        Expr::Comp { head, quals, .. } => {
+            eff = eff.join(annotate_into(head, out));
+            eff = eff.join(annotate_quals(quals, out));
+        }
+        Expr::VecComp { size, value, index, quals, .. } => {
+            eff = eff.join(annotate_into(size, out));
+            eff = eff.join(annotate_into(value, out));
+            eff = eff.join(annotate_into(index, out));
+            eff = eff.join(annotate_quals(quals, out));
+        }
+    }
+    out[slot] = eff;
+    eff
+}
+
+fn annotate_quals(quals: &[Qual], out: &mut Vec<Effects>) -> Effects {
+    let mut eff = Effects::PURE;
+    for q in quals {
+        let src = match q {
+            Qual::Gen(_, e) | Qual::Bind(_, e) | Qual::Pred(e) => e,
+            Qual::VecGen { source, .. } => source,
+        };
+        eff = eff.join(annotate_into(src, out));
+    }
+    eff
+}
+
+/// The root-level effect classification of a query term, plus its free
+/// variables. At a query root the free variables are exactly the extent
+/// names the query reads (everything else is bound by a qualifier).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EffectSummary {
+    pub effects: Effects,
+    /// Free variables in deterministic (sorted) order.
+    pub free: BTreeSet<Symbol>,
+}
+
+impl EffectSummary {
+    pub fn of(e: &Expr) -> EffectSummary {
+        EffectSummary {
+            effects: effects_of(e),
+            free: free_vars(e).into_iter().collect(),
+        }
+    }
+
+    pub fn is_pure(&self) -> bool {
+        self.effects.is_pure()
+    }
+
+    pub fn parallel_safe(&self) -> bool {
+        self.effects.parallel_safe()
+    }
+
+    /// Does the term reference any named extent (free variable)?
+    pub fn reads_extents(&self) -> bool {
+        !self.free.is_empty()
+    }
+}
+
+impl fmt::Display for EffectSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.effects)?;
+        if self.reads_extents() {
+            let names: Vec<&str> = self.free.iter().map(crate::symbol::Symbol::as_str).collect();
+            write!(f, " reads[{}]", names.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize;
+
+    #[test]
+    fn pure_comprehension_is_pure() {
+        let e = Expr::comp(
+            Monoid::Sum,
+            Expr::var("a"),
+            vec![Expr::gen("a", Expr::list_of(vec![Expr::int(1), Expr::int(2)]))],
+        );
+        let eff = effects_of(&e);
+        assert!(eff.is_pure());
+        assert!(eff.parallel_safe());
+        assert!(!eff.short_circuits);
+    }
+
+    #[test]
+    fn assignment_marks_mutation() {
+        let e = Expr::comp(
+            Monoid::Bag,
+            Expr::var("x").assign(Expr::int(1)),
+            vec![Expr::gen("x", Expr::var("xs"))],
+        );
+        let eff = effects_of(&e);
+        assert!(eff.mutates);
+        assert!(!eff.parallel_safe());
+        assert!(!eff.is_pure());
+    }
+
+    #[test]
+    fn allocation_and_deref_are_distinct_flags() {
+        let alloc = Expr::new_obj(Expr::int(1));
+        assert!(effects_of(&alloc).allocates);
+        assert!(!effects_of(&alloc).mutates);
+        let read = Expr::var("o").deref();
+        assert!(effects_of(&read).reads_heap);
+        assert!(!effects_of(&read).allocates);
+    }
+
+    #[test]
+    fn quantifiers_short_circuit() {
+        let e = Expr::comp(
+            Monoid::Some,
+            Expr::var("x").gt(Expr::int(0)),
+            vec![Expr::gen("x", Expr::var("xs"))],
+        );
+        assert!(effects_of(&e).short_circuits);
+        // …and the flag propagates upward through an enclosing term.
+        let outer = Expr::if_(e, Expr::int(1), Expr::int(0));
+        assert!(effects_of(&outer).short_circuits);
+    }
+
+    #[test]
+    fn is_pure_agrees_with_normalizer() {
+        let cases = vec![
+            Expr::comp(
+                Monoid::Set,
+                Expr::var("x"),
+                vec![Expr::gen("x", Expr::var("xs"))],
+            ),
+            Expr::new_obj(Expr::int(1)),
+            Expr::var("o").deref(),
+            Expr::var("o").assign(Expr::int(2)),
+            Expr::let_("v", Expr::int(1), Expr::var("v").add(Expr::int(2))),
+        ];
+        for e in cases {
+            assert_eq!(
+                effects_of(&e).is_pure(),
+                normalize::is_pure(&e),
+                "effects_of/is_pure disagree on {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn annotate_aligns_with_visit_preorder() {
+        let e = Expr::comp(
+            Monoid::Bag,
+            Expr::new_obj(Expr::var("x")),
+            vec![
+                Expr::gen("x", Expr::var("xs")),
+                Expr::pred(Expr::var("x").deref().gt(Expr::int(0))),
+            ],
+        );
+        let effs = annotate(&e);
+        assert_eq!(effs.len(), e.size());
+        assert_eq!(effs[0], effects_of(&e));
+        // Cross-check every slot against a fresh bottom-up computation.
+        let mut nodes: Vec<Expr> = Vec::new();
+        e.visit(&mut |n| nodes.push(n.clone()));
+        for (i, n) in nodes.iter().enumerate() {
+            assert_eq!(effs[i], effects_of(n), "slot {i} ({n:?})");
+        }
+    }
+
+    #[test]
+    fn summary_reports_extents() {
+        let e = Expr::comp(
+            Monoid::Set,
+            Expr::var("h").proj("name"),
+            vec![Expr::gen("h", Expr::var("Hotels"))],
+        );
+        let s = EffectSummary::of(&e);
+        assert!(s.reads_extents());
+        assert_eq!(s.free.len(), 1);
+        assert!(s.free.contains(&Symbol::new("Hotels")));
+        assert!(s.is_pure());
+    }
+}

@@ -1,0 +1,701 @@
+//! The lint pass: structured diagnostics with stable codes.
+//!
+//! | code  | meaning |
+//! |-------|---------|
+//! | MC001 | unused generator variable |
+//! | MC002 | constant / unsatisfiable predicate |
+//! | MC003 | shadowed binding |
+//! | MC004 | duplicate generator under an idempotent merge |
+//! | MC005 | comprehension that cannot parallelize (with the reason) |
+//! | MC006 | hom/generator legality near-miss, with a fix hint |
+//!
+//! Lints run over the *translated, pre-normalization* calculus term — that
+//! is the shape closest to what the user wrote, and the shape the OQL
+//! span map ([`SpanMap`]) keys on. Binders synthesized by the translator
+//! or normalizer carry a `%` in their name ([`Symbol::fresh`]) and are
+//! never linted.
+//!
+//! Every emitted diagnostic increments
+//! `analysis_diagnostics_total{code}` in the process-wide registry.
+
+use super::effects::effects_of;
+use super::verify::source_monoid;
+use super::Span;
+use crate::expr::{BinOp, Expr, Literal, Qual};
+use crate::monoid::Monoid;
+use crate::normalize::is_pure;
+use crate::symbol::Symbol;
+use std::fmt;
+
+/// Diagnostic severity, ordered: `Info < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Info,
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The stable diagnostic codes. Codes are append-only across releases;
+/// tools may match on [`Code::as_str`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// MC001: a generator binds a variable never used afterwards.
+    UnusedGenerator,
+    /// MC002: a predicate is constant or unsatisfiable.
+    ConstantPredicate,
+    /// MC003: a binder shadows an enclosing binding of the same name.
+    ShadowedBinding,
+    /// MC004: duplicate generator source under an idempotent merge.
+    DuplicateGenerator,
+    /// MC005: the query cannot be evaluated in parallel, with the reason.
+    NotParallelizable,
+    /// MC006: a hom/generator violates the C/I restriction; a coercion
+    /// would fix it.
+    IllegalHom,
+}
+
+impl Code {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::UnusedGenerator => "MC001",
+            Code::ConstantPredicate => "MC002",
+            Code::ShadowedBinding => "MC003",
+            Code::DuplicateGenerator => "MC004",
+            Code::NotParallelizable => "MC005",
+            Code::IllegalHom => "MC006",
+        }
+    }
+
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Code::UnusedGenerator | Code::ConstantPredicate | Code::ShadowedBinding
+            | Code::DuplicateGenerator => Severity::Warning,
+            Code::NotParallelizable => Severity::Info,
+            Code::IllegalHom => Severity::Error,
+        }
+    }
+
+    pub fn all() -> &'static [Code] {
+        &[
+            Code::UnusedGenerator,
+            Code::ConstantPredicate,
+            Code::ShadowedBinding,
+            Code::DuplicateGenerator,
+            Code::NotParallelizable,
+            Code::IllegalHom,
+        ]
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// One structured diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub code: Code,
+    pub severity: Severity,
+    /// Best-effort source position; `None` for synthesized terms or when
+    /// no span map was supplied.
+    pub span: Option<Span>,
+    pub message: String,
+    pub note: Option<String>,
+}
+
+impl Diagnostic {
+    fn new(code: Code, message: String) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            span: None,
+            message,
+            note: None,
+        }
+    }
+
+    fn at(mut self, span: Option<Span>) -> Diagnostic {
+        self.span = span;
+        self
+    }
+
+    fn note(mut self, note: String) -> Diagnostic {
+        self.note = Some(note);
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code.as_str())?;
+        if let Some(span) = self.span {
+            write!(f, " {span}")?;
+        }
+        write!(f, ": {}", self.message)?;
+        if let Some(note) = &self.note {
+            write!(f, " (note: {note})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Best-effort map from calculus subterms (and binder symbols) back to
+/// OQL source positions. Lookup is structural (`Expr: PartialEq`) over a
+/// small vector — span maps hold one entry per surface construct, so
+/// linear scan is fine.
+#[derive(Debug, Clone, Default)]
+pub struct SpanMap {
+    exprs: Vec<(Expr, Span)>,
+    vars: Vec<(Symbol, Span)>,
+}
+
+impl SpanMap {
+    pub fn new() -> SpanMap {
+        SpanMap::default()
+    }
+
+    pub fn record_expr(&mut self, e: &Expr, span: Span) {
+        self.exprs.push((e.clone(), span));
+    }
+
+    pub fn record_var(&mut self, v: Symbol, span: Span) {
+        self.vars.push((v, span));
+    }
+
+    /// The position of the first recorded subterm structurally equal to
+    /// `e`, if any.
+    pub fn expr_span(&self, e: &Expr) -> Option<Span> {
+        self.exprs.iter().find(|(k, _)| k == e).map(|(_, s)| *s)
+    }
+
+    pub fn var_span(&self, v: Symbol) -> Option<Span> {
+        self.vars.iter().find(|(k, _)| *k == v).map(|(_, s)| *s)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.exprs.is_empty() && self.vars.is_empty()
+    }
+}
+
+/// Lint `e` with no source spans.
+pub fn lint(e: &Expr) -> Vec<Diagnostic> {
+    lint_with_spans(e, &SpanMap::default())
+}
+
+/// Lint `e`, attaching source positions from `spans` where available.
+pub fn lint_with_spans(e: &Expr, spans: &SpanMap) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut scope: Vec<Symbol> = Vec::new();
+    walk(e, &mut scope, spans, &mut diags);
+    parallel_lint(e, spans, &mut diags);
+    record_metrics(&diags);
+    diags
+}
+
+/// Was this name invented by `Symbol::fresh` (or deliberately
+/// underscore-silenced)? Fresh names carry `%`, which cannot appear in a
+/// parsed identifier.
+fn synthesized(v: Symbol) -> bool {
+    v.as_str().contains('%') || v.as_str().starts_with('_')
+}
+
+fn shadow_check(v: Symbol, scope: &[Symbol], spans: &SpanMap, diags: &mut Vec<Diagnostic>) {
+    if !synthesized(v) && scope.contains(&v) {
+        diags.push(
+            Diagnostic::new(
+                Code::ShadowedBinding,
+                format!("binding `{}` shadows an enclosing binding of the same name", v.as_str()),
+            )
+            .at(spans.var_span(v)),
+        );
+    }
+}
+
+fn walk(e: &Expr, scope: &mut Vec<Symbol>, spans: &SpanMap, diags: &mut Vec<Diagnostic>) {
+    match e {
+        Expr::Lit(_) | Expr::Var(_) | Expr::Zero(_) => {}
+        Expr::Record(fields) => {
+            for (_, fe) in fields {
+                walk(fe, scope, spans, diags);
+            }
+        }
+        Expr::Tuple(items) | Expr::CollLit(_, items) | Expr::VecLit(items) => {
+            for i in items {
+                walk(i, scope, spans, diags);
+            }
+        }
+        Expr::Proj(inner, _)
+        | Expr::TupleProj(inner, _)
+        | Expr::UnOp(_, inner)
+        | Expr::Unit(_, inner)
+        | Expr::New(inner)
+        | Expr::Deref(inner) => walk(inner, scope, spans, diags),
+        Expr::BinOp(_, a, b)
+        | Expr::Apply(a, b)
+        | Expr::Merge(_, a, b)
+        | Expr::VecIndex(a, b)
+        | Expr::Assign(a, b) => {
+            walk(a, scope, spans, diags);
+            walk(b, scope, spans, diags);
+        }
+        Expr::If(c, t, f) => {
+            walk(c, scope, spans, diags);
+            walk(t, scope, spans, diags);
+            walk(f, scope, spans, diags);
+        }
+        Expr::Lambda(param, body) => {
+            shadow_check(*param, scope, spans, diags);
+            scope.push(*param);
+            walk(body, scope, spans, diags);
+            scope.pop();
+        }
+        Expr::Let(v, def, body) => {
+            walk(def, scope, spans, diags);
+            shadow_check(*v, scope, spans, diags);
+            scope.push(*v);
+            walk(body, scope, spans, diags);
+            scope.pop();
+        }
+        Expr::Hom { monoid, var, body, source } => {
+            walk(source, scope, spans, diags);
+            hom_legality(monoid, source, spans, diags);
+            shadow_check(*var, scope, spans, diags);
+            scope.push(*var);
+            walk(body, scope, spans, diags);
+            scope.pop();
+        }
+        Expr::Comp { monoid, head, quals } => {
+            lint_comp(monoid, head, quals, None, scope, spans, diags);
+        }
+        Expr::VecComp { size, value, index, quals, .. } => {
+            walk(size, scope, spans, diags);
+            // Vector comprehensions share the qualifier checks but have no
+            // single output monoid to test generator legality against.
+            lint_quals_and_heads(quals, &[value, index], scope, spans, diags, None);
+        }
+    }
+}
+
+/// All the per-comprehension lints: MC001/MC002/MC003/MC004/MC006.
+fn lint_comp(
+    monoid: &Monoid,
+    head: &Expr,
+    quals: &[Qual],
+    _extra: Option<&Expr>,
+    scope: &mut Vec<Symbol>,
+    spans: &SpanMap,
+    diags: &mut Vec<Diagnostic>,
+) {
+    lint_quals_and_heads(quals, &[head], scope, spans, diags, Some(monoid));
+
+    // MC001 / MC004: a generator variable unused by everything after it.
+    for (i, q) in quals.iter().enumerate() {
+        let Qual::Gen(v, src) = q else { continue };
+        if synthesized(*v) {
+            continue;
+        }
+        // Scoping-correct usage test: is `v` free in the residual
+        // comprehension made of the remaining qualifiers and the head?
+        let rest = Expr::Comp {
+            monoid: monoid.clone(),
+            head: Box::new(head.clone()),
+            quals: quals[i + 1..].to_vec(),
+        };
+        if crate::subst::free_vars(&rest).contains(v) {
+            continue;
+        }
+        let duplicate_of = monoid.props().idempotent.then(|| {
+            quals[..i].iter().find_map(|prev| match prev {
+                Qual::Gen(pv, psrc) if psrc == src && is_pure(src) => Some(*pv),
+                _ => None,
+            })
+        });
+        match duplicate_of.flatten() {
+            Some(pv) => diags.push(
+                Diagnostic::new(
+                    Code::DuplicateGenerator,
+                    format!(
+                        "generator `{}` duplicates the source of `{}`; under the idempotent \
+                         `{monoid}` merge it contributes nothing",
+                        v.as_str(),
+                        pv.as_str()
+                    ),
+                )
+                .at(spans.var_span(*v))
+                .note("remove the duplicate generator".into()),
+            ),
+            None => diags.push(
+                Diagnostic::new(
+                    Code::UnusedGenerator,
+                    format!("generator variable `{}` is never used", v.as_str()),
+                )
+                .at(spans.var_span(*v))
+                .note(format!(
+                    "it still drives iteration (multiplicity); rename to `_{}` to silence",
+                    v.as_str()
+                )),
+            ),
+        }
+    }
+}
+
+/// Shared qualifier walk: recurse into sources/predicates with the right
+/// scope, check MC002/MC003/MC006 per qualifier, then walk the head(s).
+fn lint_quals_and_heads(
+    quals: &[Qual],
+    heads: &[&Expr],
+    scope: &mut Vec<Symbol>,
+    spans: &SpanMap,
+    diags: &mut Vec<Diagnostic>,
+    monoid: Option<&Monoid>,
+) {
+    let depth = scope.len();
+    for q in quals {
+        match q {
+            Qual::Gen(v, src) => {
+                walk(src, scope, spans, diags);
+                if let Some(m) = monoid {
+                    gen_legality(*v, m, src, spans, diags);
+                }
+                shadow_check(*v, scope, spans, diags);
+                scope.push(*v);
+            }
+            Qual::Bind(v, src) => {
+                walk(src, scope, spans, diags);
+                shadow_check(*v, scope, spans, diags);
+                scope.push(*v);
+            }
+            Qual::VecGen { elem, index, source } => {
+                walk(source, scope, spans, diags);
+                shadow_check(*elem, scope, spans, diags);
+                shadow_check(*index, scope, spans, diags);
+                scope.push(*elem);
+                scope.push(*index);
+            }
+            Qual::Pred(p) => {
+                walk(p, scope, spans, diags);
+                constant_predicate(p, spans, diags);
+            }
+        }
+    }
+    for h in heads {
+        walk(h, scope, spans, diags);
+    }
+    scope.truncate(depth);
+}
+
+/// MC002: predicates that are constant (literal booleans, trivially
+/// true/false comparisons of a pure expression with itself).
+fn constant_predicate(p: &Expr, spans: &SpanMap, diags: &mut Vec<Diagnostic>) {
+    let verdict = match p {
+        Expr::Lit(Literal::Bool(b)) => Some(*b),
+        Expr::BinOp(op, a, b) if a == b && is_pure(a) => match op {
+            BinOp::Eq | BinOp::Le | BinOp::Ge => Some(true),
+            BinOp::Ne | BinOp::Lt | BinOp::Gt => Some(false),
+            _ => None,
+        },
+        _ => None,
+    };
+    let Some(truth) = verdict else { return };
+    let mut d = Diagnostic::new(
+        Code::ConstantPredicate,
+        format!(
+            "predicate is always {}",
+            if truth { "true" } else { "false" }
+        ),
+    )
+    .at(spans.expr_span(p));
+    if !truth {
+        d = d.note("the comprehension is unsatisfiable and always yields zero".into());
+    }
+    diags.push(d);
+}
+
+/// MC006 for `hom[N→M]` with a statically-evident illegal `N`.
+fn hom_legality(target: &Monoid, source: &Expr, spans: &SpanMap, diags: &mut Vec<Diagnostic>) {
+    let Some(sm) = source_monoid(source) else { return };
+    if sm.hom_legal_to(target) {
+        return;
+    }
+    diags.push(
+        Diagnostic::new(
+            Code::IllegalHom,
+            format!(
+                "hom[{sm}→{target}] violates the C/I restriction ({} ⋠ {})",
+                sm.props(),
+                target.props()
+            ),
+        )
+        .at(spans.expr_span(source))
+        .note(legality_hint(&sm, target)),
+    );
+}
+
+/// MC006 for a generator whose statically-evident source monoid is not
+/// `≤` the output monoid.
+fn gen_legality(
+    v: Symbol,
+    target: &Monoid,
+    source: &Expr,
+    spans: &SpanMap,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Some(sm) = source_monoid(source) else { return };
+    if sm.hom_legal_to(target) {
+        return;
+    }
+    diags.push(
+        Diagnostic::new(
+            Code::IllegalHom,
+            format!(
+                "generator `{} ← …` iterates a {sm} source inside a {target} comprehension \
+                 ({} ⋠ {})",
+                v.as_str(),
+                sm.props(),
+                target.props()
+            ),
+        )
+        .at(spans.expr_span(source).or_else(|| spans.var_span(v)))
+        .note(legality_hint(&sm, target)),
+    );
+}
+
+/// The fix hint for a C/I near-miss, mirroring the translator's
+/// documented coercions.
+fn legality_hint(source: &Monoid, target: &Monoid) -> String {
+    let sp = source.props();
+    let tp = target.props();
+    if sp.idempotent && !tp.idempotent {
+        format!(
+            "wrap the source in the deterministic coercion `to_bag(…)`, or choose an \
+             idempotent target (e.g. `set`, `sorted`) instead of `{target}`"
+        )
+    } else {
+        format!(
+            "choose a commutative target (e.g. `bag`, `sorted`) instead of `{target}`, or \
+             impose an explicit order on the source with `to_list(…)`"
+        )
+    }
+}
+
+/// MC005: can this query run under partitioned parallel reduction? One
+/// diagnostic per obstacle, each stating the reason.
+fn parallel_lint(root: &Expr, spans: &SpanMap, diags: &mut Vec<Diagnostic>) {
+    let eff = effects_of(root);
+    let mut obstacles: Vec<String> = Vec::new();
+    if eff.mutates {
+        obstacles.push(
+            "it mutates the heap (`:=`); partitioned workers would race on object state".into(),
+        );
+    }
+    if let Expr::Comp { quals, .. } = root {
+        let has_gen = quals
+            .iter()
+            .any(|q| matches!(q, Qual::Gen(..) | Qual::VecGen { .. }));
+        if !has_gen {
+            obstacles.push("it has no generators, so there is nothing to partition".into());
+        }
+    }
+    for reason in obstacles {
+        diags.push(
+            Diagnostic::new(
+                Code::NotParallelizable,
+                format!("query cannot be evaluated in parallel: {reason}"),
+            )
+            .at(spans.expr_span(root)),
+        );
+    }
+}
+
+/// Bump `analysis_diagnostics_total{code}` for each emitted diagnostic.
+/// Handles are resolved once per process.
+fn record_metrics(diags: &[Diagnostic]) {
+    use crate::metrics::{global, Counter};
+    use std::sync::{Arc, OnceLock};
+    static HANDLES: OnceLock<Vec<Arc<Counter>>> = OnceLock::new();
+    let handles = HANDLES.get_or_init(|| {
+        let r = global();
+        Code::all()
+            .iter()
+            .map(|c| r.counter_with("analysis_diagnostics_total", &[("code", c.as_str())]))
+            .collect()
+    });
+    for d in diags {
+        let idx = Code::all().iter().position(|c| *c == d.code).expect("known code");
+        handles[idx].inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_query_lints_clean() {
+        let e = Expr::comp(
+            Monoid::Set,
+            Expr::var("h").proj("name"),
+            vec![
+                Expr::gen("h", Expr::var("Hotels")),
+                Expr::pred(Expr::var("h").proj("city").eq(Expr::str("Portland"))),
+            ],
+        );
+        assert!(lint(&e).is_empty(), "got {:?}", lint(&e));
+    }
+
+    #[test]
+    fn mc001_unused_generator() {
+        let e = Expr::comp(
+            Monoid::Sum,
+            Expr::int(1),
+            vec![Expr::gen("x", Expr::var("xs"))],
+        );
+        let diags = lint(&e);
+        assert_eq!(codes(&diags), vec!["MC001"]);
+        assert!(diags[0].message.contains('x'));
+    }
+
+    #[test]
+    fn mc001_skips_synthesized_and_silenced_names() {
+        let e = Expr::comp(
+            Monoid::Sum,
+            Expr::int(1),
+            vec![
+                Expr::gen(Symbol::fresh("x"), Expr::var("xs")),
+                Expr::gen("_y", Expr::var("ys")),
+            ],
+        );
+        assert!(lint(&e).is_empty());
+    }
+
+    #[test]
+    fn mc002_constant_and_unsatisfiable_predicates() {
+        let e = Expr::comp(
+            Monoid::Set,
+            Expr::var("x"),
+            vec![
+                Expr::gen("x", Expr::var("xs")),
+                Expr::pred(Expr::bool(true)),
+                Expr::pred(Expr::var("x").ne(Expr::var("x"))),
+            ],
+        );
+        let diags = lint(&e);
+        assert_eq!(codes(&diags), vec!["MC002", "MC002"]);
+        assert!(diags[0].message.contains("always true"));
+        assert!(diags[1].message.contains("always false"));
+        assert!(diags[1].note.as_deref().unwrap_or("").contains("unsatisfiable"));
+    }
+
+    #[test]
+    fn mc003_shadowed_binding() {
+        // set{ set{ x | x ← ys } | x ← xs } — inner x shadows outer.
+        let inner = Expr::comp(
+            Monoid::Set,
+            Expr::var("x"),
+            vec![Expr::gen("x", Expr::var("ys"))],
+        );
+        let e = Expr::comp(Monoid::Set, inner, vec![Expr::gen("x", Expr::var("xs"))]);
+        let diags = lint(&e);
+        // The inner binder shadows the outer one — which also makes the
+        // outer generator variable unused everywhere.
+        assert_eq!(codes(&diags), vec!["MC003", "MC001"]);
+    }
+
+    #[test]
+    fn mc004_duplicate_generator_under_idempotent_merge() {
+        let e = Expr::comp(
+            Monoid::Set,
+            Expr::var("x"),
+            vec![
+                Expr::gen("x", Expr::var("xs")),
+                Expr::gen("y", Expr::var("xs")),
+            ],
+        );
+        let diags = lint(&e);
+        assert_eq!(codes(&diags), vec!["MC004"]);
+        // Same shape under a non-idempotent monoid: multiplicity matters,
+        // so it is merely unused (MC001).
+        let e2 = Expr::comp(
+            Monoid::Bag,
+            Expr::var("x"),
+            vec![
+                Expr::gen("x", Expr::var("xs")),
+                Expr::gen("y", Expr::var("xs")),
+            ],
+        );
+        assert_eq!(codes(&lint(&e2)), vec!["MC001"]);
+    }
+
+    #[test]
+    fn mc005_mutation_blocks_parallelism() {
+        let e = Expr::comp(
+            Monoid::Bag,
+            Expr::var("x").assign(Expr::int(1)),
+            vec![Expr::gen("x", Expr::var("xs"))],
+        );
+        let diags = lint(&e);
+        assert!(codes(&diags).contains(&"MC005"), "got {diags:?}");
+        let d = diags.iter().find(|d| d.code == Code::NotParallelizable).unwrap();
+        assert!(d.message.contains(":="), "reason names the mutation: {d}");
+        assert_eq!(d.severity, Severity::Info);
+    }
+
+    #[test]
+    fn mc006_illegal_generator_gets_fix_hint() {
+        // list{ x | x ← {1} } — set into list, the canonical violation.
+        let e = Expr::comp(
+            Monoid::List,
+            Expr::var("x"),
+            vec![Expr::gen("x", Expr::set_of(vec![Expr::int(1)]))],
+        );
+        let diags = lint(&e);
+        assert_eq!(codes(&diags), vec!["MC006"]);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].note.as_deref().unwrap().contains("to_bag"));
+    }
+
+    #[test]
+    fn spans_attach_when_available() {
+        let src = Expr::var("xs");
+        let e = Expr::comp(Monoid::Sum, Expr::int(1), vec![Expr::gen("x", src)]);
+        let mut spans = SpanMap::new();
+        spans.record_var(Symbol::new("x"), Span::new(12, 1, 13));
+        let diags = lint_with_spans(&e, &spans);
+        assert_eq!(diags[0].code, Code::UnusedGenerator);
+        assert_eq!(diags[0].span, Some(Span::new(12, 1, 13)));
+        assert!(diags[0].to_string().contains("1:13"));
+    }
+
+    #[test]
+    fn diagnostics_feed_the_metrics_registry() {
+        let before = crate::metrics::global()
+            .snapshot()
+            .counter_with("analysis_diagnostics_total", &[("code", "MC001")]);
+        let e = Expr::comp(
+            Monoid::Sum,
+            Expr::int(1),
+            vec![Expr::gen("zz", Expr::var("xs"))],
+        );
+        let _ = lint(&e);
+        let after = crate::metrics::global()
+            .snapshot()
+            .counter_with("analysis_diagnostics_total", &[("code", "MC001")]);
+        assert_eq!(after, before + 1);
+    }
+}

@@ -386,7 +386,7 @@ impl Expr {
             Expr::Lit(_) | Expr::Var(_) | Expr::Zero(_) => {}
             Expr::Record(fields) => fields.iter().for_each(|(_, e)| e.visit(f)),
             Expr::Tuple(items) | Expr::CollLit(_, items) | Expr::VecLit(items) => {
-                items.iter().for_each(|e| e.visit(f))
+                items.iter().for_each(|e| e.visit(f));
             }
             Expr::Proj(e, _) | Expr::TupleProj(e, _) | Expr::UnOp(_, e) | Expr::Lambda(_, e)
             | Expr::Unit(_, e) | Expr::New(e) | Expr::Deref(e) => e.visit(f),

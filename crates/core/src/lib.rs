@@ -35,6 +35,10 @@
 //! * [`trace`] + [`json`] — query-lifecycle timing shared with the front
 //!   and back ends, and the dependency-free JSON writer that serializes
 //!   profiles.
+//! * [`analysis`] — static analysis: effect inference ([`analysis::effects`]),
+//!   the per-rewrite stage invariant verifier ([`analysis::verify`]), and
+//!   the MC001–MC006 lint pass ([`analysis::lint`]) behind `oqlint`
+//!   (`docs/analysis.md`).
 //! * [`metrics`] — the process-wide registry of counters, gauges, and
 //!   log-bucketed latency histograms every layer records into, with
 //!   Prometheus text and JSON exporters (`docs/observability.md`).
@@ -58,6 +62,7 @@
 //! assert_eq!(result.len().unwrap(), 6);
 //! ```
 
+pub mod analysis;
 pub mod error;
 pub mod eval;
 pub mod expr;
@@ -78,6 +83,10 @@ pub mod value;
 
 /// Convenient glob-import of the common API surface.
 pub mod prelude {
+    pub use crate::analysis::{
+        effects_of, lint, AnalysisReport, Code, Diagnostic, EffectSummary, Effects, Severity,
+        Span, SpanMap, VerifyError,
+    };
     pub use crate::error::{EvalError, EvalResult, TypeError, TypeResult};
     pub use crate::eval::{eval_closed, Evaluator};
     pub use crate::expr::{BinOp, Expr, Literal, Qual, UnOp};

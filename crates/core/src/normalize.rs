@@ -249,11 +249,21 @@ pub fn normalize_traced(e: &Expr) -> (Expr, Vec<TraceStep>, NormalizeStats) {
     let mut per_rule = [0u64; Rule::COUNT];
     let size_before = e.size();
     let mut steps = 0;
+    let verifying = crate::analysis::verify::verify_enabled();
     while let Some((rule, next)) = rewrite_once(&current) {
         steps += 1;
         if steps > MAX_STEPS {
             // Give up gracefully: the term is still meaning-equivalent.
             break;
+        }
+        if verifying {
+            // Stage invariant verifier: every rule firing must preserve
+            // scoping, C/I legality, well-formedness, and typing. On in
+            // debug builds; MONOID_VERIFY=1 forces it (docs/analysis.md).
+            if let Err(err) = crate::analysis::verify::check_rewrite(rule.name(), &current, &next)
+            {
+                panic!("normalization invariant violated at step {steps}: {err}");
+            }
         }
         per_rule[rule.number() as usize - 1] += 1;
         trace.push(TraceStep { rule, after: pretty(&next) });

@@ -239,7 +239,7 @@ mod tests {
         let r = sru_closed(
             &list,
             &Value::Int(0),
-            |v| v.clone(),
+            std::clone::Clone::clone,
             |a, b| {
                 let (Value::Int(x), Value::Int(y)) = (a, b) else {
                     return Err(EvalError::Other("ints only".into()));
@@ -258,7 +258,7 @@ mod tests {
         let r = sru_closed(
             &list,
             &Value::Int(1), // 1 is not the identity of +
-            |v| v.clone(),
+            std::clone::Clone::clone,
             |a, b| merge(&Monoid::Sum, a, b),
             LawCheck::Probe,
         );
@@ -295,7 +295,7 @@ mod tests {
             Ok(if matches!(a, Value::Null) { b.clone() } else { a.clone() })
         };
         let first =
-            sru_closed(&list, &Value::Null, |v| v.clone(), keep_left, LawCheck::Probe)
+            sru_closed(&list, &Value::Null, std::clone::Clone::clone, keep_left, LawCheck::Probe)
                 .unwrap();
         assert_eq!(first, Value::Int(42));
         // …but the same fold over a *bag* requires commutativity, which
@@ -304,7 +304,7 @@ mod tests {
         // restriction exists for.
         let bag = Value::bag_from(ints(&[1, 2]));
         let probed =
-            sru_closed(&bag, &Value::Null, |v| v.clone(), keep_left, LawCheck::Probe);
+            sru_closed(&bag, &Value::Null, std::clone::Clone::clone, keep_left, LawCheck::Probe);
         let err = probed.unwrap_err().to_string();
         assert!(err.contains("not commutative"), "{err}");
     }

@@ -42,7 +42,7 @@ fn collect_free(e: &Expr, bound: &mut HashSet<Symbol>, out: &mut HashSet<Symbol>
         }
         Expr::Proj(inner, _) | Expr::TupleProj(inner, _) | Expr::UnOp(_, inner)
         | Expr::Unit(_, inner) | Expr::New(inner) | Expr::Deref(inner) => {
-            collect_free(inner, bound, out)
+            collect_free(inner, bound, out);
         }
         Expr::BinOp(_, a, b)
         | Expr::Apply(a, b)

@@ -4,8 +4,28 @@
 //! all semantic work happens in `translate`, which maps this AST into the
 //! monoid calculus (the paper's §3 / Table 2).
 
+use crate::token::Pos;
 use monoid_calculus::symbol::Symbol;
 use std::fmt;
+
+/// A best-effort source position carried on binding AST nodes so the
+/// static analyzer (`monoid_calculus::analysis`) can anchor diagnostics
+/// to the original OQL text. Compares equal to everything — positions are
+/// metadata, so `parse ∘ unparse` round-trips stay structurally equal.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AstPos(pub Option<Pos>);
+
+impl PartialEq for AstPos {
+    fn eq(&self, _other: &AstPos) -> bool {
+        true
+    }
+}
+
+impl From<Pos> for AstPos {
+    fn from(p: Pos) -> AstPos {
+        AstPos(Some(p))
+    }
+}
 
 /// A whole OQL program: zero or more `define name as query;` bindings
 /// followed by the main query.
@@ -96,6 +116,9 @@ pub enum Quant {
 pub struct FromClause {
     pub var: Symbol,
     pub source: OqlExpr,
+    /// Where `var` appears in the source text (position metadata; ignored
+    /// by equality).
+    pub var_pos: AstPos,
 }
 
 /// One `group by` key: `label: expr`.
@@ -144,7 +167,14 @@ pub enum OqlExpr {
     /// Aggregates `count(e)`, `sum(e)`, …
     Agg(Agg, Box<OqlExpr>),
     /// `exists x in e: p` / `for all x in e: p`.
-    Quantified { quant: Quant, var: Symbol, source: Box<OqlExpr>, pred: Box<OqlExpr> },
+    Quantified {
+        quant: Quant,
+        var: Symbol,
+        source: Box<OqlExpr>,
+        pred: Box<OqlExpr>,
+        /// Where `var` appears in the source text.
+        var_pos: AstPos,
+    },
     /// `element(e)`.
     Element(Box<OqlExpr>),
     /// `flatten(e)`.
@@ -166,6 +196,8 @@ pub enum OqlExpr {
         group_by: Vec<GroupKey>,
         having: Option<Box<OqlExpr>>,
         order_by: Vec<OrderKey>,
+        /// Where the `select` keyword appears in the source text.
+        pos: AstPos,
     },
 }
 

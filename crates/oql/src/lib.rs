@@ -43,5 +43,5 @@ pub mod unparse;
 
 pub use error::OqlError;
 pub use parser::{parse_program, parse_query};
-pub use translate::{compile, compile_typed, Translator};
+pub use translate::{compile, compile_analyzed, compile_typed, Translator};
 pub use unparse::{unparse, unparse_program};

@@ -156,6 +156,7 @@ impl Parser {
         // token is `(`.
         if *self.peek() == Tok::Exists && matches!(self.peek2(), Tok::Ident(_)) {
             self.bump();
+            let var_pos = self.pos();
             let var = self.ident()?;
             self.expect(Tok::In)?;
             let source = self.cmp()?;
@@ -166,11 +167,13 @@ impl Parser {
                 var,
                 source: Box::new(source),
                 pred: Box::new(pred),
+                var_pos: var_pos.into(),
             });
         }
         if *self.peek() == Tok::For {
             self.bump();
             self.expect(Tok::All)?;
+            let var_pos = self.pos();
             let var = self.ident()?;
             self.expect(Tok::In)?;
             let source = self.cmp()?;
@@ -181,6 +184,7 @@ impl Parser {
                 var,
                 source: Box::new(source),
                 pred: Box::new(pred),
+                var_pos: var_pos.into(),
             });
         }
         self.cmp()
@@ -422,6 +426,7 @@ impl Parser {
     // ---- select ----
 
     fn select(&mut self) -> Result<OqlExpr, OqlError> {
+        let pos = self.pos();
         self.expect(Tok::Select)?;
         let distinct = self.eat(Tok::Distinct);
         let proj = self.projection()?;
@@ -478,6 +483,7 @@ impl Parser {
             group_by,
             having,
             order_by,
+            pos: pos.into(),
         })
     }
 
@@ -522,16 +528,18 @@ impl Parser {
         // `x in e` — one-token lookahead distinguishes it from `e [as] x`.
         if let Tok::Ident(_) = self.peek() {
             if *self.peek2() == Tok::In {
+                let var_pos = self.pos();
                 let var = self.ident()?;
                 self.expect(Tok::In)?;
                 let source = self.expr()?;
-                return Ok(FromClause { var, source });
+                return Ok(FromClause { var, source, var_pos: var_pos.into() });
             }
         }
         let source = self.expr()?;
         self.eat(Tok::As);
+        let var_pos = self.pos();
         let var = self.ident()?;
-        Ok(FromClause { var, source })
+        Ok(FromClause { var, source, var_pos: var_pos.into() })
     }
 }
 

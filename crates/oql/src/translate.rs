@@ -31,6 +31,7 @@
 
 use crate::ast::*;
 use crate::error::OqlError;
+use monoid_calculus::analysis::{Span, SpanMap};
 use monoid_calculus::expr::{BinOp, Expr, Qual, UnOp};
 use monoid_calculus::monoid::Monoid;
 use monoid_calculus::symbol::Symbol;
@@ -42,11 +43,34 @@ pub struct Translator<'s> {
     schema: &'s Schema,
     /// `define`d names, already translated (inlined on use).
     defines: Vec<(Symbol, Expr)>,
+    /// Source positions accumulated during translation — binder sites and
+    /// translated sub-expressions, keyed for the static analyzer
+    /// (`monoid_calculus::analysis::lint_with_spans`). Interior-mutable
+    /// because translation methods take `&self`.
+    spans: std::cell::RefCell<SpanMap>,
 }
 
 impl<'s> Translator<'s> {
     pub fn new(schema: &'s Schema) -> Translator<'s> {
-        Translator { schema, defines: Vec::new() }
+        Translator { schema, defines: Vec::new(), spans: Default::default() }
+    }
+
+    /// The spans recorded since construction (or the last take), leaving
+    /// an empty map behind.
+    pub fn take_spans(&mut self) -> SpanMap {
+        self.spans.take()
+    }
+
+    fn record_var(&self, v: Symbol, pos: AstPos) {
+        if let AstPos(Some(p)) = pos {
+            self.spans.borrow_mut().record_var(v, Span::new(p.offset, p.line, p.col));
+        }
+    }
+
+    fn record_expr(&self, e: &Expr, pos: AstPos) {
+        if let AstPos(Some(p)) = pos {
+            self.spans.borrow_mut().record_expr(e, Span::new(p.offset, p.line, p.col));
+        }
     }
 
     /// Translate a whole program; `define`s are translated in order and
@@ -179,7 +203,7 @@ impl<'s> Translator<'s> {
                 Expr::str(pattern),
             )),
             OqlExpr::Agg(agg, arg) => self.trans_agg(scope, *agg, arg),
-            OqlExpr::Quantified { quant, var, source, pred } => {
+            OqlExpr::Quantified { quant, var, source, pred, var_pos } => {
                 let src = self.trans(scope, source)?;
                 let (_, elem) = self.elem_of(scope, &src)?;
                 let inner_scope = scope.bind(*var, elem);
@@ -188,6 +212,7 @@ impl<'s> Translator<'s> {
                     Quant::Exists => Monoid::Some,
                     Quant::ForAll => Monoid::All,
                 };
+                self.record_var(*var, *var_pos);
                 Ok(Expr::comp(monoid, p, vec![Qual::Gen(*var, src)]))
             }
             OqlExpr::Element(inner) => Ok(Expr::UnOp(
@@ -220,11 +245,15 @@ impl<'s> Translator<'s> {
                 })
             }
             OqlExpr::SetOp(op, a, b) => self.trans_setop(scope, *op, a, b),
-            OqlExpr::Select { distinct, proj, from, filter, group_by, having, order_by } => {
-                self.trans_select(
+            OqlExpr::Select {
+                distinct, proj, from, filter, group_by, having, order_by, pos,
+            } => {
+                let e = self.trans_select(
                     scope, *distinct, proj, from, filter.as_deref(), group_by,
                     having.as_deref(), order_by,
-                )
+                )?;
+                self.record_expr(&e, *pos);
+                Ok(e)
             }
         }
     }
@@ -360,6 +389,8 @@ impl<'s> Translator<'s> {
             let src = self.trans(&inner_scope, &clause.source)?;
             let (src, elem) = self.coerced_source(&inner_scope, src, &base_monoid)?;
             inner_scope = inner_scope.bind(clause.var, elem);
+            self.record_var(clause.var, clause.var_pos);
+            self.record_expr(&src, clause.var_pos);
             quals.push(Qual::Gen(clause.var, src));
         }
         if let Some(f) = filter {
@@ -572,6 +603,16 @@ pub fn compile(schema: &Schema, src: &str) -> Result<Expr, OqlError> {
     tr.translate_program(&prog)
 }
 
+/// Parse and translate, also returning the source spans recorded along
+/// the way — binder sites and translated sub-expressions — for the
+/// static analyzer (`monoid_calculus::analysis::lint_with_spans`).
+pub fn compile_analyzed(schema: &Schema, src: &str) -> Result<(Expr, SpanMap), OqlError> {
+    let prog = crate::parser::parse_program(src)?;
+    let mut tr = Translator::new(schema);
+    let e = tr.translate_program(&prog)?;
+    Ok((e, tr.take_spans()))
+}
+
 /// Parse, translate, and report the result type.
 pub fn compile_typed(schema: &Schema, src: &str) -> Result<(Expr, Type), OqlError> {
     let prog = crate::parser::parse_program(src)?;
@@ -581,4 +622,57 @@ pub fn compile_typed(schema: &Schema, src: &str) -> Result<(Expr, Type), OqlErro
         tr.defines.push((*name, e));
     }
     tr.translate_typed(&prog.query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monoid_calculus::types::{ClassDef, Schema};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_class(ClassDef {
+            name: Symbol::new("SpanCity"),
+            state: Type::record(vec![
+                (Symbol::new("name"), Type::Str),
+                (Symbol::new("hotels"), Type::list(Type::Str)),
+            ]),
+            extent: Some(Symbol::new("SpanCities")),
+            superclass: None,
+        });
+        s
+    }
+
+    #[test]
+    fn compile_analyzed_records_binder_spans() {
+        let (e, spans) = compile_analyzed(
+            &schema(),
+            "select h from c in SpanCities, h in c.hotels where c.name = 'x'",
+        )
+        .unwrap();
+        assert!(matches!(e, Expr::Comp { .. }));
+        let c = spans.var_span(Symbol::new("c")).expect("span for `c`");
+        let h = spans.var_span(Symbol::new("h")).expect("span for `h`");
+        assert_eq!(c.line, 1);
+        assert!(h.col > c.col, "`h` is bound to the right of `c`");
+        // The whole translated select is anchored at the `select` keyword.
+        assert_eq!(spans.expr_span(&e).expect("select span").col, 1);
+    }
+
+    #[test]
+    fn quantifier_var_gets_a_span() {
+        let mut s = schema();
+        s.add_class(ClassDef {
+            name: Symbol::new("SpanHotel"),
+            state: Type::record(vec![(Symbol::new("rooms"), Type::list(Type::Int))]),
+            extent: Some(Symbol::new("SpanHotels")),
+            superclass: None,
+        });
+        let (_, spans) = compile_analyzed(
+            &s,
+            "select x from x in SpanHotels where exists r in x.rooms: r > 2",
+        )
+        .unwrap();
+        assert!(spans.var_span(Symbol::new("r")).is_some(), "span for `r`");
+    }
 }

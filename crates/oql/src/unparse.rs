@@ -137,7 +137,7 @@ fn write_expr(out: &mut String, e: &OqlExpr) {
             write_expr(out, arg);
             out.push(')');
         }
-        OqlExpr::Quantified { quant, var, source, pred } => {
+        OqlExpr::Quantified { quant, var, source, pred, .. } => {
             let kw = match quant {
                 Quant::Exists => "exists",
                 Quant::ForAll => "for all",
@@ -199,7 +199,7 @@ fn write_expr(out: &mut String, e: &OqlExpr) {
             let _ = write!(out, " {kw} ");
             write_wrapped(out, b);
         }
-        OqlExpr::Select { distinct, proj, from, filter, group_by, having, order_by } => {
+        OqlExpr::Select { distinct, proj, from, filter, group_by, having, order_by, .. } => {
             out.push_str("select ");
             if *distinct {
                 out.push_str("distinct ");

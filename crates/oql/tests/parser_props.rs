@@ -60,7 +60,7 @@ proptest! {
     fn arithmetic_chains_parse(terms in prop::collection::vec(0i64..100, 1..40)) {
         let src = terms
             .iter()
-            .map(|t| t.to_string())
+            .map(std::string::ToString::to_string)
             .collect::<Vec<_>>()
             .join(" + ");
         let q = parse_query(&src);

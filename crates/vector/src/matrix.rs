@@ -101,7 +101,7 @@ pub fn eval_int_matrix(e: &Expr) -> EvalResult<Vec<Vec<i64>>> {
         .map(|row| match row {
             Value::Vector(items) => items
                 .iter()
-                .map(|v| v.as_int())
+                .map(monoid_calculus::value::Value::as_int)
                 .collect::<EvalResult<Vec<i64>>>(),
             other => Err(EvalError::TypeMismatch {
                 op: "matrix row",

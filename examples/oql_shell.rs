@@ -34,10 +34,7 @@ fn main() {
     let mut buffer = String::new();
     prompt(&buffer);
     for line in stdin.lock().lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(_) => break,
-        };
+        let Ok(line) = line else { break };
         let trimmed = line.trim();
         if buffer.is_empty() && trimmed.starts_with(':') && !trimmed.contains(';') {
             if !meta_command(trimmed, &mut db) {

@@ -152,7 +152,7 @@ mod tests {
         let mut calls = 0;
         group.bench_function("f", |b| b.iter(|| calls += 1));
         group.bench_with_input(BenchmarkId::new("with", 3), &3, |b, &n| {
-            b.iter(|| n * 2)
+            b.iter(|| n * 2);
         });
         group.finish();
         assert!(calls >= 1);

@@ -13,6 +13,10 @@
 //!   comprehension → pipelined iterator plans).
 //! * [`vector`] — vectors and arrays as monoids (§4.1 extension library).
 //!
+//! Umbrella-level entry points: [`analyze`] (static analysis of OQL
+//! source — effects + MC001–MC006 lints, no execution) and
+//! [`explain_analyze`] (profiled end-to-end execution).
+//!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
 pub use monoid_algebra as algebra;
@@ -24,8 +28,10 @@ pub use monoid_vector as vector;
 pub use monoid_calculus::prelude;
 
 use monoid_algebra::Analysis;
+use monoid_calculus::analysis::AnalysisReport;
 use monoid_calculus::error::EvalError;
 use monoid_calculus::trace::{Phase, QueryTrace};
+use monoid_calculus::types::Schema;
 use monoid_oql::OqlError;
 use monoid_store::Database;
 
@@ -60,6 +66,15 @@ impl From<EvalError> for AnalyzeError {
     fn from(e: EvalError) -> AnalyzeError {
         AnalyzeError::Exec(e)
     }
+}
+
+/// Statically analyze an OQL query against `schema` *without executing
+/// it*: parse → translate (recording source spans) → effect inference +
+/// the MC001–MC006 lint pass. This is the library face of the `oqlint`
+/// binary; `report.render()` for humans, `report.to_json()` for tools.
+pub fn analyze(schema: &Schema, src: &str) -> Result<AnalysisReport, OqlError> {
+    let (expr, spans) = monoid_oql::compile_analyzed(schema, src)?;
+    Ok(AnalysisReport::with_spans(&expr, &spans))
 }
 
 /// `EXPLAIN ANALYZE` for OQL source: run the full lifecycle — lex/parse →

@@ -1,0 +1,189 @@
+//! End-to-end tests for the static query analyzer: the umbrella
+//! `analyze` API over OQL source, lint codes on calculus terms, the
+//! stage-tagged verifier errors, and JSON quoting edge cases in the
+//! analyzer's machine-readable output.
+
+use monoid_db::analyze;
+use monoid_db::calculus::analysis::{
+    lint, AnalysisReport, Code, Diagnostic, EffectSummary, Severity,
+};
+use monoid_db::calculus::expr::Expr;
+use monoid_db::calculus::monoid::Monoid;
+use monoid_db::store::travel;
+
+fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.code.as_str()).collect()
+}
+
+// -------------------------------------------------------------------------
+// The umbrella analyze() path: OQL in, spanned diagnostics out.
+// -------------------------------------------------------------------------
+
+#[test]
+fn clean_query_reports_no_diagnostics() {
+    let schema = travel::schema();
+    let report = analyze(
+        &schema,
+        "select h.name from c in Cities, h in c.hotels where c.name = 'Portland'",
+    )
+    .unwrap();
+    assert!(report.diagnostics.is_empty(), "got {:?}", report.diagnostics);
+    assert!(report.effects.is_pure());
+    assert!(report.effects.parallel_safe());
+    assert!(report.effects.reads_extents());
+    assert_eq!(report.max_severity(), None);
+}
+
+#[test]
+fn unused_generator_is_flagged_with_its_source_position() {
+    let schema = travel::schema();
+    let report =
+        analyze(&schema, "select c.name\nfrom c in Cities, h in Hotels").unwrap();
+    assert_eq!(codes(&report.diagnostics), vec!["MC001"]);
+    let d = &report.diagnostics[0];
+    assert!(d.message.contains('h'), "{d}");
+    let span = d.span.expect("front end recorded the binder position");
+    assert_eq!(span.line, 2, "the `h` binder is on line 2");
+}
+
+#[test]
+fn constant_predicate_and_shadowing_are_flagged() {
+    let schema = travel::schema();
+    let report =
+        analyze(&schema, "select h.name from h in Hotels where h.name = h.name").unwrap();
+    assert!(codes(&report.diagnostics).contains(&"MC002"), "{:?}", report.diagnostics);
+
+    let report = analyze(
+        &schema,
+        "select (select c.name from c in Cities) from c in Cities",
+    )
+    .unwrap();
+    assert!(codes(&report.diagnostics).contains(&"MC003"), "{:?}", report.diagnostics);
+    assert_eq!(report.max_severity(), Some(Severity::Warning));
+}
+
+// -------------------------------------------------------------------------
+// Calculus-level lints the OQL front end cannot express.
+// -------------------------------------------------------------------------
+
+#[test]
+fn mutating_query_gets_mc005_with_the_reason() {
+    // all{ e := ⟨…⟩ | e ← Employees } — hand-built; OQL has no `:=`.
+    let e = Expr::comp(
+        Monoid::All,
+        Expr::var("e").assign(Expr::record(vec![
+            ("name", Expr::var("e").proj("name")),
+            ("salary", Expr::int(1)),
+        ])),
+        vec![Expr::gen("e", Expr::var("Employees"))],
+    );
+    let diags = lint(&e);
+    let d = diags
+        .iter()
+        .find(|d| d.code == Code::NotParallelizable)
+        .expect("MC005 for a mutating query");
+    assert!(d.message.contains(":="), "reason names the obstacle: {d}");
+    assert!(!EffectSummary::of(&e).parallel_safe());
+}
+
+#[test]
+fn generator_free_comprehension_gets_mc005() {
+    let e = Expr::comp(Monoid::Sum, Expr::int(1), vec![Expr::pred(Expr::bool(true))]);
+    let diags = lint(&e);
+    let d = diags
+        .iter()
+        .find(|d| d.code == Code::NotParallelizable)
+        .expect("MC005 for a generator-free query");
+    assert!(d.message.contains("no generators"), "{d}");
+}
+
+#[test]
+fn illegal_hom_near_miss_gets_mc006_with_fix_hint() {
+    // list{ x | x ← set(1,2) } — set into list breaks the C/I restriction.
+    let e = Expr::comp(
+        Monoid::List,
+        Expr::var("x"),
+        vec![Expr::gen("x", Expr::CollLit(Monoid::Set, vec![Expr::int(1), Expr::int(2)]))],
+    );
+    let diags = lint(&e);
+    let d = diags
+        .iter()
+        .find(|d| d.code == Code::IllegalHom)
+        .expect("MC006 for a set generator in a list comprehension");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(
+        d.note.as_deref().is_some_and(|n| n.contains("to_bag")),
+        "fix hint suggests the documented coercion: {d}"
+    );
+}
+
+// -------------------------------------------------------------------------
+// Stage-tagged verifier errors through the public APIs.
+// -------------------------------------------------------------------------
+
+#[test]
+fn plan_verifier_reports_stage_tagged_errors() {
+    use monoid_db::algebra::{plan_comprehension, verify_query, Plan};
+    use monoid_db::store::TravelScale;
+    let db = travel::generate(TravelScale::tiny(), 5);
+    let pure = Expr::comp(
+        Monoid::Bag,
+        Expr::var("c").proj("name"),
+        vec![Expr::gen("c", Expr::var("Cities"))],
+    );
+    let mut query = plan_comprehension(&pure).unwrap();
+    assert!(verify_query(&query, &db).is_ok());
+    query.plan = Plan::Filter {
+        input: Box::new(query.plan.clone()),
+        pred: Expr::var("c").assign(Expr::int(0)),
+    };
+    let err = verify_query(&query, &db).unwrap_err();
+    assert_eq!(err.stage, "plan/effects");
+    assert!(err.to_string().contains("plan/effects"), "{err}");
+}
+
+// -------------------------------------------------------------------------
+// JSON quoting edge cases: analyzer and profiler output must escape
+// quotes, backslashes, and newlines through the shared json module.
+// -------------------------------------------------------------------------
+
+#[test]
+fn analysis_report_json_escapes_hostile_strings() {
+    let report = AnalysisReport {
+        effects: EffectSummary::of(&Expr::int(1)),
+        diagnostics: vec![Diagnostic {
+            code: Code::ConstantPredicate,
+            severity: Severity::Warning,
+            span: None,
+            message: "has \"quotes\" and \\slashes\\".to_string(),
+            note: Some("line one\nline two\ttabbed".to_string()),
+        }],
+    };
+    let rendered = report.to_json().render();
+    assert!(rendered.contains(r#"has \"quotes\" and \\slashes\\"#), "{rendered}");
+    assert!(rendered.contains(r"line one\nline two\ttabbed"), "{rendered}");
+    assert!(!rendered.contains('\n'), "raw newline leaked into JSON: {rendered}");
+}
+
+#[test]
+fn profile_json_escapes_string_literals_in_heads() {
+    use monoid_db::store::TravelScale;
+    let mut db = travel::generate(TravelScale::tiny(), 5);
+    // The head contains a string literal with a quote and a backslash;
+    // the profile serializes the pretty-printed head, which must escape.
+    let src = r#"select 'quote " and \ slash' from h in Hotels"#;
+    let analysis = monoid_db::explain_analyze(src, &mut db).unwrap();
+    let rendered = analysis.profile.to_json().render();
+    assert!(!rendered.contains('\n'), "raw newline leaked into JSON");
+    // Every `"` inside the rendered JSON string values must be escaped:
+    // strip legal escapes, then no bare quote may remain between the
+    // structural ones. A cheap proxy: the rendered text must still split
+    // into an even number of unescaped quotes.
+    let unescaped_quotes = rendered
+        .as_bytes()
+        .iter()
+        .enumerate()
+        .filter(|(i, b)| **b == b'"' && (*i == 0 || rendered.as_bytes()[i - 1] != b'\\'))
+        .count();
+    assert_eq!(unescaped_quotes % 2, 0, "unbalanced quoting: {rendered}");
+}

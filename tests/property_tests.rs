@@ -556,3 +556,78 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// The static effect classifier is sound against the runtime: effect-free
+// queries leave the heap untouched, and the parallel-safety verdict
+// coincides with the engine's fallback decision across the monoid corpus.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A query the analyzer classifies allocation- and mutation-free must
+    /// leave the heap's mutation counter exactly where it was.
+    #[test]
+    fn effect_free_queries_leave_heap_version_unchanged(seed in 0u64..4) {
+        use monoid_db::algebra;
+        use monoid_db::calculus::analysis::effects_of;
+        use monoid_db::store::{travel, TravelScale};
+        let mut db = travel::generate(TravelScale::tiny(), seed);
+        for (label, q) in parallel_cases() {
+            let query = algebra::plan_comprehension(&q).unwrap();
+            let eff = effects_of(&query.head).join(query.plan_effects);
+            prop_assert!(
+                !eff.allocates && !eff.mutates,
+                "corpus query should classify effect-free: {}", label
+            );
+            let before = db.heap().version();
+            algebra::execute(&query, &mut db).unwrap();
+            prop_assert_eq!(
+                before, db.heap().version(),
+                "heap version moved under an effect-free query: {}", label
+            );
+        }
+    }
+
+    /// Static parallel safety ⇔ `fallback: None`: every corpus query is
+    /// classified safe and the engine spawns workers; giving the same
+    /// query a mutating head flips both sides at once.
+    #[test]
+    fn parallel_safety_verdict_matches_fallback(seed in 0u64..4, ti in 0usize..3) {
+        use monoid_db::algebra;
+        use monoid_db::algebra::Fallback;
+        use monoid_db::calculus::analysis::effects_of;
+        use monoid_db::store::{travel, TravelScale};
+        let threads = [2usize, 3, 8][ti];
+        let mut db = travel::generate(TravelScale::tiny(), seed);
+        for (label, q) in parallel_cases() {
+            let query = algebra::plan_comprehension(&q).unwrap();
+            let eff = effects_of(&query.head).join(query.plan_effects);
+            prop_assert!(eff.parallel_safe(), "corpus query is parallel-safe: {}", label);
+            let (_, report) =
+                algebra::execute_parallel_traced(&query, &mut db, threads).unwrap();
+            prop_assert_eq!(
+                report.fallback, None,
+                "statically-safe query fell back: {}", label
+            );
+        }
+        // The converse: a mutating head is classified unsafe and the
+        // engine refuses to fan out, in the same breath.
+        let pure = Expr::comp(
+            Monoid::All,
+            Expr::bool(true),
+            vec![Expr::gen("e", Expr::var("Employees"))],
+        );
+        let mut query = algebra::plan_comprehension(&pure).unwrap();
+        query.head = Expr::var("e").assign(Expr::record(vec![
+            ("name", Expr::var("e").proj("name")),
+            ("salary", Expr::int(1)),
+        ]));
+        let eff = effects_of(&query.head).join(query.plan_effects);
+        prop_assert!(!eff.parallel_safe(), "mutating head classifies unsafe");
+        let (_, report) =
+            algebra::execute_parallel_traced(&query, &mut db, threads).unwrap();
+        prop_assert_eq!(report.fallback, Some(Fallback::Mutation));
+    }
+}
