@@ -81,17 +81,28 @@ fn timed<P: Probe, R>(probe: &P, op: usize, f: impl FnOnce() -> R) -> R {
 
 /// Take the heap out of `db`, run `f` with a fresh evaluator over it, and
 /// put the (possibly mutated) heap back — the single shared shape of every
-/// execution entry point.
+/// execution entry point. `params` are late-bound `$name` values layered
+/// over the persistent roots; their `$`-prefixed symbols can never shadow
+/// a root or a query variable.
 fn with_evaluator<R>(
     db: &mut Database,
+    params: &[(Symbol, Value)],
     f: impl FnOnce(&mut Evaluator, &Env) -> ExecResult<R>,
 ) -> ExecResult<R> {
-    let env = db.env();
+    let env = bind_params(db.env(), params);
     let heap = std::mem::take(db.heap_mut());
     let mut ev = Evaluator::with_heap(heap);
     let result = f(&mut ev, &env);
     *db.heap_mut() = ev.heap;
     result
+}
+
+/// Layer parameter bindings over an environment.
+pub(crate) fn bind_params(mut env: Env, params: &[(Symbol, Value)]) -> Env {
+    for (p, v) in params {
+        env = env.bind(*p, v.clone());
+    }
+    env
 }
 
 /// Re-check the plan invariants (`crate::verify`) when stage verification
@@ -106,14 +117,34 @@ fn verify_if_enabled(query: &Query, db: &Database) -> ExecResult<()> {
 
 /// Run a query against a database, returning the reduced value.
 pub fn execute(query: &Query, db: &mut Database) -> ExecResult<Value> {
+    execute_bound(query, db, &[])
+}
+
+/// [`execute`] with late-bound parameter values (prepared statements):
+/// each `(symbol, value)` pair is bound into the root environment before
+/// the plan runs, so `Expr::Param` leaves resolve per execution.
+pub fn execute_bound(
+    query: &Query,
+    db: &mut Database,
+    params: &[(Symbol, Value)],
+) -> ExecResult<Value> {
     verify_if_enabled(query, db)?;
-    with_evaluator(db, |ev, env| run_reduce(query, ev, env, &NoProbe))
+    with_evaluator(db, params, |ev, env| run_reduce(query, ev, env, &NoProbe))
 }
 
 /// Run a query and report evaluation steps (cost proxy for benchmarks).
 pub fn execute_counted(query: &Query, db: &mut Database) -> ExecResult<(Value, u64)> {
+    execute_counted_bound(query, db, &[])
+}
+
+/// [`execute_counted`] with late-bound parameter values.
+pub fn execute_counted_bound(
+    query: &Query,
+    db: &mut Database,
+    params: &[(Symbol, Value)],
+) -> ExecResult<(Value, u64)> {
     verify_if_enabled(query, db)?;
-    with_evaluator(db, |ev, env| {
+    with_evaluator(db, params, |ev, env| {
         let v = run_reduce(query, ev, env, &NoProbe)?;
         Ok((v, ev.steps_used()))
     })
@@ -126,8 +157,18 @@ pub(crate) fn execute_probed<P: Probe>(
     db: &mut Database,
     probe: &P,
 ) -> ExecResult<(Value, u64)> {
+    execute_probed_bound(query, db, &[], probe)
+}
+
+/// [`execute_probed`] with late-bound parameter values.
+pub(crate) fn execute_probed_bound<P: Probe>(
+    query: &Query,
+    db: &mut Database,
+    params: &[(Symbol, Value)],
+    probe: &P,
+) -> ExecResult<(Value, u64)> {
     verify_if_enabled(query, db)?;
-    with_evaluator(db, |ev, env| {
+    with_evaluator(db, params, |ev, env| {
         let v = run_reduce(query, ev, env, probe)?;
         Ok((v, ev.steps_used()))
     })

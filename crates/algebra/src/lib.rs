@@ -50,8 +50,11 @@ pub mod trace;
 pub mod verify;
 
 pub use error::PlanError;
-pub use exec::{execute, execute_counted, NoProbe, Probe};
-pub use metrics::{execute_metered, execute_parallel_metered, MetricsProbe};
+pub use exec::{execute, execute_bound, execute_counted, execute_counted_bound, NoProbe, Probe};
+pub use metrics::{
+    execute_metered, execute_metered_bound, execute_parallel_metered,
+    execute_parallel_metered_bound, MetricsProbe,
+};
 pub use explain::{explain, explain_with_estimates};
 pub use index::{apply_indexes, apply_indexes_rebuilding, Index, IndexCatalog};
 pub use optimizer::{reorder_generators, Stats};
@@ -59,8 +62,9 @@ pub use logical::{
     plan_comprehension, plan_with_options, BuildTable, JoinKind, Plan, PlanOptions, Query,
 };
 pub use parallel::{
-    default_threads, execute_parallel, execute_parallel_auto, execute_parallel_traced,
-    execute_parallel_with, Fallback, ParallelReport,
+    default_threads, execute_parallel, execute_parallel_auto, execute_parallel_auto_bound,
+    execute_parallel_bound, execute_parallel_traced, execute_parallel_with,
+    execute_parallel_with_bound, Fallback, ParallelReport,
 };
 pub use trace::{analyze_with_trace, execute_profiled, explain_analyze, Analysis, OperatorProfile, QueryProfile};
 pub use verify::verify_query;

@@ -185,7 +185,18 @@ pub fn execute_parallel_metered(
     db: &mut Database,
     threads: usize,
 ) -> ExecResult<Value> {
-    let result = parallel::execute_parallel_with(query, db, threads, MetricsProbe::for_plan);
+    execute_parallel_metered_bound(query, db, threads, &[])
+}
+
+/// [`execute_parallel_metered`] with late-bound parameter values.
+pub fn execute_parallel_metered_bound(
+    query: &Query,
+    db: &mut Database,
+    threads: usize,
+    params: &[(monoid_calculus::symbol::Symbol, Value)],
+) -> ExecResult<Value> {
+    let result =
+        parallel::execute_parallel_with_bound(query, db, threads, params, MetricsProbe::for_plan);
     match result {
         Ok((v, report)) => {
             record_parallel(&report);
@@ -202,10 +213,19 @@ pub fn execute_parallel_metered(
 /// short-circuits land in the global registry, labeled by operator kind,
 /// alongside execution and error counters.
 pub fn execute_metered(query: &Query, db: &mut Database) -> ExecResult<Value> {
+    execute_metered_bound(query, db, &[])
+}
+
+/// [`execute_metered`] with late-bound parameter values.
+pub fn execute_metered_bound(
+    query: &Query,
+    db: &mut Database,
+    params: &[(monoid_calculus::symbol::Symbol, Value)],
+) -> ExecResult<Value> {
     let m = exec_metrics();
     m.executions.inc();
     let probe = MetricsProbe::for_query(query);
-    let result = exec::execute_probed(query, db, &probe).map(|(v, _)| v);
+    let result = exec::execute_probed_bound(query, db, params, &probe).map(|(v, _)| v);
     if result.is_err() {
         m.errors.inc();
     }

@@ -116,6 +116,18 @@ pub fn execute_parallel(query: &Query, db: &mut Database, threads: usize) -> Exe
     execute_parallel_traced(query, db, threads).map(|(v, _)| v)
 }
 
+/// [`execute_parallel`] with late-bound parameter values (prepared
+/// statements): bound into the driver's root environment, so every worker
+/// sees them exactly like a persistent root.
+pub fn execute_parallel_bound(
+    query: &Query,
+    db: &mut Database,
+    threads: usize,
+    params: &[(Symbol, Value)],
+) -> ExecResult<Value> {
+    execute_parallel_with_bound(query, db, threads, params, |_| NoProbe).map(|(v, _)| v)
+}
+
 /// [`execute_parallel`], also returning the [`ParallelReport`].
 pub fn execute_parallel_traced(
     query: &Query,
@@ -144,6 +156,15 @@ pub fn execute_parallel_auto(query: &Query, db: &mut Database) -> ExecResult<Val
     execute_parallel(query, db, default_threads())
 }
 
+/// [`execute_parallel_auto`] with late-bound parameter values.
+pub fn execute_parallel_auto_bound(
+    query: &Query,
+    db: &mut Database,
+    params: &[(Symbol, Value)],
+) -> ExecResult<Value> {
+    execute_parallel_bound(query, db, default_threads(), params)
+}
+
 /// The generic engine: `make_probe` builds the per-worker probe from the
 /// rewritten worker plan (whose operator numbering differs from the
 /// original — the partition root becomes a singleton scan and spine joins
@@ -155,12 +176,24 @@ pub fn execute_parallel_with<P: Probe + Sync>(
     threads: usize,
     make_probe: impl FnOnce(&Plan) -> P,
 ) -> ExecResult<(Value, ParallelReport)> {
+    execute_parallel_with_bound(query, db, threads, &[], make_probe)
+}
+
+/// [`execute_parallel_with`] plus late-bound parameter values layered
+/// over the root environment before partitioning.
+pub fn execute_parallel_with_bound<P: Probe + Sync>(
+    query: &Query,
+    db: &mut Database,
+    threads: usize,
+    params: &[(Symbol, Value)],
+    make_probe: impl FnOnce(&Plan) -> P,
+) -> ExecResult<(Value, ParallelReport)> {
     if monoid_calculus::analysis::verify_enabled() {
         crate::verify::verify_query(query, db).map_err(|e| EvalError::Other(e.to_string()))?;
     }
     let mut report = ParallelReport::new(threads);
     if threads <= 1 {
-        return run_fallback(query, db, make_probe, report, Fallback::SingleThread);
+        return run_fallback(query, db, params, make_probe, report, Fallback::SingleThread);
     }
     // Static classification: the planner computed `plan_effects` once at
     // plan time; only the head — one small expression, swappable by tests
@@ -172,13 +205,13 @@ pub fn execute_parallel_with<P: Probe + Sync>(
         "static effect analysis disagrees with the runtime plan scan"
     );
     if effects.mutates {
-        return run_fallback(query, db, make_probe, report, Fallback::Mutation);
+        return run_fallback(query, db, params, make_probe, report, Fallback::Mutation);
     }
 
     // Walk the left spine top-down: pre-materialize shared build tables in
     // the same order sequential execution would, and collect the partition
     // point (scan/index-lookup members) at the bottom.
-    let env = db.env();
+    let env = exec::bind_params(db.env(), params);
     let (plan, partition) =
         prepare(&query.plan, db, &env, threads, query.plan_effects, &mut report)?;
     let PartitionPoint { var, elements } = partition;
@@ -244,13 +277,14 @@ pub fn execute_parallel_with<P: Probe + Sync>(
 fn run_fallback<P: Probe>(
     query: &Query,
     db: &mut Database,
+    params: &[(Symbol, Value)],
     make_probe: impl FnOnce(&Plan) -> P,
     mut report: ParallelReport,
     reason: Fallback,
 ) -> ExecResult<(Value, ParallelReport)> {
     report.fallback = Some(reason);
     let probe = make_probe(&query.plan);
-    let (v, _) = exec::execute_probed(query, db, &probe)?;
+    let (v, _) = exec::execute_probed_bound(query, db, params, &probe)?;
     Ok((v, report))
 }
 

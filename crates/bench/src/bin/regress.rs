@@ -9,21 +9,26 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p monoid-bench --bin regress [-- --quick] [--out PATH]
+//! cargo run --release -p monoid-bench --bin regress [-- --quick] [--warm] [--out PATH]
 //! ```
 //!
 //! `--quick` shrinks the stores and run counts for CI smoke runs.
+//! `--warm` serves the prepared section from the pre-warmed process-wide
+//! plan cache (timing full `Session::query` hits) instead of a cold
+//! private one; CI runs both and uploads the two reports side by side.
 
 use monoid_bench::harness::{fmt_nanos, Table};
 use monoid_bench::regress;
 
 fn main() {
     let mut quick = false;
+    let mut warm = false;
     let mut out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--warm" => warm = true,
             "--out" => {
                 out = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--out needs a path");
@@ -31,7 +36,7 @@ fn main() {
                 }));
             }
             "--help" | "-h" => {
-                eprintln!("usage: regress [--quick] [--out PATH]");
+                eprintln!("usage: regress [--quick] [--warm] [--out PATH]");
                 return;
             }
             other => {
@@ -46,7 +51,7 @@ fn main() {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_regress.json").to_string()
     });
 
-    let report = regress::run(quick);
+    let report = regress::run_with(quick, warm);
 
     let mut table = Table::new(&["query", "store", "p50", "p95", "p99", "rows→reduce", "norm steps"]);
     for q in &report.queries {
@@ -82,6 +87,23 @@ fn main() {
         }
     }
     println!("{}", ptable.render());
+
+    if report.warm {
+        println!("prepared section served from the pre-warmed process-wide cache (--warm)\n");
+    }
+    let mut stable =
+        Table::new(&["prepared statement", "cold p50", "cold p95", "warm p50", "warm p95", "speedup"]);
+    for p in &report.prepared {
+        stable.row(&[
+            p.name.to_string(),
+            fmt_nanos(p.cold_p50_nanos),
+            fmt_nanos(p.cold_p95_nanos),
+            fmt_nanos(p.warm_p50_nanos),
+            fmt_nanos(p.warm_p95_nanos),
+            format!("{:.2}x", p.warm_speedup),
+        ]);
+    }
+    println!("{}", stable.render());
     println!("operator rows: {:?}", report.operator_rows());
     println!("rules fired:   {:?}", report.rule_firings());
 

@@ -76,13 +76,35 @@ pub struct ParallelBench {
     pub threads: Vec<ParallelPoint>,
 }
 
+/// One prepared statement: the cold path (prepare + execute, the whole
+/// parse → translate → normalize → optimize → plan pipeline every run)
+/// against the warm path (`Prepared::execute` alone — bind and run the
+/// stored plan).
+pub struct PreparedBench {
+    pub name: &'static str,
+    pub source: String,
+    pub cold_p50_nanos: u128,
+    pub cold_p95_nanos: u128,
+    pub warm_p50_nanos: u128,
+    pub warm_p95_nanos: u128,
+    /// Cold median ÷ warm median: what preparing once buys per execution.
+    pub warm_speedup: f64,
+}
+
 /// The full regression report.
 pub struct RegressReport {
     pub quick: bool,
+    /// Whether the prepared section ran against the pre-warmed
+    /// process-wide plan cache (`--warm`).
+    pub warm: bool,
     pub runs_per_query: usize,
     pub queries: Vec<QueryReport>,
     /// Parallel reduction latencies per thread count (B6-style section).
     pub parallel: Vec<ParallelBench>,
+    /// Prepared-statement serving latencies (cold prepare vs warm
+    /// execute); the workload also runs through a `Session` + `PlanCache`
+    /// so the `plan_cache_*` counters land in the registry delta below.
+    pub prepared: Vec<PreparedBench>,
     /// Registry delta attributable to this workload (snapshot diff
     /// around the run).
     pub registry: Snapshot,
@@ -150,6 +172,13 @@ fn suite(quick: bool) -> (Database, Database, Vec<Case>) {
 
 /// Run the suite. `quick` shrinks stores and run counts for CI smoke.
 pub fn run(quick: bool) -> RegressReport {
+    run_with(quick, false)
+}
+
+/// [`run`], optionally serving the prepared section from the pre-warmed
+/// process-wide plan cache (`warm`) instead of a cold private one — CI
+/// runs both and diffs the two reports.
+pub fn run_with(quick: bool, warm: bool) -> RegressReport {
     let runs = if quick { 5 } else { 25 };
     let (mut travel_db, mut company_db, cases) = suite(quick);
     let before = metrics::global().snapshot();
@@ -211,10 +240,118 @@ pub fn run(quick: bool) -> RegressReport {
         });
     }
     let parallel = run_parallel_section(quick, runs);
+    let prepared = run_prepared_section(quick, runs, warm);
     let registry = metrics::global().snapshot().diff(&before);
     let prometheus = registry.to_prometheus();
     validate_prometheus_text(&prometheus).expect("exporter emits valid text format");
-    RegressReport { quick, runs_per_query: runs, queries: reports, parallel, registry, prometheus }
+    RegressReport {
+        quick,
+        warm,
+        runs_per_query: runs,
+        queries: reports,
+        parallel,
+        prepared,
+        registry,
+        prometheus,
+    }
+}
+
+/// Time the serving layer: for each canonical statement, the cold path
+/// re-prepares (parse → … → plan) and executes every run, the warm path
+/// executes one `Prepared` repeatedly. The same statements then go
+/// through a private `Session`/`PlanCache` so the run's registry delta
+/// carries `plan_cache_hits_total` / `plan_cache_misses_total` traffic.
+///
+/// Under `warm` the section serves from the pre-warmed process-wide
+/// cache instead: every statement is queried once through
+/// `Session::new()` before any timing, and the warm loop times whole
+/// `session.query` hits (lookup + bind + execute) rather than bare
+/// `Prepared::execute` calls.
+fn run_prepared_section(quick: bool, runs: usize, warm: bool) -> Vec<PreparedBench> {
+    use monoid_calculus::value::Value;
+    use monoid_db::{prepare_on, Params, PlanCache, Session};
+
+    let scale = if quick { TravelScale::tiny() } else { TravelScale::small() };
+    let mut db = travel::generate(scale, 7);
+    let cases: Vec<(&'static str, &'static str, Params)> = vec![
+        (
+            "portland-flat-prepared",
+            "select h.name from c in Cities, h in c.hotels, r in h.rooms \
+             where c.name = $city and r.bed# = $beds",
+            Params::new()
+                .bind("city", Value::str("Portland"))
+                .bind("beds", Value::Int(3)),
+        ),
+        (
+            "exists-hotel-prepared",
+            "exists h in Hotels: h.name = $name",
+            Params::new().bind("name", Value::str("hotel_0_0")),
+        ),
+        (
+            "city-hotels-prepared",
+            "select h.name from c in Cities, h in c.hotels \
+             where c.hotel# >= $1 and c.name = $2",
+            Params::new().bind("1", Value::Int(1)).bind("2", Value::str("Portland")),
+        ),
+    ];
+
+    let session = if warm {
+        Session::new()
+    } else {
+        Session::with_cache(std::sync::Arc::new(PlanCache::new()))
+    };
+    if warm {
+        // Pre-warm the process-wide cache so every timed lookup below
+        // is a hit.
+        for (_, source, params) in &cases {
+            session.query(&mut db, source, params).expect("pre-warm serves the statement");
+        }
+    }
+    cases
+        .into_iter()
+        .map(|(name, source, params)| {
+            // Cold: the whole pipeline, every run.
+            let mut cold = Vec::with_capacity(runs);
+            for _ in 0..runs {
+                let started = Instant::now();
+                let stmt = prepare_on(&db, source).expect("canonical statement prepares");
+                stmt.execute(&mut db, &params).expect("canonical statement executes");
+                cold.push(started.elapsed().as_nanos());
+            }
+            let mut warm_samples = Vec::with_capacity(runs);
+            if warm {
+                // Warm: serve `runs` hits from the pre-warmed cache.
+                for _ in 0..runs {
+                    let started = Instant::now();
+                    session.query(&mut db, source, &params).expect("session serves the statement");
+                    warm_samples.push(started.elapsed().as_nanos());
+                }
+            } else {
+                // Warm: prepare once, execute `runs` times.
+                let stmt = prepare_on(&db, source).expect("canonical statement prepares");
+                for _ in 0..runs {
+                    let started = Instant::now();
+                    stmt.execute(&mut db, &params).expect("canonical statement executes");
+                    warm_samples.push(started.elapsed().as_nanos());
+                }
+                // Cache traffic for the registry delta: one miss, then hits.
+                for _ in 0..runs {
+                    session.query(&mut db, source, &params).expect("session serves the statement");
+                }
+            }
+            let cold_p50 = percentile_nanos(&cold, 50.0);
+            let warm_p50 = percentile_nanos(&warm_samples, 50.0);
+            PreparedBench {
+                name,
+                source: source.to_string(),
+                cold_p50_nanos: cold_p50,
+                cold_p95_nanos: percentile_nanos(&cold, 95.0),
+                warm_p50_nanos: warm_p50,
+                warm_p95_nanos: percentile_nanos(&warm_samples, 95.0),
+                warm_speedup: cold_p50 as f64 / warm_p50.max(1) as f64,
+            }
+        })
+        .collect()
 }
 
 /// Time the ordered parallel reduction engine at several thread counts —
@@ -399,16 +536,34 @@ impl RegressReport {
                 })
                 .collect(),
         );
+        let prepared = Json::Arr(
+            self.prepared
+                .iter()
+                .map(|p| {
+                    Json::obj(vec![
+                        ("name", Json::str(p.name)),
+                        ("source", Json::str(p.source.clone())),
+                        ("cold_median_nanos", Json::from(p.cold_p50_nanos)),
+                        ("cold_p95_nanos", Json::from(p.cold_p95_nanos)),
+                        ("warm_median_nanos", Json::from(p.warm_p50_nanos)),
+                        ("warm_p95_nanos", Json::from(p.warm_p95_nanos)),
+                        ("warm_speedup", Json::Float(p.warm_speedup)),
+                    ])
+                })
+                .collect(),
+        );
         let pairs_json = |pairs: Vec<(String, u64)>| {
             Json::Obj(pairs.into_iter().map(|(k, n)| (k, Json::from(n))).collect())
         };
         Json::obj(vec![
             ("bench", Json::str("regress")),
-            ("schema_version", Json::Int(2)),
+            ("schema_version", Json::Int(3)),
             ("quick", Json::Bool(self.quick)),
+            ("warm", Json::Bool(self.warm)),
             ("runs_per_query", Json::from(self.runs_per_query)),
             ("queries", queries),
             ("parallel", parallel),
+            ("prepared", prepared),
             ("operator_rows", pairs_json(self.operator_rows())),
             ("normalize_rules", pairs_json(self.rule_firings())),
             ("registry", self.registry.to_json()),
@@ -463,6 +618,20 @@ mod tests {
             report.prometheus
         );
         assert!(report.prometheus.contains("parallel_workers_total"), "{}", report.prometheus);
+        // The prepared-statement section: every case timed on both paths,
+        // and the session loop put plan-cache traffic into the delta —
+        // exactly one miss per statement, the rest hits.
+        assert_eq!(report.prepared.len(), 3);
+        for p in &report.prepared {
+            assert!(p.cold_p50_nanos > 0 && p.warm_p50_nanos > 0, "{} timed", p.name);
+            assert!(p.warm_speedup > 0.0);
+        }
+        assert_eq!(report.registry.counter("plan_cache_misses_total"), 3);
+        assert_eq!(
+            report.registry.counter("plan_cache_hits_total"),
+            3 * (report.runs_per_query as u64 - 1)
+        );
+        assert!(report.prometheus.contains("plan_cache_hits_total"), "{}", report.prometheus);
         // And the JSON document carries the acceptance fields.
         let json = report.to_json().render();
         for key in [
@@ -475,6 +644,10 @@ mod tests {
             "\"analysis_nanos\"",
             "\"parallel\"",
             "\"speedup_vs_sequential\"",
+            "\"prepared\"",
+            "\"cold_median_nanos\"",
+            "\"warm_median_nanos\"",
+            "\"warm_speedup\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }

@@ -142,7 +142,7 @@ fn annotate_into(e: &Expr, out: &mut Vec<Effects>) -> Effects {
     let mut eff = node_effect(e);
     // Children in exactly Expr::visit's order.
     match e {
-        Expr::Lit(_) | Expr::Var(_) | Expr::Zero(_) => {}
+        Expr::Lit(_) | Expr::Var(_) | Expr::Param(_) | Expr::Zero(_) => {}
         Expr::Record(fields) => {
             for (_, fe) in fields {
                 eff = eff.join(annotate_into(fe, out));

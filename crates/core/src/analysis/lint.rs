@@ -225,7 +225,7 @@ fn shadow_check(v: Symbol, scope: &[Symbol], spans: &SpanMap, diags: &mut Vec<Di
 
 fn walk(e: &Expr, scope: &mut Vec<Symbol>, spans: &SpanMap, diags: &mut Vec<Diagnostic>) {
     match e {
-        Expr::Lit(_) | Expr::Var(_) | Expr::Zero(_) => {}
+        Expr::Lit(_) | Expr::Var(_) | Expr::Param(_) | Expr::Zero(_) => {}
         Expr::Record(fields) => {
             for (_, fe) in fields {
                 walk(fe, scope, spans, diags);
@@ -396,9 +396,22 @@ fn lint_quals_and_heads(
     scope.truncate(depth);
 }
 
+/// Does the term mention a late-bound `$param`? Parameterized predicates
+/// are never constant — their truth depends on the per-call binding.
+fn mentions_param(e: &Expr) -> bool {
+    let mut found = false;
+    e.visit(&mut |n| found |= matches!(n, Expr::Param(_)));
+    found
+}
+
 /// MC002: predicates that are constant (literal booleans, trivially
-/// true/false comparisons of a pure expression with itself).
+/// true/false comparisons of a pure expression with itself). Predicates
+/// that compare against a `$param` are exempt: the binding varies per
+/// execution, so nothing about them is constant.
 fn constant_predicate(p: &Expr, spans: &SpanMap, diags: &mut Vec<Diagnostic>) {
+    if mentions_param(p) {
+        return;
+    }
     let verdict = match p {
         Expr::Lit(Literal::Bool(b)) => Some(*b),
         Expr::BinOp(op, a, b) if a == b && is_pure(a) => match op {

@@ -67,6 +67,9 @@ pub enum EvalError {
     /// A variable had no binding at runtime (should be prevented by
     /// type checking, but the evaluator is independently safe).
     UnboundVariable(Symbol),
+    /// A `$param` placeholder was evaluated without a binding for it —
+    /// the prepared statement was executed with incomplete `Params`.
+    UnboundParameter(Symbol),
     /// An operation was applied to values of the wrong shape.
     TypeMismatch { op: &'static str, detail: String },
     /// Dangling or foreign OID dereference.
@@ -88,6 +91,9 @@ impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvalError::UnboundVariable(v) => write!(f, "unbound variable `{v}` at runtime"),
+            EvalError::UnboundParameter(p) => {
+                write!(f, "no binding supplied for parameter `{p}`")
+            }
             EvalError::TypeMismatch { op, detail } => {
                 write!(f, "runtime type mismatch in `{op}`: {detail}")
             }

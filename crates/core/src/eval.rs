@@ -93,6 +93,13 @@ impl Evaluator {
                 .lookup(*v)
                 .cloned()
                 .ok_or(EvalError::UnboundVariable(*v)),
+            // Parameters are bound into the root environment by the
+            // prepared-statement layer under their `$`-prefixed name,
+            // which no parsed identifier can collide with.
+            Expr::Param(p) => env
+                .lookup(*p)
+                .cloned()
+                .ok_or(EvalError::UnboundParameter(*p)),
             Expr::Record(fields) => {
                 let mut vals = Vec::with_capacity(fields.len());
                 for (name, fe) in fields {

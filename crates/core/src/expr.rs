@@ -162,6 +162,11 @@ pub enum Qual {
 pub enum Expr {
     Lit(Literal),
     Var(Symbol),
+    /// A late-bound query parameter `$name` (or `$1`): a leaf whose value
+    /// is supplied at execution time by a prepared statement's bindings.
+    /// It has no free variables, never rewrites, and type-checks as a
+    /// fresh type variable resolved per call site.
+    Param(Symbol),
     /// Record construction `⟨A1=e1, …⟩`. Field order is preserved for
     /// display but semantically irrelevant.
     Record(Vec<(Symbol, Expr)>),
@@ -238,6 +243,10 @@ impl Expr {
     }
     pub fn var(name: impl Into<Symbol>) -> Expr {
         Expr::Var(name.into())
+    }
+    /// A late-bound parameter `$name`.
+    pub fn param(name: impl Into<Symbol>) -> Expr {
+        Expr::Param(name.into())
     }
     pub fn proj(self, field: impl Into<Symbol>) -> Expr {
         Expr::Proj(Box::new(self), field.into())
@@ -383,7 +392,7 @@ impl Expr {
     pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
         f(self);
         match self {
-            Expr::Lit(_) | Expr::Var(_) | Expr::Zero(_) => {}
+            Expr::Lit(_) | Expr::Var(_) | Expr::Param(_) | Expr::Zero(_) => {}
             Expr::Record(fields) => fields.iter().for_each(|(_, e)| e.visit(f)),
             Expr::Tuple(items) | Expr::CollLit(_, items) | Expr::VecLit(items) => {
                 items.iter().for_each(|e| e.visit(f));

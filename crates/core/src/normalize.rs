@@ -770,7 +770,7 @@ fn rewrite_in_children(e: &Expr) -> Option<(Rule, Expr)> {
     }
 
     match e {
-        Expr::Lit(_) | Expr::Var(_) | Expr::Zero(_) => None,
+        Expr::Lit(_) | Expr::Var(_) | Expr::Param(_) | Expr::Zero(_) => None,
         Expr::Record(fields) => {
             for (i, (_, fe)) in fields.iter().enumerate() {
                 if let Some((r, new)) = rewrite_once(fe) {

@@ -108,6 +108,8 @@ fn write_expr(f: &mut fmt::Formatter<'_>, e: &Expr, min_prec: u8) -> fmt::Result
     match e {
         Expr::Lit(lit) => write!(f, "{lit}"),
         Expr::Var(v) => write!(f, "{v}"),
+        // The symbol already carries its `$` prefix.
+        Expr::Param(p) => write!(f, "{p}"),
         Expr::Record(fields) => {
             write!(f, "⟨")?;
             for (i, (n, fe)) in fields.iter().enumerate() {

@@ -29,7 +29,7 @@ fn collect_free(e: &Expr, bound: &mut HashSet<Symbol>, out: &mut HashSet<Symbol>
                 out.insert(*v);
             }
         }
-        Expr::Lit(_) | Expr::Zero(_) => {}
+        Expr::Lit(_) | Expr::Param(_) | Expr::Zero(_) => {}
         Expr::Record(fields) => {
             for (_, fe) in fields {
                 collect_free(fe, bound, out);
@@ -142,7 +142,7 @@ fn subst_inner(e: &Expr, var: Symbol, repl: &Expr, repl_fv: &HashSet<Symbol>) ->
     let go = |x: &Expr| subst_inner(x, var, repl, repl_fv);
     match e {
         Expr::Var(v) if *v == var => repl.clone(),
-        Expr::Var(_) | Expr::Lit(_) | Expr::Zero(_) => e.clone(),
+        Expr::Var(_) | Expr::Lit(_) | Expr::Param(_) | Expr::Zero(_) => e.clone(),
         Expr::Record(fields) => {
             Expr::Record(fields.iter().map(|(n, fe)| (*n, go(fe))).collect())
         }

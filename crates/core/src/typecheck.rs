@@ -49,6 +49,9 @@ pub struct TypeChecker<'s> {
     schema: Option<&'s Schema>,
     /// `subst[i]` is the binding of type variable `τi`, if solved.
     subst: Vec<Option<Type>>,
+    /// One type variable per `$param` name, so every occurrence of the
+    /// same placeholder unifies to a single (late-bound) type.
+    param_types: Vec<(Symbol, Type)>,
 }
 
 /// Infer the type of a closed expression (no schema).
@@ -60,11 +63,11 @@ pub fn infer(e: &Expr) -> TypeResult<Type> {
 
 impl<'s> TypeChecker<'s> {
     pub fn new() -> TypeChecker<'s> {
-        TypeChecker { schema: None, subst: Vec::new() }
+        TypeChecker { schema: None, subst: Vec::new(), param_types: Vec::new() }
     }
 
     pub fn with_schema(schema: &'s Schema) -> TypeChecker<'s> {
-        TypeChecker { schema: Some(schema), subst: Vec::new() }
+        TypeChecker { schema: Some(schema), subst: Vec::new(), param_types: Vec::new() }
     }
 
     /// Infer and fully resolve the type of `e` under `env`.
@@ -365,6 +368,16 @@ impl<'s> TypeChecker<'s> {
                     }
                 }
                 Err(TypeError::UnboundVariable(*v))
+            }
+            Expr::Param(p) => {
+                // Late-bound: one fresh type variable per parameter name,
+                // shared by every occurrence so `$p` has a single type.
+                if let Some((_, t)) = self.param_types.iter().find(|(n, _)| n == p) {
+                    return Ok(t.clone());
+                }
+                let t = self.fresh();
+                self.param_types.push((*p, t.clone()));
+                Ok(t)
             }
             Expr::Record(fields) => {
                 let typed = fields

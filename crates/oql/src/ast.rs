@@ -153,6 +153,9 @@ pub enum OqlExpr {
     Nil,
     /// A variable or persistent-root / define name.
     Name(Symbol),
+    /// A late-bound parameter placeholder `$name` / `$1`; the symbol
+    /// carries the `$` prefix, so it can never collide with a `Name`.
+    Param(Symbol),
     /// Path expression `e.field`.
     Path(Box<OqlExpr>, Symbol),
     /// Indexing `e[i]` on lists/arrays.

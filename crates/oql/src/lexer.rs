@@ -63,6 +63,7 @@ impl<'a> Lexer<'a> {
                 b'0'..=b'9' => self.number(pos)?,
                 b'\'' | b'"' => self.string(pos)?,
                 b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(),
+                b'$' => self.param(pos)?,
                 b'(' => self.single(Tok::LParen),
                 b')' => self.single(Tok::RParen),
                 b'[' => self.single(Tok::LBracket),
@@ -242,6 +243,20 @@ impl<'a> Lexer<'a> {
         let text = &self.src[start..self.offset];
         Tok::keyword(text).unwrap_or_else(|| Tok::Ident(text.to_string()))
     }
+
+    /// A parameter placeholder: `$name` (identifier chars) or `$1`
+    /// (positional, digits only). The `$` itself is not part of the name.
+    fn param(&mut self, pos: Pos) -> Result<Tok, OqlError> {
+        self.bump(); // `$`
+        let start = self.offset;
+        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+            self.bump();
+        }
+        if start == self.offset {
+            return Err(OqlError::lex(pos, "`$` must be followed by a parameter name"));
+        }
+        Ok(Tok::Param(self.src[start..self.offset].to_string()))
+    }
 }
 
 #[cfg(test)]
@@ -330,5 +345,27 @@ mod tests {
     #[test]
     fn unterminated_string_is_an_error() {
         assert!(lex("'abc").is_err());
+    }
+
+    #[test]
+    fn parameter_placeholders() {
+        assert_eq!(
+            toks("c.name = $city and r.bed# >= $1"),
+            vec![
+                Tok::Ident("c".into()),
+                Tok::Dot,
+                Tok::Ident("name".into()),
+                Tok::Eq,
+                Tok::Param("city".into()),
+                Tok::And,
+                Tok::Ident("r".into()),
+                Tok::Dot,
+                Tok::Ident("bed#".into()),
+                Tok::Ge,
+                Tok::Param("1".into()),
+                Tok::Eof
+            ]
+        );
+        assert!(lex("$ name").is_err(), "bare `$` is rejected");
     }
 }

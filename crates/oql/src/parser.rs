@@ -416,6 +416,10 @@ impl Parser {
                 self.bump();
                 Ok(OqlExpr::Name(Symbol::new(&name)))
             }
+            Tok::Param(name) => {
+                self.bump();
+                Ok(OqlExpr::Param(Symbol::new(&format!("${name}"))))
+            }
             other => Err(OqlError::parse(
                 self.pos(),
                 format!("expected an expression, found {other}"),
@@ -669,5 +673,17 @@ mod tests {
     fn parses_like() {
         let q = parse_query("c.name like 'Port%'").unwrap();
         assert!(matches!(q, OqlExpr::Like(_, ref p) if p == "Port%"));
+    }
+
+    #[test]
+    fn parses_parameters() {
+        let q = parse_query("select c.name from c in Cities where c.name = $city")
+            .unwrap();
+        let OqlExpr::Select { filter: Some(f), .. } = q else { panic!() };
+        let OqlExpr::BinOp(OqlBinOp::Eq, _, rhs) = *f else { panic!() };
+        assert_eq!(*rhs, OqlExpr::Param(Symbol::new("$city")));
+        // Positional form.
+        let q = parse_query("$1 + $2").unwrap();
+        assert!(matches!(q, OqlExpr::BinOp(OqlBinOp::Add, _, _)));
     }
 }

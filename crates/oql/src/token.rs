@@ -24,6 +24,8 @@ pub enum Tok {
     Float(f64),
     Str(String),
     Ident(String),
+    /// A query parameter placeholder `$name` or `$1` (bare name, no `$`).
+    Param(String),
     // keywords (case-insensitive in OQL)
     Select,
     Distinct,
@@ -146,6 +148,7 @@ impl fmt::Display for Tok {
             Tok::Float(x) => write!(f, "{x}"),
             Tok::Str(s) => write!(f, "{s:?}"),
             Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Param(s) => write!(f, "${s}"),
             Tok::Eof => write!(f, "<end of input>"),
             other => write!(f, "{}", format!("{other:?}").to_ascii_lowercase()),
         }

@@ -159,6 +159,7 @@ impl<'s> Translator<'s> {
                 }
                 Ok(Expr::Var(*n))
             }
+            OqlExpr::Param(p) => Ok(Expr::Param(*p)),
             OqlExpr::Path(base, field) => Ok(self.trans(scope, base)?.proj(field.as_str())),
             OqlExpr::Index(base, idx) => {
                 Ok(self.trans(scope, base)?.vec_index(self.trans(scope, idx)?))

@@ -38,6 +38,7 @@ fn atomic(e: &OqlExpr) -> bool {
             | OqlExpr::BoolLit(_)
             | OqlExpr::Nil
             | OqlExpr::Name(_)
+            | OqlExpr::Param(_)
             | OqlExpr::Path(..)
             | OqlExpr::Index(..)
             | OqlExpr::Agg(..)
@@ -82,6 +83,10 @@ fn write_expr(out: &mut String, e: &OqlExpr) {
         OqlExpr::Nil => out.push_str("nil"),
         OqlExpr::Name(n) => {
             let _ = write!(out, "{n}");
+        }
+        // The symbol already carries its `$` prefix.
+        OqlExpr::Param(p) => {
+            let _ = write!(out, "{p}");
         }
         OqlExpr::Path(base, field) => {
             write_wrapped(out, base);
@@ -288,6 +293,11 @@ mod tests {
             "element(select c from c in Cities where c.name = 'Port\\'land')",
             "list()",
             "nil",
+            "select c.name from c in Cities where c.name = $city",
+            "select r.price from h in Hotels, r in h.rooms \
+             where r.bed# >= $1 and r.price < $2",
+            "exists h in Hotels: h.name = $name",
+            "$1 + $2 * $scale",
         ];
         for src in battery {
             let ast1 = parse_query(src).unwrap_or_else(|e| panic!("parse `{src}`: {e}"));

@@ -14,8 +14,11 @@
 //! * [`vector`] — vectors and arrays as monoids (§4.1 extension library).
 //!
 //! Umbrella-level entry points: [`analyze`] (static analysis of OQL
-//! source — effects + MC001–MC006 lints, no execution) and
-//! [`explain_analyze`] (profiled end-to-end execution).
+//! source — effects + MC001–MC006 lints, no execution),
+//! [`explain_analyze`] (profiled end-to-end execution), and the
+//! [`serving`] layer ([`prepare`] → [`Prepared::execute`] prepared
+//! statements with `$name` placeholders, plus the epoch-aware
+//! [`PlanCache`] behind [`Session::query`]).
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -24,6 +27,12 @@ pub use monoid_calculus as calculus;
 pub use monoid_oql as oql;
 pub use monoid_store as store;
 pub use monoid_vector as vector;
+
+pub mod serving;
+
+pub use serving::{
+    global_plan_cache, prepare, prepare_expr, prepare_on, Params, PlanCache, Prepared, Session,
+};
 
 pub use monoid_calculus::prelude;
 

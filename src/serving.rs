@@ -1,0 +1,737 @@
+//! The query serving layer: prepared statements and the epoch-aware plan
+//! cache.
+//!
+//! [`prepare`] runs the whole front-of-pipeline once — parse → translate →
+//! normalize → optimize → plan — and captures everything execution needs:
+//! the canonical calculus form, the optimized [`Query`] plan, the cached
+//! effect summary, and the optimizer's cardinality estimates. The source
+//! may mention late-bound parameters (`$name`, or positional `$1`), which
+//! travel through every stage as `Expr::Param` leaves; at execution time
+//! [`Prepared::execute`] only binds the supplied [`Params`] into the root
+//! environment and runs the plan. Nothing is re-parsed, re-normalized, or
+//! re-optimized on the warm path — the per-phase `query_phase_nanos`
+//! counters prove it (see `tests/prepared.rs`).
+//!
+//! On top sits [`PlanCache`]: a process-wide, sharded, byte-budgeted LRU
+//! keyed by source text + schema fingerprint. Every entry is stamped with
+//! the [`Database::mutation_epoch`] observed at prepare time and is served
+//! only while the database still reports that exact epoch — the same
+//! equality check the algebra crate's index snapshots use (`Index::
+//! is_fresh`), so a mutation between executions can never yield a stale
+//! plan (or stale statistics). [`Session::query`] is the umbrella fast
+//! path that puts the two together: hit the cache, bind, execute.
+//!
+//! Cache traffic is metered in the process-wide registry:
+//! `plan_cache_hits_total`, `plan_cache_misses_total`,
+//! `plan_cache_evictions_total`, `plan_cache_invalidations_total`, and the
+//! `prepare_nanos` cold-prepare latency histogram.
+
+use crate::AnalyzeError;
+use monoid_algebra::{plan_comprehension, reorder_generators, Query, Stats};
+use monoid_calculus::analysis::EffectSummary;
+use monoid_calculus::error::EvalError;
+use monoid_calculus::expr::Expr;
+use monoid_calculus::normalize::normalize_traced;
+use monoid_calculus::symbol::Symbol;
+use monoid_calculus::trace::{Phase, QueryTrace};
+use monoid_calculus::types::Schema;
+use monoid_calculus::value::Value;
+use monoid_store::Database;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Params
+// ---------------------------------------------------------------------
+
+/// Values for a prepared statement's `$name` placeholders. Names may be
+/// given with or without the `$` prefix; they are stored canonically
+/// (`$`-prefixed), which is also how the symbols appear in the plan.
+#[derive(Debug, Clone, Default)]
+pub struct Params {
+    bindings: Vec<(Symbol, Value)>,
+}
+
+impl Params {
+    pub fn new() -> Params {
+        Params::default()
+    }
+
+    /// Builder-style bind: `Params::new().bind("city", v).bind("1", n)`.
+    /// Re-binding a name replaces its previous value.
+    pub fn bind(mut self, name: &str, value: Value) -> Params {
+        self.set(name, value);
+        self
+    }
+
+    /// In-place bind (same semantics as [`Params::bind`]).
+    pub fn set(&mut self, name: &str, value: Value) {
+        let sym = canonical_param(name);
+        if let Some(slot) = self.bindings.iter_mut().find(|(s, _)| *s == sym) {
+            slot.1 = value;
+        } else {
+            self.bindings.push((sym, value));
+        }
+    }
+
+    /// The bound value for `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        let sym = canonical_param(name);
+        self.bindings.iter().find(|(s, _)| *s == sym).map(|(_, v)| v)
+    }
+
+    /// The canonical `($name, value)` pairs, in bind order.
+    pub fn bindings(&self) -> &[(Symbol, Value)] {
+        &self.bindings
+    }
+}
+
+/// `city` and `$city` both name the parameter symbol `$city`.
+fn canonical_param(name: &str) -> Symbol {
+    if name.starts_with('$') {
+        Symbol::new(name)
+    } else {
+        Symbol::new(&format!("${name}"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Prepared
+// ---------------------------------------------------------------------
+
+/// A fully pipelined query, ready to execute any number of times against
+/// different parameter bindings. Produced by [`prepare`] (schema-only
+/// statistics) or [`prepare_on`] (statistics gathered from a database).
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    source: String,
+    canonical: Expr,
+    exec: ExecMode,
+    effects: EffectSummary,
+    estimates: Vec<f64>,
+    params: Vec<Symbol>,
+    trace: QueryTrace,
+    prepare_nanos: u128,
+}
+
+/// How a prepared statement runs. Plannable canonical comprehensions get
+/// the pipelined algebra; everything else the language can express —
+/// allocating (`new`) heads, update programs, arithmetic over subqueries
+/// — runs on the evaluator over the same canonical form. Either way the
+/// warm path starts *after* parse/normalize/optimize.
+#[derive(Debug, Clone)]
+enum ExecMode {
+    Plan(Query),
+    Eval,
+}
+
+/// Prepare `src` against `schema` alone: parse, translate (type-checking
+/// the placeholders as fresh type variables), normalize to canonical
+/// form, reorder with *default* (empty) statistics, and plan. Use
+/// [`prepare_on`] when a database is at hand — its gathered statistics
+/// give the optimizer real cardinalities.
+pub fn prepare(schema: &Schema, src: &str) -> Result<Prepared, AnalyzeError> {
+    prepare_with_stats(schema, src, &Stats::default())
+}
+
+/// Prepare `src` with statistics gathered from `db` (the variant
+/// [`Session::query`] and the plan cache use).
+pub fn prepare_on(db: &Database, src: &str) -> Result<Prepared, AnalyzeError> {
+    prepare_with_stats(db.schema(), src, &Stats::gather(db))
+}
+
+/// Prepare an already-built calculus expression (the bench builders, or
+/// forms OQL cannot spell, e.g. allocating `new(…)` heads): normalize,
+/// reorder with `stats`, plan. `Expr::Param` leaves become late-bound
+/// parameters exactly as in OQL source.
+pub fn prepare_expr(expr: &Expr, stats: &Stats) -> Result<Prepared, AnalyzeError> {
+    let started = Instant::now();
+    let mut trace = QueryTrace::new();
+    let src = monoid_calculus::pretty::pretty(expr);
+    trace.source = Some(src.clone());
+    finish_prepare(started, trace, src, expr, stats)
+}
+
+fn prepare_with_stats(
+    schema: &Schema,
+    src: &str,
+    stats: &Stats,
+) -> Result<Prepared, AnalyzeError> {
+    let started = Instant::now();
+    let mut trace = QueryTrace::new();
+    trace.source = Some(src.to_string());
+
+    let program = trace.time(Phase::Parse, || monoid_oql::parse_program(src))?;
+    let expr = trace.time(Phase::Translate, || {
+        monoid_oql::Translator::new(schema).translate_program(&program)
+    })?;
+    finish_prepare(started, trace, src.to_string(), &expr, stats)
+}
+
+/// The back half of every prepare: normalize → optimize → plan, with the
+/// trace and registry records all prepares share.
+fn finish_prepare(
+    started: Instant,
+    mut trace: QueryTrace,
+    src: String,
+    expr: &Expr,
+    stats: &Stats,
+) -> Result<Prepared, AnalyzeError> {
+    let start = Instant::now();
+    let (canonical, _derivation, nstats) = normalize_traced(expr);
+    trace.record(Phase::Normalize, start.elapsed().as_nanos());
+    trace.normalize = Some(nstats);
+
+    let reordered = trace.time(Phase::Optimize, || reorder_generators(&canonical, stats));
+
+    let (exec, estimates) = match trace.time(Phase::Plan, || plan_comprehension(&reordered)) {
+        Ok(query) => {
+            let estimates = stats.plan_estimates(&query.plan);
+            (ExecMode::Plan(query), estimates)
+        }
+        // Shapes the pipelined algebra declines — heap effects, vector
+        // comprehensions, non-comprehension roots — stay preparable and
+        // run on the evaluator.
+        Err(
+            monoid_algebra::PlanError::Impure
+            | monoid_algebra::PlanError::NotAComprehension
+            | monoid_algebra::PlanError::VectorComprehension,
+        ) => (ExecMode::Eval, Vec::new()),
+        Err(pe) => return Err(AnalyzeError::Exec(EvalError::Other(pe.to_string()))),
+    };
+
+    let effects = EffectSummary::of(&canonical);
+    let params = collect_params(&canonical);
+    let prepare_nanos = started.elapsed().as_nanos();
+    cache_metrics().prepare_nanos.observe_nanos(prepare_nanos);
+
+    Ok(Prepared {
+        source: src,
+        canonical,
+        exec,
+        effects,
+        estimates,
+        params,
+        trace,
+        prepare_nanos,
+    })
+}
+
+/// Every distinct `$param` in `e`, in first-appearance order.
+fn collect_params(e: &Expr) -> Vec<Symbol> {
+    let mut out = Vec::new();
+    e.visit(&mut |n| {
+        if let Expr::Param(p) = n {
+            if !out.contains(p) {
+                out.push(*p);
+            }
+        }
+    });
+    out
+}
+
+impl Prepared {
+    /// The original OQL source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The normalized (canonical-form) calculus expression.
+    pub fn canonical(&self) -> &Expr {
+        &self.canonical
+    }
+
+    /// The optimized physical plan, when the canonical form is plannable
+    /// (`None` for evaluator-mode statements: allocating heads, update
+    /// programs, non-comprehension roots).
+    pub fn query(&self) -> Option<&Query> {
+        match &self.exec {
+            ExecMode::Plan(q) => Some(q),
+            ExecMode::Eval => None,
+        }
+    }
+
+    /// The effect summary of the canonical form, computed once at prepare
+    /// time (placeholders contribute nothing — they are pure leaves).
+    pub fn effects(&self) -> &EffectSummary {
+        &self.effects
+    }
+
+    /// The optimizer's per-operator cardinality estimates, in the plan's
+    /// pre-order numbering.
+    pub fn estimates(&self) -> &[f64] {
+        &self.estimates
+    }
+
+    /// The statement's `$`-prefixed parameter names, in first-appearance
+    /// order.
+    pub fn params(&self) -> &[Symbol] {
+        &self.params
+    }
+
+    /// The prepare-time lifecycle trace (parse → translate → normalize →
+    /// optimize → plan; no execute phase).
+    pub fn trace(&self) -> &QueryTrace {
+        &self.trace
+    }
+
+    /// Wall-clock nanoseconds the whole prepare took.
+    pub fn prepare_nanos(&self) -> u128 {
+        self.prepare_nanos
+    }
+
+    /// Check `params` against the statement's placeholders: every
+    /// placeholder must be bound, and every binding must name a
+    /// placeholder (catching typos eagerly instead of mid-scan).
+    fn resolve<'p>(&self, params: &'p Params) -> Result<&'p [(Symbol, Value)], EvalError> {
+        for p in &self.params {
+            if !params.bindings.iter().any(|(s, _)| s == p) {
+                return Err(EvalError::UnboundParameter(*p));
+            }
+        }
+        for (s, _) in &params.bindings {
+            if !self.params.contains(s) {
+                return Err(EvalError::Other(format!(
+                    "binding for `{s}` does not match any statement parameter"
+                )));
+            }
+        }
+        Ok(&params.bindings)
+    }
+
+    /// Execute sequentially: bind `params` into the root environment and
+    /// run the stored plan (or, for evaluator-mode statements, the stored
+    /// canonical form). No parse/normalize/optimize work happens here.
+    pub fn execute(&self, db: &mut Database, params: &Params) -> Result<Value, AnalyzeError> {
+        let binds = self.resolve(params).map_err(AnalyzeError::Exec)?;
+        match &self.exec {
+            ExecMode::Plan(q) => Ok(monoid_algebra::execute_bound(q, db, binds)?),
+            ExecMode::Eval => self.execute_eval(db, binds),
+        }
+    }
+
+    /// Execute with fleet metering (per-operator row counters in the
+    /// global registry). Evaluator-mode statements run unmetered — there
+    /// are no plan operators to charge.
+    pub fn execute_metered(
+        &self,
+        db: &mut Database,
+        params: &Params,
+    ) -> Result<Value, AnalyzeError> {
+        let binds = self.resolve(params).map_err(AnalyzeError::Exec)?;
+        match &self.exec {
+            ExecMode::Plan(q) => Ok(monoid_algebra::execute_metered_bound(q, db, binds)?),
+            ExecMode::Eval => self.execute_eval(db, binds),
+        }
+    }
+
+    /// Execute on the ordered parallel engine at
+    /// [`monoid_algebra::default_threads`] workers (byte-identical to
+    /// sequential execution). Evaluator-mode statements fall back to
+    /// sequential evaluation, matching the parallel engine's own
+    /// mutation fallback.
+    pub fn execute_parallel_auto(
+        &self,
+        db: &mut Database,
+        params: &Params,
+    ) -> Result<Value, AnalyzeError> {
+        let binds = self.resolve(params).map_err(AnalyzeError::Exec)?;
+        match &self.exec {
+            ExecMode::Plan(q) => Ok(monoid_algebra::execute_parallel_auto_bound(q, db, binds)?),
+            ExecMode::Eval => self.execute_eval(db, binds),
+        }
+    }
+
+    /// The evaluator path: the database's own heap-in/heap-out shape,
+    /// with the parameter bindings layered over the persistent roots.
+    fn execute_eval(
+        &self,
+        db: &mut Database,
+        binds: &[(Symbol, Value)],
+    ) -> Result<Value, AnalyzeError> {
+        let mut env = db.env();
+        for (p, v) in binds {
+            env = env.bind(*p, v.clone());
+        }
+        let heap = std::mem::take(db.heap_mut());
+        let mut ev = monoid_calculus::eval::Evaluator::with_heap(heap);
+        let result = ev.eval(&env, &self.canonical);
+        *db.heap_mut() = ev.heap;
+        Ok(result?)
+    }
+}
+
+// ---------------------------------------------------------------------
+// PlanCache
+// ---------------------------------------------------------------------
+
+/// Shard count: fixed power of two so key → shard is a mask.
+const SHARDS: usize = 8;
+
+/// Default byte budget for the process-wide cache (approximate, across
+/// all shards).
+const DEFAULT_BUDGET_BYTES: usize = 8 * 1024 * 1024;
+
+/// A sharded, LRU, byte-budgeted cache of [`Prepared`] statements, keyed
+/// by source text + schema fingerprint and stamped with the database
+/// mutation epoch observed at prepare time.
+///
+/// An entry is served only while `db.mutation_epoch()` still equals its
+/// stamp — the same equality freshness check the index snapshots use —
+/// so any mutation (heap write, allocation, root change) between
+/// executions invalidates every entry prepared before it. Invalidation
+/// is counted (`plan_cache_invalidations_total`) and followed by a fresh
+/// prepare, never by serving the stale plan.
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Approximate byte budget per shard.
+    shard_budget: usize,
+    /// Monotonic logical clock for LRU ordering.
+    tick: AtomicU64,
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: Vec<CacheEntry>,
+    bytes: usize,
+}
+
+struct CacheEntry {
+    source: String,
+    schema_fp: u64,
+    epoch: u64,
+    bytes: usize,
+    last_used: u64,
+    prepared: Arc<Prepared>,
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache::with_budget(DEFAULT_BUDGET_BYTES)
+    }
+}
+
+impl PlanCache {
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// A cache bounded to roughly `budget_bytes` across all shards.
+    pub fn with_budget(budget_bytes: usize) -> PlanCache {
+        PlanCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: (budget_bytes / SHARDS).max(1),
+            tick: AtomicU64::new(0),
+        }
+    }
+
+    /// The serving fast path: return the cached plan for `(src, schema)`
+    /// if its epoch stamp still matches `db.mutation_epoch()`; otherwise
+    /// prepare (with statistics from `db`), cache, and return it.
+    pub fn get_or_prepare(
+        &self,
+        db: &Database,
+        src: &str,
+    ) -> Result<Arc<Prepared>, AnalyzeError> {
+        let m = cache_metrics();
+        let fp = schema_fingerprint(db.schema());
+        let epoch = db.mutation_epoch();
+        let shard = &self.shards[(hash_key(src, fp) as usize) & (SHARDS - 1)];
+
+        {
+            let mut s = shard.lock().unwrap();
+            if let Some(i) = s.entries.iter().position(|e| e.source == src && e.schema_fp == fp)
+            {
+                if s.entries[i].epoch == epoch {
+                    m.hits.inc();
+                    let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+                    s.entries[i].last_used = tick;
+                    return Ok(Arc::clone(&s.entries[i].prepared));
+                }
+                // Stale: the database mutated since this plan (and its
+                // statistics) were captured. Refuse it, exactly like a
+                // stale index snapshot.
+                m.invalidations.inc();
+                let dead = s.entries.remove(i);
+                s.bytes -= dead.bytes;
+            }
+        }
+
+        m.misses.inc();
+        let prepared = Arc::new(prepare_on(db, src)?);
+        let bytes = approx_bytes(&prepared);
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut s = shard.lock().unwrap();
+        // A racing thread may have inserted the same key; replace rather
+        // than duplicate.
+        if let Some(i) = s.entries.iter().position(|e| e.source == src && e.schema_fp == fp) {
+            let dead = s.entries.remove(i);
+            s.bytes -= dead.bytes;
+        }
+        s.entries.push(CacheEntry {
+            source: src.to_string(),
+            schema_fp: fp,
+            epoch,
+            bytes,
+            last_used: tick,
+            prepared: Arc::clone(&prepared),
+        });
+        s.bytes += bytes;
+        while s.bytes > self.shard_budget && s.entries.len() > 1 {
+            let (oldest, _) = s
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .expect("non-empty");
+            let dead = s.entries.remove(oldest);
+            s.bytes -= dead.bytes;
+            m.evictions.inc();
+        }
+        Ok(prepared)
+    }
+
+    /// Entries currently cached (all shards).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().entries.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate bytes currently cached (all shards).
+    pub fn bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().bytes).sum()
+    }
+
+    /// Drop every entry (counters are not touched).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock().unwrap();
+            s.entries.clear();
+            s.bytes = 0;
+        }
+    }
+}
+
+/// Deterministic (per-process) fingerprint of a schema's debug form —
+/// symbols intern to stable ids within a process, which is the cache's
+/// lifetime.
+fn schema_fingerprint(schema: &Schema) -> u64 {
+    let mut h = DefaultHasher::new();
+    format!("{schema:?}").hash(&mut h);
+    h.finish()
+}
+
+fn hash_key(src: &str, fp: u64) -> u64 {
+    let mut h = DefaultHasher::new();
+    src.hash(&mut h);
+    fp.hash(&mut h);
+    h.finish()
+}
+
+/// Approximate retained size of a prepared statement: source text plus a
+/// fixed charge per calculus node, plan operator, estimate, and param.
+fn approx_bytes(p: &Prepared) -> usize {
+    let plan_nodes = p.query().map_or(0, |q| q.plan.node_count());
+    p.source.len()
+        + 64 * p.canonical.size()
+        + 128 * plan_nodes
+        + 8 * p.estimates.len()
+        + 16 * p.params.len()
+        + 256
+}
+
+/// The process-wide plan cache backing [`Session::new`].
+pub fn global_plan_cache() -> &'static Arc<PlanCache> {
+    static CACHE: OnceLock<Arc<PlanCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Arc::new(PlanCache::new()))
+}
+
+// ---------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------
+
+/// The umbrella serving fast path: `session.query(db, src, &params)`
+/// resolves `src` through the plan cache (epoch-checked) and executes the
+/// prepared plan with the given bindings. Sessions are cheap handles; by
+/// default they all share the process-wide [`global_plan_cache`].
+#[derive(Clone)]
+pub struct Session {
+    cache: Arc<PlanCache>,
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A session over the process-wide plan cache.
+    pub fn new() -> Session {
+        Session { cache: Arc::clone(global_plan_cache()) }
+    }
+
+    /// A session over a private cache (isolated tests, bounded budgets).
+    pub fn with_cache(cache: Arc<PlanCache>) -> Session {
+        Session { cache }
+    }
+
+    /// The cache this session serves from.
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Prepare-or-hit, then execute sequentially.
+    pub fn query(
+        &self,
+        db: &mut Database,
+        src: &str,
+        params: &Params,
+    ) -> Result<Value, AnalyzeError> {
+        let prepared = self.cache.get_or_prepare(db, src)?;
+        prepared.execute(db, params)
+    }
+
+    /// Prepare-or-hit, then execute on the parallel engine at
+    /// [`monoid_algebra::default_threads`] workers.
+    pub fn query_parallel(
+        &self,
+        db: &mut Database,
+        src: &str,
+        params: &Params,
+    ) -> Result<Value, AnalyzeError> {
+        let prepared = self.cache.get_or_prepare(db, src)?;
+        prepared.execute_parallel_auto(db, params)
+    }
+
+    /// Prepare-or-hit without executing (warming, inspection).
+    pub fn prepare(&self, db: &Database, src: &str) -> Result<Arc<Prepared>, AnalyzeError> {
+        self.cache.get_or_prepare(db, src)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+struct CacheMetrics {
+    hits: Arc<monoid_calculus::metrics::Counter>,
+    misses: Arc<monoid_calculus::metrics::Counter>,
+    evictions: Arc<monoid_calculus::metrics::Counter>,
+    invalidations: Arc<monoid_calculus::metrics::Counter>,
+    prepare_nanos: Arc<monoid_calculus::metrics::Histogram>,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static METRICS: OnceLock<CacheMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = monoid_calculus::metrics::global();
+        CacheMetrics {
+            hits: r.counter("plan_cache_hits_total"),
+            misses: r.counter("plan_cache_misses_total"),
+            evictions: r.counter("plan_cache_evictions_total"),
+            invalidations: r.counter("plan_cache_invalidations_total"),
+            prepare_nanos: r.histogram("prepare_nanos"),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monoid_store::travel::{self, TravelScale};
+
+    fn db() -> Database {
+        travel::generate(TravelScale::tiny(), 42)
+    }
+
+    #[test]
+    fn prepared_execute_matches_adhoc() {
+        let mut db = db();
+        let src = "select h.name from c in Cities, h in c.hotels where c.name = $city";
+        let prepared = prepare_on(&db, src).unwrap();
+        assert_eq!(prepared.params(), &[Symbol::new("$city")]);
+        let v = prepared
+            .execute(&mut db, &Params::new().bind("city", Value::str("Portland")))
+            .unwrap();
+        let adhoc = crate::explain_analyze(
+            "select h.name from c in Cities, h in c.hotels where c.name = 'Portland'",
+            &mut db,
+        )
+        .unwrap()
+        .value;
+        assert_eq!(v, adhoc);
+    }
+
+    #[test]
+    fn rebinding_changes_results_not_plans() {
+        let mut db = db();
+        let src = "select r.price from h in Hotels, r in h.rooms where r.bed# >= $beds";
+        let prepared = prepare_on(&db, src).unwrap();
+        let a = prepared.execute(&mut db, &Params::new().bind("beds", Value::Int(1))).unwrap();
+        let b = prepared.execute(&mut db, &Params::new().bind("beds", Value::Int(99))).unwrap();
+        assert_ne!(a, b, "different bindings select different rows");
+        assert_eq!(b.elements().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn missing_and_unknown_bindings_are_rejected() {
+        let mut db = db();
+        let prepared =
+            prepare_on(&db, "select c.name from c in Cities where c.name = $city").unwrap();
+        let err = prepared.execute(&mut db, &Params::new()).unwrap_err();
+        assert!(err.to_string().contains("$city"), "{err}");
+        let err = prepared
+            .execute(
+                &mut db,
+                &Params::new()
+                    .bind("city", Value::str("Portland"))
+                    .bind("oops", Value::Int(1)),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("$oops"), "{err}");
+    }
+
+    #[test]
+    fn cache_hits_serve_the_same_prepared() {
+        let cache = PlanCache::new();
+        let db = db();
+        let src = "count(Cities)";
+        let a = cache.get_or_prepare(&db, src).unwrap();
+        let b = cache.get_or_prepare(&db, src).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup is a hit");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn mutation_invalidates_cached_entries() {
+        let cache = PlanCache::new();
+        let mut db = db();
+        let src = "count(Cities)";
+        let a = cache.get_or_prepare(&db, src).unwrap();
+        let before = db.mutation_epoch();
+        db.set_root("Scratch", Value::Int(1));
+        assert_ne!(before, db.mutation_epoch(), "root change advances the epoch");
+        let b = cache.get_or_prepare(&db, src).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "mutation forced a re-prepare");
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_budget() {
+        // A budget that holds only a couple of entries per shard.
+        let cache = PlanCache::with_budget(SHARDS * 2048);
+        let db = db();
+        for i in 0..64 {
+            let src = format!("select c.name from c in Cities where c.hotel# > {i}");
+            cache.get_or_prepare(&db, &src).unwrap();
+        }
+        assert!(cache.bytes() <= SHARDS * 2048 + 4096, "budget enforced: {}", cache.bytes());
+        assert!(cache.len() < 64, "older entries evicted");
+    }
+}

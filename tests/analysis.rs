@@ -62,6 +62,25 @@ fn constant_predicate_and_shadowing_are_flagged() {
     assert_eq!(report.max_severity(), Some(Severity::Warning));
 }
 
+/// `$param` predicates are *not* constant — their value arrives at
+/// execution time — so a parameterized query lints clean: no MC002 on
+/// `c.name = $city`, and no other false positives across the analyzer.
+#[test]
+fn parameterized_predicates_are_not_constant() {
+    let schema = travel::schema();
+    let report = analyze(
+        &schema,
+        "select h.name from c in Cities, h in c.hotels \
+         where c.name = $city and $beds <= $beds",
+    )
+    .unwrap();
+    // Even `$beds <= $beds` stays unflagged: two occurrences of one
+    // placeholder are the same unknown, but the analyzer must not guess.
+    assert!(report.diagnostics.is_empty(), "got {:?}", report.diagnostics);
+    assert!(report.effects.is_pure(), "placeholders are pure leaves");
+    assert!(report.effects.parallel_safe());
+}
+
 // -------------------------------------------------------------------------
 // Calculus-level lints the OQL front end cannot express.
 // -------------------------------------------------------------------------

@@ -150,6 +150,47 @@ fn registry_accounts_for_a_known_workload() {
     assert_eq!(diff.counter("store_query_errors_total"), 0);
     assert_eq!(diff.histogram_with("store_query_nanos", &[]).unwrap().count, 1);
 
+    // --- 4b. The serving layer: a known cache workload produces exact
+    //         plan_cache_* deltas. --------------------------------------
+    // 1 statement, 4 session queries, 1 mutation in the middle, then a
+    // private two-entry budget squeezed by a third statement:
+    //   prepare #1      → 1 miss              (+ 1 prepare_nanos sample)
+    //   query again     → 1 hit
+    //   mutate + query  → 1 invalidation, 1 miss (+ 1 sample)
+    //   query again     → 1 hit
+    {
+        use monoid_db::{Params, PlanCache, Session};
+        let session = Session::with_cache(std::sync::Arc::new(PlanCache::new()));
+        let src = "select m.name from m in Managers where m.dept = $dept";
+        let params = Params::new().bind("dept", monoid_calculus::value::Value::str("dept_0"));
+        let before = metrics::global().snapshot();
+        session.query(&mut db, src, &params).unwrap();
+        session.query(&mut db, src, &params).unwrap();
+        db.set_root("Scratch", monoid_calculus::value::Value::Int(1));
+        session.query(&mut db, src, &params).unwrap();
+        session.query(&mut db, src, &params).unwrap();
+        let diff = metrics::global().snapshot().diff(&before);
+        assert_eq!(diff.counter("plan_cache_misses_total"), 2);
+        assert_eq!(diff.counter("plan_cache_hits_total"), 2);
+        assert_eq!(diff.counter("plan_cache_invalidations_total"), 1);
+        assert_eq!(diff.counter("plan_cache_evictions_total"), 0);
+        let prep = diff.histogram_with("prepare_nanos", &[]).unwrap();
+        assert_eq!(prep.count, 2, "one prepare per miss");
+        assert!(prep.sum > 0);
+        // Warm serving fires zero front-of-pipeline phases.
+        let before = metrics::global().snapshot();
+        session.query(&mut db, src, &params).unwrap();
+        let diff = metrics::global().snapshot().diff(&before);
+        assert_eq!(diff.counter("plan_cache_hits_total"), 1);
+        for phase in ["parse", "translate", "normalize", "optimize", "plan"] {
+            let fired = diff
+                .histogram_with("query_phase_nanos", &[("phase", phase)])
+                .map(|h| h.count)
+                .unwrap_or(0);
+            assert_eq!(fired, 0, "warm serve fired `{phase}`");
+        }
+    }
+
     // --- 5. A failing query lands in the error counters, not the hot
     //        ones. ------------------------------------------------------
     let before = metrics::global().snapshot();
@@ -170,6 +211,10 @@ fn registry_accounts_for_a_known_workload() {
         "query_phase_nanos_bucket",
         "store_state_reads_total",
         "oql_queries_total",
+        "plan_cache_hits_total",
+        "plan_cache_misses_total",
+        "plan_cache_invalidations_total",
+        "prepare_nanos_bucket",
     ] {
         assert!(text.contains(series), "missing {series} in:\n{text}");
     }

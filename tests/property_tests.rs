@@ -631,3 +631,101 @@ proptest! {
         prop_assert_eq!(report.fallback, Some(Fallback::Mutation));
     }
 }
+
+// ---------------------------------------------------------------------------
+// The serving layer: prepared statements and the epoch-stamped plan cache
+// (differential corpus lives in tests/prepared.rs; these are the random-
+// input counterparts).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Binding `$beds`/`$limit` to arbitrary ints is byte-identical to the
+    /// ad-hoc pipeline on the literal-substituted source, and re-binding
+    /// never changes the prepared plan's shape.
+    #[test]
+    fn prepared_binding_agrees_with_literals(
+        seed in 0u64..3,
+        beds in -2i64..6,
+        limit in 0i64..400,
+    ) {
+        use monoid_db::store::{travel, TravelScale};
+        use monoid_db::{prepare_on, Params};
+        let mut db = travel::generate(TravelScale::tiny(), seed);
+        let prepared = prepare_on(
+            &db,
+            "select r.price from h in Hotels, r in h.rooms \
+             where r.bed# >= $beds and r.price < $limit",
+        ).unwrap();
+        let shape = monoid_db::algebra::explain(prepared.query().unwrap());
+        let literal = format!(
+            "select r.price from h in Hotels, r in h.rooms \
+             where r.bed# >= {beds} and r.price < {limit}"
+        );
+        let want = monoid_db::explain_analyze(&literal, &mut db).unwrap().value;
+        let got = prepared
+            .execute(
+                &mut db,
+                &Params::new()
+                    .bind("beds", Value::Int(beds))
+                    .bind("limit", Value::Int(limit)),
+            )
+            .unwrap();
+        prop_assert_eq!(got, want, "beds = {}, limit = {}", beds, limit);
+        prop_assert_eq!(
+            shape,
+            monoid_db::algebra::explain(prepared.query().unwrap()),
+            "plan shape moved under re-binding"
+        );
+    }
+
+    /// The cache invariant under random interleavings of lookups, root
+    /// mutations, and inserts: a lookup at the epoch the entry was stamped
+    /// with is a hit (same `Arc`); a lookup after *any* mutation is a
+    /// re-prepare, never the stale plan.
+    #[test]
+    fn cache_never_serves_across_mutations(ops in prop::collection::vec(0u8..3, 1..12)) {
+        use monoid_db::store::{travel, TravelScale};
+        use monoid_db::PlanCache;
+        use std::sync::Arc;
+        let cache = PlanCache::new();
+        let mut db = travel::generate(TravelScale::tiny(), 1);
+        let src = "select c.name from c in Cities";
+        let mut last: Option<(u64, Arc<monoid_db::Prepared>)> = None;
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    let epoch = db.mutation_epoch();
+                    let p = cache.get_or_prepare(&db, src).unwrap();
+                    if let Some((stamped, held)) = &last {
+                        if *stamped == epoch {
+                            prop_assert!(
+                                Arc::ptr_eq(held, &p),
+                                "lookup at the stamped epoch must hit (op {})", i
+                            );
+                        } else {
+                            prop_assert!(
+                                !Arc::ptr_eq(held, &p),
+                                "stale entry served across a mutation (op {})", i
+                            );
+                        }
+                    }
+                    last = Some((epoch, p));
+                }
+                1 => db.set_root("Scratch", Value::Int(i as i64)),
+                _ => {
+                    db.insert(
+                        Symbol::new("City"),
+                        Value::record_from(vec![
+                            ("name", Value::str("Nowhere")),
+                            ("hotels", Value::list(vec![])),
+                            ("hotel#", Value::Int(0)),
+                        ]),
+                    )
+                    .unwrap();
+                }
+            }
+        }
+    }
+}
