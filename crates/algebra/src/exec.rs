@@ -129,7 +129,11 @@ pub fn execute_bound(
     params: &[(Symbol, Value)],
 ) -> ExecResult<Value> {
     verify_if_enabled(query, db)?;
-    with_evaluator(db, params, |ev, env| run_reduce(query, ev, env, &NoProbe))
+    let result = with_evaluator(db, params, |ev, env| run_reduce(query, ev, env, &NoProbe));
+    if let Ok(v) = &result {
+        monoid_calculus::recorder::note_result(v);
+    }
+    result
 }
 
 /// Run a query and report evaluation steps (cost proxy for benchmarks).
@@ -150,17 +154,9 @@ pub fn execute_counted_bound(
     })
 }
 
-/// Run a query with a caller-supplied probe; also reports evaluation
-/// steps. This is the entry the profiler in [`crate::trace`] uses.
-pub(crate) fn execute_probed<P: Probe>(
-    query: &Query,
-    db: &mut Database,
-    probe: &P,
-) -> ExecResult<(Value, u64)> {
-    execute_probed_bound(query, db, &[], probe)
-}
-
-/// [`execute_probed`] with late-bound parameter values.
+/// Run a query with a caller-supplied probe and late-bound parameter
+/// values; also reports evaluation steps. This is the entry the profiler
+/// in [`crate::trace`] and the metered executors use.
 pub(crate) fn execute_probed_bound<P: Probe>(
     query: &Query,
     db: &mut Database,
@@ -168,10 +164,14 @@ pub(crate) fn execute_probed_bound<P: Probe>(
     probe: &P,
 ) -> ExecResult<(Value, u64)> {
     verify_if_enabled(query, db)?;
-    with_evaluator(db, params, |ev, env| {
+    let result = with_evaluator(db, params, |ev, env| {
         let v = run_reduce(query, ev, env, probe)?;
         Ok((v, ev.steps_used()))
-    })
+    });
+    if let Ok((v, _)) = &result {
+        monoid_calculus::recorder::note_result(v);
+    }
+    result
 }
 
 fn run_reduce<P: Probe>(

@@ -64,7 +64,10 @@ pub use logical::{
 pub use parallel::{
     default_threads, execute_parallel, execute_parallel_auto, execute_parallel_auto_bound,
     execute_parallel_bound, execute_parallel_traced, execute_parallel_with,
-    execute_parallel_with_bound, Fallback, ParallelReport,
+    execute_parallel_with_bound, static_fallback, Fallback, ParallelReport,
 };
-pub use trace::{analyze_with_trace, execute_profiled, explain_analyze, Analysis, OperatorProfile, QueryProfile};
+pub use trace::{
+    analyze_with_trace, execute_profiled, execute_profiled_bound, explain_analyze, Analysis,
+    OperatorProfile, QueryProfile,
+};
 pub use verify::verify_query;

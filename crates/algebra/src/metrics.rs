@@ -21,10 +21,15 @@ use crate::error::ExecResult;
 use crate::exec::{self, Probe};
 use crate::logical::{Plan, Query};
 use crate::parallel::{self, Fallback, ParallelReport};
+use monoid_calculus::analysis::effects_of;
 use monoid_calculus::metrics::{global, Counter, Histogram};
+use monoid_calculus::pretty::pretty;
+use monoid_calculus::recorder::{self, RecordScope, SlowQueryCapture};
+use monoid_calculus::trace::Phase;
 use monoid_calculus::value::Value;
 use monoid_store::Database;
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// Operator kinds, the label space of the executor's registry series.
 const KINDS: [&str; 7] =
@@ -195,9 +200,11 @@ pub fn execute_parallel_metered_bound(
     threads: usize,
     params: &[(monoid_calculus::symbol::Symbol, Value)],
 ) -> ExecResult<Value> {
+    let scope = record_scope(query);
+    let started = scope.is_some().then(Instant::now);
     let result =
         parallel::execute_parallel_with_bound(query, db, threads, params, MetricsProbe::for_plan);
-    match result {
+    let result = match result {
         Ok((v, report)) => {
             record_parallel(&report);
             Ok(v)
@@ -206,6 +213,50 @@ pub fn execute_parallel_metered_bound(
             exec_metrics().errors.inc();
             Err(e)
         }
+    };
+    finish_scope(scope, started, query, &result);
+    result
+}
+
+/// Open a flight-recorder scope for a plan-level metered execution. The
+/// algebra layer has no OQL source text, so the record is labeled by the
+/// reduction itself (`Reduce[bag] head = …`). Returns `None` — without
+/// building the label — when the recorder is off or a higher layer
+/// (serving, `explain_analyze`) already owns this thread's record.
+fn record_scope(query: &Query) -> Option<RecordScope> {
+    if !recorder::global().enabled() || recorder::active() {
+        return None;
+    }
+    recorder::begin(&format!("Reduce[{}] head = {}", query.monoid, pretty(&query.head)))
+}
+
+/// Commit a scope opened by [`record_scope`]: stamp the execute phase,
+/// the effect summary, and the outcome, and attach the optimized plan
+/// text if the record crossed the slow-query threshold. (Plan text only
+/// — re-running under the profiler is the serving layer's job, where
+/// effect-safety is known.)
+fn finish_scope(
+    scope: Option<RecordScope>,
+    started: Option<Instant>,
+    query: &Query,
+    result: &ExecResult<Value>,
+) {
+    let Some(scope) = scope else { return };
+    if let Some(started) = started {
+        recorder::note_phase(Phase::Execute, started.elapsed().as_nanos());
+    }
+    recorder::note_effects(|| effects_of(&query.head).join(query.plan_effects).to_string());
+    let error = result.as_ref().err().map(ToString::to_string);
+    if let Some(trigger) = scope.finish(error) {
+        recorder::global().capture_slow(SlowQueryCapture {
+            seq: trigger.seq,
+            fingerprint: trigger.fingerprint,
+            source: trigger.source,
+            total_nanos: trigger.total_nanos,
+            threshold_nanos: trigger.threshold_nanos,
+            plan: Some(crate::explain::explain(query)),
+            profile: None,
+        });
     }
 }
 
@@ -225,10 +276,13 @@ pub fn execute_metered_bound(
     let m = exec_metrics();
     m.executions.inc();
     let probe = MetricsProbe::for_query(query);
+    let scope = record_scope(query);
+    let started = scope.is_some().then(Instant::now);
     let result = exec::execute_probed_bound(query, db, params, &probe).map(|(v, _)| v);
     if result.is_err() {
         m.errors.inc();
     }
+    finish_scope(scope, started, query, &result);
     result
 }
 

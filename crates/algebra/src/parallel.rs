@@ -181,7 +181,42 @@ pub fn execute_parallel_with<P: Probe + Sync>(
 
 /// [`execute_parallel_with`] plus late-bound parameter values layered
 /// over the root environment before partitioning.
+///
+/// Every parallel entry point funnels here, so this is also where the
+/// flight recorder learns what the engine did: workers spawned, the
+/// fallback reason (if any), and the reduced row count land on whatever
+/// [`monoid_calculus::recorder`] scope is open on this thread.
 pub fn execute_parallel_with_bound<P: Probe + Sync>(
+    query: &Query,
+    db: &mut Database,
+    threads: usize,
+    params: &[(Symbol, Value)],
+    make_probe: impl FnOnce(&Plan) -> P,
+) -> ExecResult<(Value, ParallelReport)> {
+    let result = execute_parallel_inner(query, db, threads, params, make_probe);
+    if let Ok((value, report)) = &result {
+        monoid_calculus::recorder::note_parallel(
+            report.workers as u64,
+            report.fallback.map(Fallback::as_str),
+        );
+        monoid_calculus::recorder::note_result(value);
+    }
+    result
+}
+
+/// The static half of the engine's fallback decision: the fallback
+/// `query` would take *regardless of thread count*. `Some(Mutation)`
+/// when the head or plan contains `:=`; `None` when the query is
+/// eligible for ordered partitioned reduction. `explain_analyze`
+/// surfaces this so "why did this not parallelize" is answerable from a
+/// profile alone (the runtime leg — actual workers and the
+/// thread-count fallback — lands in the flight recorder).
+pub fn static_fallback(query: &Query) -> Option<Fallback> {
+    let effects = effects_of(&query.head).join(query.plan_effects);
+    effects.mutates.then_some(Fallback::Mutation)
+}
+
+fn execute_parallel_inner<P: Probe + Sync>(
     query: &Query,
     db: &mut Database,
     threads: usize,

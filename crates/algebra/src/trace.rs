@@ -23,6 +23,7 @@ use monoid_calculus::expr::Expr;
 use monoid_calculus::json::Json;
 use monoid_calculus::normalize::normalize_traced;
 use monoid_calculus::pretty::pretty;
+use monoid_calculus::symbol::Symbol;
 use monoid_calculus::trace::{Phase, QueryTrace};
 use monoid_calculus::value::Value;
 use monoid_store::Database;
@@ -118,6 +119,10 @@ pub struct QueryProfile {
     pub short_circuited: bool,
     /// Evaluator steps consumed (the pre-existing opaque cost proxy).
     pub eval_steps: u64,
+    /// Why [`crate::parallel`] would decline to partition this query
+    /// (`"mutation"`), or `None` when it is parallel-eligible. Static
+    /// classification — the profiled run itself is sequential.
+    pub parallel_fallback: Option<String>,
 }
 
 impl QueryProfile {
@@ -131,6 +136,8 @@ impl QueryProfile {
             rows_to_reduce: probe.rows.first().map(Cell::get).unwrap_or(0),
             short_circuited: probe.short_circuited.get(),
             eval_steps,
+            parallel_fallback: crate::parallel::static_fallback(query)
+                .map(|f| f.as_str().to_string()),
             trace,
         }
     }
@@ -181,6 +188,10 @@ impl QueryProfile {
             }
         }
         let _ = writeln!(out, "evaluator steps: {}", self.eval_steps);
+        let _ = match &self.parallel_fallback {
+            Some(reason) => writeln!(out, "parallel: would fall back ({reason})"),
+            None => writeln!(out, "parallel: eligible (ordered partitioned reduction)"),
+        };
         out
     }
 
@@ -210,6 +221,10 @@ impl QueryProfile {
             ("rows_to_reduce", Json::from(self.rows_to_reduce)),
             ("short_circuited", Json::Bool(self.short_circuited)),
             ("eval_steps", Json::from(self.eval_steps)),
+            (
+                "parallel_fallback",
+                self.parallel_fallback.clone().map(Json::Str).unwrap_or(Json::Null),
+            ),
             ("trace", self.trace.to_json()),
         ])
     }
@@ -253,25 +268,37 @@ pub fn analyze_with_trace(
     let query = plan_comprehension(&reordered).map_err(|pe| EvalError::Other(pe.to_string()))?;
     trace.record(Phase::Plan, start.elapsed().as_nanos());
 
-    profile_execution(&query, &stats, db, trace)
+    profile_execution(&query, &stats, db, &[], trace)
 }
 
 /// Profile only the execution of an already-planned query (statistics are
 /// still gathered so the estimate column is populated).
 pub fn execute_profiled(query: &Query, db: &mut Database) -> ExecResult<Analysis> {
+    execute_profiled_bound(query, db, &[])
+}
+
+/// [`execute_profiled`] with late-bound parameter values — what the
+/// serving layer's slow-query capture uses to re-run an over-threshold
+/// prepared statement under the profiler.
+pub fn execute_profiled_bound(
+    query: &Query,
+    db: &mut Database,
+    params: &[(Symbol, Value)],
+) -> ExecResult<Analysis> {
     let stats = Stats::gather(db);
-    profile_execution(query, &stats, db, QueryTrace::new())
+    profile_execution(query, &stats, db, params, QueryTrace::new())
 }
 
 fn profile_execution(
     query: &Query,
     stats: &Stats,
     db: &mut Database,
+    params: &[(Symbol, Value)],
     mut trace: QueryTrace,
 ) -> ExecResult<Analysis> {
     let probe = ExecProbe::new(query.plan.node_count());
     let start = Instant::now();
-    let (value, eval_steps) = exec::execute_probed(query, db, &probe)?;
+    let (value, eval_steps) = exec::execute_probed_bound(query, db, params, &probe)?;
     trace.record(Phase::Execute, start.elapsed().as_nanos());
     let estimates = stats.plan_estimates(&query.plan);
     let profile = QueryProfile::assemble(query, &estimates, &probe, trace, eval_steps);

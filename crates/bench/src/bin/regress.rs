@@ -10,33 +10,69 @@
 //!
 //! ```text
 //! cargo run --release -p monoid-bench --bin regress [-- --quick] [--warm] [--out PATH]
+//!     [--compare BASELINE.json] [--tolerance PCT] [--slow-out PATH] [--journal-out PATH]
 //! ```
 //!
 //! `--quick` shrinks the stores and run counts for CI smoke runs.
 //! `--warm` serves the prepared section from the pre-warmed process-wide
 //! plan cache (timing full `Session::query` hits) instead of a cold
 //! private one; CI runs both and uploads the two reports side by side.
+//!
+//! `--compare BASELINE.json` turns the run into a regression *gate*: the
+//! fresh report is diffed against the baseline per query (median/p95,
+//! prepared warm median) with `--tolerance PCT` relative slack (default
+//! 50) plus an absolute noise floor of `--min-delta NANOS` (default
+//! 1 ms), and the process exits 1 when anything regressed.
+//! `--slow-out` / `--journal-out` dump the flight recorder's slow-query
+//! log (only when non-empty) and record journal after the run — set
+//! `MONOID_SLOW_QUERY_NANOS` to arm the former.
 
+use monoid_bench::compare::{compare_reports, DEFAULT_MIN_DELTA_NANOS, DEFAULT_TOLERANCE_PCT};
 use monoid_bench::harness::{fmt_nanos, Table};
 use monoid_bench::regress;
+use monoid_calculus::json::Json;
 
 fn main() {
     let mut quick = false;
     let mut warm = false;
     let mut out: Option<String> = None;
+    let mut compare: Option<String> = None;
+    let mut tolerance = DEFAULT_TOLERANCE_PCT;
+    let mut min_delta = DEFAULT_MIN_DELTA_NANOS;
+    let mut slow_out: Option<String> = None;
+    let mut journal_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
+    let path_arg = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a path");
+            std::process::exit(2);
+        })
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--warm" => warm = true,
-            "--out" => {
-                out = Some(args.next().unwrap_or_else(|| {
-                    eprintln!("--out needs a path");
+            "--out" => out = Some(path_arg(&mut args, "--out")),
+            "--compare" => compare = Some(path_arg(&mut args, "--compare")),
+            "--tolerance" => {
+                tolerance = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--tolerance needs a percentage");
                     std::process::exit(2);
-                }));
+                });
             }
+            "--min-delta" => {
+                min_delta = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--min-delta needs a nanosecond count");
+                    std::process::exit(2);
+                });
+            }
+            "--slow-out" => slow_out = Some(path_arg(&mut args, "--slow-out")),
+            "--journal-out" => journal_out = Some(path_arg(&mut args, "--journal-out")),
             "--help" | "-h" => {
-                eprintln!("usage: regress [--quick] [--warm] [--out PATH]");
+                eprintln!(
+                    "usage: regress [--quick] [--warm] [--out PATH] [--compare BASELINE.json] \
+                     [--tolerance PCT] [--min-delta NANOS] [--slow-out PATH] [--journal-out PATH]"
+                );
                 return;
             }
             other => {
@@ -107,10 +143,61 @@ fn main() {
     println!("operator rows: {:?}", report.operator_rows());
     println!("rules fired:   {:?}", report.rule_firings());
 
-    let json = report.to_json().render_pretty();
-    if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
+    let report_json = report.to_json();
+    if let Err(e) = std::fs::write(&out, format!("{}\n", report_json.render_pretty())) {
         eprintln!("cannot write {out}: {e}");
         std::process::exit(1);
     }
     println!("\nwrote {out}");
+
+    // Dump what the flight recorder saw during the run. The slow log is
+    // only written when it captured something — CI uploads it as an
+    // artifact iff the file exists.
+    let recorder = monoid_calculus::recorder::global();
+    if let Some(path) = &journal_out {
+        if let Err(e) = std::fs::write(path, format!("{}\n", recorder.to_json().render_pretty())) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path} ({} records)", recorder.len());
+    }
+    if let Some(path) = &slow_out {
+        let captures = recorder.slow_log();
+        if captures.is_empty() {
+            println!(
+                "slow-query log empty (threshold {}), not writing {path}",
+                fmt_nanos(recorder.slow_threshold().into())
+            );
+        } else {
+            let doc = recorder.slow_log_json();
+            if let Err(e) = std::fs::write(path, format!("{}\n", doc.render_pretty())) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path} ({} slow-query captures)", captures.len());
+        }
+    }
+
+    // The gate: diff this run against the committed baseline and fail
+    // the process on regressions beyond tolerance.
+    if let Some(baseline_path) = &compare {
+        let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline = Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("baseline {baseline_path} is not JSON: {e}");
+            std::process::exit(2);
+        });
+        let verdict =
+            compare_reports(&report_json, &baseline, tolerance, min_delta).unwrap_or_else(|e| {
+            eprintln!("cannot compare against {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        println!("\ncompared against {baseline_path}:");
+        print!("{}", verdict.render());
+        if !verdict.passed() {
+            std::process::exit(1);
+        }
+    }
 }

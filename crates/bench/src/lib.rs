@@ -11,8 +11,14 @@
 //! * the `regress` binary (`cargo run --release -p monoid-bench --bin
 //!   regress`), which runs the canonical paper queries through the
 //!   metered pipeline and writes `BENCH_regress.json` — latency
-//!   percentiles plus the metrics-registry delta — at the repo root.
+//!   percentiles plus the metrics-registry delta — at the repo root,
+//!   and with `--compare` gates a fresh run against that baseline
+//!   ([`compare`]);
+//! * the `oqltop` binary, which renders top queries by time from the
+//!   flight recorder's live snapshot or a dumped journal ([`top`]).
 
+pub mod compare;
 pub mod harness;
 pub mod queries;
 pub mod regress;
+pub mod top;

@@ -7,9 +7,13 @@
 //!
 //! The `regress` binary serializes the report to `BENCH_regress.json`
 //! at the repo root: the first point on the perf trajectory every
-//! future PR regresses against. The report deliberately contains no
-//! timestamps or host details — two runs on the same machine diff
-//! cleanly.
+//! future PR regresses against — and, with `--compare` (see
+//! [`crate::compare`]), the baseline the fresh run is gated on. The
+//! report deliberately contains no timestamps — two runs on the same
+//! machine diff cleanly — but it does carry a [`HostMeta`] header
+//! (logical cores, rustc version, thread-count env), because the
+//! parallel section's speedup-<1 numbers are meaningless without
+//! knowing how many cores the host had.
 
 use crate::harness::percentile_nanos;
 use crate::queries;
@@ -91,6 +95,56 @@ pub struct PreparedBench {
     pub warm_speedup: f64,
 }
 
+/// Host facts stamped into the report header: the context that makes
+/// latency and speedup numbers interpretable when reports from
+/// different machines meet (a speedup below 1.0 reads very differently
+/// on one core than on sixteen).
+pub struct HostMeta {
+    /// `std::thread::available_parallelism()` — what the parallel
+    /// engine's `default_threads` sees.
+    pub logical_cores: usize,
+    /// `rustc --version` output, or `"unknown"` when the compiler is
+    /// not on PATH at run time.
+    pub rustc: String,
+    /// Target OS and architecture, e.g. `linux x86_64`.
+    pub os: String,
+    /// The `MONOID_PARALLEL_THREADS` override in force, if any.
+    pub parallel_threads_env: Option<String>,
+}
+
+/// Gather the [`HostMeta`] for this process.
+pub fn host_meta() -> HostMeta {
+    let rustc = std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    HostMeta {
+        logical_cores: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        rustc,
+        os: format!("{} {}", std::env::consts::OS, std::env::consts::ARCH),
+        parallel_threads_env: std::env::var("MONOID_PARALLEL_THREADS").ok(),
+    }
+}
+
+impl HostMeta {
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("logical_cores", Json::from(self.logical_cores)),
+            ("rustc", Json::str(self.rustc.clone())),
+            ("os", Json::str(self.os.clone())),
+            (
+                "parallel_threads_env",
+                self.parallel_threads_env.clone().map(Json::Str).unwrap_or(Json::Null),
+            ),
+        ])
+    }
+}
+
 /// The full regression report.
 pub struct RegressReport {
     pub quick: bool,
@@ -110,6 +164,8 @@ pub struct RegressReport {
     pub registry: Snapshot,
     /// The same delta in Prometheus text format.
     pub prometheus: String,
+    /// The host this report was produced on.
+    pub host: HostMeta,
 }
 
 fn suite(quick: bool) -> (Database, Database, Vec<Case>) {
@@ -253,6 +309,7 @@ pub fn run_with(quick: bool, warm: bool) -> RegressReport {
         prepared,
         registry,
         prometheus,
+        host: host_meta(),
     }
 }
 
@@ -557,7 +614,8 @@ impl RegressReport {
         };
         Json::obj(vec![
             ("bench", Json::str("regress")),
-            ("schema_version", Json::Int(3)),
+            ("schema_version", Json::Int(4)),
+            ("host", self.host.to_json()),
             ("quick", Json::Bool(self.quick)),
             ("warm", Json::Bool(self.warm)),
             ("runs_per_query", Json::from(self.runs_per_query)),
@@ -648,8 +706,12 @@ mod tests {
             "\"cold_median_nanos\"",
             "\"warm_median_nanos\"",
             "\"warm_speedup\"",
+            "\"host\"",
+            "\"logical_cores\"",
+            "\"rustc\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }
+        assert!(report.host.logical_cores >= 1);
     }
 }

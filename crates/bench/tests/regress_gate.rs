@@ -1,0 +1,103 @@
+//! The `regress --compare` gate at the process level: the binary must
+//! exit 0 on a self-compare and nonzero against a synthetically
+//! regressed (zeroed) baseline. The verdict logic itself is unit-tested
+//! in `src/compare.rs`; this test pins the exit codes CI relies on.
+
+use monoid_calculus::json::Json;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_regress"))
+        .args(args)
+        .env_remove("MONOID_SLOW_QUERY_NANOS")
+        .output()
+        .expect("regress binary runs")
+}
+
+#[test]
+fn compare_gate_exit_codes() {
+    let dir = std::env::temp_dir().join(format!("regress-gate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = |name: &str| -> String {
+        let p: PathBuf = dir.join(name);
+        p.to_str().unwrap().to_string()
+    };
+
+    // Produce a baseline.
+    let baseline = path("baseline.json");
+    let out = run(&["--quick", "--out", &baseline]);
+    assert!(out.status.success(), "baseline run failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Self-ish compare (fresh quick run vs the baseline just written,
+    // with a tolerance far beyond run-to-run jitter): exit 0.
+    let out = run(&[
+        "--quick",
+        "--out",
+        &path("fresh.json"),
+        "--compare",
+        &baseline,
+        "--tolerance",
+        "100000",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "self-compare failed the gate:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("verdict: PASS"));
+
+    // Zero the baseline's gated latency fields: every fresh number now
+    // exceeds tolerance, so the gate must fail with exit code 1.
+    let text = std::fs::read_to_string(&baseline).unwrap();
+    let regressed = path("regressed.json");
+    std::fs::write(&regressed, zero_latencies(&text)).unwrap();
+    let out = run(&[
+        "--quick",
+        "--out",
+        &path("fresh2.json"),
+        "--compare",
+        &regressed,
+        "--min-delta",
+        "0",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "regressed baseline passed the gate:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSION"));
+
+    // A malformed baseline is a usage error, not a crash.
+    let out = run(&["--quick", "--out", &path("fresh3.json"), "--compare", &path("missing.json")]);
+    assert_eq!(out.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Rewrite every gated latency field of a serialized report to 0.
+fn zero_latencies(report_text: &str) -> String {
+    let mut report = Json::parse(report_text).expect("baseline is JSON");
+    let Json::Obj(sections) = &mut report else { panic!("baseline is not an object") };
+    for (section, gated) in
+        [("queries", vec!["median_nanos", "p95_nanos"]), ("prepared", vec!["warm_median_nanos"])]
+    {
+        let Some(Json::Arr(cases)) =
+            sections.iter_mut().find(|(k, _)| k == section).map(|(_, v)| v)
+        else {
+            panic!("baseline has no `{section}` array");
+        };
+        for case in cases {
+            let Json::Obj(fields) = case else { continue };
+            for (k, v) in fields.iter_mut() {
+                if gated.contains(&k.as_str()) {
+                    *v = Json::Int(0);
+                }
+            }
+        }
+    }
+    report.render_pretty()
+}

@@ -42,6 +42,10 @@
 //! * [`metrics`] — the process-wide registry of counters, gauges, and
 //!   log-bucketed latency histograms every layer records into, with
 //!   Prometheus text and JSON exporters (`docs/observability.md`).
+//! * [`recorder`] — the process-wide query flight recorder: a
+//!   fixed-capacity ring of per-query [`recorder::QueryRecord`]s plus
+//!   the slow-query capture log, fed by the serving and algebra layers
+//!   (`docs/observability.md`).
 //!
 //! ## Quick taste
 //!
@@ -73,6 +77,7 @@ pub mod monoid;
 pub mod normalize;
 pub mod parse;
 pub mod pretty;
+pub mod recorder;
 pub mod sru;
 pub mod subst;
 pub mod symbol;
@@ -98,6 +103,7 @@ pub mod prelude {
     pub use crate::trace::{Phase, PhaseTiming, QueryTrace};
     pub use crate::parse::parse_expr;
     pub use crate::pretty::{pretty, Pretty};
+    pub use crate::recorder::{CacheDisposition, FlightRecorder, QueryRecord, SlowQueryCapture};
     pub use crate::subst::{free_vars, subst};
     pub use crate::symbol::Symbol;
     pub use crate::typecheck::{infer, TypeChecker};

@@ -892,4 +892,58 @@ mod tests {
         assert_eq!(snap.counter("shared"), 4000);
         assert_eq!(snap.histogram_with("hist", &[]).unwrap().count, 4000);
     }
+
+    #[test]
+    fn histogram_extreme_observations() {
+        let h = Histogram::default();
+        h.observe(0);
+        h.observe(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        // Sum saturates the atomic add naturally: 0 + u64::MAX.
+        assert_eq!(snap.sum, u64::MAX);
+        assert_eq!(snap.buckets[0], 1, "0 lands in the first bucket");
+        assert_eq!(
+            snap.buckets[HISTOGRAM_BUCKETS - 1],
+            1,
+            "u64::MAX lands in the +Inf bucket"
+        );
+        // p50 is the first bucket's bound; p99 falls in +Inf, whose
+        // point estimate is the mean of everything observed.
+        assert_eq!(snap.quantile(0.5), Some(1));
+        assert_eq!(snap.quantile(0.99), Some(snap.sum / snap.count));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let snap = Histogram::default().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.quantile(0.0), None);
+        assert_eq!(snap.p50(), None);
+        assert_eq!(snap.p95(), None);
+        assert_eq!(snap.p99(), None);
+    }
+
+    #[test]
+    fn diff_of_identical_registries_is_all_zero() {
+        let r = Registry::new();
+        r.counter("c").add(5);
+        r.gauge("g").set(3);
+        r.histogram("h").observe(100);
+        let a = r.snapshot();
+        let b = r.snapshot();
+        let d = b.diff(&a);
+        // Same series set, every flow zeroed; the gauge keeps its level.
+        assert_eq!(d.series.len(), b.series.len());
+        assert_eq!(d.counter("c"), 0);
+        assert_eq!(d.gauge("g"), Some(3));
+        let h = d.histogram_with("h", &[]).unwrap();
+        assert_eq!(h.count, 0);
+        assert_eq!(h.sum, 0);
+        assert!(h.buckets.iter().all(|&n| n == 0));
+        // And a diff of two truly empty registries is empty outright.
+        let empty = Registry::new();
+        let e = empty.snapshot().diff(&empty.snapshot());
+        assert!(e.series.is_empty());
+    }
 }

@@ -1,0 +1,808 @@
+//! The process-wide query flight recorder.
+//!
+//! Where [`crate::trace`] times one query in the moment and
+//! [`crate::metrics`] accumulates fleet-wide counters, the recorder
+//! *remembers individual executions*: a fixed-capacity ring buffer holds
+//! one structured [`QueryRecord`] per executed query — source
+//! fingerprint, session id, plan-cache disposition, per-phase nanos,
+//! rows produced, effect summary, parallel fallback reason, and outcome
+//! — so "what ran recently and why was it slow" is answerable after the
+//! fact, without having profiled anything up front.
+//!
+//! ## Feeding the recorder
+//!
+//! The entry points that own a query's lifecycle (`Session::query`,
+//! `Prepared::execute*`, the metered executors in the algebra crate, the
+//! umbrella `explain_analyze`) open a [`RecordScope`] with [`begin`]; the
+//! layers underneath annotate whatever record is active on the current
+//! thread through the `note_*` free functions, which are no-ops when no
+//! scope is open. Exactly one scope is active per thread — a nested
+//! [`begin`] returns `None` and the inner layer's notes land on the
+//! outer record — so a `Session::query` that runs a `Prepared` which
+//! runs the metered executor yields *one* record, annotated by all
+//! three.
+//!
+//! ## Lock-lightness and the disabled path
+//!
+//! The ring is a vector of per-slot mutexes with an atomic cursor:
+//! committing a record locks only the slot it lands in, so concurrent
+//! sessions never contend on a global lock. When the recorder is
+//! disabled ([`FlightRecorder::set_enabled`], or `MONOID_RECORDER=0`),
+//! [`begin`] returns `None` before allocating anything, every `note_*`
+//! finds no active record, and no registry series moves — the disabled
+//! path is observable only as the single atomic load in [`begin`]
+//! (proven by snapshot diff in `tests/recorder.rs`).
+//!
+//! ## The slow-query log
+//!
+//! Records whose wall-clock total exceeds the threshold
+//! ([`FlightRecorder::set_slow_threshold`], or `MONOID_SLOW_QUERY_NANOS`)
+//! come back from [`RecordScope::finish`] as a [`SlowTrigger`]; the
+//! owning layer then attaches whatever it has at hand — the optimized
+//! plan text, a full `explain_analyze` profile — as a
+//! [`SlowQueryCapture`] in a separate, smaller ring
+//! ([`FlightRecorder::slow_log`]). A threshold of 0 (the default) turns
+//! the slow log off.
+//!
+//! Both rings export as JSON ([`FlightRecorder::to_json`],
+//! [`FlightRecorder::slow_log_json`]); the `oqltop` binary renders
+//! either a live snapshot or a dumped journal (`docs/observability.md`).
+
+use crate::json::Json;
+use crate::metrics;
+use crate::trace::{Phase, QueryTrace};
+use crate::value::Value;
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Ring capacity when `MONOID_RECORDER_CAPACITY` is unset.
+const DEFAULT_CAPACITY: usize = 1024;
+
+/// Slow-query captures retained (oldest evicted first).
+const SLOW_LOG_CAPACITY: usize = 64;
+
+/// Source text stored per record is truncated to this many characters;
+/// the fingerprint always covers the full text.
+const SOURCE_LIMIT: usize = 256;
+
+// ---------------------------------------------------------------------
+// QueryRecord
+// ---------------------------------------------------------------------
+
+/// How the serving layer resolved the statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheDisposition {
+    /// The execution did not go through a plan cache (direct `Prepared`
+    /// or algebra-level execution).
+    #[default]
+    Uncached,
+    /// Served from the plan cache.
+    Hit,
+    /// Prepared fresh (cold, stale-epoch, or evicted entry).
+    Miss,
+}
+
+impl CacheDisposition {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheDisposition::Uncached => "uncached",
+            CacheDisposition::Hit => "hit",
+            CacheDisposition::Miss => "miss",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<CacheDisposition> {
+        match s {
+            "uncached" => Some(CacheDisposition::Uncached),
+            "hit" => Some(CacheDisposition::Hit),
+            "miss" => Some(CacheDisposition::Miss),
+            _ => None,
+        }
+    }
+}
+
+/// One executed query, as the flight recorder remembers it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRecord {
+    /// Process-wide commit sequence number (assigned by the recorder;
+    /// monotonic, so `snapshot()` order is execution order).
+    pub seq: u64,
+    /// Hash of the *full* source text — stable within a process, so
+    /// repeated executions of one statement group under one key even
+    /// when [`QueryRecord::source`] is truncated.
+    pub fingerprint: u64,
+    /// Source text (truncated to 256 chars).
+    pub source: String,
+    /// The serving session that ran the query, when one did.
+    pub session: Option<u64>,
+    /// Plan-cache disposition ([`CacheDisposition::Uncached`] outside
+    /// the serving layer).
+    pub cache: CacheDisposition,
+    /// Per-phase wall-clock nanos, indexed by [`Phase::index`]. Only the
+    /// phases that actually ran are nonzero — a cache hit has no
+    /// parse/normalize/optimize entries.
+    pub phase_nanos: [u64; Phase::ALL.len()],
+    /// Wall-clock nanos of the whole recorded scope (≥ the phase sum —
+    /// it includes cache lookup and binding overhead the phases don't).
+    pub total_nanos: u64,
+    /// Rows (collection elements) the query produced; 1 for scalars.
+    pub rows: u64,
+    /// Rendered effect summary of the canonical form (empty when the
+    /// recording layer had none at hand).
+    pub effects: String,
+    /// Workers the parallel engine spawned (0 = sequential).
+    pub parallel_workers: u64,
+    /// Why the parallel engine fell back to sequential execution, when
+    /// it did (`"single-thread"`, `"mutation"`).
+    pub parallel_fallback: Option<String>,
+    /// The error message, for failed executions.
+    pub error: Option<String>,
+    /// Did this record exceed the slow-query threshold?
+    pub slow: bool,
+}
+
+impl QueryRecord {
+    /// A fresh record for `source` — fingerprinted, truncated, all
+    /// counters zero. `seq` is assigned at commit ([`FlightRecorder::push`]).
+    pub fn new(source: &str) -> QueryRecord {
+        QueryRecord {
+            seq: 0,
+            fingerprint: fingerprint(source),
+            source: truncate_source(source),
+            session: None,
+            cache: CacheDisposition::Uncached,
+            phase_nanos: [0; Phase::ALL.len()],
+            total_nanos: 0,
+            rows: 0,
+            effects: String::new(),
+            parallel_workers: 0,
+            parallel_fallback: None,
+            error: None,
+            slow: false,
+        }
+    }
+
+    pub fn ok(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// Nanos recorded for one lifecycle phase.
+    pub fn phase_nanos(&self, phase: Phase) -> u64 {
+        self.phase_nanos[phase.index()]
+    }
+
+    pub fn to_json(&self) -> Json {
+        let phases = Json::Obj(
+            Phase::ALL
+                .iter()
+                .map(|p| (p.as_str().to_string(), Json::from(self.phase_nanos[p.index()])))
+                .collect(),
+        );
+        Json::obj(vec![
+            ("seq", Json::from(self.seq)),
+            // Hex, not a JSON number: a 64-bit hash exceeds i64 half the
+            // time and must round-trip exactly.
+            ("fingerprint", Json::str(format!("{:016x}", self.fingerprint))),
+            ("source", Json::str(self.source.clone())),
+            (
+                "session",
+                self.session.map(Json::from).unwrap_or(Json::Null),
+            ),
+            ("cache", Json::str(self.cache.as_str())),
+            ("phase_nanos", phases),
+            ("total_nanos", Json::from(self.total_nanos)),
+            ("rows", Json::from(self.rows)),
+            ("effects", Json::str(self.effects.clone())),
+            ("parallel_workers", Json::from(self.parallel_workers)),
+            (
+                "parallel_fallback",
+                self.parallel_fallback.clone().map(Json::Str).unwrap_or(Json::Null),
+            ),
+            (
+                "outcome",
+                Json::str(if self.ok() { "ok" } else { "error" }),
+            ),
+            (
+                "error",
+                self.error.clone().map(Json::Str).unwrap_or(Json::Null),
+            ),
+            ("slow", Json::Bool(self.slow)),
+        ])
+    }
+
+    /// Rehydrate a record from its [`QueryRecord::to_json`] form — the
+    /// journal format `oqltop` reads back.
+    pub fn from_json(j: &Json) -> Result<QueryRecord, String> {
+        let field = |k: &str| j.get(k).ok_or_else(|| format!("record missing `{k}`"));
+        let u64_field = |k: &str| {
+            field(k)?.as_u64().ok_or_else(|| format!("record `{k}` is not a non-negative integer"))
+        };
+        let fingerprint_hex =
+            field("fingerprint")?.as_str().ok_or("record `fingerprint` is not a string")?;
+        let fingerprint = u64::from_str_radix(fingerprint_hex, 16)
+            .map_err(|_| format!("bad fingerprint `{fingerprint_hex}`"))?;
+        let cache_str = field("cache")?.as_str().ok_or("record `cache` is not a string")?;
+        let cache = CacheDisposition::parse(cache_str)
+            .ok_or_else(|| format!("bad cache disposition `{cache_str}`"))?;
+        let mut phase_nanos = [0u64; Phase::ALL.len()];
+        if let Some(phases) = field("phase_nanos")?.as_obj() {
+            for phase in Phase::ALL {
+                if let Some(n) = phases
+                    .iter()
+                    .find(|(k, _)| k == phase.as_str())
+                    .and_then(|(_, v)| v.as_u64())
+                {
+                    phase_nanos[phase.index()] = n;
+                }
+            }
+        }
+        Ok(QueryRecord {
+            seq: u64_field("seq")?,
+            fingerprint,
+            source: field("source")?.as_str().ok_or("record `source` is not a string")?.to_string(),
+            session: j.get("session").and_then(Json::as_u64),
+            cache,
+            phase_nanos,
+            total_nanos: u64_field("total_nanos")?,
+            rows: u64_field("rows")?,
+            effects: j
+                .get("effects")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            parallel_workers: j.get("parallel_workers").and_then(Json::as_u64).unwrap_or(0),
+            parallel_fallback: j
+                .get("parallel_fallback")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            error: j.get("error").and_then(Json::as_str).map(str::to_string),
+            slow: j.get("slow").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
+}
+
+/// Hash of the full source text (stable within a process, like the plan
+/// cache's schema fingerprint).
+pub fn fingerprint(source: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    source.hash(&mut h);
+    h.finish()
+}
+
+fn truncate_source(source: &str) -> String {
+    if source.chars().count() <= SOURCE_LIMIT {
+        source.to_string()
+    } else {
+        let mut s: String = source.chars().take(SOURCE_LIMIT - 1).collect();
+        s.push('…');
+        s
+    }
+}
+
+// ---------------------------------------------------------------------
+// SlowQueryCapture
+// ---------------------------------------------------------------------
+
+/// The deep capture of one over-threshold query: the record's identity
+/// plus whatever the owning layer had at hand — the optimized plan text
+/// and/or a full `explain_analyze` profile.
+#[derive(Debug, Clone)]
+pub struct SlowQueryCapture {
+    /// The [`QueryRecord::seq`] this capture belongs to.
+    pub seq: u64,
+    pub fingerprint: u64,
+    /// Full (untruncated) source text — slow queries are rare enough to
+    /// keep whole.
+    pub source: String,
+    pub total_nanos: u64,
+    /// The threshold in force when the capture fired.
+    pub threshold_nanos: u64,
+    /// `explain` text of the optimized plan (plannable statements).
+    pub plan: Option<String>,
+    /// Full `QueryProfile` JSON (when the query was profiled, or was
+    /// safe to re-run under the profiler).
+    pub profile: Option<Json>,
+}
+
+impl SlowQueryCapture {
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("seq", Json::from(self.seq)),
+            ("fingerprint", Json::str(format!("{:016x}", self.fingerprint))),
+            ("source", Json::str(self.source.clone())),
+            ("total_nanos", Json::from(self.total_nanos)),
+            ("threshold_nanos", Json::from(self.threshold_nanos)),
+            ("plan", self.plan.clone().map(Json::Str).unwrap_or(Json::Null)),
+            ("profile", self.profile.clone().unwrap_or(Json::Null)),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------
+// FlightRecorder
+// ---------------------------------------------------------------------
+
+/// A fixed-capacity, lock-light ring of [`QueryRecord`]s plus the
+/// slow-query capture log. One process-wide instance lives behind
+/// [`global`]; tests build private ones with
+/// [`FlightRecorder::with_capacity`].
+pub struct FlightRecorder {
+    /// One mutex per slot: a commit locks only the slot its sequence
+    /// number maps to, so concurrent writers proceed independently.
+    slots: Box<[Mutex<Option<QueryRecord>>]>,
+    /// Total records ever committed; `seq % capacity` is the slot.
+    cursor: AtomicU64,
+    enabled: AtomicBool,
+    /// Slow-query threshold in nanos; 0 disables the slow log.
+    slow_threshold: AtomicU64,
+    slow: Mutex<VecDeque<SlowQueryCapture>>,
+}
+
+impl FlightRecorder {
+    /// A recorder holding the last `capacity` records (min 1).
+    pub fn with_capacity(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+            enabled: AtomicBool::new(true),
+            slow_threshold: AtomicU64::new(0),
+            slow: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records ever committed (not capped by capacity).
+    pub fn recorded_total(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on or off at runtime (overrides the
+    /// `MONOID_RECORDER` environment default).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    pub fn slow_threshold(&self) -> u64 {
+        self.slow_threshold.load(Ordering::Relaxed)
+    }
+
+    /// Set the slow-query threshold in nanos (0 = off; overrides the
+    /// `MONOID_SLOW_QUERY_NANOS` environment default).
+    pub fn set_slow_threshold(&self, nanos: u64) {
+        self.slow_threshold.store(nanos, Ordering::Relaxed);
+    }
+
+    /// Commit a record: assign the next sequence number and overwrite
+    /// the slot it maps to. Returns the assigned `seq`.
+    pub fn push(&self, mut record: QueryRecord) -> u64 {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        record.seq = seq;
+        let slot = (seq % self.slots.len() as u64) as usize;
+        *self.slots[slot].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+            Some(record);
+        seq
+    }
+
+    /// The retained records, oldest first. Each slot is locked
+    /// individually, so a snapshot taken under concurrent commits is a
+    /// consistent set of committed records but not an atomic cut.
+    pub fn snapshot(&self) -> Vec<QueryRecord> {
+        let mut out: Vec<QueryRecord> = self
+            .slots
+            .iter()
+            .filter_map(|s| {
+                s.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+            })
+            .collect();
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+
+    /// Records currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| {
+                s.lock().unwrap_or_else(std::sync::PoisonError::into_inner).is_some()
+            })
+            .count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a slow-query capture (oldest evicted past the log's
+    /// capacity).
+    pub fn capture_slow(&self, capture: SlowQueryCapture) {
+        rec_metrics().slow_captures.inc();
+        let mut slow = self.slow.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if slow.len() >= SLOW_LOG_CAPACITY {
+            slow.pop_front();
+        }
+        slow.push_back(capture);
+    }
+
+    /// The retained slow-query captures, oldest first.
+    pub fn slow_log(&self) -> Vec<SlowQueryCapture> {
+        self.slow
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Drop all records and slow captures (counters and the cursor are
+    /// not reset — sequence numbers stay monotonic).
+    pub fn clear(&self) {
+        for slot in &self.slots {
+            *slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+        }
+        self.slow.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+    }
+
+    /// The journal document: `{capacity, recorded_total, records: […]}` —
+    /// what `oqltop --journal` reads back.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("capacity", Json::from(self.capacity())),
+            ("recorded_total", Json::from(self.recorded_total())),
+            (
+                "records",
+                Json::Arr(self.snapshot().iter().map(QueryRecord::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// The slow-query log as a JSON document.
+    pub fn slow_log_json(&self) -> Json {
+        Json::obj(vec![
+            ("threshold_nanos", Json::from(self.slow_threshold())),
+            (
+                "captures",
+                Json::Arr(self.slow_log().iter().map(SlowQueryCapture::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// The process-wide recorder, configured once from the environment:
+/// `MONOID_RECORDER=0|off|false` disables it, `MONOID_RECORDER_CAPACITY`
+/// sizes the ring (default 1024), `MONOID_SLOW_QUERY_NANOS` arms the
+/// slow-query log.
+pub fn global() -> &'static FlightRecorder {
+    static RECORDER: OnceLock<FlightRecorder> = OnceLock::new();
+    RECORDER.get_or_init(|| {
+        let capacity = std::env::var("MONOID_RECORDER_CAPACITY")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_CAPACITY);
+        let recorder = FlightRecorder::with_capacity(capacity);
+        if let Ok(v) = std::env::var("MONOID_RECORDER") {
+            let v = v.trim().to_ascii_lowercase();
+            if v == "0" || v == "off" || v == "false" {
+                recorder.set_enabled(false);
+            }
+        }
+        if let Some(nanos) = std::env::var("MONOID_SLOW_QUERY_NANOS")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+        {
+            recorder.set_slow_threshold(nanos);
+        }
+        recorder
+    })
+}
+
+// ---------------------------------------------------------------------
+// Record scopes (thread-local)
+// ---------------------------------------------------------------------
+
+struct Pending {
+    record: QueryRecord,
+    started: Instant,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Pending>> = const { RefCell::new(None) };
+}
+
+/// An open recording for the query executing on this thread. Obtain with
+/// [`begin`]; annotate through the `note_*` free functions; commit with
+/// [`RecordScope::finish`]. Dropping an unfinished scope discards the
+/// pending record.
+pub struct RecordScope {
+    finished: bool,
+    /// Scopes are bound to the thread whose `ACTIVE` slot they own.
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Open a record for `source` against the [`global`] recorder. Returns
+/// `None` — without allocating — when the recorder is disabled, or when
+/// this thread already has an open scope (the notes of the nested layer
+/// then annotate the outer record).
+pub fn begin(source: &str) -> Option<RecordScope> {
+    if !global().enabled() {
+        return None;
+    }
+    ACTIVE.with(|a| {
+        let mut a = a.borrow_mut();
+        if a.is_some() {
+            return None;
+        }
+        *a = Some(Pending { record: QueryRecord::new(source), started: Instant::now() });
+        Some(RecordScope { finished: false, _not_send: PhantomData })
+    })
+}
+
+/// Is a record open on this thread? Layers use this to skip building
+/// annotation values (e.g. rendering an effect summary) when nobody is
+/// listening.
+pub fn active() -> bool {
+    ACTIVE.with(|a| a.borrow().is_some())
+}
+
+fn with_active(f: impl FnOnce(&mut QueryRecord)) {
+    ACTIVE.with(|a| {
+        if let Some(p) = a.borrow_mut().as_mut() {
+            f(&mut p.record);
+        }
+    });
+}
+
+/// Attribute the record to a serving session.
+pub fn note_session(id: u64) {
+    with_active(|r| r.session = Some(id));
+}
+
+/// Record the plan-cache disposition.
+pub fn note_cache(disposition: CacheDisposition) {
+    with_active(|r| r.cache = disposition);
+}
+
+/// Add `nanos` to one lifecycle phase (accumulates, like
+/// [`QueryTrace::record`]).
+pub fn note_phase(phase: Phase, nanos: u128) {
+    with_active(|r| {
+        let n = u64::try_from(nanos).unwrap_or(u64::MAX);
+        r.phase_nanos[phase.index()] = r.phase_nanos[phase.index()].saturating_add(n);
+    });
+}
+
+/// Fold every phase of an already-timed trace into the record (a cold
+/// prepare's parse → plan phases, or a profiled run's full lifecycle).
+pub fn note_trace(trace: &QueryTrace) {
+    with_active(|r| {
+        for t in &trace.phases {
+            let n = u64::try_from(t.nanos).unwrap_or(u64::MAX);
+            r.phase_nanos[t.phase.index()] =
+                r.phase_nanos[t.phase.index()].saturating_add(n);
+        }
+    });
+}
+
+/// Record the rows produced (overwrites — layers noting the same result
+/// agree by construction).
+pub fn note_rows(rows: u64) {
+    with_active(|r| r.rows = rows);
+}
+
+/// [`note_rows`] from a result value: its element count, or 1 for
+/// scalars. The count is only computed when a record is active.
+pub fn note_result(value: &Value) {
+    with_active(|r| {
+        r.rows = value.len().map(|n| n as u64).unwrap_or(1);
+    });
+}
+
+/// Record the rendered effect summary. Takes a closure so callers don't
+/// build the string when no record is active.
+pub fn note_effects(render: impl FnOnce() -> String) {
+    with_active(|r| r.effects = render());
+}
+
+/// Record what the parallel engine did: workers spawned and the
+/// fallback reason, if it ran sequentially.
+pub fn note_parallel(workers: u64, fallback: Option<&str>) {
+    with_active(|r| {
+        r.parallel_workers = workers;
+        r.parallel_fallback = fallback.map(str::to_string);
+    });
+}
+
+/// Returned by [`RecordScope::finish`] when the record crossed the
+/// slow-query threshold: everything a layer needs to attach a
+/// [`SlowQueryCapture`].
+#[derive(Debug, Clone)]
+pub struct SlowTrigger {
+    pub seq: u64,
+    pub fingerprint: u64,
+    pub source: String,
+    pub total_nanos: u64,
+    pub threshold_nanos: u64,
+}
+
+impl RecordScope {
+    /// Commit the record: stamp total wall-clock time and the outcome,
+    /// push it into the [`global`] ring, and bump the `recorder_*`
+    /// counters. Returns a [`SlowTrigger`] when the slow-query
+    /// threshold was exceeded — the caller then decides what deep
+    /// capture to attach.
+    pub fn finish(mut self, error: Option<String>) -> Option<SlowTrigger> {
+        self.finished = true;
+        let pending = ACTIVE.with(|a| a.borrow_mut().take())?;
+        let Pending { mut record, started } = pending;
+        record.total_nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        record.error = error;
+        let recorder = global();
+        let threshold = recorder.slow_threshold();
+        record.slow = threshold > 0 && record.total_nanos >= threshold;
+        let m = rec_metrics();
+        m.records.inc();
+        if record.error.is_some() {
+            m.errors.inc();
+        }
+        let trigger = record.slow.then(|| SlowTrigger {
+            seq: 0, // patched below with the committed seq
+            fingerprint: record.fingerprint,
+            source: record.source.clone(),
+            total_nanos: record.total_nanos,
+            threshold_nanos: threshold,
+        });
+        let seq = recorder.push(record);
+        trigger.map(|mut t| {
+            t.seq = seq;
+            t
+        })
+    }
+}
+
+impl Drop for RecordScope {
+    fn drop(&mut self) {
+        if !self.finished {
+            ACTIVE.with(|a| {
+                a.borrow_mut().take();
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+struct RecorderMetrics {
+    records: Arc<metrics::Counter>,
+    errors: Arc<metrics::Counter>,
+    slow_captures: Arc<metrics::Counter>,
+}
+
+fn rec_metrics() -> &'static RecorderMetrics {
+    static METRICS: OnceLock<RecorderMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = metrics::global();
+        RecorderMetrics {
+            records: r.counter("recorder_records_total"),
+            errors: r.counter("recorder_errors_total"),
+            slow_captures: r.counter("recorder_slow_captures_total"),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_overwrites_oldest_first() {
+        let rec = FlightRecorder::with_capacity(3);
+        for i in 0..5 {
+            rec.push(QueryRecord::new(&format!("q{i}")));
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(snap[0].source, "q2");
+        assert_eq!(rec.recorded_total(), 5);
+        assert_eq!(rec.len(), 3);
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let mut r = QueryRecord::new("select c.name from c in Cities");
+        r.session = Some(7);
+        r.cache = CacheDisposition::Hit;
+        r.phase_nanos[Phase::Execute.index()] = 1234;
+        r.total_nanos = 5678;
+        r.rows = 3;
+        r.effects = "reads heap".to_string();
+        r.parallel_workers = 4;
+        r.parallel_fallback = Some("mutation".to_string());
+        r.error = Some("boom".to_string());
+        r.slow = true;
+        let j = r.to_json();
+        let back = QueryRecord::from_json(&j).unwrap();
+        assert_eq!(back, r);
+        // And through the text form.
+        let reparsed = Json::parse(&j.render()).unwrap();
+        assert_eq!(QueryRecord::from_json(&reparsed).unwrap(), r);
+    }
+
+    #[test]
+    fn long_sources_truncate_but_fingerprint_whole_text() {
+        let long = "x".repeat(1000);
+        let r = QueryRecord::new(&long);
+        assert!(r.source.chars().count() <= SOURCE_LIMIT);
+        assert_eq!(r.fingerprint, fingerprint(&long));
+        assert_ne!(r.fingerprint, fingerprint(&r.source));
+    }
+
+    #[test]
+    fn slow_log_caps_and_serializes() {
+        let rec = FlightRecorder::with_capacity(4);
+        for i in 0..(SLOW_LOG_CAPACITY + 5) {
+            rec.capture_slow(SlowQueryCapture {
+                seq: i as u64,
+                fingerprint: 1,
+                source: "q".to_string(),
+                total_nanos: 10,
+                threshold_nanos: 5,
+                plan: Some("Scan".to_string()),
+                profile: None,
+            });
+        }
+        let log = rec.slow_log();
+        assert_eq!(log.len(), SLOW_LOG_CAPACITY);
+        assert_eq!(log[0].seq, 5, "oldest captures evicted");
+        let j = rec.slow_log_json().render();
+        assert!(j.contains("\"captures\""), "{j}");
+    }
+
+    #[test]
+    fn nested_begin_yields_one_record() {
+        // Serialize against other tests that touch the global recorder.
+        let rec = global();
+        let enabled_before = rec.enabled();
+        rec.set_enabled(true);
+        let outer = begin("outer").expect("no scope open on this thread");
+        assert!(active());
+        assert!(begin("inner").is_none(), "nested begin is absorbed");
+        note_rows(9);
+        note_cache(CacheDisposition::Miss);
+        let before = rec.recorded_total();
+        assert!(outer.finish(None).is_none(), "no slow threshold armed");
+        assert_eq!(rec.recorded_total(), before + 1);
+        let last = rec.snapshot().into_iter().next_back().unwrap();
+        assert_eq!(last.source, "outer");
+        assert_eq!(last.rows, 9);
+        assert_eq!(last.cache, CacheDisposition::Miss);
+        assert!(!active());
+        rec.set_enabled(enabled_before);
+    }
+
+    #[test]
+    fn dropping_an_unfinished_scope_discards_it() {
+        let rec = global();
+        let enabled_before = rec.enabled();
+        rec.set_enabled(true);
+        let before = rec.recorded_total();
+        drop(begin("abandoned").expect("no scope open on this thread"));
+        assert!(!active());
+        assert_eq!(rec.recorded_total(), before, "nothing committed");
+        rec.set_enabled(enabled_before);
+    }
+}

@@ -97,13 +97,43 @@ pub fn analyze(schema: &Schema, src: &str) -> Result<AnalysisReport, OqlError> {
 /// This is the only layer that sees both the OQL front end and the
 /// algebra back end, so it is where the two halves of the trace meet.
 pub fn explain_analyze(src: &str, db: &mut Database) -> Result<Analysis, AnalyzeError> {
+    use monoid_calculus::recorder;
     let m = oql_metrics();
     m.queries.inc();
+    let scope = if recorder::global().enabled() && !recorder::active() {
+        recorder::begin(src)
+    } else {
+        None
+    };
     let started = std::time::Instant::now();
     let result = explain_analyze_inner(src, db);
     m.query_nanos.observe_nanos(started.elapsed().as_nanos());
     if result.is_err() {
         m.errors.inc();
+    }
+    if let Ok(analysis) = &result {
+        // The profile's trace already includes the execute phase, so the
+        // record gets the full lifecycle in one note.
+        recorder::note_trace(&analysis.profile.trace);
+        recorder::note_result(&analysis.value);
+        if let Some(fallback) = &analysis.profile.parallel_fallback {
+            recorder::note_parallel(0, Some(fallback));
+        }
+    }
+    if let Some(scope) = scope {
+        let error = result.as_ref().err().map(ToString::to_string);
+        if let Some(trigger) = scope.finish(error) {
+            // The profile is already in hand — the slow capture is free.
+            recorder::global().capture_slow(monoid_calculus::recorder::SlowQueryCapture {
+                seq: trigger.seq,
+                fingerprint: trigger.fingerprint,
+                source: src.to_string(),
+                total_nanos: trigger.total_nanos,
+                threshold_nanos: trigger.threshold_nanos,
+                plan: None,
+                profile: result.as_ref().ok().map(|a| a.profile.to_json()),
+            });
+        }
     }
     result
 }

@@ -25,6 +25,14 @@
 //! `plan_cache_hits_total`, `plan_cache_misses_total`,
 //! `plan_cache_evictions_total`, `plan_cache_invalidations_total`, and the
 //! `prepare_nanos` cold-prepare latency histogram.
+//!
+//! Every execution through this layer also lands one record in the
+//! process-wide flight recorder ([`monoid_calculus::recorder`]): source
+//! fingerprint, session id, cache disposition, phase timings, rows, and
+//! outcome. Executions crossing the slow-query threshold
+//! (`MONOID_SLOW_QUERY_NANOS`) additionally capture their optimized plan
+//! — and, when re-running is effect-free, a full `explain_analyze`
+//! profile. See `docs/observability.md`.
 
 use crate::AnalyzeError;
 use monoid_algebra::{plan_comprehension, reorder_generators, Query, Stats};
@@ -32,6 +40,7 @@ use monoid_calculus::analysis::EffectSummary;
 use monoid_calculus::error::EvalError;
 use monoid_calculus::expr::Expr;
 use monoid_calculus::normalize::normalize_traced;
+use monoid_calculus::recorder::{self, CacheDisposition, SlowQueryCapture};
 use monoid_calculus::symbol::Symbol;
 use monoid_calculus::trace::{Phase, QueryTrace};
 use monoid_calculus::types::Schema;
@@ -306,11 +315,10 @@ impl Prepared {
     /// run the stored plan (or, for evaluator-mode statements, the stored
     /// canonical form). No parse/normalize/optimize work happens here.
     pub fn execute(&self, db: &mut Database, params: &Params) -> Result<Value, AnalyzeError> {
-        let binds = self.resolve(params).map_err(AnalyzeError::Exec)?;
-        match &self.exec {
+        self.run_recorded(db, params, |p, db, binds| match &p.exec {
             ExecMode::Plan(q) => Ok(monoid_algebra::execute_bound(q, db, binds)?),
-            ExecMode::Eval => self.execute_eval(db, binds),
-        }
+            ExecMode::Eval => p.execute_eval(db, binds),
+        })
     }
 
     /// Execute with fleet metering (per-operator row counters in the
@@ -321,11 +329,10 @@ impl Prepared {
         db: &mut Database,
         params: &Params,
     ) -> Result<Value, AnalyzeError> {
-        let binds = self.resolve(params).map_err(AnalyzeError::Exec)?;
-        match &self.exec {
+        self.run_recorded(db, params, |p, db, binds| match &p.exec {
             ExecMode::Plan(q) => Ok(monoid_algebra::execute_metered_bound(q, db, binds)?),
-            ExecMode::Eval => self.execute_eval(db, binds),
-        }
+            ExecMode::Eval => p.execute_eval(db, binds),
+        })
     }
 
     /// Execute on the ordered parallel engine at
@@ -338,11 +345,90 @@ impl Prepared {
         db: &mut Database,
         params: &Params,
     ) -> Result<Value, AnalyzeError> {
-        let binds = self.resolve(params).map_err(AnalyzeError::Exec)?;
-        match &self.exec {
+        self.run_recorded(db, params, |p, db, binds| match &p.exec {
             ExecMode::Plan(q) => Ok(monoid_algebra::execute_parallel_auto_bound(q, db, binds)?),
-            ExecMode::Eval => self.execute_eval(db, binds),
+            ExecMode::Eval => p.execute_eval(db, binds),
+        })
+    }
+
+    /// The shared recording wrapper of every `execute*` variant: open a
+    /// flight-recorder scope when no higher layer (a [`Session`]) owns
+    /// one, annotate whatever record is active (effect summary, execute
+    /// time, rows, outcome), and — for a scope opened here — commit it
+    /// and attach the slow-query capture if the threshold tripped.
+    fn run_recorded(
+        &self,
+        db: &mut Database,
+        params: &Params,
+        f: impl FnOnce(&Prepared, &mut Database, &[(Symbol, Value)]) -> Result<Value, AnalyzeError>,
+    ) -> Result<Value, AnalyzeError> {
+        let scope = if recorder::global().enabled() && !recorder::active() {
+            recorder::begin(&self.source)
+        } else {
+            None
+        };
+        recorder::note_effects(|| self.effects.to_string());
+        let binds = match self.resolve(params) {
+            Ok(b) => b,
+            Err(e) => {
+                let err = AnalyzeError::Exec(e);
+                if let Some(scope) = scope {
+                    scope.finish(Some(err.to_string()));
+                }
+                return Err(err);
+            }
+        };
+        // The execute phase is timed here — not in the algebra layers
+        // below — so it lands on the record whichever layer owns it.
+        let timing = recorder::active().then(Instant::now);
+        let result = f(self, db, binds);
+        if let Some(started) = timing {
+            recorder::note_phase(Phase::Execute, started.elapsed().as_nanos());
         }
+        if let Ok(v) = &result {
+            recorder::note_result(v);
+        }
+        if let Some(scope) = scope {
+            let error = result.as_ref().err().map(ToString::to_string);
+            if let Some(trigger) = scope.finish(error) {
+                self.capture_slow(db, params, &trigger);
+            }
+        }
+        result
+    }
+
+    /// Attach the deep capture for an over-threshold execution: the
+    /// optimized plan text and — when a second run cannot be observed
+    /// (no `:=`, which would change object state, and no `new(…)`, which
+    /// would grow the heap) — a full re-run under the profiler. Runs
+    /// after the record committed, so the re-run's own notes are no-ops.
+    pub(crate) fn capture_slow(
+        &self,
+        db: &mut Database,
+        params: &Params,
+        trigger: &recorder::SlowTrigger,
+    ) {
+        let plan = self.query().map(monoid_algebra::explain);
+        let replay_safe = !self.effects.effects.mutates && !self.effects.effects.allocates;
+        let profile = match (self.query(), self.resolve(params)) {
+            (Some(q), Ok(binds)) if replay_safe => {
+                monoid_algebra::execute_profiled_bound(q, db, binds)
+                    .ok()
+                    .map(|a| a.profile.to_json())
+            }
+            _ => None,
+        };
+        recorder::global().capture_slow(SlowQueryCapture {
+            seq: trigger.seq,
+            fingerprint: trigger.fingerprint,
+            // The record's source is capped; slow queries are rare
+            // enough to keep the full text.
+            source: self.source.clone(),
+            total_nanos: trigger.total_nanos,
+            threshold_nanos: trigger.threshold_nanos,
+            plan,
+            profile,
+        });
     }
 
     /// The evaluator path: the database's own heap-in/heap-out shape,
@@ -436,6 +522,18 @@ impl PlanCache {
         db: &Database,
         src: &str,
     ) -> Result<Arc<Prepared>, AnalyzeError> {
+        self.get_or_prepare_traced(db, src).map(|(p, _)| p)
+    }
+
+    /// [`PlanCache::get_or_prepare`], also reporting the disposition:
+    /// `true` when served from cache, `false` when freshly prepared
+    /// (cold, stale-epoch, or evicted). [`Session`] threads this into
+    /// the flight recorder.
+    pub fn get_or_prepare_traced(
+        &self,
+        db: &Database,
+        src: &str,
+    ) -> Result<(Arc<Prepared>, bool), AnalyzeError> {
         let m = cache_metrics();
         let fp = schema_fingerprint(db.schema());
         let epoch = db.mutation_epoch();
@@ -449,7 +547,7 @@ impl PlanCache {
                     m.hits.inc();
                     let tick = self.tick.fetch_add(1, Ordering::Relaxed);
                     s.entries[i].last_used = tick;
-                    return Ok(Arc::clone(&s.entries[i].prepared));
+                    return Ok((Arc::clone(&s.entries[i].prepared), true));
                 }
                 // Stale: the database mutated since this plan (and its
                 // statistics) were captured. Refuse it, exactly like a
@@ -491,7 +589,7 @@ impl PlanCache {
             s.bytes -= dead.bytes;
             m.evictions.inc();
         }
-        Ok(prepared)
+        Ok((prepared, false))
     }
 
     /// Entries currently cached (all shards).
@@ -563,6 +661,10 @@ pub fn global_plan_cache() -> &'static Arc<PlanCache> {
 #[derive(Clone)]
 pub struct Session {
     cache: Arc<PlanCache>,
+    /// Process-unique id, stamped on every flight-recorder record this
+    /// session produces. Clones share it — they are the same logical
+    /// session over the same cache.
+    id: u64,
 }
 
 impl Default for Session {
@@ -571,20 +673,30 @@ impl Default for Session {
     }
 }
 
+fn next_session_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
 impl Session {
     /// A session over the process-wide plan cache.
     pub fn new() -> Session {
-        Session { cache: Arc::clone(global_plan_cache()) }
+        Session { cache: Arc::clone(global_plan_cache()), id: next_session_id() }
     }
 
     /// A session over a private cache (isolated tests, bounded budgets).
     pub fn with_cache(cache: Arc<PlanCache>) -> Session {
-        Session { cache }
+        Session { cache, id: next_session_id() }
     }
 
     /// The cache this session serves from.
     pub fn cache(&self) -> &PlanCache {
         &self.cache
+    }
+
+    /// The id stamped on this session's flight-recorder records.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Prepare-or-hit, then execute sequentially.
@@ -594,8 +706,7 @@ impl Session {
         src: &str,
         params: &Params,
     ) -> Result<Value, AnalyzeError> {
-        let prepared = self.cache.get_or_prepare(db, src)?;
-        prepared.execute(db, params)
+        self.serve(db, src, params, false)
     }
 
     /// Prepare-or-hit, then execute on the parallel engine at
@@ -606,8 +717,59 @@ impl Session {
         src: &str,
         params: &Params,
     ) -> Result<Value, AnalyzeError> {
-        let prepared = self.cache.get_or_prepare(db, src)?;
-        prepared.execute_parallel_auto(db, params)
+        self.serve(db, src, params, true)
+    }
+
+    /// The one serving path behind [`Session::query`] and
+    /// [`Session::query_parallel`]: resolve through the cache and
+    /// execute, owning the flight-recorder record for the whole
+    /// lifecycle — session id, cache disposition, the cold prepare's
+    /// phase timings (a prepare trace has no execute phase, so nothing
+    /// double-counts with [`Prepared::run_recorded`]'s execute timing),
+    /// and the slow-query capture on commit.
+    fn serve(
+        &self,
+        db: &mut Database,
+        src: &str,
+        params: &Params,
+        parallel: bool,
+    ) -> Result<Value, AnalyzeError> {
+        let scope = if recorder::global().enabled() && !recorder::active() {
+            recorder::begin(src)
+        } else {
+            None
+        };
+        recorder::note_session(self.id);
+        let resolved = self.cache.get_or_prepare_traced(db, src);
+        let prepared = match resolved {
+            Ok((prepared, hit)) => {
+                if hit {
+                    recorder::note_cache(CacheDisposition::Hit);
+                } else {
+                    recorder::note_cache(CacheDisposition::Miss);
+                    recorder::note_trace(prepared.trace());
+                }
+                prepared
+            }
+            Err(e) => {
+                if let Some(scope) = scope {
+                    scope.finish(Some(e.to_string()));
+                }
+                return Err(e);
+            }
+        };
+        let result = if parallel {
+            prepared.execute_parallel_auto(db, params)
+        } else {
+            prepared.execute(db, params)
+        };
+        if let Some(scope) = scope {
+            let error = result.as_ref().err().map(ToString::to_string);
+            if let Some(trigger) = scope.finish(error) {
+                prepared.capture_slow(db, params, &trigger);
+            }
+        }
+        result
     }
 
     /// Prepare-or-hit without executing (warming, inspection).

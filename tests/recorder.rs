@@ -1,0 +1,262 @@
+//! Acceptance tests for the query flight recorder and the bench
+//! regression gate (ISSUE: observability):
+//!
+//! 1. the ring retains exactly the last N records under overflow;
+//! 2. the disabled recorder is invisible — no `recorder_*` registry
+//!    series moves and nothing is committed;
+//! 3. the slow-query capture fires iff the threshold is exceeded;
+//! 4. the `--compare` gate fails a synthetically regressed baseline and
+//!    passes a self-compare (`tests` in `crates/bench` prove the same at
+//!    the process/exit-code level).
+//!
+//! The recorder, like the metrics registry, is process-global; the
+//! tests that touch it serialize on one mutex and restore the enabled
+//! flag and slow threshold they found.
+
+use monoid_bench::compare::compare_reports;
+use monoid_calculus::metrics;
+use monoid_calculus::recorder::{self, CacheDisposition, FlightRecorder, QueryRecord};
+use monoid_calculus::trace::Phase;
+use monoid_calculus::value::Value;
+use monoid_db::{explain_analyze, Params, PlanCache, Session};
+use monoid_store::{travel, Database, TravelScale};
+use std::sync::Mutex;
+
+/// Serializes tests that mutate the global recorder's configuration.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn db() -> Database {
+    travel::generate(TravelScale::tiny(), 7)
+}
+
+fn private_session() -> Session {
+    Session::with_cache(std::sync::Arc::new(PlanCache::new()))
+}
+
+const SRC: &str = "select h.name from c in Cities, h in c.hotels where c.name = $city";
+
+fn params() -> Params {
+    Params::new().bind("city", Value::str("Portland"))
+}
+
+// --- 1. Ring overflow. ------------------------------------------------
+
+#[test]
+fn ring_retains_exactly_the_last_n_records() {
+    let ring = FlightRecorder::with_capacity(4);
+    for i in 0..10 {
+        ring.push(QueryRecord::new(&format!("query {i}")));
+    }
+    let snap = ring.snapshot();
+    assert_eq!(snap.len(), 4, "capacity bounds retention");
+    assert_eq!(
+        snap.iter().map(|r| r.seq).collect::<Vec<_>>(),
+        vec![6, 7, 8, 9],
+        "exactly the last N, oldest first"
+    );
+    assert_eq!(snap[0].source, "query 6");
+    assert_eq!(ring.recorded_total(), 10, "the cursor counts every commit");
+    assert_eq!(ring.len(), 4);
+}
+
+// --- 2. The disabled path is invisible. -------------------------------
+
+#[test]
+fn disabled_recorder_moves_nothing() {
+    let _guard = lock();
+    let rec = recorder::global();
+    let was_enabled = rec.enabled();
+    let was_threshold = rec.slow_threshold();
+    rec.set_enabled(false);
+    rec.set_slow_threshold(0);
+
+    let session = private_session();
+    let mut db = db();
+    let total_before = rec.recorded_total();
+    let before = metrics::global().snapshot();
+    session.query(&mut db, SRC, &params()).unwrap();
+    session.query(&mut db, SRC, &params()).unwrap();
+    explain_analyze("exists h in Hotels: h.name = \"hotel_0_0\"", &mut db).unwrap();
+    let diff = metrics::global().snapshot().diff(&before);
+
+    assert_eq!(rec.recorded_total(), total_before, "nothing committed while disabled");
+    for series in ["recorder_records_total", "recorder_errors_total", "recorder_slow_captures_total"]
+    {
+        assert_eq!(diff.counter(series), 0, "disabled recorder moved {series}");
+    }
+    assert!(!recorder::active(), "no scope left open");
+
+    // Re-enabling brings the pipeline back: the same workload commits
+    // records and bumps the counter.
+    rec.set_enabled(true);
+    let before = metrics::global().snapshot();
+    session.query(&mut db, SRC, &params()).unwrap();
+    let diff = metrics::global().snapshot().diff(&before);
+    assert_eq!(rec.recorded_total(), total_before + 1);
+    assert_eq!(diff.counter("recorder_records_total"), 1);
+
+    rec.set_enabled(was_enabled);
+    rec.set_slow_threshold(was_threshold);
+}
+
+// --- 3. Slow capture fires iff the threshold is exceeded. -------------
+
+#[test]
+fn slow_capture_fires_iff_threshold_exceeded() {
+    let _guard = lock();
+    let rec = recorder::global();
+    let was_enabled = rec.enabled();
+    let was_threshold = rec.slow_threshold();
+    rec.set_enabled(true);
+
+    let session = private_session();
+    let mut db = db();
+
+    // An unreachable threshold: the record commits un-slow, no capture.
+    rec.set_slow_threshold(u64::MAX);
+    let slow_before = rec.slow_log().len();
+    session.query(&mut db, SRC, &params()).unwrap();
+    assert_eq!(rec.slow_log().len(), slow_before, "under-threshold query captured");
+    let last = rec.snapshot().into_iter().next_back().unwrap();
+    assert!(!last.slow);
+
+    // A 1 ns threshold: every query is slow, the capture carries the
+    // optimized plan (and, for this pure read, a replayed profile).
+    rec.set_slow_threshold(1);
+    let slow_before = rec.slow_log().len();
+    session.query(&mut db, SRC, &params()).unwrap();
+    let log = rec.slow_log();
+    assert_eq!(log.len(), slow_before + 1, "over-threshold query not captured");
+    let capture = log.last().unwrap();
+    let last = rec.snapshot().into_iter().next_back().unwrap();
+    assert!(last.slow);
+    assert_eq!(capture.seq, last.seq, "capture references the committed record");
+    assert_eq!(capture.fingerprint, last.fingerprint);
+    assert!(capture.threshold_nanos == 1 && capture.total_nanos >= 1);
+    let plan = capture.plan.as_deref().expect("slow capture carries the plan");
+    assert!(plan.contains("Scan") || plan.contains("Reduce"), "not a plan: {plan}");
+    assert!(capture.profile.is_some(), "pure read is replay-safe, profile attached");
+
+    rec.set_enabled(was_enabled);
+    rec.set_slow_threshold(was_threshold);
+}
+
+// --- 4. The compare gate. ---------------------------------------------
+
+#[test]
+fn compare_gate_passes_self_and_fails_regressed_baseline() {
+    let report = monoid_bench::regress::run_with(true, false).to_json();
+
+    // Self-compare: identical numbers, nothing can regress.
+    let verdict = compare_reports(&report, &report, 50.0, 0.0).unwrap();
+    assert!(verdict.passed(), "self-compare regressed: {}", verdict.render());
+    assert!(verdict.compared > 0, "gate compared nothing");
+    assert!(!verdict.mode_mismatch);
+
+    // Synthetically regressed baseline: every gated metric of the
+    // baseline drops to 0 ns, so the fresh numbers all exceed tolerance.
+    let mut regressed = report.clone();
+    zero_latencies(&mut regressed);
+    let verdict = compare_reports(&report, &regressed, 50.0, 0.0).unwrap();
+    assert!(!verdict.passed(), "regressed baseline passed: {}", verdict.render());
+    assert_eq!(
+        verdict.regressions.len(),
+        verdict.compared,
+        "every compared metric regressed against a zeroed baseline"
+    );
+    assert!(verdict.render().contains("FAIL"));
+}
+
+/// Set every gated latency field of a regress report to zero, in place.
+fn zero_latencies(report: &mut monoid_calculus::json::Json) {
+    use monoid_calculus::json::Json;
+    let Json::Obj(sections) = report else { panic!("report is not an object") };
+    for (section, gated) in
+        [("queries", vec!["median_nanos", "p95_nanos"]), ("prepared", vec!["warm_median_nanos"])]
+    {
+        let Some(Json::Arr(cases)) =
+            sections.iter_mut().find(|(k, _)| k == section).map(|(_, v)| v)
+        else {
+            panic!("report has no `{section}` array");
+        };
+        for case in cases {
+            let Json::Obj(fields) = case else { continue };
+            for (k, v) in fields.iter_mut() {
+                if gated.contains(&k.as_str()) {
+                    *v = Json::Int(0);
+                }
+            }
+        }
+    }
+}
+
+// --- Field threading through the serving layer. -----------------------
+
+#[test]
+fn session_queries_thread_every_field() {
+    let _guard = lock();
+    let rec = recorder::global();
+    let was_enabled = rec.enabled();
+    let was_threshold = rec.slow_threshold();
+    rec.set_enabled(true);
+    rec.set_slow_threshold(0);
+
+    let session = private_session();
+    let mut db = db();
+
+    // Cold: a miss that carries the prepare trace's phases.
+    session.query(&mut db, SRC, &params()).unwrap();
+    let miss = rec.snapshot().into_iter().next_back().unwrap();
+    assert_eq!(miss.session, Some(session.id()));
+    assert_eq!(miss.cache, CacheDisposition::Miss);
+    assert_eq!(miss.source, SRC);
+    assert_eq!(miss.fingerprint, recorder::fingerprint(SRC));
+    assert!(miss.ok());
+    assert!(!miss.slow);
+    assert!(miss.phase_nanos(Phase::Parse) > 0, "cold prepare parsed");
+    assert!(miss.phase_nanos(Phase::Execute) > 0, "execution timed");
+    assert!(miss.total_nanos >= miss.phase_nanos(Phase::Execute));
+    assert!(miss.rows >= 1);
+    assert!(!miss.effects.is_empty(), "effect summary threaded");
+
+    // Warm: a hit fires no front-of-pipeline phases.
+    session.query(&mut db, SRC, &params()).unwrap();
+    let hit = rec.snapshot().into_iter().next_back().unwrap();
+    assert_eq!(hit.cache, CacheDisposition::Hit);
+    assert_eq!(hit.phase_nanos(Phase::Parse), 0, "warm serve re-parsed");
+    assert!(hit.phase_nanos(Phase::Execute) > 0);
+    assert_eq!(hit.fingerprint, miss.fingerprint, "same statement, same key");
+    assert!(hit.seq > miss.seq);
+
+    // Failures commit too, with the error and outcome recorded.
+    let before_errors = rec.recorded_total();
+    assert!(session.query(&mut db, "select ! from", &params()).is_err());
+    assert_eq!(rec.recorded_total(), before_errors + 1);
+    let failed = rec.snapshot().into_iter().next_back().unwrap();
+    assert!(!failed.ok());
+    assert!(failed.error.is_some());
+
+    // The parallel engine's fallback reason lands on the record.
+    let expr = monoid_oql::compile(db.schema(), "sum(select r.price from h in Hotels, r in h.rooms)")
+        .unwrap();
+    let (canonical, _, _) = monoid_calculus::normalize::normalize_traced(&expr);
+    let plan = monoid_algebra::plan_comprehension(&canonical).unwrap();
+    monoid_algebra::execute_parallel_metered(&plan, &mut db, 1).unwrap();
+    let fell_back = rec.snapshot().into_iter().next_back().unwrap();
+    assert_eq!(fell_back.cache, CacheDisposition::Uncached);
+    assert_eq!(fell_back.parallel_fallback.as_deref(), Some("single-thread"));
+
+    // The journal round-trips every record through JSON text.
+    let journal = rec.to_json().render();
+    let records = monoid_bench::top::load_journal(&journal).unwrap();
+    assert_eq!(records.len(), rec.len());
+    assert!(records.iter().any(|r| r.fingerprint == miss.fingerprint));
+    assert!(records.iter().any(|r| !r.ok()));
+
+    rec.set_enabled(was_enabled);
+    rec.set_slow_threshold(was_threshold);
+}
