@@ -52,6 +52,19 @@ pub trait Probe {
     #[inline(always)]
     fn self_nanos(&self, _op: usize, _nanos: u64) {}
 
+    /// Evaluator steps (AST-node visits) the operator-local work of `op`
+    /// consumed — the per-row dispatch-overhead proxy the plan-quality
+    /// audit divides by row counts. Only fires when [`Probe::ENABLED`].
+    #[inline(always)]
+    fn eval_steps(&self, _op: usize, _steps: u64) {}
+
+    /// Heap mutations (allocations/sets, measured as the [`Heap`
+    /// version](monoid_calculus::heap::Heap::version) delta) the
+    /// operator-local work of `op` performed. Only fires when
+    /// [`Probe::ENABLED`].
+    #[inline(always)]
+    fn heap_allocs(&self, _op: usize, _n: u64) {}
+
     /// The reduction absorbed (`some`/`all`) and cut the pipeline short.
     #[inline(always)]
     fn short_circuit(&self) {}
@@ -65,17 +78,30 @@ impl Probe for NoProbe {
     const ENABLED: bool = false;
 }
 
-/// Time `f` and charge it to `op` — only when the probe type asks for it,
-/// so `NoProbe` pipelines never touch the clock.
+/// Run operator-local evaluator work and charge its wall-clock time,
+/// evaluator steps, and heap-mutation delta to `op` — only when the probe
+/// type asks for it, so `NoProbe` (and `MetricsProbe`, `ENABLED = false`)
+/// pipelines never touch the clock or the counters. For compound work
+/// (join builds) the deltas include the nested child operators' work,
+/// exactly like `self_nanos` always has.
 #[inline]
-fn timed<P: Probe, R>(probe: &P, op: usize, f: impl FnOnce() -> R) -> R {
+fn timed_eval<P: Probe, R>(
+    probe: &P,
+    op: usize,
+    ev: &mut Evaluator,
+    f: impl FnOnce(&mut Evaluator) -> R,
+) -> R {
     if P::ENABLED {
+        let steps_before = ev.steps_used();
+        let heap_before = ev.heap.version();
         let start = Instant::now();
-        let out = f();
+        let out = f(ev);
         probe.self_nanos(op, start.elapsed().as_nanos() as u64);
+        probe.eval_steps(op, ev.steps_used().saturating_sub(steps_before));
+        probe.heap_allocs(op, ev.heap.version().saturating_sub(heap_before));
         out
     } else {
-        f()
+        f(ev)
     }
 }
 
@@ -206,7 +232,7 @@ pub(crate) fn run_plan<P: Probe>(
 ) -> ExecResult<bool> {
     match plan {
         Plan::Scan { var, source } => {
-            let sv = timed(probe, op, || ev.eval(env, source))?;
+            let sv = timed_eval(probe, op, ev, |ev| ev.eval(env, source))?;
             for elem in collection_elements(&sv)? {
                 probe.row_out(op);
                 if !sink(ev, &env.bind(*var, elem))? {
@@ -216,7 +242,7 @@ pub(crate) fn run_plan<P: Probe>(
             Ok(true)
         }
         Plan::IndexLookup { var, index, key } => {
-            let kv = timed(probe, op, || ev.eval(env, key))?;
+            let kv = timed_eval(probe, op, ev, |ev| ev.eval(env, key))?;
             for member in index.lookup(&kv) {
                 probe.row_out(op);
                 if !sink(ev, &env.bind(*var, member.clone()))? {
@@ -227,7 +253,7 @@ pub(crate) fn run_plan<P: Probe>(
         }
         Plan::Unnest { input, var, path } => {
             run_plan(input, op + 1, ev, env, probe, &mut |ev, row| {
-                let sv = timed(probe, op, || ev.eval(row, path))?;
+                let sv = timed_eval(probe, op, ev, |ev| ev.eval(row, path))?;
                 for elem in collection_elements(&sv)? {
                     probe.row_out(op);
                     if !sink(ev, &row.bind(*var, elem))? {
@@ -239,7 +265,7 @@ pub(crate) fn run_plan<P: Probe>(
         }
         Plan::Filter { input, pred } => {
             run_plan(input, op + 1, ev, env, probe, &mut |ev, row| {
-                if timed(probe, op, || ev.eval(row, pred))?.as_bool()? {
+                if timed_eval(probe, op, ev, |ev| ev.eval(row, pred))?.as_bool()? {
                     probe.row_out(op);
                     sink(ev, row)
                 } else {
@@ -249,7 +275,7 @@ pub(crate) fn run_plan<P: Probe>(
         }
         Plan::Bind { input, var, expr } => {
             run_plan(input, op + 1, ev, env, probe, &mut |ev, row| {
-                let v = timed(probe, op, || ev.eval(row, expr))?;
+                let v = timed_eval(probe, op, ev, |ev| ev.eval(row, expr))?;
                 probe.row_out(op);
                 sink(ev, &row.bind(*var, v))
             })
@@ -260,7 +286,8 @@ pub(crate) fn run_plan<P: Probe>(
                 JoinKind::NestedLoop => {
                     // Materialize the right side's binding deltas once, then
                     // stream the left.
-                    let right_rows = timed(probe, op, || materialize(right, right_op, ev, env, probe))?;
+                    let right_rows =
+                        timed_eval(probe, op, ev, |ev| materialize(right, right_op, ev, env, probe))?;
                     probe.build_rows(op, right_rows.len() as u64);
                     let on = on.clone();
                     run_plan(left, op + 1, ev, env, probe, &mut |ev, lrow| {
@@ -286,7 +313,7 @@ pub(crate) fn run_plan<P: Probe>(
                 }
                 JoinKind::Hash => {
                     // Build: key → binding deltas of the right side.
-                    let (right_rows, table) = timed(probe, op, || {
+                    let (right_rows, table) = timed_eval(probe, op, ev, |ev| {
                         let right_rows = materialize(right, right_op, ev, env, probe)?;
                         let mut table: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
                         for (i, delta) in right_rows.iter().enumerate() {

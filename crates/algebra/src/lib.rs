@@ -67,7 +67,7 @@ pub use parallel::{
     execute_parallel_with_bound, static_fallback, Fallback, ParallelReport,
 };
 pub use trace::{
-    analyze_with_trace, execute_profiled, execute_profiled_bound, explain_analyze, Analysis,
-    OperatorProfile, QueryProfile,
+    analyze_with_trace, audit_enabled, execute_profiled, execute_profiled_bound, explain_analyze,
+    fold_stacks, set_audit_enabled, Analysis, OperatorProfile, QueryProfile,
 };
 pub use verify::verify_query;

@@ -102,6 +102,21 @@ impl Plan {
         }
     }
 
+    /// Short operator-kind label — the bounded label space the metering
+    /// counters (`exec_rows_pushed_total{operator=…}`) and the plan-quality
+    /// audit (`plan_q_error_milli{operator=…}`) aggregate under.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            Plan::Scan { .. } => "scan",
+            Plan::IndexLookup { .. } => "index-lookup",
+            Plan::Unnest { .. } => "unnest",
+            Plan::Filter { .. } => "filter",
+            Plan::Bind { .. } => "bind",
+            Plan::Join { .. } => "join",
+            Plan::HashProbe { .. } => "hash-probe",
+        }
+    }
+
     /// Number of operators (for stats / tests). A `HashProbe`'s build side
     /// is materialized data, not a plan subtree, so it counts as one node.
     pub fn node_count(&self) -> usize {

@@ -36,15 +36,10 @@ const KINDS: [&str; 7] =
     ["scan", "index-lookup", "unnest", "filter", "bind", "join", "hash-probe"];
 
 fn kind_index(plan: &Plan) -> usize {
-    match plan {
-        Plan::Scan { .. } => 0,
-        Plan::IndexLookup { .. } => 1,
-        Plan::Unnest { .. } => 2,
-        Plan::Filter { .. } => 3,
-        Plan::Bind { .. } => 4,
-        Plan::Join { .. } => 5,
-        Plan::HashProbe { .. } => 6,
-    }
+    KINDS
+        .iter()
+        .position(|k| *k == plan.kind_label())
+        .expect("every Plan::kind_label is in KINDS")
 }
 
 /// Per-kind counter handles, resolved once per process.

@@ -29,7 +29,48 @@ use monoid_calculus::value::Value;
 use monoid_store::Database;
 use std::cell::Cell;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
+
+/// The plan-quality audit switch. Off by default so profiled runs stay
+/// registry-invisible; flip it (or set `MONOID_AUDIT=1`) and every
+/// [`explain_analyze`] / [`execute_profiled_bound`] run feeds its
+/// per-operator q-errors into the global metrics registry under
+/// `plan_q_error_milli{operator=<kind>}`.
+fn audit_flag() -> &'static AtomicBool {
+    static FLAG: OnceLock<AtomicBool> = OnceLock::new();
+    FLAG.get_or_init(|| {
+        let on = std::env::var("MONOID_AUDIT")
+            .map(|v| !matches!(v.as_str(), "" | "0" | "false" | "off"))
+            .unwrap_or(false);
+        AtomicBool::new(on)
+    })
+}
+
+/// Is corpus-wide q-error auditing on?
+pub fn audit_enabled() -> bool {
+    audit_flag().load(Ordering::Relaxed)
+}
+
+/// Enable or disable q-error auditing at runtime (overrides
+/// `MONOID_AUDIT`). Returns the previous setting so callers can scope
+/// the change.
+pub fn set_audit_enabled(on: bool) -> bool {
+    audit_flag().swap(on, Ordering::Relaxed)
+}
+
+/// Feed one profile's per-operator q-errors into the registry. Values
+/// are recorded in milli-q units (`q × 1000`, so a perfect estimate is
+/// 1000) because the log₂ histogram buckets would otherwise collapse
+/// every q-error below 2.0 into one bucket.
+fn record_audit(profile: &QueryProfile) {
+    let r = monoid_calculus::metrics::global();
+    for o in &profile.operators {
+        let milli = (o.q_error() * 1000.0).round() as u64;
+        r.histogram_with("plan_q_error_milli", &[("operator", o.kind)]).observe(milli);
+    }
+}
 
 /// The counting probe: one set of cells per plan operator, indexed by the
 /// operator's pre-order position. `Cell` (not atomics) because profiled
@@ -39,6 +80,8 @@ pub(crate) struct ExecProbe {
     rows: Vec<Cell<u64>>,
     build: Vec<Cell<u64>>,
     nanos: Vec<Cell<u64>>,
+    steps: Vec<Cell<u64>>,
+    allocs: Vec<Cell<u64>>,
     short_circuited: Cell<bool>,
 }
 
@@ -48,6 +91,8 @@ impl ExecProbe {
             rows: (0..operators).map(|_| Cell::new(0)).collect(),
             build: (0..operators).map(|_| Cell::new(0)).collect(),
             nanos: (0..operators).map(|_| Cell::new(0)).collect(),
+            steps: (0..operators).map(|_| Cell::new(0)).collect(),
+            allocs: (0..operators).map(|_| Cell::new(0)).collect(),
             short_circuited: Cell::new(false),
         }
     }
@@ -75,6 +120,18 @@ impl Probe for ExecProbe {
     }
 
     #[inline]
+    fn eval_steps(&self, op: usize, steps: u64) {
+        let c = &self.steps[op];
+        c.set(c.get() + steps);
+    }
+
+    #[inline]
+    fn heap_allocs(&self, op: usize, n: u64) {
+        let c = &self.allocs[op];
+        c.set(c.get() + n);
+    }
+
+    #[inline]
     fn short_circuit(&self) {
         self.short_circuited.set(true);
     }
@@ -88,6 +145,9 @@ pub struct OperatorProfile {
     pub op: usize,
     /// The `explain` label, e.g. `Scan c ← Cities`.
     pub label: String,
+    /// Operator kind ([`Plan::kind_label`]) — the bounded label the
+    /// plan-quality audit aggregates under.
+    pub kind: &'static str,
     /// Tree depth (root = 0), for rendering.
     pub depth: usize,
     /// The optimizer's estimated output cardinality.
@@ -97,8 +157,30 @@ pub struct OperatorProfile {
     /// Build-side rows materialized (joins only; 0 elsewhere).
     pub build_rows: u64,
     /// Operator-local wall-clock time (source/predicate/path evaluation,
-    /// hash build), excluding time spent in its input or consumer.
+    /// hash build), excluding time spent in its input or consumer. Always
+    /// reported — a 0 means the operator's own work never crossed the
+    /// clock's resolution, not that it was skipped.
     pub self_nanos: u64,
+    /// Evaluator steps (AST-node visits) the operator-local work
+    /// consumed — divide by `actual_rows` for per-row dispatch overhead.
+    pub eval_steps: u64,
+    /// Heap mutations (alloc/set version-counter delta) the
+    /// operator-local work performed.
+    pub heap_allocs: u64,
+}
+
+impl OperatorProfile {
+    /// The q-error of this operator's cardinality estimate:
+    /// `max(est/actual, actual/est)`, both sides clamped to ≥ 1 row so
+    /// empty outputs stay finite. 1.0 is a perfect estimate; 4.0 means
+    /// the optimizer was off by 4× in either direction. Short-circuited
+    /// runs legitimately under-produce rows, so read their q-errors with
+    /// [`QueryProfile::short_circuited`] in hand.
+    pub fn q_error(&self) -> f64 {
+        let est = self.estimated_rows.max(1.0);
+        let actual = (self.actual_rows as f64).max(1.0);
+        (est / actual).max(actual / est)
+    }
 }
 
 /// The full profile of one query execution.
@@ -168,10 +250,27 @@ impl QueryProfile {
             if o.build_rows > 0 {
                 let _ = write!(out, ", build {} rows", o.build_rows);
             }
-            if o.self_nanos > 0 {
-                let _ = write!(out, ", self {}", fmt_nanos(o.self_nanos as u128));
+            // `self` is always printed (0 means "below clock resolution",
+            // not "not measured") so the column set is stable for tooling
+            // that scrapes the text output — mirroring the JSON schema.
+            let _ = write!(out, ", self {}", fmt_nanos(o.self_nanos as u128));
+            if o.eval_steps > 0 {
+                let _ = write!(out, ", steps {}", o.eval_steps);
+            }
+            if o.heap_allocs > 0 {
+                let _ = write!(out, ", allocs {}", o.heap_allocs);
             }
             out.push_str(")\n");
+        }
+        if let Some(worst) = self.worst_q_error() {
+            let _ = writeln!(
+                out,
+                "q-error: median {:.2}, max {:.2} at op {} ({})",
+                self.median_q_error().unwrap_or(1.0),
+                worst.q_error(),
+                worst.op,
+                worst.label,
+            );
         }
         let _ = writeln!(out, "phases ({} total):", fmt_nanos(self.trace.total_nanos()));
         for t in &self.trace.phases {
@@ -205,19 +304,33 @@ impl QueryProfile {
                     Json::obj(vec![
                         ("op", Json::from(o.op)),
                         ("operator", Json::str(o.label.clone())),
+                        ("kind", Json::str(o.kind.to_string())),
                         ("depth", Json::from(o.depth)),
                         ("estimated_rows", Json::Float(o.estimated_rows)),
                         ("actual_rows", Json::from(o.actual_rows)),
                         ("build_rows", Json::from(o.build_rows)),
+                        ("q_error", Json::Float(o.q_error())),
                         ("self_nanos", Json::from(o.self_nanos)),
+                        ("eval_steps", Json::from(o.eval_steps)),
+                        ("heap_allocs", Json::from(o.heap_allocs)),
                     ])
                 })
                 .collect(),
         );
+        let q_error = match self.worst_q_error() {
+            Some(worst) => Json::obj(vec![
+                ("max", Json::Float(worst.q_error())),
+                ("median", Json::Float(self.median_q_error().unwrap_or(1.0))),
+                ("worst_op", Json::from(worst.op)),
+                ("worst_operator", Json::str(worst.label.clone())),
+            ]),
+            None => Json::Null,
+        };
         Json::obj(vec![
             ("monoid", Json::str(self.monoid.clone())),
             ("head", Json::str(self.head.clone())),
             ("operators", operators),
+            ("q_error", q_error),
             ("rows_to_reduce", Json::from(self.rows_to_reduce)),
             ("short_circuited", Json::Bool(self.short_circuited)),
             ("eval_steps", Json::from(self.eval_steps)),
@@ -227,6 +340,82 @@ impl QueryProfile {
             ),
             ("trace", self.trace.to_json()),
         ])
+    }
+
+    /// The operator whose cardinality estimate was furthest off (highest
+    /// [`OperatorProfile::q_error`]); `None` for an empty plan.
+    pub fn worst_q_error(&self) -> Option<&OperatorProfile> {
+        self.operators
+            .iter()
+            .max_by(|a, b| a.q_error().total_cmp(&b.q_error()))
+    }
+
+    /// The maximum per-operator q-error, or `None` for an empty plan.
+    pub fn max_q_error(&self) -> Option<f64> {
+        self.worst_q_error().map(OperatorProfile::q_error)
+    }
+
+    /// The lower-median of the per-operator q-errors — the headline
+    /// "how honest was the cost model on this query" number the audit
+    /// report aggregates corpus-wide.
+    pub fn median_q_error(&self) -> Option<f64> {
+        if self.operators.is_empty() {
+            return None;
+        }
+        let mut qs: Vec<f64> = self.operators.iter().map(OperatorProfile::q_error).collect();
+        qs.sort_by(f64::total_cmp);
+        Some(qs[(qs.len() - 1) / 2])
+    }
+
+    /// Render the profile as folded stacks — one line per operator,
+    /// `frame;frame;frame nanos` — the input format of `flamegraph.pl`
+    /// and inferno. The reduction is the root frame; each operator's
+    /// value is its *self* time, so the flamegraph's widths compose
+    /// without double counting.
+    pub fn to_folded(&self) -> String {
+        let root = format!("Reduce[{}]", self.monoid);
+        fold_stacks(
+            &root,
+            self.operators.iter().map(|o| (o.label.clone(), o.depth, o.self_nanos)),
+        )
+    }
+}
+
+/// Build folded-stack lines from pre-order `(label, depth, self_nanos)`
+/// triples under a synthetic `root` frame. Frames are sanitized so the
+/// output always parses: `;` (the frame separator) becomes `,`,
+/// newlines collapse to spaces, and an empty label renders as `?`.
+/// Zero-valued leaves are kept — flamegraph tooling accepts them and
+/// dropping them would hide cheap operators from the tree shape.
+pub fn fold_stacks(
+    root: &str,
+    ops: impl Iterator<Item = (String, usize, u64)>,
+) -> String {
+    let mut stack: Vec<String> = vec![folded_frame(root)];
+    let mut out = String::new();
+    for (label, depth, nanos) in ops {
+        // depth is relative to the operator tree; +1 leaves room for root.
+        stack.truncate(depth + 1);
+        stack.push(folded_frame(&label));
+        let _ = writeln!(out, "{} {nanos}", stack.join(";"));
+    }
+    out
+}
+
+fn folded_frame(label: &str) -> String {
+    let cleaned: String = label
+        .chars()
+        .map(|c| match c {
+            ';' => ',',
+            '\n' | '\r' => ' ',
+            c => c,
+        })
+        .collect();
+    let trimmed = cleaned.trim();
+    if trimmed.is_empty() {
+        "?".to_string()
+    } else {
+        trimmed.to_string()
     }
 }
 
@@ -302,6 +491,9 @@ fn profile_execution(
     trace.record(Phase::Execute, start.elapsed().as_nanos());
     let estimates = stats.plan_estimates(&query.plan);
     let profile = QueryProfile::assemble(query, &estimates, &probe, trace, eval_steps);
+    if audit_enabled() {
+        record_audit(&profile);
+    }
     Ok(Analysis { value, profile })
 }
 
@@ -316,11 +508,14 @@ fn collect_operators(
     out.push(OperatorProfile {
         op,
         label: explain::op_label(plan),
+        kind: plan.kind_label(),
         depth,
         estimated_rows: estimates.get(op).copied().unwrap_or(0.0),
         actual_rows: probe.rows[op].get(),
         build_rows: probe.build[op].get(),
         self_nanos: probe.nanos[op].get(),
+        eval_steps: probe.steps[op].get(),
+        heap_allocs: probe.allocs[op].get(),
     });
     match plan {
         Plan::Scan { .. } | Plan::IndexLookup { .. } => {}

@@ -10,14 +10,21 @@
 //!
 //! ```text
 //! oqltop [--journal FILE] [--slow FILE] [--top N] [--by total|p95] [--json]
+//!        [--audit] [--flame]
 //! ```
 //!
 //! `--slow FILE` pretty-prints a dumped slow-query log (captures with
-//! plans/profiles) after the table. Exit status: 0 on success, 2 on
-//! usage or unreadable/malformed input.
+//! plans/profiles) after the table. `--audit` switches to the
+//! plan-quality view — per-operator q-errors and per-row overhead, from
+//! the slow log's captured profiles (with `--slow`) or a live audited
+//! demo run. `--flame` emits folded flamegraph stacks
+//! (`frame;frame value`, `flamegraph.pl` / inferno input) to stdout from
+//! the same sources. Exit status: 0 on success, 2 on usage or
+//! unreadable/malformed input.
 
+use monoid_bench::audit;
 use monoid_bench::harness::fmt_nanos;
-use monoid_bench::top::{aggregate, load_journal, SortBy};
+use monoid_bench::top::{aggregate, load_journal_lenient, SortBy};
 use monoid_calculus::json::Json;
 
 struct Options {
@@ -26,16 +33,28 @@ struct Options {
     top: usize,
     by: SortBy,
     json: bool,
+    audit: bool,
+    flame: bool,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: oqltop [--journal FILE] [--slow FILE] [--top N] [--by total|p95] [--json]");
+    eprintln!(
+        "usage: oqltop [--journal FILE] [--slow FILE] [--top N] [--by total|p95] [--json] \
+         [--audit] [--flame]"
+    );
     std::process::exit(2);
 }
 
 fn parse_args() -> Options {
-    let mut opts =
-        Options { journal: None, slow: None, top: 10, by: SortBy::default(), json: false };
+    let mut opts = Options {
+        journal: None,
+        slow: None,
+        top: 10,
+        by: SortBy::default(),
+        json: false,
+        audit: false,
+        flame: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -52,6 +71,8 @@ fn parse_args() -> Options {
                 opts.by = args.next().as_deref().and_then(SortBy::parse).unwrap_or_else(|| usage());
             }
             "--json" => opts.json = true,
+            "--audit" => opts.audit = true,
+            "--flame" => opts.flame = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -115,18 +136,129 @@ fn render_slow_log(doc: &Json) {
     }
 }
 
+/// The slow log's captures as `(source, profile_json)` pairs — only the
+/// captures whose replay was safe enough to profile carry one.
+fn slow_profiles(path: &str) -> Vec<(String, Json)> {
+    let doc = read_json(path);
+    let captures = doc.get("captures").and_then(Json::as_arr).unwrap_or_else(|| {
+        eprintln!("{path}: slow log has no `captures` array");
+        std::process::exit(2);
+    });
+    captures
+        .iter()
+        .filter_map(|c| {
+            let source = c.get("source").and_then(Json::as_str).unwrap_or("<unknown>");
+            c.get("profile")
+                .filter(|p| !matches!(p, Json::Null))
+                .map(|p| (source.to_string(), p.clone()))
+        })
+        .collect()
+}
+
+/// A live profiled run of the demo statements, q-error auditing on for
+/// the duration, as `(source, profile_json)` pairs.
+fn demo_profiles() -> Vec<(String, Json)> {
+    use monoid_store::{travel, TravelScale};
+
+    let mut db = travel::generate(TravelScale::tiny(), 7);
+    let statements = [
+        "select h.name from c in Cities, h in c.hotels, r in h.rooms \
+         where c.name = \"Portland\" and r.bed# = 2",
+        "exists h in Hotels: h.name = \"hotel_0_0\"",
+        "sum(select r.price from c in Cities, h in c.hotels, r in h.rooms)",
+    ];
+    let prev = monoid_algebra::set_audit_enabled(true);
+    let profiles = statements
+        .iter()
+        .filter_map(|src| {
+            monoid_db::explain_analyze(src, &mut db)
+                .ok()
+                .map(|a| (src.to_string(), a.profile.to_json()))
+        })
+        .collect();
+    monoid_algebra::set_audit_enabled(prev);
+    profiles
+}
+
+/// `--flame`: folded stacks to stdout, one tower per profiled query,
+/// rooted at the (sanitized) statement source.
+fn run_flame(profiles: &[(String, Json)]) {
+    if profiles.is_empty() {
+        eprintln!("no profiles to fold (slow log without captured profiles?)");
+        std::process::exit(2);
+    }
+    for (source, profile) in profiles {
+        print!("{}", audit::folded_from_profile_json(&source.replace('\n', " "), profile));
+    }
+}
+
+/// `--audit`: per-query q-error headlines, the corpus kind table, and —
+/// when the registry saw audited runs — its per-kind q-error histograms.
+fn run_audit(profiles: &[(String, Json)], from_slow_log: bool) {
+    if profiles.is_empty() {
+        eprintln!("no profiles to audit (slow log without captured profiles?)");
+        std::process::exit(2);
+    }
+    println!(
+        "plan-quality audit of {} profile(s) ({})\n",
+        profiles.len(),
+        if from_slow_log { "slow-query log" } else { "live demo workload" },
+    );
+    let mut all = Vec::new();
+    for (source, profile) in profiles {
+        let ops = audit::operators_from_profile_json(profile);
+        let mut qs: Vec<f64> = ops.iter().map(|o| o.q_error).collect();
+        qs.sort_by(f64::total_cmp);
+        let median = if qs.is_empty() { 1.0 } else { qs[(qs.len() - 1) / 2] };
+        let worst = ops.iter().max_by(|a, b| a.q_error.total_cmp(&b.q_error));
+        println!("{}", source.replace('\n', " "));
+        match worst {
+            Some(w) => println!(
+                "  q-error median {:.2}, max {:.2} at op {} ({})",
+                median, w.q_error, w.op, w.label
+            ),
+            None => println!("  (no operators in profile)"),
+        }
+        all.extend(ops);
+    }
+    println!("\n{}", audit::render_kind_table(&audit::aggregate_kinds(all.iter())));
+    let registry = audit::render_registry_audit(&monoid_calculus::metrics::global().snapshot());
+    if !registry.is_empty() {
+        println!("{registry}");
+    }
+}
+
 fn main() {
     let opts = parse_args();
+    if opts.audit || opts.flame {
+        let (profiles, from_slow_log) = match &opts.slow {
+            Some(path) => (slow_profiles(path), true),
+            None => (demo_profiles(), false),
+        };
+        if opts.flame {
+            run_flame(&profiles);
+        }
+        if opts.audit {
+            run_audit(&profiles, from_slow_log);
+        }
+        return;
+    }
     let records = match &opts.journal {
         Some(path) => {
             let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
                 eprintln!("{path}: {e}");
                 std::process::exit(2);
             });
-            load_journal(&text).unwrap_or_else(|e| {
+            // Lenient: journals from older builds load with defaults and
+            // a warning instead of failing the whole screen.
+            let journal = load_journal_lenient(&text).unwrap_or_else(|e| {
                 eprintln!("{path}: {e}");
                 std::process::exit(2);
-            })
+            });
+            for w in &journal.warnings {
+                eprintln!("{path}: warning: {w}");
+            }
+            journal.records
         }
         None => {
             let recorder = monoid_calculus::recorder::global();

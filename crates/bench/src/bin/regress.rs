@@ -26,7 +26,16 @@
 //! `--slow-out` / `--journal-out` dump the flight recorder's slow-query
 //! log (only when non-empty) and record journal after the run — set
 //! `MONOID_SLOW_QUERY_NANOS` to arm the former.
+//!
+//! `--audit` additionally runs the plan-quality audit over the same
+//! corpus — per-operator q-errors and per-row overhead — and writes
+//! `BENCH_audit.json` (`--audit-out PATH` to relocate). With
+//! `--audit-baseline BASELINE.json` the corpus-median q-error is gated
+//! against the committed baseline at `--audit-tolerance PCT` (default
+//! 50), sharing the compare gate's exit-1 semantics. `--flame-out PATH`
+//! writes the corpus's folded flamegraph stacks.
 
+use monoid_bench::audit::{self, DEFAULT_AUDIT_TOLERANCE_PCT};
 use monoid_bench::compare::{compare_reports, DEFAULT_MIN_DELTA_NANOS, DEFAULT_TOLERANCE_PCT};
 use monoid_bench::harness::{fmt_nanos, Table};
 use monoid_bench::regress;
@@ -41,6 +50,11 @@ fn main() {
     let mut min_delta = DEFAULT_MIN_DELTA_NANOS;
     let mut slow_out: Option<String> = None;
     let mut journal_out: Option<String> = None;
+    let mut run_audit = false;
+    let mut audit_out: Option<String> = None;
+    let mut audit_baseline: Option<String> = None;
+    let mut audit_tolerance = DEFAULT_AUDIT_TOLERANCE_PCT;
+    let mut flame_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     let path_arg = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().unwrap_or_else(|| {
@@ -68,10 +82,31 @@ fn main() {
             }
             "--slow-out" => slow_out = Some(path_arg(&mut args, "--slow-out")),
             "--journal-out" => journal_out = Some(path_arg(&mut args, "--journal-out")),
+            "--audit" => run_audit = true,
+            "--audit-out" => {
+                run_audit = true;
+                audit_out = Some(path_arg(&mut args, "--audit-out"));
+            }
+            "--audit-baseline" => {
+                run_audit = true;
+                audit_baseline = Some(path_arg(&mut args, "--audit-baseline"));
+            }
+            "--audit-tolerance" => {
+                audit_tolerance = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--audit-tolerance needs a percentage");
+                    std::process::exit(2);
+                });
+            }
+            "--flame-out" => {
+                run_audit = true;
+                flame_out = Some(path_arg(&mut args, "--flame-out"));
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: regress [--quick] [--warm] [--out PATH] [--compare BASELINE.json] \
-                     [--tolerance PCT] [--min-delta NANOS] [--slow-out PATH] [--journal-out PATH]"
+                     [--tolerance PCT] [--min-delta NANOS] [--slow-out PATH] [--journal-out PATH] \
+                     [--audit] [--audit-out PATH] [--audit-baseline BASELINE.json] \
+                     [--audit-tolerance PCT] [--flame-out PATH]"
                 );
                 return;
             }
@@ -178,8 +213,67 @@ fn main() {
         }
     }
 
-    // The gate: diff this run against the committed baseline and fail
-    // the process on regressions beyond tolerance.
+    // Both gates report before the process exits, so one CI run shows
+    // every regression at once instead of one per push.
+    let mut gate_failed = false;
+
+    // The plan-quality audit: same corpus, one profiled pass per query
+    // with q-error auditing on.
+    if run_audit {
+        let audit_out = audit_out.unwrap_or_else(|| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_audit.json").to_string()
+        });
+        let mut audit_report = audit::run(quick);
+        let baseline = audit_baseline.as_ref().map(|path| {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read audit baseline {path}: {e}");
+                std::process::exit(2);
+            });
+            Json::parse(&text).unwrap_or_else(|e| {
+                eprintln!("audit baseline {path} is not JSON: {e}");
+                std::process::exit(2);
+            })
+        });
+        if let Some(b) = &baseline {
+            audit_report = audit_report.with_drift(b);
+        }
+        println!();
+        print!("{}", audit_report.render());
+        if let Err(e) = std::fs::write(&audit_out, format!("{}\n", audit_report.to_json().render_pretty())) {
+            eprintln!("cannot write {audit_out}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote {audit_out}");
+        if let Some(path) = &flame_out {
+            if let Err(e) = std::fs::write(path, audit_report.corpus_folded()) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path} (corpus folded stacks)");
+        }
+        if let Some(b) = &baseline {
+            let baseline_path = audit_baseline.as_deref().unwrap_or("?");
+            match audit::gate(&audit_report, b, audit_tolerance) {
+                Ok(outcome) => {
+                    println!("\naudit gate against {baseline_path}:");
+                    for note in &outcome.notes {
+                        println!("  note: {note}");
+                    }
+                    for regression in &outcome.regressions {
+                        println!("  REGRESSION: {regression}");
+                        gate_failed = true;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("cannot gate against {baseline_path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+
+    // The latency gate: diff this run against the committed baseline and
+    // fail the process on regressions beyond tolerance.
     if let Some(baseline_path) = &compare {
         let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
             eprintln!("cannot read baseline {baseline_path}: {e}");
@@ -197,7 +291,10 @@ fn main() {
         println!("\ncompared against {baseline_path}:");
         print!("{}", verdict.render());
         if !verdict.passed() {
-            std::process::exit(1);
+            gate_failed = true;
         }
+    }
+    if gate_failed {
+        std::process::exit(1);
     }
 }

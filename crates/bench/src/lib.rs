@@ -17,6 +17,7 @@
 //! * the `oqltop` binary, which renders top queries by time from the
 //!   flight recorder's live snapshot or a dumped journal ([`top`]).
 
+pub mod audit;
 pub mod compare;
 pub mod harness;
 pub mod queries;

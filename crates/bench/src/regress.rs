@@ -26,14 +26,16 @@ use monoid_calculus::trace::{Phase, QueryTrace};
 use monoid_store::{company, travel, Database, TravelScale};
 use std::time::Instant;
 
-/// One canonical query in the regression suite.
-struct Case {
-    name: &'static str,
-    store: &'static str,
+/// One canonical query in the regression suite. Shared with the
+/// plan-quality audit ([`crate::audit`]) so both gates run over the
+/// same corpus.
+pub(crate) struct Case {
+    pub(crate) name: &'static str,
+    pub(crate) store: &'static str,
     /// OQL source, or a paper-notation description for calculus-built
     /// queries.
-    source: String,
-    expr: Expr,
+    pub(crate) source: String,
+    pub(crate) expr: Expr,
 }
 
 /// What one query did across `runs` executions.
@@ -99,6 +101,7 @@ pub struct PreparedBench {
 /// latency and speedup numbers interpretable when reports from
 /// different machines meet (a speedup below 1.0 reads very differently
 /// on one core than on sixteen).
+#[derive(Debug, Clone)]
 pub struct HostMeta {
     /// `std::thread::available_parallelism()` — what the parallel
     /// engine's `default_threads` sees.
@@ -168,7 +171,7 @@ pub struct RegressReport {
     pub host: HostMeta,
 }
 
-fn suite(quick: bool) -> (Database, Database, Vec<Case>) {
+pub(crate) fn suite(quick: bool) -> (Database, Database, Vec<Case>) {
     let travel_scale = if quick { TravelScale::tiny() } else { TravelScale::small() };
     let travel_db = travel::generate(travel_scale, 7);
     let (managers, reports, floaters) = if quick { (4, 8, 6) } else { (8, 20, 15) };

@@ -288,9 +288,11 @@ pub struct HistogramSnapshot {
 
 impl HistogramSnapshot {
     /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) read from the buckets: the
-    /// inclusive upper bound of the bucket holding the rank-`⌈q·count⌉`
-    /// observation. `None` when empty. Resolution is the bucket width
-    /// (≤ 2× the true value).
+    /// rank-`⌈q·count⌉` observation, linearly interpolated inside the
+    /// bucket that holds it (observations are assumed uniform across a
+    /// bucket's `(lower, upper]` range, so uniform data recovers exact
+    /// quantiles; skewed data is off by at most the bucket width).
+    /// `None` when empty.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
@@ -298,13 +300,17 @@ impl HistogramSnapshot {
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, n) in self.buckets.iter().enumerate() {
+            let before = seen;
             seen += n;
             if seen >= rank {
                 // The +∞ bucket has no bound; the mean of what landed
                 // there is the best point estimate we can give.
-                return Some(bucket_bound(i).unwrap_or_else(|| {
-                    self.sum.checked_div(self.count).unwrap_or(u64::MAX)
-                }));
+                let Some(upper) = bucket_bound(i) else {
+                    return Some(self.sum.checked_div(self.count).unwrap_or(u64::MAX));
+                };
+                let lower = if i == 0 { 0 } else { bucket_bound(i - 1).unwrap_or(0) };
+                let into = (rank - before) as f64 / *n as f64;
+                return Some((lower as f64 + (upper - lower) as f64 * into).round() as u64);
             }
         }
         None
@@ -780,14 +786,39 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count, 100);
         assert_eq!(s.sum, 5050);
-        // Bucketed quantiles overestimate by at most 2×.
-        let p50 = s.p50().unwrap();
-        assert!((50..=64).contains(&p50), "p50 = {p50}");
+        // Uniform data across whole buckets interpolates to the exact
+        // quantile (1..=64 fill their buckets completely).
+        assert_eq!(s.p50(), Some(50), "interpolated p50 of 1..=100 is exact");
+        // 65..=100 only part-fills the (64, 128] bucket, so tail
+        // quantiles interpolate over the full bucket range — still
+        // within the bucket, never past its bound.
         let p95 = s.p95().unwrap();
         assert!((95..=128).contains(&p95), "p95 = {p95}");
         let p99 = s.p99().unwrap();
-        assert!((99..=128).contains(&p99), "p99 = {p99}");
+        assert!((p95..=128).contains(&p99), "p99 = {p99}");
         assert!(Histogram::default().snapshot().p50().is_none());
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_a_bucket() {
+        // 512 values uniformly filling the (512, 1024] bucket. Before
+        // interpolation every quantile snapped to the bucket bound 1024,
+        // overstating the median by 2×; now each rank lands on its exact
+        // value.
+        let h = Histogram::default();
+        for v in 513..=1024u64 {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), Some(768), "exact p50 of 513..=1024");
+        assert_eq!(s.quantile(1.0), Some(1024), "max rank still hits the bound");
+        // The smallest rank interpolates just past the lower bound.
+        let p_min = s.quantile(0.001).unwrap();
+        assert!((513..=514).contains(&p_min), "p0.1 = {p_min}");
+        // Monotone in q.
+        let qs: Vec<u64> =
+            [0.1, 0.25, 0.5, 0.75, 0.9, 0.99].iter().map(|&q| s.quantile(q).unwrap()).collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
     }
 
     #[test]

@@ -265,7 +265,70 @@ impl QueryRecord {
             slow: j.get("slow").and_then(Json::as_bool).unwrap_or(false),
         })
     }
+
+    /// Rehydrate from a record written by an *older* journal schema:
+    /// any JSON object parses, and every missing or mistyped field takes
+    /// its zero/absent default. `None` only when `j` is not an object at
+    /// all. Loaders use this as the fallback after strict
+    /// [`QueryRecord::from_json`] rejects a record, so archived journals
+    /// stay readable across schema changes.
+    pub fn from_json_lenient(j: &Json) -> Option<QueryRecord> {
+        j.as_obj()?;
+        let fingerprint = j
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .unwrap_or(0);
+        let cache = j
+            .get("cache")
+            .and_then(Json::as_str)
+            .and_then(CacheDisposition::parse)
+            .unwrap_or(CacheDisposition::Uncached);
+        let mut phase_nanos = [0u64; Phase::ALL.len()];
+        if let Some(phases) = j.get("phase_nanos").and_then(Json::as_obj) {
+            for phase in Phase::ALL {
+                if let Some(n) = phases
+                    .iter()
+                    .find(|(k, _)| k == phase.as_str())
+                    .and_then(|(_, v)| v.as_u64())
+                {
+                    phase_nanos[phase.index()] = n;
+                }
+            }
+        }
+        Some(QueryRecord {
+            seq: j.get("seq").and_then(Json::as_u64).unwrap_or(0),
+            fingerprint,
+            source: j
+                .get("source")
+                .and_then(Json::as_str)
+                .unwrap_or("<unknown>")
+                .to_string(),
+            session: j.get("session").and_then(Json::as_u64),
+            cache,
+            phase_nanos,
+            total_nanos: j.get("total_nanos").and_then(Json::as_u64).unwrap_or(0),
+            rows: j.get("rows").and_then(Json::as_u64).unwrap_or(0),
+            effects: j
+                .get("effects")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            parallel_workers: j.get("parallel_workers").and_then(Json::as_u64).unwrap_or(0),
+            parallel_fallback: j
+                .get("parallel_fallback")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            error: j.get("error").and_then(Json::as_str).map(str::to_string),
+            slow: j.get("slow").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
 }
+
+/// Version stamped into [`FlightRecorder::to_json`] journals. Bump when
+/// the record schema changes shape; journals without the field are
+/// version 1.
+pub const JOURNAL_SCHEMA_VERSION: u64 = 2;
 
 /// Hash of the full source text (stable within a process, like the plan
 /// cache's schema fingerprint).
@@ -456,10 +519,14 @@ impl FlightRecorder {
         self.slow.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
     }
 
-    /// The journal document: `{capacity, recorded_total, records: […]}` —
-    /// what `oqltop --journal` reads back.
+    /// The journal document:
+    /// `{schema_version, capacity, recorded_total, records: […]}` — what
+    /// `oqltop --journal` reads back. Loaders treat a missing
+    /// `schema_version` as version 1 (the pre-versioned format) and must
+    /// accept older versions by defaulting absent record fields.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
+            ("schema_version", Json::from(JOURNAL_SCHEMA_VERSION)),
             ("capacity", Json::from(self.capacity())),
             ("recorded_total", Json::from(self.recorded_total())),
             (

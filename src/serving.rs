@@ -431,6 +431,27 @@ impl Prepared {
         });
     }
 
+    /// Profile one execution and render it as folded stacks (the
+    /// `flamegraph.pl` / inferno input format): one
+    /// `Reduce[monoid];frame;…;frame self_nanos` line per plan operator.
+    /// Only plan-mode statements have an operator tree to fold;
+    /// evaluator-mode statements report an error instead of an empty
+    /// flamegraph.
+    pub fn profile_folded(
+        &self,
+        db: &mut Database,
+        params: &Params,
+    ) -> Result<String, AnalyzeError> {
+        let binds = self.resolve(params).map_err(AnalyzeError::Exec)?;
+        let Some(q) = self.query() else {
+            return Err(AnalyzeError::Exec(EvalError::Other(
+                "statement runs on the evaluator (no plan to profile)".to_string(),
+            )));
+        };
+        let analysis = monoid_algebra::execute_profiled_bound(q, db, binds)?;
+        Ok(analysis.profile.to_folded())
+    }
+
     /// The evaluator path: the database's own heap-in/heap-out shape,
     /// with the parameter bindings layered over the persistent roots.
     fn execute_eval(

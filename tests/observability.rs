@@ -134,3 +134,163 @@ fn all_quantifier_without_counterexample_scans_everything() {
     assert!(!p.short_circuited, "{}", p.render());
     assert_eq!(p.rows_to_reduce, extent);
 }
+
+// --- Plan-quality audit, flamegraph export, per-row attribution. ------
+
+#[test]
+fn profile_reports_self_time_steps_and_q_error_everywhere() {
+    let mut db = company::generate(6, 15, 10, 42);
+    let src = "select struct(mgr: m.name, emp: e.name) \
+               from m in Managers, e in CompanyEmployees \
+               where m.dept = e.dept";
+    let analysis = explain_analyze(src, &mut db).unwrap();
+    let p = &analysis.profile;
+    let rendered = p.render();
+
+    // Satellite: `self` is printed on EVERY operator line — a 0 means
+    // below clock resolution, not absent — so the text and JSON schemas
+    // agree on the column set.
+    for line in rendered.lines().filter(|l| l.contains("est≈")) {
+        assert!(line.contains(", self "), "missing self time: {line}");
+    }
+    // The worst-misestimate summary sits under the operator tree.
+    assert!(rendered.contains("q-error: median"), "{rendered}");
+
+    // Per-row attribution: the scans drove source evaluation, so steps
+    // accumulated; q-error is finite and ≥ 1 on every operator.
+    assert!(p.operators.iter().any(|o| o.eval_steps > 0), "{rendered}");
+    for o in &p.operators {
+        assert!(o.q_error() >= 1.0 && o.q_error().is_finite(), "{}: {}", o.label, o.q_error());
+        assert!(!o.kind.is_empty());
+    }
+    // Scans over known extents estimate exactly: q-error 1.
+    for scan in p.operators.iter().filter(|o| o.kind == "scan") {
+        assert_eq!(scan.q_error(), 1.0, "{rendered}");
+    }
+    assert!(p.max_q_error().unwrap() >= p.median_q_error().unwrap());
+
+    // The JSON schema carries kind, q_error, and the attribution fields
+    // per operator plus the headline q_error block.
+    let json = p.to_json();
+    let text = json.render();
+    for key in ["\"kind\"", "\"q_error\"", "\"eval_steps\"", "\"heap_allocs\"", "\"worst_op\""] {
+        assert!(text.contains(key), "missing {key} in {text}");
+    }
+    let ops = json.get("operators").and_then(|o| o.as_arr()).unwrap();
+    assert!(!ops.is_empty());
+    for o in ops {
+        assert!(o.get("q_error").and_then(monoid_calculus::json::Json::as_f64).unwrap() >= 1.0);
+        assert!(o.get("kind").and_then(|k| k.as_str()).is_some());
+    }
+}
+
+#[test]
+fn folded_stacks_parse_as_flamegraph_input() {
+    let mut db = company::generate(6, 15, 10, 42);
+    let src = "select struct(mgr: m.name, emp: e.name) \
+               from m in Managers, e in CompanyEmployees \
+               where m.dept = e.dept";
+    let analysis = explain_analyze(src, &mut db).unwrap();
+    let folded = analysis.profile.to_folded();
+
+    // One line per operator; every line is `frame;frame;… value` with a
+    // numeric value, no empty frames, and the reduction as the root.
+    assert_eq!(folded.lines().count(), analysis.profile.operators.len());
+    for line in folded.lines() {
+        let (stack, value) = line.rsplit_once(' ').expect("space-separated value");
+        assert!(value.parse::<u64>().is_ok(), "numeric sample value: {line}");
+        let frames: Vec<&str> = stack.split(';').collect();
+        assert!(frames.len() >= 2, "root + operator: {line}");
+        assert!(frames.iter().all(|f| !f.trim().is_empty()), "no empty frames: {line}");
+        assert!(frames[0].starts_with("Reduce[bag]"), "reduction roots the stack: {line}");
+    }
+    // The join's two scans are siblings: both stacks end one frame deep
+    // under the join, not nested inside each other.
+    let scan_stacks: Vec<&str> = folded
+        .lines()
+        .filter(|l| l.rsplit_once(' ').unwrap().0.split(';').next_back().unwrap().starts_with("Scan"))
+        .collect();
+    assert_eq!(scan_stacks.len(), 2, "{folded}");
+    let depth = |l: &str| l.split(';').count();
+    assert_eq!(depth(scan_stacks[0]), depth(scan_stacks[1]), "{folded}");
+
+    // Frame sanitization: labels with `;` or newlines cannot corrupt the
+    // format, and empty labels render as `?`.
+    let hostile = monoid_db::algebra::fold_stacks(
+        "root;evil",
+        vec![("a;b\nc".to_string(), 0, 7u64), (String::new(), 1, 9u64)].into_iter(),
+    );
+    let lines: Vec<&str> = hostile.lines().collect();
+    assert_eq!(lines[0], "root,evil;a,b c 7");
+    assert_eq!(lines[1], "root,evil;a,b c;? 9");
+}
+
+#[test]
+fn prepared_statements_export_folded_profiles() {
+    use monoid_calculus::value::Value;
+    use monoid_db::{prepare_on, Params};
+
+    let mut db = company::generate(6, 15, 10, 42);
+    let stmt = prepare_on(
+        &db,
+        "select e.name from e in CompanyEmployees where e.salary >= $floor",
+    )
+    .unwrap();
+    let params = Params::new().bind("floor", Value::Int(40_000));
+    let folded = stmt.profile_folded(&mut db, &params).unwrap();
+    assert!(!folded.is_empty());
+    for line in folded.lines() {
+        let (stack, value) = line.rsplit_once(' ').unwrap();
+        assert!(value.parse::<u64>().is_ok(), "{line}");
+        assert!(stack.split(';').all(|f| !f.trim().is_empty()), "{line}");
+    }
+    // Unbound parameters fail loudly instead of profiling garbage.
+    assert!(stmt.profile_folded(&mut db, &Params::new()).is_err());
+}
+
+#[test]
+fn audit_disabled_is_invisible_and_enabled_feeds_the_registry() {
+    use monoid_calculus::metrics;
+    use monoid_db::algebra::{audit_enabled, set_audit_enabled};
+
+    let mut db = company::generate(4, 10, 6, 42);
+    let src = "select e.name from e in CompanyEmployees where e.salary >= 40000";
+
+    // Off (the default): a profiled run moves NO q-error series — the
+    // whole audit path is invisible in a registry snapshot diff.
+    let prev = set_audit_enabled(false);
+    assert!(!audit_enabled());
+    let before = metrics::global().snapshot();
+    explain_analyze(src, &mut db).unwrap();
+    let diff = metrics::global().snapshot().diff(&before);
+    assert!(
+        diff.series.iter().all(|s| s.key.name != "plan_q_error_milli"),
+        "audit-off run fed the audit histograms: {:?}",
+        diff.series.iter().map(|s| &s.key.name).collect::<Vec<_>>()
+    );
+
+    // On: the same run feeds per-kind milli-q histograms.
+    set_audit_enabled(true);
+    let before = metrics::global().snapshot();
+    let analysis = explain_analyze(src, &mut db).unwrap();
+    let diff = metrics::global().snapshot().diff(&before);
+    set_audit_enabled(prev);
+    let audited: Vec<_> =
+        diff.series.iter().filter(|s| s.key.name == "plan_q_error_milli").collect();
+    assert!(!audited.is_empty(), "audit-on run fed no histograms");
+    let mut samples = 0;
+    for s in &audited {
+        let monoid_calculus::metrics::MetricValue::Histogram(h) = &s.value else {
+            panic!("plan_q_error_milli is a histogram family");
+        };
+        samples += h.count;
+        // Milli-q: a perfect estimate observes 1000, so every sample is
+        // at least that.
+        assert!(h.sum >= h.count * 1000, "q-error below 1.0 recorded");
+    }
+    assert_eq!(
+        samples,
+        analysis.profile.operators.len() as u64,
+        "one observation per operator"
+    );
+}

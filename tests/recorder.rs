@@ -260,3 +260,58 @@ fn session_queries_thread_every_field() {
     rec.set_enabled(was_enabled);
     rec.set_slow_threshold(was_threshold);
 }
+
+// --- 5. Concurrent pushers. -------------------------------------------
+
+#[test]
+fn concurrent_pushers_keep_the_ring_consistent() {
+    // N threads × M pushes against one ring: retention stays exactly at
+    // capacity, sequence numbers are globally unique and the snapshot is
+    // ordered by them, and no record is torn (each record's fields stay
+    // internally consistent with the source its thread wrote).
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 50;
+    const CAPACITY: usize = 64;
+
+    let ring = std::sync::Arc::new(FlightRecorder::with_capacity(CAPACITY));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let ring = std::sync::Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for q in 0..PER_THREAD {
+                    let mut r = QueryRecord::new(&format!("t{t}-q{q}"));
+                    // rows encodes (t, q) redundantly with the source so
+                    // a torn write is detectable.
+                    r.rows = t * 1000 + q;
+                    r.total_nanos = r.rows + 1;
+                    ring.push(r);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    assert_eq!(ring.recorded_total(), THREADS * PER_THREAD);
+    assert_eq!(ring.len(), CAPACITY, "retention is exactly the capacity");
+    let snap = ring.snapshot();
+    assert_eq!(snap.len(), CAPACITY);
+    // Sequence numbers: strictly increasing (snapshot order), unique,
+    // and all within the issued range.
+    for pair in snap.windows(2) {
+        assert!(pair[0].seq < pair[1].seq, "snapshot ordered by seq");
+    }
+    assert!(snap.iter().all(|r| r.seq < THREADS * PER_THREAD));
+    // No torn records: every record's source agrees with its payload.
+    for r in &snap {
+        let (t, q) = r
+            .source
+            .strip_prefix('t')
+            .and_then(|s| s.split_once("-q"))
+            .and_then(|(t, q)| Some((t.parse::<u64>().ok()?, q.parse::<u64>().ok()?)))
+            .unwrap_or_else(|| panic!("unexpected source {:?}", r.source));
+        assert_eq!(r.rows, t * 1000 + q, "torn record: {:?}", r.source);
+        assert_eq!(r.total_nanos, r.rows + 1, "torn record: {:?}", r.source);
+    }
+}
