@@ -39,6 +39,13 @@ pub trait Probe {
     /// probe's empty inline bodies compile to nothing.
     const ENABLED: bool;
 
+    /// `true` when the counter hooks (`row_out`, `build_rows`) carry
+    /// meaning even with timing disabled — the metering probe's case.
+    /// The parallel driver only routes partitions through the fused
+    /// engine when the probe does *not* count: a fused partition is one
+    /// flat fold with no per-operator row attribution to feed the hooks.
+    const COUNTS: bool = true;
+
     /// One row was pushed out of operator `op` into its consumer.
     #[inline(always)]
     fn row_out(&self, _op: usize) {}
@@ -76,6 +83,7 @@ pub struct NoProbe;
 
 impl Probe for NoProbe {
     const ENABLED: bool = false;
+    const COUNTS: bool = false;
 }
 
 /// Run operator-local evaluator work and charge its wall-clock time,
@@ -149,17 +157,59 @@ pub fn execute(query: &Query, db: &mut Database) -> ExecResult<Value> {
 /// [`execute`] with late-bound parameter values (prepared statements):
 /// each `(symbol, value)` pair is bound into the root environment before
 /// the plan runs, so `Expr::Param` leaves resolve per execution.
+///
+/// Linear scan → filter → bind → unnest chains run on the fused batch
+/// engine ([`crate::fused`]); everything else walks the plan tree. The
+/// engine that actually ran is noted on the flight recorder's active
+/// record.
 pub fn execute_bound(
     query: &Query,
     db: &mut Database,
     params: &[(Symbol, Value)],
 ) -> ExecResult<Value> {
     verify_if_enabled(query, db)?;
-    let result = with_evaluator(db, params, |ev, env| run_reduce(query, ev, env, &NoProbe));
+    let result = with_evaluator(db, params, |ev, env| {
+        if let Some(v) = crate::fused::try_run_reduce(query, ev, env)? {
+            monoid_calculus::recorder::note_engine(crate::fused::Engine::Fused.as_str());
+            return Ok(v);
+        }
+        monoid_calculus::recorder::note_engine(crate::fused::Engine::PlanWalk.as_str());
+        run_reduce(query, ev, env, &NoProbe)
+    });
     if let Ok(v) = &result {
         monoid_calculus::recorder::note_result(v);
     }
     result
+}
+
+/// Run a query while *forcing* the plan-walk interpreter, even for
+/// queries the fused engine covers — the ablation baseline `regress`
+/// measures the fused speedup against, and the reference side of the
+/// differential fused ≡ plan-walk equivalence tests.
+pub fn execute_plan_walk(query: &Query, db: &mut Database) -> ExecResult<Value> {
+    execute_plan_walk_bound(query, db, &[])
+}
+
+/// [`execute_plan_walk`] with late-bound parameter values.
+pub fn execute_plan_walk_bound(
+    query: &Query,
+    db: &mut Database,
+    params: &[(Symbol, Value)],
+) -> ExecResult<Value> {
+    verify_if_enabled(query, db)?;
+    with_evaluator(db, params, |ev, env| run_reduce(query, ev, env, &NoProbe))
+}
+
+/// Try the fused engine alone: `Ok(None)` when the query is outside the
+/// fusible subset, leaving the caller to pick (and report) its own
+/// fallback. Used by the parallel driver's sequential-fallback leg, which
+/// must keep its probe-based plan walk for metered runs.
+pub(crate) fn try_execute_fused_bound(
+    query: &Query,
+    db: &mut Database,
+    params: &[(Symbol, Value)],
+) -> ExecResult<Option<Value>> {
+    with_evaluator(db, params, |ev, env| crate::fused::try_run_reduce(query, ev, env))
 }
 
 /// Run a query and report evaluation steps (cost proxy for benchmarks).
@@ -290,21 +340,19 @@ pub(crate) fn run_plan<P: Probe>(
                         timed_eval(probe, op, ev, |ev| materialize(right, right_op, ev, env, probe))?;
                     probe.build_rows(op, right_rows.len() as u64);
                     let on = on.clone();
+                    let mut scratch = value::ScratchRow::new();
                     run_plan(left, op + 1, ev, env, probe, &mut |ev, lrow| {
                         'rows: for delta in &right_rows {
-                            let mut row = lrow.clone();
-                            for (var, val) in delta {
-                                row = row.bind(*var, val.clone());
-                            }
+                            let row = scratch.fill(lrow, delta);
                             for (lk, rk) in &on {
                                 let lv = ev.eval(lrow, lk)?;
-                                let rv = ev.eval(&row, rk)?;
+                                let rv = ev.eval(row, rk)?;
                                 if lv != rv {
                                     continue 'rows;
                                 }
                             }
                             probe.row_out(op);
-                            if !sink(ev, &row)? {
+                            if !sink(ev, row)? {
                                 return Ok(false);
                             }
                         }
@@ -316,14 +364,12 @@ pub(crate) fn run_plan<P: Probe>(
                     let (right_rows, table) = timed_eval(probe, op, ev, |ev| {
                         let right_rows = materialize(right, right_op, ev, env, probe)?;
                         let mut table: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
+                        let mut scratch = value::ScratchRow::new();
                         for (i, delta) in right_rows.iter().enumerate() {
-                            let mut row = env.clone();
-                            for (var, val) in delta {
-                                row = row.bind(*var, val.clone());
-                            }
+                            let row = scratch.fill(env, delta);
                             let key = on
                                 .iter()
-                                .map(|(_, rk)| ev.eval(&row, rk))
+                                .map(|(_, rk)| ev.eval(row, rk))
                                 .collect::<ExecResult<Vec<_>>>()?;
                             table.entry(key).or_default().push(i);
                         }
@@ -331,6 +377,7 @@ pub(crate) fn run_plan<P: Probe>(
                     })?;
                     probe.build_rows(op, right_rows.len() as u64);
                     // Probe with the left.
+                    let mut scratch = value::ScratchRow::new();
                     run_plan(left, op + 1, ev, env, probe, &mut |ev, lrow| {
                         let key = on
                             .iter()
@@ -338,12 +385,9 @@ pub(crate) fn run_plan<P: Probe>(
                             .collect::<ExecResult<Vec<_>>>()?;
                         if let Some(matches) = table.get(&key) {
                             for &i in matches {
-                                let mut row = lrow.clone();
-                                for (var, val) in &right_rows[i] {
-                                    row = row.bind(*var, val.clone());
-                                }
+                                let row = scratch.fill(lrow, &right_rows[i]);
                                 probe.row_out(op);
-                                if !sink(ev, &row)? {
+                                if !sink(ev, row)? {
                                     return Ok(false);
                                 }
                             }
@@ -356,6 +400,7 @@ pub(crate) fn run_plan<P: Probe>(
         Plan::HashProbe { left, table, on_left } => {
             // The build side is already materialized and shared; probe it
             // with the left rows.
+            let mut scratch = value::ScratchRow::new();
             run_plan(left, op + 1, ev, env, probe, &mut |ev, lrow| {
                 let key = on_left
                     .iter()
@@ -363,12 +408,9 @@ pub(crate) fn run_plan<P: Probe>(
                     .collect::<ExecResult<Vec<_>>>()?;
                 if let Some(matches) = table.index.get(&key) {
                     for &i in matches {
-                        let mut row = lrow.clone();
-                        for (var, val) in &table.rows[i] {
-                            row = row.bind(*var, val.clone());
-                        }
+                        let row = scratch.fill(lrow, &table.rows[i]);
                         probe.row_out(op);
-                        if !sink(ev, &row)? {
+                        if !sink(ev, row)? {
                             return Ok(false);
                         }
                     }

@@ -1,0 +1,674 @@
+//! Fused batch execution: a canonical comprehension as one monomorphic fold.
+//!
+//! The paper's central performance claim (§1, §6) is that normalization
+//! produces canonical forms whose operator chains — scan → filter → bind →
+//! unnest → reduce — *are* a single monoid homomorphism. The plan walk in
+//! [`crate::exec`] honors that shape but pays per-row machinery for it: a
+//! `dyn FnMut` sink call per operator per row, an `Arc`-allocated
+//! environment node per binding, and a full evaluator dispatch (with step
+//! ticking) per expression node. None of that is needed for a linear
+//! chain: this module compiles the chain once into a flat stage list over
+//! a slot-addressed row buffer, then drives the whole pipeline as one
+//! tight loop that borrows rows from the extent's `Arc<Vec<Value>>` and
+//! accumulates directly into the target monoid.
+//!
+//! What fuses: a linear `Scan`/`IndexLookup` spine extended only by
+//! `Filter`/`Bind`/`Unnest` stages, whose embedded expressions are built
+//! from literals, variables, parameters, records, tuples, projections,
+//! arithmetic/comparison/logic, `if`, and `!` (deref) — and whose head and
+//! plan are statically pure and non-allocating (PR 4's `Effects`). What
+//! falls back to the plan walk: joins (`Join`/`HashProbe`), allocating or
+//! mutating expressions, vector monoids, and any expression form outside
+//! the compiled subset (lambdas, nested comprehensions, `let`, …).
+//!
+//! Equivalence is the load-bearing invariant: fused ≡ plan-walk
+//! byte-identical, OID-for-OID. Two design rules enforce it. First, the
+//! value-level semantics are *shared*, not duplicated — projections,
+//! binary and unary operators delegate to the same
+//! [`monoid_calculus::eval`] free functions the evaluator itself calls, so
+//! results and error messages cannot drift. Second, the compiler declines
+//! rather than approximates: any construct it cannot reproduce exactly
+//! (including an unresolvable global, which the plan walk would report
+//! with its own error) routes the query through the old path untouched.
+//! Iteration order is the collection's canonical element order on both
+//! engines, so ordered monoids (`list`, `str`, sorted variants) agree
+//! without any re-sorting, and `some`/`all` short-circuit at the same
+//! element.
+
+use crate::error::ExecResult;
+use crate::logical::{Plan, Query};
+use monoid_calculus::analysis::{effects_of, Effects};
+use monoid_calculus::eval::{binop_values, project_value, unop_value, Evaluator};
+use monoid_calculus::expr::{BinOp, Expr, Literal, UnOp};
+use monoid_calculus::heap::Heap;
+use monoid_calculus::monoid::Monoid;
+use monoid_calculus::symbol::Symbol;
+use monoid_calculus::value::{Accumulator, Env, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Which execution engine ran (or would run) a query. Surfaced by
+/// `explain_analyze`, the flight recorder, and `Prepared::execute`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The fused single-fold loop in this module.
+    Fused,
+    /// The push-based plan-tree interpreter in [`crate::exec`].
+    PlanWalk,
+}
+
+impl Engine {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Engine::Fused => "fused",
+            Engine::PlanWalk => "plan-walk",
+        }
+    }
+}
+
+/// Static classification: would [`crate::exec::execute`] route this query
+/// through the fused engine? (The one dynamic exception: a query whose
+/// globals don't resolve at execution time still falls back, so the plan
+/// walk can report the unbound name exactly as it always has.)
+pub fn fused_eligible(query: &Query) -> bool {
+    compile(query).is_some()
+}
+
+/// The engine [`fused_eligible`] predicts for this query.
+pub fn engine_of(query: &Query) -> Engine {
+    if fused_eligible(query) {
+        Engine::Fused
+    } else {
+        Engine::PlanWalk
+    }
+}
+
+/// An expression compiled against the slot-addressed row buffer: variable
+/// lookups become array indexing, and everything else mirrors the
+/// evaluator's value-level semantics via the shared free functions.
+#[derive(Debug, Clone)]
+enum FusedExpr {
+    Const(Value),
+    Slot(usize),
+    Record(Vec<(Symbol, FusedExpr)>),
+    Tuple(Vec<FusedExpr>),
+    Proj(Box<FusedExpr>, Symbol),
+    TupleProj(Box<FusedExpr>, usize),
+    Bin(BinOp, Box<FusedExpr>, Box<FusedExpr>),
+    Un(UnOp, Box<FusedExpr>),
+    If(Box<FusedExpr>, Box<FusedExpr>, Box<FusedExpr>),
+    Deref(Box<FusedExpr>),
+}
+
+/// A borrowed slot override, chained through the fold's recursion: the
+/// scan and unnest loops bind their current element *by reference* here
+/// instead of cloning it into the row buffer (a record-valued element
+/// costs two refcount round-trips per row). Lookup walks the chain
+/// innermost-first and falls through to the owned buffer, so `Bind` —
+/// whose value is freshly computed and already owned — keeps writing to
+/// its (distinct, never overridden) slot.
+struct Frame<'a> {
+    slot: usize,
+    value: &'a Value,
+    parent: Option<&'a Frame<'a>>,
+}
+
+fn slot_value<'a>(slots: &'a [Value], frame: Option<&'a Frame<'a>>, slot: usize) -> &'a Value {
+    let mut cur = frame;
+    while let Some(f) = cur {
+        if f.slot == slot {
+            return f.value;
+        }
+        cur = f.parent;
+    }
+    &slots[slot]
+}
+
+impl FusedExpr {
+    /// Evaluate as an *operand*: slot and constant references borrow
+    /// instead of cloning. Projections, comparisons, and dereferences
+    /// only need to look at their operands, and cloning a record-valued
+    /// slot costs two refcount round-trips per row — the dominant cost
+    /// of the fold once dispatch is gone.
+    fn eval_ref<'a>(
+        &'a self,
+        slots: &'a [Value],
+        frame: Option<&'a Frame<'a>>,
+        heap: &Heap,
+    ) -> ExecResult<std::borrow::Cow<'a, Value>> {
+        use std::borrow::Cow;
+        match self {
+            FusedExpr::Const(v) => Ok(Cow::Borrowed(v)),
+            FusedExpr::Slot(i) => Ok(Cow::Borrowed(slot_value(slots, frame, *i))),
+            other => other.eval(slots, frame, heap).map(Cow::Owned),
+        }
+    }
+
+    fn eval(&self, slots: &[Value], frame: Option<&Frame<'_>>, heap: &Heap) -> ExecResult<Value> {
+        match self {
+            FusedExpr::Const(v) => Ok(v.clone()),
+            FusedExpr::Slot(i) => Ok(slot_value(slots, frame, *i).clone()),
+            FusedExpr::Record(fields) => {
+                let mut vals = Vec::with_capacity(fields.len());
+                for (name, fe) in fields {
+                    vals.push((*name, fe.eval(slots, frame, heap)?));
+                }
+                Ok(Value::record(vals))
+            }
+            FusedExpr::Tuple(items) => {
+                let vals = items
+                    .iter()
+                    .map(|i| i.eval(slots, frame, heap))
+                    .collect::<ExecResult<Vec<_>>>()?;
+                Ok(Value::tuple(vals))
+            }
+            FusedExpr::Proj(inner, field) => {
+                let v = inner.eval_ref(slots, frame, heap)?;
+                project_value(heap, v.as_ref(), *field)
+            }
+            FusedExpr::TupleProj(inner, idx) => {
+                let v = inner.eval_ref(slots, frame, heap)?;
+                match v.as_ref() {
+                    Value::Tuple(items) => items.get(*idx).cloned().ok_or_else(|| {
+                        monoid_calculus::error::EvalError::TypeMismatch {
+                            op: "tuple projection",
+                            detail: format!("index {idx} on {}-tuple", items.len()),
+                        }
+                    }),
+                    other => Err(monoid_calculus::error::EvalError::TypeMismatch {
+                        op: "tuple projection",
+                        detail: format!("expected tuple, got {}", other.kind()),
+                    }),
+                }
+            }
+            FusedExpr::Bin(op, lhs, rhs) => match op {
+                // and/or short-circuit, exactly like the evaluator.
+                BinOp::And => Ok(Value::Bool(
+                    lhs.eval_ref(slots, frame, heap)?.as_bool()?
+                        && rhs.eval_ref(slots, frame, heap)?.as_bool()?,
+                )),
+                BinOp::Or => Ok(Value::Bool(
+                    lhs.eval_ref(slots, frame, heap)?.as_bool()?
+                        || rhs.eval_ref(slots, frame, heap)?.as_bool()?,
+                )),
+                _ => {
+                    let a = lhs.eval_ref(slots, frame, heap)?;
+                    let b = rhs.eval_ref(slots, frame, heap)?;
+                    binop_values(*op, a.as_ref(), b.as_ref())
+                }
+            },
+            FusedExpr::Un(op, inner) => unop_value(*op, inner.eval(slots, frame, heap)?),
+            FusedExpr::If(cond, then, els) => {
+                if cond.eval_ref(slots, frame, heap)?.as_bool()? {
+                    then.eval(slots, frame, heap)
+                } else {
+                    els.eval(slots, frame, heap)
+                }
+            }
+            FusedExpr::Deref(inner) => match inner.eval_ref(slots, frame, heap)?.as_ref() {
+                Value::Obj(oid) => Ok(heap.get(*oid)?.clone()),
+                other => Err(monoid_calculus::error::EvalError::TypeMismatch {
+                    op: "deref",
+                    detail: format!("expected object, got {}", other.kind()),
+                }),
+            },
+        }
+    }
+}
+
+/// One non-root operator of the fused chain, in execution (bottom-up)
+/// order.
+#[derive(Debug)]
+enum Stage {
+    Filter(FusedExpr),
+    Bind { slot: usize, expr: FusedExpr },
+    Unnest { slot: usize, path: FusedExpr },
+}
+
+/// The chain's row producer.
+#[derive(Debug)]
+enum Root<'q> {
+    Scan { slot: usize, source: &'q Expr },
+    Index { slot: usize, index: &'q crate::index::Index, key: &'q Expr },
+}
+
+/// A fully compiled fused pipeline, borrowing the plan's expressions.
+#[derive(Debug)]
+pub(crate) struct FusedQuery<'q> {
+    root: Root<'q>,
+    stages: Vec<Stage>,
+    head: FusedExpr,
+    monoid: &'q Monoid,
+    n_slots: usize,
+    /// `(slot, name)` pairs to fill from the root environment at setup —
+    /// extents, parameters, and any other free variable of the chain.
+    globals: Vec<(usize, Symbol)>,
+}
+
+#[derive(Default)]
+struct Compiler {
+    /// Chain-variable scope at the current compilation point; later
+    /// entries shadow earlier ones, mirroring `Env` lookup order.
+    scope: Vec<(Symbol, usize)>,
+    n_slots: usize,
+    globals: Vec<(usize, Symbol)>,
+}
+
+impl Compiler {
+    /// Allocate a fresh slot for a chain variable (shadowing any earlier
+    /// binding of the same name, like `Env::bind` does).
+    fn bind(&mut self, var: Symbol) -> usize {
+        let slot = self.n_slots;
+        self.n_slots += 1;
+        self.scope.push((var, slot));
+        slot
+    }
+
+    /// Resolve a variable reference: innermost chain binding first, then
+    /// the (deduplicated) global slots.
+    fn slot_of(&mut self, var: Symbol) -> usize {
+        if let Some((_, slot)) = self.scope.iter().rev().find(|(v, _)| *v == var) {
+            return *slot;
+        }
+        if let Some((slot, _)) = self.globals.iter().find(|(_, v)| *v == var) {
+            return *slot;
+        }
+        let slot = self.n_slots;
+        self.n_slots += 1;
+        self.globals.push((slot, var));
+        slot
+    }
+
+    fn compile_expr(&mut self, e: &Expr) -> Option<FusedExpr> {
+        Some(match e {
+            Expr::Lit(lit) => FusedExpr::Const(match lit {
+                Literal::Bool(b) => Value::Bool(*b),
+                Literal::Int(i) => Value::Int(*i),
+                Literal::Float(x) => Value::Float(*x),
+                Literal::Str(s) => Value::Str(s.clone()),
+                Literal::Null => Value::Null,
+            }),
+            Expr::Var(v) | Expr::Param(v) => FusedExpr::Slot(self.slot_of(*v)),
+            Expr::Record(fields) => FusedExpr::Record(
+                fields
+                    .iter()
+                    .map(|(n, fe)| Some((*n, self.compile_expr(fe)?)))
+                    .collect::<Option<Vec<_>>>()?,
+            ),
+            Expr::Tuple(items) => FusedExpr::Tuple(
+                items
+                    .iter()
+                    .map(|i| self.compile_expr(i))
+                    .collect::<Option<Vec<_>>>()?,
+            ),
+            Expr::Proj(inner, field) => {
+                FusedExpr::Proj(Box::new(self.compile_expr(inner)?), *field)
+            }
+            Expr::TupleProj(inner, idx) => {
+                FusedExpr::TupleProj(Box::new(self.compile_expr(inner)?), *idx)
+            }
+            Expr::BinOp(op, lhs, rhs) => FusedExpr::Bin(
+                *op,
+                Box::new(self.compile_expr(lhs)?),
+                Box::new(self.compile_expr(rhs)?),
+            ),
+            Expr::UnOp(op, inner) => FusedExpr::Un(*op, Box::new(self.compile_expr(inner)?)),
+            Expr::If(cond, then, els) => FusedExpr::If(
+                Box::new(self.compile_expr(cond)?),
+                Box::new(self.compile_expr(then)?),
+                Box::new(self.compile_expr(els)?),
+            ),
+            Expr::Deref(inner) => FusedExpr::Deref(Box::new(self.compile_expr(inner)?)),
+            // Anything else — lambdas, nested comprehensions, let,
+            // collection literals, heap writes — declines fusion; the plan
+            // walk handles it.
+            _ => return None,
+        })
+    }
+}
+
+/// Compile a query into a fused pipeline, or `None` when any part of it
+/// falls outside the fusible subset.
+pub(crate) fn compile(query: &Query) -> Option<FusedQuery<'_>> {
+    compile_parts(&query.plan, &query.monoid, &query.head, query.plan_effects)
+}
+
+/// [`compile`] over explicit parts — the parallel driver compiles against
+/// its *prepared* plan, which shares the query's monoid and head.
+pub(crate) fn compile_parts<'q>(
+    plan: &'q Plan,
+    monoid: &'q Monoid,
+    head: &'q Expr,
+    plan_effects: Effects,
+) -> Option<FusedQuery<'q>> {
+    // Vector comprehensions accumulate through indexed slots, not a single
+    // accumulator; they never reach plans anyway.
+    if matches!(monoid, Monoid::VecOf(_)) {
+        return None;
+    }
+    // Effects: the fused loop shares one immutable heap borrow across the
+    // whole fold, so heap writes *and* allocations stay on the plan walk.
+    let eff = effects_of(head).join(plan_effects);
+    if eff.mutates || eff.allocates {
+        return None;
+    }
+    // Flatten the linear chain; joins make it a tree and decline fusion.
+    let mut chain = Vec::new();
+    let mut node = plan;
+    let spine_root = loop {
+        match node {
+            Plan::Scan { .. } | Plan::IndexLookup { .. } => break node,
+            Plan::Unnest { input, .. }
+            | Plan::Filter { input, .. }
+            | Plan::Bind { input, .. } => {
+                chain.push(node);
+                node = input;
+            }
+            Plan::Join { .. } | Plan::HashProbe { .. } => return None,
+        }
+    };
+    chain.reverse(); // execution order: scan upward.
+
+    let mut c = Compiler::default();
+    let root = match spine_root {
+        Plan::Scan { var, source } => Root::Scan { slot: c.bind(*var), source },
+        Plan::IndexLookup { var, index, key } => {
+            Root::Index { slot: c.bind(*var), index, key }
+        }
+        _ => unreachable!("loop breaks only on scan/index roots"),
+    };
+    let mut stages = Vec::with_capacity(chain.len());
+    for stage in chain {
+        match stage {
+            Plan::Filter { pred, .. } => stages.push(Stage::Filter(c.compile_expr(pred)?)),
+            Plan::Bind { var, expr, .. } => {
+                // Compile before binding: the expression sees the *outer*
+                // binding of `var`, exactly like the plan walk.
+                let expr = c.compile_expr(expr)?;
+                stages.push(Stage::Bind { slot: c.bind(*var), expr });
+            }
+            Plan::Unnest { var, path, .. } => {
+                let path = c.compile_expr(path)?;
+                stages.push(Stage::Unnest { slot: c.bind(*var), path });
+            }
+            _ => unreachable!("chain holds only unary stages"),
+        }
+    }
+    let head = c.compile_expr(head)?;
+    Some(FusedQuery {
+        root,
+        stages,
+        head,
+        monoid,
+        n_slots: c.n_slots,
+        globals: c.globals,
+    })
+}
+
+/// The borrowed-or-expanded elements of a generator source. List, set, and
+/// vector sources iterate the extent's `Arc<Vec<Value>>` in place — the
+/// allocation-free path the fused loop exists for; bags, strings, and the
+/// `§4.2` object-singleton idiom expand exactly like
+/// [`crate::exec::collection_elements`].
+enum Rows<'a> {
+    Borrowed(&'a [Value]),
+    Owned(Vec<Value>),
+}
+
+fn rows_of(v: &Value) -> ExecResult<Rows<'_>> {
+    match v {
+        Value::Obj(_) => Ok(Rows::Owned(vec![v.clone()])),
+        Value::List(items) | Value::Set(items) | Value::Vector(items) => {
+            Ok(Rows::Borrowed(items))
+        }
+        other => other.elements().map(Rows::Owned),
+    }
+}
+
+impl FusedQuery<'_> {
+    /// The row buffer with global slots resolved against `env`; `None`
+    /// (→ plan-walk fallback) when a name is missing, so unbound-variable
+    /// errors keep their plan-walk shape.
+    pub(crate) fn resolve_globals(&self, env: &Env) -> Option<Vec<Value>> {
+        let mut slots = vec![Value::Null; self.n_slots];
+        for (slot, name) in &self.globals {
+            slots[*slot] = env.lookup(*name)?.clone();
+        }
+        Some(slots)
+    }
+
+    /// Fold `part` — pre-extracted root elements — into the target monoid.
+    /// Returns the partial value and the row count that reached the
+    /// reduction. `stop` is the cross-worker short-circuit flag: absorbed
+    /// accumulators raise it, raised flags cut the fold at the next
+    /// element, mirroring the plan-walk partition driver.
+    pub(crate) fn fold_partition(
+        &self,
+        part: &[Value],
+        heap: &Heap,
+        env: &Env,
+        stop: Option<&AtomicBool>,
+    ) -> ExecResult<Option<(Value, u64)>> {
+        let Some(mut slots) = self.resolve_globals(env) else {
+            return Ok(None);
+        };
+        let root_slot = match &self.root {
+            Root::Scan { slot, .. } | Root::Index { slot, .. } => *slot,
+        };
+        let mut acc = Accumulator::new(self.monoid)?;
+        let mut rows = 0u64;
+        for elem in part {
+            if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+                break;
+            }
+            let f = Frame { slot: root_slot, value: elem, parent: None };
+            if !drive(&self.stages, &self.head, &mut slots, Some(&f), heap, &mut acc, &mut rows)? {
+                if let Some(s) = stop {
+                    s.store(true, Ordering::Relaxed);
+                }
+                break;
+            }
+        }
+        Ok(Some((acc.finish()?, rows)))
+    }
+}
+
+/// Run the stage chain for the current row buffer; `false` means the
+/// accumulator absorbed and the fold is over.
+fn drive(
+    stages: &[Stage],
+    head: &FusedExpr,
+    slots: &mut Vec<Value>,
+    frame: Option<&Frame<'_>>,
+    heap: &Heap,
+    acc: &mut Accumulator,
+    rows: &mut u64,
+) -> ExecResult<bool> {
+    let Some((stage, rest)) = stages.split_first() else {
+        let h = head.eval(slots, frame, heap)?;
+        acc.push_unit(h)?;
+        *rows += 1;
+        return Ok(!acc.absorbed());
+    };
+    match stage {
+        Stage::Filter(pred) => {
+            if pred.eval_ref(slots, frame, heap)?.as_bool()? {
+                drive(rest, head, slots, frame, heap, acc, rows)
+            } else {
+                Ok(true)
+            }
+        }
+        Stage::Bind { slot, expr } => {
+            let v = expr.eval(slots, frame, heap)?;
+            slots[*slot] = v;
+            drive(rest, head, slots, frame, heap, acc, rows)
+        }
+        Stage::Unnest { slot, path } => {
+            let pv = path.eval(slots, frame, heap)?;
+            match rows_of(&pv)? {
+                Rows::Borrowed(items) => {
+                    for elem in items {
+                        let f = Frame { slot: *slot, value: elem, parent: frame };
+                        if !drive(rest, head, slots, Some(&f), heap, acc, rows)? {
+                            return Ok(false);
+                        }
+                    }
+                }
+                Rows::Owned(items) => {
+                    for elem in &items {
+                        let f = Frame { slot: *slot, value: elem, parent: frame };
+                        if !drive(rest, head, slots, Some(&f), heap, acc, rows)? {
+                            return Ok(false);
+                        }
+                    }
+                }
+            }
+            Ok(true)
+        }
+    }
+}
+
+/// Try the fused engine for a full sequential reduction. `Ok(None)` means
+/// the query is outside the fusible subset (or a global failed to
+/// resolve) and the caller should run the plan walk instead.
+pub(crate) fn try_run_reduce(
+    query: &Query,
+    ev: &mut Evaluator,
+    env: &Env,
+) -> ExecResult<Option<Value>> {
+    let Some(fq) = compile(query) else {
+        return Ok(None);
+    };
+    let Some(mut slots) = fq.resolve_globals(env) else {
+        return Ok(None);
+    };
+    // The root source/key is one expression evaluated once per query; the
+    // evaluator runs it so parameters, closures, and error reporting stay
+    // exactly as the plan walk has them.
+    let source_value;
+    let (root_slot, rows) = match &fq.root {
+        Root::Scan { slot, source } => {
+            source_value = ev.eval(env, source)?;
+            (*slot, rows_of(&source_value)?)
+        }
+        Root::Index { slot, index, key } => {
+            let kv = ev.eval(env, key)?;
+            (*slot, Rows::Borrowed(index.lookup(&kv)))
+        }
+    };
+    let mut acc = Accumulator::new(fq.monoid)?;
+    let mut row_count = 0u64;
+    let items: &[Value] = match &rows {
+        Rows::Borrowed(items) => items,
+        Rows::Owned(items) => items,
+    };
+    for elem in items {
+        let f = Frame { slot: root_slot, value: elem, parent: None };
+        if !drive(&fq.stages, &fq.head, &mut slots, Some(&f), &ev.heap, &mut acc, &mut row_count)? {
+            break;
+        }
+    }
+    Ok(Some(acc.finish()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::plan_comprehension;
+    use monoid_calculus::expr::Expr;
+
+    fn scan_chain() -> Query {
+        plan_comprehension(&Expr::comp(
+            Monoid::Sum,
+            Expr::var("r").proj("bed#"),
+            vec![
+                Expr::gen("h", Expr::var("Hotels")),
+                Expr::gen("r", Expr::var("h").proj("rooms")),
+                Expr::pred(Expr::var("r").proj("bed#").ge(Expr::int(1))),
+            ],
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn linear_chains_fuse() {
+        let q = scan_chain();
+        assert!(fused_eligible(&q));
+        assert_eq!(engine_of(&q).as_str(), "fused");
+    }
+
+    #[test]
+    fn joins_decline_fusion() {
+        let q = plan_comprehension(&Expr::comp(
+            Monoid::Sum,
+            Expr::int(1),
+            vec![
+                Expr::gen("a", Expr::var("Hotels")),
+                Expr::gen("b", Expr::var("Cities")),
+            ],
+        ))
+        .unwrap();
+        assert!(!fused_eligible(&q));
+        assert_eq!(engine_of(&q), Engine::PlanWalk);
+    }
+
+    #[test]
+    fn unsupported_head_forms_decline_fusion() {
+        // A nested comprehension in the head is outside the compiled
+        // expression subset.
+        let mut q = scan_chain();
+        q.head = Expr::comp(Monoid::Sum, Expr::int(1), vec![]);
+        assert!(!fused_eligible(&q));
+    }
+
+    #[test]
+    fn shadowed_chain_variables_resolve_innermost_first() {
+        // bind shadows the scan variable; references after the bind must
+        // see the new slot, just like Env lookup.
+        let q = plan_comprehension(&Expr::comp(
+            Monoid::Sum,
+            Expr::var("h"),
+            vec![
+                Expr::gen("h", Expr::var("Ints")),
+                Expr::bind("h", Expr::var("h").add(Expr::int(1))),
+            ],
+        ))
+        .unwrap();
+        let fq = compile(&q).expect("fusible");
+        let env = Env::empty().bind(
+            Symbol::new("Ints"),
+            Value::list(vec![Value::Int(10), Value::Int(20)]),
+        );
+        let heap = Heap::new();
+        let (v, rows) = fq.fold_partition(
+            &[Value::Int(10), Value::Int(20)],
+            &heap,
+            &env,
+            None,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(v, Value::Int(32));
+        assert_eq!(rows, 2);
+    }
+
+    #[test]
+    fn missing_global_declines_at_resolution() {
+        // `target` is free in the predicate, so it compiles to a global
+        // slot filled from the root environment at setup.
+        let q = plan_comprehension(&Expr::comp(
+            Monoid::Sum,
+            Expr::int(1),
+            vec![
+                Expr::gen("h", Expr::var("Hotels")),
+                Expr::pred(Expr::var("h").proj("name").eq(Expr::var("target"))),
+            ],
+        ))
+        .unwrap();
+        let fq = compile(&q).expect("fusible");
+        // No `target` in this environment: resolution fails, the caller
+        // falls back to the plan walk (which reports the unbound name).
+        assert!(fq.resolve_globals(&Env::empty()).is_none());
+        let env = Env::empty().bind(Symbol::new("target"), Value::str("x"));
+        assert!(fq.resolve_globals(&env).is_some());
+    }
+}

@@ -11,6 +11,11 @@
 //! * [`exec`] — push-based pipelined execution: no intermediate
 //!   materialization except hash-join build sides, with `some`/`all`
 //!   short-circuiting.
+//! * [`fused`](mod@fused) — fused batch execution: linear
+//!   scan → filter → bind → unnest chains compile into one monomorphic
+//!   fold over a slot-addressed row buffer, borrowing rows from extents
+//!   instead of allocating per-row environments; byte-identical to the
+//!   plan walk, which remains the fallback for everything else.
 //! * [`parallel`] — ordered partitioned parallel reduction: partials merge
 //!   in partition order, so associativity alone makes every monoid —
 //!   including lists, strings, and sorted collections — parallelizable;
@@ -41,6 +46,7 @@
 pub mod error;
 pub mod exec;
 pub mod explain;
+pub mod fused;
 pub mod index;
 pub mod logical;
 pub mod metrics;
@@ -50,7 +56,11 @@ pub mod trace;
 pub mod verify;
 
 pub use error::PlanError;
-pub use exec::{execute, execute_bound, execute_counted, execute_counted_bound, NoProbe, Probe};
+pub use exec::{
+    execute, execute_bound, execute_counted, execute_counted_bound, execute_plan_walk,
+    execute_plan_walk_bound, NoProbe, Probe,
+};
+pub use fused::{engine_of, fused_eligible, Engine};
 pub use metrics::{
     execute_metered, execute_metered_bound, execute_parallel_metered,
     execute_parallel_metered_bound, MetricsProbe,
@@ -64,7 +74,7 @@ pub use logical::{
 pub use parallel::{
     default_threads, execute_parallel, execute_parallel_auto, execute_parallel_auto_bound,
     execute_parallel_bound, execute_parallel_traced, execute_parallel_with,
-    execute_parallel_with_bound, static_fallback, Fallback, ParallelReport,
+    execute_parallel_with_bound, min_rows_per_worker, static_fallback, Fallback, ParallelReport,
 };
 pub use trace::{
     analyze_with_trace, audit_enabled, execute_profiled, execute_profiled_bound, explain_analyze,

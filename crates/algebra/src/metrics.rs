@@ -134,7 +134,7 @@ impl Probe for MetricsProbe {
 struct ParallelMetrics {
     executions: Arc<Counter>,
     workers: Arc<Counter>,
-    fallbacks: [Arc<Counter>; 2],
+    fallbacks: [Arc<Counter>; 3],
     worker_rows: Arc<Histogram>,
     prebuilt_rows: Arc<Counter>,
     reconciled_objects: Arc<Counter>,
@@ -147,7 +147,7 @@ fn parallel_metrics() -> &'static ParallelMetrics {
         ParallelMetrics {
             executions: r.counter("parallel_executions_total"),
             workers: r.counter("parallel_workers_total"),
-            fallbacks: [Fallback::SingleThread, Fallback::Mutation]
+            fallbacks: [Fallback::SingleThread, Fallback::Mutation, Fallback::TooFewRows]
                 .map(|f| r.counter_with("parallel_fallback_total", &[("reason", f.as_str())])),
             worker_rows: r.histogram("parallel_worker_rows"),
             prebuilt_rows: r.counter("parallel_prebuilt_rows_total"),
@@ -164,6 +164,7 @@ fn record_parallel(report: &ParallelReport) {
         let i = match reason {
             Fallback::SingleThread => 0,
             Fallback::Mutation => 1,
+            Fallback::TooFewRows => 2,
         };
         m.fallbacks[i].inc();
     }

@@ -29,10 +29,16 @@
 //!   same OIDs sequential execution would — results are byte-identical,
 //!   and nothing dangles.
 //!
-//! The only fallbacks left are physical, not algebraic: `threads ≤ 1`, and
-//! plans containing `:=` (workers would race on shared object state). Both
+//! The only fallbacks left are physical, not algebraic: `threads ≤ 1`,
+//! plans containing `:=` (workers would race on shared object state), and
+//! partition sources too small to amortize thread spawn
+//! ([`Fallback::TooFewRows`], governed by [`min_rows_per_worker`]). All
 //! are reported with a reason — see [`ParallelReport`] and the
 //! `parallel_fallback_total{reason}` metric family in [`crate::metrics`].
+//! Workers themselves prefer the fused fold in [`crate::fused`] over the
+//! per-row plan walk whenever the chain compiles and the probe doesn't
+//! meter per-operator rows; [`ParallelReport::fused`] records which
+//! engine the partitions ran.
 //! For absorbing monoids (`some`/`all`) workers share a stop flag so one
 //! worker's absorption short-circuits the rest; if the head also allocates,
 //! the reconciled heap may contain extra (unreferenced) objects that
@@ -62,6 +68,10 @@ pub enum Fallback {
     /// The head or plan contains `:=`; concurrent workers would race on
     /// shared object state.
     Mutation,
+    /// The partition source holds fewer than `2 ×` the per-worker row
+    /// floor ([`min_rows_per_worker`]): spawning threads would cost more
+    /// than the rows they'd process. Parallelism is a pessimization here.
+    TooFewRows,
 }
 
 impl Fallback {
@@ -70,7 +80,24 @@ impl Fallback {
         match self {
             Fallback::SingleThread => "single-thread",
             Fallback::Mutation => "mutation",
+            Fallback::TooFewRows => "too-few-rows",
         }
+    }
+}
+
+/// The minimum partition-source rows each worker must receive before the
+/// driver fans out: the `MONOID_PARALLEL_MIN_ROWS` environment variable
+/// when set to a positive integer, else 2. Sources smaller than twice
+/// this floor run sequentially ([`Fallback::TooFewRows`]) — thread spawn
+/// plus heap clone plus ordered reconciliation dwarfs the per-row work at
+/// that size.
+pub fn min_rows_per_worker() -> usize {
+    match std::env::var("MONOID_PARALLEL_MIN_ROWS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => 2,
     }
 }
 
@@ -94,6 +121,9 @@ pub struct ParallelReport {
     /// Worker-allocated heap states remapped and appended into the shared
     /// heap on join.
     pub reconciled_objects: u64,
+    /// Whether the workers ran the fused fold ([`crate::fused`]) instead
+    /// of the per-partition plan walk.
+    pub fused: bool,
 }
 
 impl ParallelReport {
@@ -105,6 +135,7 @@ impl ParallelReport {
             worker_rows: Vec::new(),
             prebuilt_rows: 0,
             reconciled_objects: 0,
+            fused: false,
         }
     }
 }
@@ -199,6 +230,9 @@ pub fn execute_parallel_with_bound<P: Probe + Sync>(
             report.workers as u64,
             report.fallback.map(Fallback::as_str),
         );
+        let engine =
+            if report.fused { crate::fused::Engine::Fused } else { crate::fused::Engine::PlanWalk };
+        monoid_calculus::recorder::note_engine(engine.as_str());
         monoid_calculus::recorder::note_result(value);
     }
     result
@@ -253,14 +287,65 @@ fn execute_parallel_inner<P: Probe + Sync>(
     if elements.is_empty() {
         return Ok((value::zero(&query.monoid)?, report));
     }
+    // Runtime floor: fanning out fewer than `floor` rows per worker loses
+    // to thread spawn + heap clone + reconciliation. With fewer than two
+    // workers' worth of rows the whole query runs sequentially (and still
+    // gets the fused loop when the probe permits).
+    let floor = min_rows_per_worker();
+    if elements.len() < 2 * floor {
+        return run_fallback(query, db, params, make_probe, report, Fallback::TooFewRows);
+    }
 
     let worker_plan = replace_partition_root(&plan);
-    let probe = make_probe(&worker_plan);
-    let base = db.heap().len();
+    // Workers run the fused fold when the chain compiles and the probe
+    // doesn't count rows (fused loops have no per-operator attribution to
+    // feed a metering probe). Compiled once here; shared by reference.
+    let fused = if P::COUNTS {
+        None
+    } else {
+        crate::fused::compile_parts(&plan, &query.monoid, &query.head, query.plan_effects)
+    };
     let stop = AtomicBool::new(false);
     let use_stop = matches!(query.monoid, Monoid::Some | Monoid::All);
-    let chunk = elements.len().div_ceil(threads).max(1);
+    let chunk = elements.len().div_ceil(threads).max(floor);
 
+    // Fused workers never allocate or mutate (the compiler declines those
+    // effects), so they share the database heap *by reference* — no
+    // per-worker heap clone, no OID reconciliation on join. Global
+    // resolution is checked once up front; a missing name falls through
+    // to the plan-walk workers, which report it as the plan walk would.
+    if let Some(fq) = &fused {
+        if fq.resolve_globals(&env).is_some() {
+            let heap: &Heap = db.heap();
+            let results = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for part in elements.chunks(chunk) {
+                    let (env, stop) = (&env, &stop);
+                    handles.push(scope.spawn(move || -> ExecResult<(Value, u64)> {
+                        fq.fold_partition(part, heap, env, use_stop.then_some(stop))?
+                            .ok_or_else(|| {
+                                EvalError::Other("fused global resolution raced".into())
+                            })
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().map_err(|_| EvalError::Other("worker panicked".into()))?)
+                    .collect::<ExecResult<Vec<_>>>()
+            })?;
+            report.workers = results.len();
+            report.fused = true;
+            let mut acc = value::zero(&query.monoid)?;
+            for (partial, rows) in results {
+                report.worker_rows.push(rows);
+                acc = value::merge(&query.monoid, &acc, &partial)?;
+            }
+            return Ok((acc, report));
+        }
+    }
+
+    let probe = make_probe(&worker_plan);
+    let base = db.heap().len();
     let results = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for part in elements.chunks(chunk) {
@@ -308,7 +393,9 @@ fn execute_parallel_inner<P: Probe + Sync>(
     Ok((acc, report))
 }
 
-/// Sequential execution with the fallback reason recorded.
+/// Sequential execution with the fallback reason recorded. A fallback is
+/// not a slow path: when the probe doesn't meter rows, the sequential run
+/// still goes through the fused fold if the chain compiles.
 fn run_fallback<P: Probe>(
     query: &Query,
     db: &mut Database,
@@ -318,6 +405,12 @@ fn run_fallback<P: Probe>(
     reason: Fallback,
 ) -> ExecResult<(Value, ParallelReport)> {
     report.fallback = Some(reason);
+    if !P::COUNTS {
+        if let Some(v) = exec::try_execute_fused_bound(query, db, params)? {
+            report.fused = true;
+            return Ok((v, report));
+        }
+    }
     let probe = make_probe(&query.plan);
     let (v, _) = exec::execute_probed_bound(query, db, params, &probe)?;
     Ok((v, report))
@@ -436,9 +529,10 @@ fn build_table(
             let mut ev = Evaluator::with_heap(heap);
             let result = (|| {
                 let rows = exec::materialize(right, 0, &mut ev, env, &NoProbe)?;
+                let mut scratch = value::ScratchRow::new();
                 rows.into_iter()
                     .map(|delta| {
-                        let key = build_key(&mut ev, env, &delta, on)?;
+                        let key = build_key(&mut ev, &mut scratch, env, &delta, on)?;
                         Ok((delta, key))
                     })
                     .collect::<ExecResult<Vec<_>>>()
@@ -458,18 +552,18 @@ fn build_table(
 
 /// The build side's key values for one materialized delta — evaluated
 /// against the top environment plus the delta, mirroring the executor's
-/// hash-build semantics.
+/// hash-build semantics. The caller's [`value::ScratchRow`] supplies the
+/// row, so repeated keying reuses one chain of environment nodes instead
+/// of allocating per delta.
 fn build_key(
     ev: &mut Evaluator,
+    scratch: &mut value::ScratchRow,
     env: &Env,
     delta: &[(Symbol, Value)],
     on: &[(Expr, Expr)],
 ) -> ExecResult<Vec<Value>> {
-    let mut row = env.clone();
-    for (var, val) in delta {
-        row = row.bind(*var, val.clone());
-    }
-    on.iter().map(|(_, rk)| ev.eval(&row, rk)).collect()
+    let row = scratch.fill(env, delta);
+    on.iter().map(|(_, rk)| ev.eval(row, rk)).collect()
 }
 
 /// Partitioned build-side materialization. Returns `None` when the build
@@ -519,12 +613,13 @@ fn parallel_build_rows(
             handles.push(scope.spawn(
                 move || -> ExecResult<Vec<(Vec<(Symbol, Value)>, Vec<Value>)>> {
                     let mut ev = Evaluator::with_heap(heap);
+                    let mut scratch = value::ScratchRow::new();
                     let mut out = Vec::new();
                     for elem in part {
                         let row = env.bind(bvar, elem.clone());
                         let rows = exec::materialize(worker_plan, 0, &mut ev, &row, &NoProbe)?;
                         for delta in rows {
-                            let key = build_key(&mut ev, &env, &delta, on)?;
+                            let key = build_key(&mut ev, &mut scratch, &env, &delta, on)?;
                             out.push((delta, key));
                         }
                     }
@@ -766,13 +861,14 @@ mod tests {
     }
 
     #[test]
-    fn index_lookup_roots_partition() {
+    fn tiny_index_buckets_fall_back_with_too_few_rows() {
         let mut db = travel::generate(TravelScale::with_hotels(60), 5);
         let mut cat = IndexCatalog::new();
         cat.build(&db, "Hotels", "name").unwrap();
-        // Every generated hotel name is distinct, so look up a bucket and
-        // fan its members out (single-member buckets still spawn one
-        // worker; use the whole-extent index on a shared field instead).
+        // Every generated hotel name is distinct, so the looked-up bucket
+        // holds one member — far below the per-worker row floor. The
+        // driver must refuse to fan out (spawning a thread for one row is
+        // a pessimization) and still return the sequential answer.
         let q = Expr::comp(
             Monoid::Bag,
             Expr::var("r").proj("price"),
@@ -787,9 +883,64 @@ mod tests {
         assert_eq!(hits, 1);
         let seq = crate::exec::execute(&indexed, &mut db).unwrap();
         let (par, report) = execute_parallel_traced(&indexed, &mut db, 4).unwrap();
-        assert_eq!(report.fallback, None, "IndexLookup roots partition now");
-        assert!(report.workers >= 1);
+        assert_eq!(report.fallback, Some(Fallback::TooFewRows));
+        assert_eq!(report.workers, 0);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn sources_at_the_floor_boundary_still_fan_out() {
+        // tiny = 3 cities × 2 hotels = 6 root rows ≥ 2 × the default
+        // floor of 2, so the driver parallelizes; a 3-row slice of the
+        // same extent would not (covered by the bucket test above).
+        let mut db = travel::generate(TravelScale::tiny(), 3);
+        let q = Expr::comp(
+            Monoid::Sum,
+            Expr::int(1),
+            vec![Expr::gen("h", Expr::var("Hotels"))],
+        );
+        let plan = plan_comprehension(&q).unwrap();
+        let (v, report) = execute_parallel_traced(&plan, &mut db, 4).unwrap();
+        assert_eq!(v, Value::Int(db.extent_len("Hotels") as i64));
+        assert_eq!(report.fallback, None);
+        assert!(report.workers >= 2, "{} workers", report.workers);
+        // Each worker got at least the floor's worth of rows.
+        let floor = min_rows_per_worker();
+        assert!(report.worker_rows.len() <= db.extent_len("Hotels") / floor);
+    }
+
+    #[test]
+    fn parallel_workers_run_the_fused_fold() {
+        let mut db = travel::generate(TravelScale::small(), 3);
+        let q = Expr::comp(
+            Monoid::Sum,
+            Expr::var("r").proj("bed#"),
+            vec![
+                Expr::gen("h", Expr::var("Hotels")),
+                Expr::gen("r", Expr::var("h").proj("rooms")),
+            ],
+        );
+        let plan = plan_comprehension(&q).unwrap();
+        let seq = crate::exec::execute_plan_walk(&plan, &mut db).unwrap();
+        let (par, report) = execute_parallel_traced(&plan, &mut db, 4).unwrap();
+        assert!(report.fused, "linear chain should run fused in workers");
+        assert_eq!(seq, par);
+        // A hash join declines fusion: workers fall back to the plan walk
+        // but the query still parallelizes.
+        let j = Expr::comp(
+            Monoid::Sum,
+            Expr::int(1),
+            vec![
+                Expr::gen("a", Expr::var("Hotels")),
+                Expr::gen("b", Expr::var("Hotels")),
+                Expr::pred(Expr::var("a").proj("name").eq(Expr::var("b").proj("name"))),
+            ],
+        );
+        let jplan = plan_comprehension(&j).unwrap();
+        let jseq = crate::exec::execute_plan_walk(&jplan, &mut db).unwrap();
+        let (jpar, jreport) = execute_parallel_traced(&jplan, &mut db, 4).unwrap();
+        assert!(!jreport.fused, "joins stay on the plan walk");
+        assert_eq!(jseq, jpar);
     }
 
     #[test]

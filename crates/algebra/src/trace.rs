@@ -205,6 +205,11 @@ pub struct QueryProfile {
     /// (`"mutation"`), or `None` when it is parallel-eligible. Static
     /// classification — the profiled run itself is sequential.
     pub parallel_fallback: Option<String>,
+    /// The engine [`crate::exec::execute`] would run this query on
+    /// (`"fused"` or `"plan-walk"`). Static classification: the profiled
+    /// run itself always walks the plan — per-operator row/time
+    /// attribution has no meaning inside a fused fold.
+    pub engine: String,
 }
 
 impl QueryProfile {
@@ -220,6 +225,7 @@ impl QueryProfile {
             eval_steps,
             parallel_fallback: crate::parallel::static_fallback(query)
                 .map(|f| f.as_str().to_string()),
+            engine: crate::fused::engine_of(query).as_str().to_string(),
             trace,
         }
     }
@@ -287,6 +293,7 @@ impl QueryProfile {
             }
         }
         let _ = writeln!(out, "evaluator steps: {}", self.eval_steps);
+        let _ = writeln!(out, "engine: {} (profiled run walks the plan)", self.engine);
         let _ = match &self.parallel_fallback {
             Some(reason) => writeln!(out, "parallel: would fall back ({reason})"),
             None => writeln!(out, "parallel: eligible (ordered partitioned reduction)"),
@@ -334,6 +341,7 @@ impl QueryProfile {
             ("rows_to_reduce", Json::from(self.rows_to_reduce)),
             ("short_circuited", Json::Bool(self.short_circuited)),
             ("eval_steps", Json::from(self.eval_steps)),
+            ("engine", Json::str(self.engine.clone())),
             (
                 "parallel_fallback",
                 self.parallel_fallback.clone().map(Json::Str).unwrap_or(Json::Null),
@@ -564,6 +572,11 @@ mod tests {
         );
         let analysis = explain_analyze(&q, &mut db).unwrap();
         let p = &analysis.profile;
+        // A linear chain: the unprofiled path would run it fused, and the
+        // profile says so even though the profiled run walked the plan.
+        assert_eq!(p.engine, "fused");
+        let json = p.to_json().render();
+        assert!(json.contains("\"engine\""), "{json}");
         // Pre-order: Unnest, Filter, Scan.
         assert_eq!(p.operators.len(), 3);
         assert!(p.operators[2].label.starts_with("Scan c"), "{}", p.render());
@@ -598,6 +611,7 @@ mod tests {
         );
         let analysis = explain_analyze(&q, &mut db).unwrap();
         let p = &analysis.profile;
+        assert_eq!(p.engine, "plan-walk", "joins stay on the plan walk");
         let join = p
             .operators
             .iter()

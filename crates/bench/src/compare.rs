@@ -122,13 +122,17 @@ impl CompareReport {
 }
 
 /// The compared sections and their latency fields: per-query end-to-end
-/// medians and tails, and the prepared warm path (the serving-layer
-/// number `docs/serving.md` optimizes for). Cold prepared numbers and
-/// the parallel ladder are deliberately not gated — they measure the
-/// host (compiler, core count) more than the code.
-const SECTIONS: [(&str, &[&str]); 2] = [
+/// medians and tails, the prepared warm path (the serving-layer number
+/// `docs/serving.md` optimizes for), and the fused sequential median of
+/// the scan-heavy parallel cases (the single-thread fast path the fused
+/// engine owns — a regression there means the fold itself got slower).
+/// Cold prepared numbers and the parallel thread ladder are deliberately
+/// not gated — they measure the host (compiler, core count) more than
+/// the code.
+const SECTIONS: [(&str, &[&str]); 3] = [
     ("queries", &["median_nanos", "p95_nanos"]),
     ("prepared", &["warm_median_nanos"]),
+    ("parallel", &["fused_median_nanos"]),
 ];
 
 /// Compare a fresh report against a baseline, both in their
@@ -221,6 +225,13 @@ mod tests {
                     ("warm_median_nanos", Json::from(warm)),
                 ])]),
             ),
+            (
+                "parallel",
+                Json::Arr(vec![Json::obj(vec![
+                    ("name", Json::str("par1")),
+                    ("fused_median_nanos", Json::from(median)),
+                ])]),
+            ),
         ])
     }
 
@@ -229,7 +240,7 @@ mod tests {
         let r = report(1_000_000, 500_000, false);
         let c = compare_reports(&r, &r, 50.0, 100_000.0).unwrap();
         assert!(c.passed());
-        assert_eq!(c.compared, 3);
+        assert_eq!(c.compared, 4);
         assert!(!c.mode_mismatch);
         assert!(c.improvements.is_empty());
         assert!(c.render().contains("PASS"), "{}", c.render());
@@ -241,12 +252,12 @@ mod tests {
         let slow = report(10_000_000, 5_000_000, false);
         let c = compare_reports(&slow, &base, 50.0, 100_000.0).unwrap();
         assert!(!c.passed());
-        assert_eq!(c.regressions.len(), 3, "{:?}", c.regressions);
+        assert_eq!(c.regressions.len(), 4, "{:?}", c.regressions);
         assert!(c.render().contains("REGRESSION"), "{}", c.render());
         // The mirror image is an improvement, and still a pass.
         let c = compare_reports(&base, &slow, 50.0, 100_000.0).unwrap();
         assert!(c.passed());
-        assert_eq!(c.improvements.len(), 3);
+        assert_eq!(c.improvements.len(), 4);
     }
 
     #[test]

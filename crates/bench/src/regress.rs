@@ -66,19 +66,32 @@ pub struct ParallelPoint {
     pub workers: usize,
     pub p50_nanos: u128,
     pub p95_nanos: u128,
-    /// Sequential median ÷ this median. On a single-core host this hovers
+    /// Sequential median ÷ this median, with both medians taken from the
+    /// *same interleaved run* (each iteration samples the sequential
+    /// baseline and every thread count back to back, so ambient machine
+    /// drift hits all series equally). On a single-core host this hovers
     /// around (or below) 1.0 — the point of tracking it per thread count
     /// is the trajectory across machines and PRs, not one absolute number.
     pub speedup_vs_sequential: f64,
 }
 
 /// The ordered-parallel-reduction section: one query run at several
-/// thread counts against its sequential baseline.
+/// thread counts against its sequential baseline, plus the fused-vs-
+/// plan-walk ablation on one thread (the same linear chains the parallel
+/// engine partitions are the ones the fused engine compiles).
 pub struct ParallelBench {
     pub name: &'static str,
     pub monoid: &'static str,
     pub source: String,
+    /// Sequential median on the default engine (fused, for these cases).
     pub sequential_p50_nanos: u128,
+    /// Sequential median with the plan-walk interpreter forced
+    /// ([`monoid_algebra::execute_plan_walk`]) — the ablation baseline.
+    pub plan_walk_p50_nanos: u128,
+    /// Plan-walk median ÷ fused median: what fusion buys on one thread.
+    pub fused_speedup: f64,
+    /// The engine `execute` routes this query through (`"fused"`).
+    pub engine: &'static str,
     pub threads: Vec<ParallelPoint>,
 }
 
@@ -456,36 +469,71 @@ fn run_parallel_section(quick: bool, runs: usize) -> Vec<ParallelBench> {
         .into_iter()
         .map(|(name, monoid, source, expr)| {
             let plan = monoid_algebra::plan_comprehension(&expr).expect("parallel case plans");
-            let mut seq_samples = Vec::with_capacity(runs);
+            // One metered pass per thread count: puts the `parallel_*`
+            // registry family (workers, per-worker rows, the threads=1
+            // fallback series) into the report delta, and doubles as the
+            // warm-up. Metered workers walk the plan (the probe counts
+            // per-operator rows), so these passes are never timed.
+            let workers: Vec<usize> = thread_counts
+                .iter()
+                .map(|&t| {
+                    monoid_algebra::execute_parallel_metered(&plan, &mut db, t)
+                        .expect("parallel case executes");
+                    let (_, report) = monoid_algebra::execute_parallel_traced(&plan, &mut db, t)
+                        .expect("parallel case executes");
+                    report.workers
+                })
+                .collect();
+            // Interleaved sampling: each iteration takes one fused
+            // sequential sample, one forced-plan-walk sample, and one
+            // sample per thread count back to back, so every speedup
+            // below compares medians from the same stretch of wall clock
+            // instead of a sequential pass taken minutes earlier.
+            let mut fused_samples = Vec::with_capacity(runs);
+            let mut plan_walk_samples = Vec::with_capacity(runs);
+            let mut par_samples: Vec<Vec<u128>> =
+                thread_counts.iter().map(|_| Vec::with_capacity(runs)).collect();
             for _ in 0..runs {
                 let started = Instant::now();
                 monoid_algebra::execute(&plan, &mut db).expect("sequential baseline");
-                seq_samples.push(started.elapsed().as_nanos());
+                fused_samples.push(started.elapsed().as_nanos());
+                let started = Instant::now();
+                monoid_algebra::execute_plan_walk(&plan, &mut db).expect("plan-walk baseline");
+                plan_walk_samples.push(started.elapsed().as_nanos());
+                for (slot, &t) in par_samples.iter_mut().zip(&thread_counts) {
+                    let started = Instant::now();
+                    monoid_algebra::execute_parallel(&plan, &mut db, t)
+                        .expect("parallel case executes");
+                    slot.push(started.elapsed().as_nanos());
+                }
             }
-            let sequential_p50_nanos = percentile_nanos(&seq_samples, 50.0);
+            let sequential_p50_nanos = percentile_nanos(&fused_samples, 50.0);
+            let plan_walk_p50_nanos = percentile_nanos(&plan_walk_samples, 50.0);
             let threads = thread_counts
                 .iter()
-                .map(|&t| {
-                    let (_, report) = monoid_algebra::execute_parallel_traced(&plan, &mut db, t)
-                        .expect("parallel case executes");
-                    let mut samples = Vec::with_capacity(runs);
-                    for _ in 0..runs {
-                        let started = Instant::now();
-                        monoid_algebra::execute_parallel_metered(&plan, &mut db, t)
-                            .expect("parallel case executes");
-                        samples.push(started.elapsed().as_nanos());
-                    }
-                    let p50 = percentile_nanos(&samples, 50.0);
+                .zip(&workers)
+                .zip(&par_samples)
+                .map(|((&t, &workers), samples)| {
+                    let p50 = percentile_nanos(samples, 50.0);
                     ParallelPoint {
                         threads: t,
-                        workers: report.workers,
+                        workers,
                         p50_nanos: p50,
-                        p95_nanos: percentile_nanos(&samples, 95.0),
+                        p95_nanos: percentile_nanos(samples, 95.0),
                         speedup_vs_sequential: sequential_p50_nanos as f64 / p50.max(1) as f64,
                     }
                 })
                 .collect();
-            ParallelBench { name, monoid, source: source.to_string(), sequential_p50_nanos, threads }
+            ParallelBench {
+                name,
+                monoid,
+                source: source.to_string(),
+                sequential_p50_nanos,
+                plan_walk_p50_nanos,
+                fused_speedup: plan_walk_p50_nanos as f64 / sequential_p50_nanos.max(1) as f64,
+                engine: monoid_algebra::engine_of(&plan).as_str(),
+                threads,
+            }
         })
         .collect()
 }
@@ -591,6 +639,10 @@ impl RegressReport {
                         ("monoid", Json::str(p.monoid)),
                         ("source", Json::str(p.source.clone())),
                         ("sequential_median_nanos", Json::from(p.sequential_p50_nanos)),
+                        ("fused_median_nanos", Json::from(p.sequential_p50_nanos)),
+                        ("plan_walk_median_nanos", Json::from(p.plan_walk_p50_nanos)),
+                        ("fused_speedup", Json::Float(p.fused_speedup)),
+                        ("engine", Json::str(p.engine)),
                         ("threads", threads),
                     ])
                 })
@@ -617,7 +669,7 @@ impl RegressReport {
         };
         Json::obj(vec![
             ("bench", Json::str("regress")),
-            ("schema_version", Json::Int(4)),
+            ("schema_version", Json::Int(5)),
             ("host", self.host.to_json()),
             ("quick", Json::Bool(self.quick)),
             ("warm", Json::Bool(self.warm)),
@@ -672,6 +724,10 @@ mod tests {
             for t in &p.threads {
                 assert!(t.p50_nanos > 0 && t.speedup_vs_sequential > 0.0);
             }
+            // Both cases are linear chains: the default engine is fused,
+            // and the forced plan walk was timed alongside it.
+            assert_eq!(p.engine, "fused", "{}", p.name);
+            assert!(p.plan_walk_p50_nanos > 0 && p.fused_speedup > 0.0, "{}", p.name);
         }
         assert!(
             report.prometheus.contains("parallel_fallback_total{reason=\"single-thread\"}"),
@@ -705,6 +761,10 @@ mod tests {
             "\"analysis_nanos\"",
             "\"parallel\"",
             "\"speedup_vs_sequential\"",
+            "\"fused_median_nanos\"",
+            "\"plan_walk_median_nanos\"",
+            "\"fused_speedup\"",
+            "\"engine\"",
             "\"prepared\"",
             "\"cold_median_nanos\"",
             "\"warm_median_nanos\"",

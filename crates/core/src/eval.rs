@@ -319,22 +319,7 @@ impl Evaluator {
     /// Projection with auto-deref: `e.A` on an object follows the identity
     /// to its record state first, so OQL path expressions work.
     fn project(&self, v: &Value, field: Symbol) -> EvalResult<Value> {
-        match v {
-            Value::Record(_) => v.field(field).cloned().ok_or_else(|| {
-                EvalError::TypeMismatch {
-                    op: "projection",
-                    detail: format!("record has no field `{field}`"),
-                }
-            }),
-            Value::Obj(oid) => {
-                let state = self.heap.get(*oid)?;
-                self.project(state, field)
-            }
-            other => Err(EvalError::TypeMismatch {
-                op: "projection",
-                detail: format!("cannot project `.{field}` from {}", other.kind()),
-            }),
-        }
+        project_value(&self.heap, v, field)
     }
 
     fn apply(&mut self, f: &Value, arg: Value) -> EvalResult<Value> {
@@ -454,92 +439,129 @@ impl Evaluator {
         }
         let a = self.eval(env, lhs)?;
         let b = self.eval(env, rhs)?;
-        match op {
-            BinOp::Eq => Ok(Value::Bool(a == b)),
-            BinOp::Ne => Ok(Value::Bool(a != b)),
-            BinOp::Lt => Ok(Value::Bool(a < b)),
-            BinOp::Le => Ok(Value::Bool(a <= b)),
-            BinOp::Gt => Ok(Value::Bool(a > b)),
-            BinOp::Ge => Ok(Value::Bool(a >= b)),
-            BinOp::Add => match (&a, &b) {
-                // `+` doubles as string concatenation, as in OQL `||`.
-                (Value::Str(x), Value::Str(y)) => {
-                    Ok(Value::Str(Arc::from(format!("{x}{y}").as_str())))
-                }
-                _ => value::merge(&Monoid::Sum, &a, &b),
-            },
-            BinOp::Sub => num_op("-", &a, &b, i64::checked_sub, |x, y| x - y),
-            BinOp::Mul => value::merge(&Monoid::Prod, &a, &b),
-            BinOp::Div => match (&a, &b) {
-                (_, Value::Int(0)) => Err(EvalError::Arithmetic("division by zero".into())),
-                _ => num_op("/", &a, &b, i64::checked_div, |x, y| x / y),
-            },
-            BinOp::Mod => match (&a, &b) {
-                (_, Value::Int(0)) => Err(EvalError::Arithmetic("modulo by zero".into())),
-                _ => num_op("%", &a, &b, i64::checked_rem, |x, y| x % y),
-            },
-            BinOp::Like => match (&a, &b) {
-                (Value::Str(s), Value::Str(p)) => Ok(Value::Bool(like_match(s, p)?)),
-                _ => Err(EvalError::TypeMismatch {
-                    op: "like",
-                    detail: format!("expected strings, got {} and {}", a.kind(), b.kind()),
-                }),
-            },
-            BinOp::And | BinOp::Or => unreachable!("handled above"),
-        }
+        binop_values(op, &a, &b)
     }
 
     fn eval_unop(&mut self, env: &Env, op: UnOp, inner: &Expr) -> EvalResult<Value> {
         let v = self.eval(env, inner)?;
-        match op {
-            UnOp::Not => Ok(Value::Bool(!v.as_bool()?)),
-            UnOp::Neg => match v {
-                Value::Int(i) => i
-                    .checked_neg()
-                    .map(Value::Int)
-                    .ok_or_else(|| EvalError::Arithmetic("negation overflow".into())),
-                Value::Float(x) => Ok(Value::Float(-x)),
-                other => Err(EvalError::TypeMismatch {
-                    op: "negate",
-                    detail: format!("expected number, got {}", other.kind()),
-                }),
-            },
-            UnOp::Element => {
-                let elems = v.elements()?;
-                if elems.len() == 1 {
-                    Ok(elems.into_iter().next().expect("len checked"))
-                } else {
-                    Err(EvalError::ElementCardinality(elems.len()))
-                }
+        unop_value(op, v)
+    }
+}
+
+/// Projection with auto-deref (the value-level half of `Expr::Proj`): `e.A`
+/// on an object follows the identity to its record state first, so OQL path
+/// expressions work. Shared by the evaluator and the fused batch engine so
+/// the two agree to the byte on both results and error messages.
+pub fn project_value(heap: &Heap, v: &Value, field: Symbol) -> EvalResult<Value> {
+    match v {
+        Value::Record(_) => v.field(field).cloned().ok_or_else(|| {
+            EvalError::TypeMismatch {
+                op: "projection",
+                detail: format!("record has no field `{field}`"),
             }
-            UnOp::ToBag => value::coerce_to_bag(&v),
-            UnOp::ToList => value::coerce_to_list(&v),
-            UnOp::ToSet => value::coerce_to_set(&v),
-            UnOp::VecLen => match v {
-                Value::Vector(items) | Value::List(items) => Ok(Value::Int(items.len() as i64)),
-                other => Err(EvalError::TypeMismatch {
-                    op: "veclen",
-                    detail: format!("expected vector, got {}", other.kind()),
-                }),
-            },
-            UnOp::Reverse => match v {
-                Value::List(items) => {
-                    let mut out = items.as_ref().clone();
-                    out.reverse();
-                    Ok(Value::list(out))
-                }
-                Value::Vector(items) => {
-                    let mut out = items.as_ref().clone();
-                    out.reverse();
-                    Ok(Value::vector(out))
-                }
-                other => Err(EvalError::TypeMismatch {
-                    op: "reverse",
-                    detail: format!("expected list or vector, got {}", other.kind()),
-                }),
-            },
-            UnOp::IsNull => Ok(Value::Bool(matches!(v, Value::Null))),
+        }),
+        Value::Obj(oid) => {
+            let state = heap.get(*oid)?;
+            project_value(heap, state, field)
         }
+        other => Err(EvalError::TypeMismatch {
+            op: "projection",
+            detail: format!("cannot project `.{field}` from {}", other.kind()),
+        }),
+    }
+}
+
+/// The strict (already-evaluated-operands) half of binary-operator
+/// semantics. `And`/`Or` never reach here — they short-circuit on the
+/// left operand before the right is evaluated. Shared by the evaluator
+/// and the fused batch engine.
+pub fn binop_values(op: BinOp, a: &Value, b: &Value) -> EvalResult<Value> {
+    match op {
+        BinOp::Eq => Ok(Value::Bool(a == b)),
+        BinOp::Ne => Ok(Value::Bool(a != b)),
+        BinOp::Lt => Ok(Value::Bool(a < b)),
+        BinOp::Le => Ok(Value::Bool(a <= b)),
+        BinOp::Gt => Ok(Value::Bool(a > b)),
+        BinOp::Ge => Ok(Value::Bool(a >= b)),
+        BinOp::Add => match (a, b) {
+            // `+` doubles as string concatenation, as in OQL `||`.
+            (Value::Str(x), Value::Str(y)) => {
+                Ok(Value::Str(Arc::from(format!("{x}{y}").as_str())))
+            }
+            _ => value::merge(&Monoid::Sum, a, b),
+        },
+        BinOp::Sub => num_op("-", a, b, i64::checked_sub, |x, y| x - y),
+        BinOp::Mul => value::merge(&Monoid::Prod, a, b),
+        BinOp::Div => match (a, b) {
+            (_, Value::Int(0)) => Err(EvalError::Arithmetic("division by zero".into())),
+            _ => num_op("/", a, b, i64::checked_div, |x, y| x / y),
+        },
+        BinOp::Mod => match (a, b) {
+            (_, Value::Int(0)) => Err(EvalError::Arithmetic("modulo by zero".into())),
+            _ => num_op("%", a, b, i64::checked_rem, |x, y| x % y),
+        },
+        BinOp::Like => match (a, b) {
+            (Value::Str(s), Value::Str(p)) => Ok(Value::Bool(like_match(s, p)?)),
+            _ => Err(EvalError::TypeMismatch {
+                op: "like",
+                detail: format!("expected strings, got {} and {}", a.kind(), b.kind()),
+            }),
+        },
+        BinOp::And | BinOp::Or => unreachable!("short-circuit ops are handled by the caller"),
+    }
+}
+
+/// The value-level half of unary-operator semantics, shared by the
+/// evaluator and the fused batch engine.
+pub fn unop_value(op: UnOp, v: Value) -> EvalResult<Value> {
+    match op {
+        UnOp::Not => Ok(Value::Bool(!v.as_bool()?)),
+        UnOp::Neg => match v {
+            Value::Int(i) => i
+                .checked_neg()
+                .map(Value::Int)
+                .ok_or_else(|| EvalError::Arithmetic("negation overflow".into())),
+            Value::Float(x) => Ok(Value::Float(-x)),
+            other => Err(EvalError::TypeMismatch {
+                op: "negate",
+                detail: format!("expected number, got {}", other.kind()),
+            }),
+        },
+        UnOp::Element => {
+            let elems = v.elements()?;
+            if elems.len() == 1 {
+                Ok(elems.into_iter().next().expect("len checked"))
+            } else {
+                Err(EvalError::ElementCardinality(elems.len()))
+            }
+        }
+        UnOp::ToBag => value::coerce_to_bag(&v),
+        UnOp::ToList => value::coerce_to_list(&v),
+        UnOp::ToSet => value::coerce_to_set(&v),
+        UnOp::VecLen => match v {
+            Value::Vector(items) | Value::List(items) => Ok(Value::Int(items.len() as i64)),
+            other => Err(EvalError::TypeMismatch {
+                op: "veclen",
+                detail: format!("expected vector, got {}", other.kind()),
+            }),
+        },
+        UnOp::Reverse => match v {
+            Value::List(items) => {
+                let mut out = items.as_ref().clone();
+                out.reverse();
+                Ok(Value::list(out))
+            }
+            Value::Vector(items) => {
+                let mut out = items.as_ref().clone();
+                out.reverse();
+                Ok(Value::vector(out))
+            }
+            other => Err(EvalError::TypeMismatch {
+                op: "reverse",
+                detail: format!("expected list or vector, got {}", other.kind()),
+            }),
+        },
+        UnOp::IsNull => Ok(Value::Bool(matches!(v, Value::Null))),
     }
 }
 

@@ -139,8 +139,12 @@ pub struct QueryRecord {
     /// Workers the parallel engine spawned (0 = sequential).
     pub parallel_workers: u64,
     /// Why the parallel engine fell back to sequential execution, when
-    /// it did (`"single-thread"`, `"mutation"`).
+    /// it did (`"single-thread"`, `"mutation"`, `"too-few-rows"`).
     pub parallel_fallback: Option<String>,
+    /// Which execution engine ran the reduction (`"fused"` for the
+    /// batch-fold engine, `"plan-walk"` for the plan-tree interpreter,
+    /// `"eval"` for direct evaluation outside the algebra).
+    pub engine: Option<String>,
     /// The error message, for failed executions.
     pub error: Option<String>,
     /// Did this record exceed the slow-query threshold?
@@ -163,6 +167,7 @@ impl QueryRecord {
             effects: String::new(),
             parallel_workers: 0,
             parallel_fallback: None,
+            engine: None,
             error: None,
             slow: false,
         }
@@ -203,6 +208,10 @@ impl QueryRecord {
             (
                 "parallel_fallback",
                 self.parallel_fallback.clone().map(Json::Str).unwrap_or(Json::Null),
+            ),
+            (
+                "engine",
+                self.engine.clone().map(Json::Str).unwrap_or(Json::Null),
             ),
             (
                 "outcome",
@@ -261,6 +270,7 @@ impl QueryRecord {
                 .get("parallel_fallback")
                 .and_then(Json::as_str)
                 .map(str::to_string),
+            engine: j.get("engine").and_then(Json::as_str).map(str::to_string),
             error: j.get("error").and_then(Json::as_str).map(str::to_string),
             slow: j.get("slow").and_then(Json::as_bool).unwrap_or(false),
         })
@@ -319,6 +329,7 @@ impl QueryRecord {
                 .get("parallel_fallback")
                 .and_then(Json::as_str)
                 .map(str::to_string),
+            engine: j.get("engine").and_then(Json::as_str).map(str::to_string),
             error: j.get("error").and_then(Json::as_str).map(str::to_string),
             slow: j.get("slow").and_then(Json::as_bool).unwrap_or(false),
         })
@@ -327,8 +338,8 @@ impl QueryRecord {
 
 /// Version stamped into [`FlightRecorder::to_json`] journals. Bump when
 /// the record schema changes shape; journals without the field are
-/// version 1.
-pub const JOURNAL_SCHEMA_VERSION: u64 = 2;
+/// version 1. Version 3 added the `engine` field.
+pub const JOURNAL_SCHEMA_VERSION: u64 = 3;
 
 /// Hash of the full source text (stable within a process, like the plan
 /// cache's schema fingerprint).
@@ -692,6 +703,13 @@ pub fn note_parallel(workers: u64, fallback: Option<&str>) {
     });
 }
 
+/// Record which execution engine ran the reduction (`"fused"`,
+/// `"plan-walk"`, `"eval"`). Overwrites — the layer that actually
+/// executed notes last.
+pub fn note_engine(engine: &str) {
+    with_active(|r| r.engine = Some(engine.to_string()));
+}
+
 /// Returned by [`RecordScope::finish`] when the record crossed the
 /// slow-query threshold: everything a layer needs to attach a
 /// [`SlowQueryCapture`].
@@ -799,6 +817,7 @@ mod tests {
         r.effects = "reads heap".to_string();
         r.parallel_workers = 4;
         r.parallel_fallback = Some("mutation".to_string());
+        r.engine = Some("fused".to_string());
         r.error = Some("boom".to_string());
         r.slow = true;
         let j = r.to_json();

@@ -459,6 +459,7 @@ impl Prepared {
         db: &mut Database,
         binds: &[(Symbol, Value)],
     ) -> Result<Value, AnalyzeError> {
+        recorder::note_engine("eval");
         let mut env = db.env();
         for (p, v) in binds {
             env = env.bind(*p, v.clone());

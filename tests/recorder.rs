@@ -175,9 +175,11 @@ fn compare_gate_passes_self_and_fails_regressed_baseline() {
 fn zero_latencies(report: &mut monoid_calculus::json::Json) {
     use monoid_calculus::json::Json;
     let Json::Obj(sections) = report else { panic!("report is not an object") };
-    for (section, gated) in
-        [("queries", vec!["median_nanos", "p95_nanos"]), ("prepared", vec!["warm_median_nanos"])]
-    {
+    for (section, gated) in [
+        ("queries", vec!["median_nanos", "p95_nanos"]),
+        ("prepared", vec!["warm_median_nanos"]),
+        ("parallel", vec!["fused_median_nanos"]),
+    ] {
         let Some(Json::Arr(cases)) =
             sections.iter_mut().find(|(k, _)| k == section).map(|(_, v)| v)
         else {
