@@ -17,7 +17,7 @@ pub fn explain(query: &Query) -> String {
 /// cardinality from `stats` — the optimizer's view of the plan, readable
 /// before anything runs.
 pub fn explain_with_estimates(query: &Query, stats: &Stats) -> String {
-    let est = stats.plan_estimates(&query.plan);
+    let est = stats.query_estimates(query);
     render_with(query, &mut |op, _| format!("  (est≈{})", fmt_rows(est[op])))
 }
 

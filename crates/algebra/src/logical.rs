@@ -350,7 +350,38 @@ pub fn plan_with_options(e: &Expr, opts: PlanOptions) -> Result<Query, PlanError
     }
 
     let plan_effects = plan.effects();
-    Ok(Query { plan, monoid: monoid.clone(), head: head.as_ref().clone(), plan_effects })
+    let query = Query { plan, monoid: monoid.clone(), head: head.as_ref().clone(), plan_effects };
+
+    // Under MONOID_VERIFY, check the core abstract interpreter's static
+    // engine certificates against the actual engine decisions for this
+    // fresh plan. Only default options mirror the certificate's model —
+    // ablations change the join/unnest topology on purpose.
+    if opts.hash_joins
+        && opts.push_predicates
+        && monoid_calculus::analysis::verify_enabled()
+    {
+        use monoid_calculus::analysis::{engine_certificate, record_failure, SpanMap};
+        let cert = engine_certificate(e, &SpanMap::default());
+        let fused_rt = crate::fused::fused_eligible(&query);
+        if cert.fused.is_eligible() != fused_rt {
+            record_failure("infer/engine-fused");
+            panic!(
+                "static fused certificate ({}) disagrees with the fused compiler \
+                 (eligible={fused_rt}) for {e:?}",
+                cert.fused
+            );
+        }
+        let parallel_rt = crate::parallel::static_fallback(&query).is_none();
+        if cert.parallel.is_eligible() != parallel_rt {
+            record_failure("infer/engine-parallel");
+            panic!(
+                "static parallel certificate ({}) disagrees with the parallel driver \
+                 (eligible={parallel_rt}) for {e:?}",
+                cert.parallel
+            );
+        }
+    }
+    Ok(query)
 }
 
 /// If `p` is `lhs = rhs` with one side's variables all bound (left of the

@@ -20,12 +20,14 @@
 //! Non-commutative monoids (list, oset, …) are left untouched — their
 //! order is meaning.
 
-use monoid_calculus::expr::{BinOp, Expr, Qual};
+use monoid_calculus::analysis::constraints::{AttrFacts, Catalog, ExtentFacts};
+use monoid_calculus::analysis::effects::monoid_short_circuits;
+use monoid_calculus::expr::{BinOp, Expr, Literal, Qual, UnOp};
 use monoid_calculus::subst::free_vars;
 use monoid_calculus::symbol::Symbol;
 use monoid_calculus::value::Value;
 use monoid_store::Database;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// Cardinality statistics gathered from a database.
 #[derive(Debug, Clone, Default)]
@@ -35,16 +37,34 @@ pub struct Stats {
     /// Field name → average collection fan-out (across all objects that
     /// have that field with a collection value).
     fanouts: HashMap<Symbol, f64>,
+    /// Per-attribute domain facts (distinct counts, value frequencies,
+    /// numeric min/max) for the abstract interpreter and the refined
+    /// selectivity model.
+    catalog: Catalog,
+    /// The database `mutation_epoch` these stats were gathered at;
+    /// `None` for `Stats::default()`. Serving layers use this to reuse a
+    /// gather across prepares of an unchanged database.
+    epoch: Option<u64>,
 }
 
 const DEFAULT_EXTENT: f64 = 1_000.0;
 const DEFAULT_FANOUT: f64 = 10.0;
 const EQ_SELECTIVITY: f64 = 0.1;
 const CMP_SELECTIVITY: f64 = 0.5;
+/// How deep the catalog walk follows collection-valued fields.
+const CATALOG_DEPTH: usize = 3;
+
+/// `var → collection name` — which extent or field each plan/generator
+/// variable ranges over, resolved structurally. This is the context the
+/// refined selectivity model needs to look up attribute facts.
+type SourceMap = HashMap<Symbol, Symbol>;
 
 impl Stats {
-    /// Scan the database once: extent sizes and per-field average
-    /// fan-outs.
+    /// Scan the database once: extent sizes, per-field average fan-outs,
+    /// and the attribute-level catalog (distinct counts, max frequencies,
+    /// numeric domains). The gathered stats are stamped with the
+    /// database's `mutation_epoch` so callers can reuse them until the
+    /// next mutation.
     pub fn gather(db: &Database) -> Stats {
         let mut extent_sizes = HashMap::new();
         for (name, value) in db.roots() {
@@ -68,7 +88,19 @@ impl Stats {
             .into_iter()
             .map(|(name, (total, count))| (name, total / count.max(1.0)))
             .collect();
-        Stats { extent_sizes, fanouts }
+        let catalog = gather_catalog(db);
+        Stats { extent_sizes, fanouts, catalog, epoch: Some(db.mutation_epoch()) }
+    }
+
+    /// The attribute-level fact catalog (for the core abstract
+    /// interpreter).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The `mutation_epoch` this gather observed, if any.
+    pub fn epoch(&self) -> Option<u64> {
+        self.epoch
     }
 
     /// Estimated output cardinality of every operator in `plan`, indexed
@@ -77,13 +109,45 @@ impl Stats {
     /// same numbering `explain` and the executor's probes use. These are
     /// the estimates `explain_analyze` prints next to observed rows.
     pub fn plan_estimates(&self, plan: &crate::logical::Plan) -> Vec<f64> {
+        let mut ctx = SourceMap::new();
+        plan_sources(plan, &mut ctx);
         let mut out = vec![0.0; plan.node_count()];
-        self.estimate_into(plan, 0, &mut out);
+        self.estimate_into(plan, 0, &mut out, &ctx);
+        out
+    }
+
+    /// Per-operator estimates for a whole [`Query`](crate::logical::Query):
+    /// [`Stats::plan_estimates`] refined by the reduction monoid. A `some`
+    /// reduction absorbs on its *first witness* — exists-style queries are
+    /// selective by design, so the true row count lands anywhere in
+    /// `[1, est]` and the geometric midpoint `√est` minimizes the
+    /// worst-case q-error over that interval. `all` also short-circuits,
+    /// but only on a counterexample; invariant-style queries typically
+    /// scan to completion, so damping them would trade a rare improvement
+    /// for a routine misestimate (the corpus audit confirms: `forall`
+    /// queries sit at q-error 1.0 undamped).
+    pub fn query_estimates(&self, query: &crate::logical::Query) -> Vec<f64> {
+        let mut out = self.plan_estimates(&query.plan);
+        if monoid_short_circuits(&query.monoid)
+            && query.monoid == monoid_calculus::monoid::Monoid::Some
+        {
+            for e in &mut out {
+                if *e > 1.0 {
+                    *e = e.sqrt();
+                }
+            }
+        }
         out
     }
 
     /// Fill `out[op]` with the estimate for `plan` and return it.
-    fn estimate_into(&self, plan: &crate::logical::Plan, op: usize, out: &mut [f64]) -> f64 {
+    fn estimate_into(
+        &self,
+        plan: &crate::logical::Plan,
+        op: usize,
+        out: &mut [f64],
+        ctx: &SourceMap,
+    ) -> f64 {
         use crate::logical::Plan;
         let est = match plan {
             Plan::Scan { source, .. } => self.source_cardinality(source),
@@ -94,23 +158,31 @@ impl Stats {
             Plan::Unnest { input, path, .. } => {
                 // `source_cardinality` of a projection is its per-object
                 // fan-out, which is exactly the unnest multiplier.
-                self.estimate_into(input, op + 1, out) * self.source_cardinality(path)
+                self.estimate_into(input, op + 1, out, ctx) * self.source_cardinality(path)
             }
             Plan::Filter { input, pred } => {
-                self.estimate_into(input, op + 1, out) * predicate_selectivity(pred)
+                self.estimate_into(input, op + 1, out, ctx) * self.selectivity(pred, ctx)
             }
-            Plan::Bind { input, .. } => self.estimate_into(input, op + 1, out),
+            Plan::Bind { input, .. } => self.estimate_into(input, op + 1, out, ctx),
             Plan::Join { left, right, on, .. } => {
-                let l = self.estimate_into(left, op + 1, out);
-                let r = self.estimate_into(right, op + 1 + left.node_count(), out);
+                let l = self.estimate_into(left, op + 1, out, ctx);
+                let r = self.estimate_into(right, op + 1 + left.node_count(), out, ctx);
                 // Each equi-key pair filters the cross product like an
                 // equality predicate; no keys means a cross product.
-                l * r * EQ_SELECTIVITY.powi(on.len() as i32)
+                let mut est = l * r;
+                for (lk, rk) in on {
+                    est *= self.equality_selectivity(lk, Some(rk), ctx);
+                }
+                est
             }
             Plan::HashProbe { left, table, on_left } => {
                 // The build side is materialized: its cardinality is exact.
-                let l = self.estimate_into(left, op + 1, out);
-                l * table.rows.len() as f64 * EQ_SELECTIVITY.powi(on_left.len() as i32)
+                let l = self.estimate_into(left, op + 1, out, ctx);
+                let mut est = l * table.rows.len() as f64;
+                for lk in on_left {
+                    est *= self.equality_selectivity(lk, None, ctx);
+                }
+                est
             }
         };
         out[op] = est;
@@ -133,14 +205,231 @@ impl Stats {
             _ => DEFAULT_EXTENT,
         }
     }
+
+    /// Attribute facts for `e` when it is a `v.attr` path over a variable
+    /// whose collection is known.
+    fn path_facts(&self, e: &Expr, ctx: &SourceMap) -> Option<&AttrFacts> {
+        let Expr::Proj(inner, attr) = e else { return None };
+        let Expr::Var(v) = inner.as_ref() else { return None };
+        let coll = ctx.get(v)?;
+        self.catalog.attr(*coll, *attr)
+    }
+
+    /// Selectivity of an equality between `a` and (when present) `b`.
+    /// With gathered facts, equality on an attribute keeps `1/distinct`
+    /// of the rows on average; a two-sided equi-key takes the larger
+    /// distinct count (the classic join estimate). Falls back to the flat
+    /// default when nothing is known.
+    fn equality_selectivity(&self, a: &Expr, b: Option<&Expr>, ctx: &SourceMap) -> f64 {
+        let da = self.path_facts(a, ctx).map(|f| f.distinct.max(1));
+        let db = b.and_then(|b| self.path_facts(b, ctx)).map(|f| f.distinct.max(1));
+        match (da, db) {
+            (Some(x), Some(y)) => 1.0 / x.max(y) as f64,
+            (Some(x), None) | (None, Some(x)) => 1.0 / x as f64,
+            (None, None) => EQ_SELECTIVITY,
+        }
+    }
+
+    /// Refined predicate selectivity: attribute facts where known, the
+    /// classic independence combinators elsewhere.
+    fn selectivity(&self, p: &Expr, ctx: &SourceMap) -> f64 {
+        match p {
+            Expr::BinOp(BinOp::And, a, b) => self.selectivity(a, ctx) * self.selectivity(b, ctx),
+            Expr::BinOp(BinOp::Or, a, b) => {
+                let (sa, sb) = (self.selectivity(a, ctx), self.selectivity(b, ctx));
+                sa + sb - sa * sb
+            }
+            Expr::UnOp(UnOp::Not, inner) => 1.0 - self.selectivity(inner, ctx),
+            Expr::Lit(Literal::Bool(b)) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Expr::BinOp(BinOp::Eq, a, b) => self.equality_selectivity(a, Some(b), ctx),
+            Expr::BinOp(op, a, b) if op.is_comparison() => self
+                .range_selectivity(*op, a, b, ctx)
+                .unwrap_or(CMP_SELECTIVITY),
+            _ => CMP_SELECTIVITY,
+        }
+    }
+
+    /// Interpolated selectivity of `path <op> constant` against the
+    /// attribute's gathered numeric domain, assuming a uniform spread.
+    fn range_selectivity(&self, op: BinOp, a: &Expr, b: &Expr, ctx: &SourceMap) -> Option<f64> {
+        let (path, lit, op) = if let Some(x) = numeric_literal(b) {
+            (a, x, op)
+        } else if let Some(x) = numeric_literal(a) {
+            (b, x, flip_comparison(op))
+        } else {
+            return None;
+        };
+        let facts = self.path_facts(path, ctx)?;
+        let (mn, mx) = (facts.min?, facts.max?);
+        let width = (mx - mn).max(f64::EPSILON);
+        let below = ((lit - mn) / width).clamp(0.0, 1.0);
+        Some(match op {
+            BinOp::Lt | BinOp::Le => below,
+            BinOp::Gt | BinOp::Ge => 1.0 - below,
+            _ => return None,
+        })
+    }
 }
 
-fn predicate_selectivity(p: &Expr) -> f64 {
-    match p {
-        Expr::BinOp(BinOp::Eq, ..) => EQ_SELECTIVITY,
-        Expr::BinOp(BinOp::And, a, b) => predicate_selectivity(a) * predicate_selectivity(b),
-        Expr::BinOp(op, ..) if op.is_comparison() => CMP_SELECTIVITY,
-        _ => CMP_SELECTIVITY,
+fn numeric_literal(e: &Expr) -> Option<f64> {
+    match e {
+        Expr::Lit(Literal::Int(i)) => Some(*i as f64),
+        Expr::Lit(Literal::Float(x)) => Some(*x),
+        _ => None,
+    }
+}
+
+/// `c < path` is `path > c`, etc.
+fn flip_comparison(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+/// Resolve which collection each plan variable ranges over (extents by
+/// root name, dependent paths by field name).
+fn plan_sources(plan: &crate::logical::Plan, ctx: &mut SourceMap) {
+    use crate::logical::Plan;
+    match plan {
+        Plan::Scan { var, source } => {
+            if let Some(key) = source_key(source) {
+                ctx.insert(*var, key);
+            }
+        }
+        Plan::Unnest { input, var, path } => {
+            plan_sources(input, ctx);
+            if let Some(key) = source_key(path) {
+                ctx.insert(*var, key);
+            }
+        }
+        Plan::Filter { input, .. } | Plan::Bind { input, .. } => plan_sources(input, ctx),
+        Plan::Join { left, right, .. } => {
+            plan_sources(left, ctx);
+            plan_sources(right, ctx);
+        }
+        Plan::IndexLookup { .. } => {}
+        Plan::HashProbe { left, .. } => plan_sources(left, ctx),
+    }
+}
+
+/// The catalog key a generator source resolves to: extents by name,
+/// dependent paths by field name.
+fn source_key(src: &Expr) -> Option<Symbol> {
+    match src {
+        Expr::Var(name) => Some(*name),
+        Expr::Proj(_, field) => Some(*field),
+        Expr::UnOp(_, inner) => source_key(inner),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Catalog gathering
+// ---------------------------------------------------------------------------
+
+/// Walk the database roots (and the collections reachable from their
+/// element records, up to [`CATALOG_DEPTH`]) gathering per-attribute
+/// domain facts for the abstract interpreter.
+fn gather_catalog(db: &Database) -> Catalog {
+    let mut catalog = Catalog::default();
+    for (name, value) in db.roots() {
+        let Ok(elems) = value.elements() else { continue };
+        let mut ext = ExtentFacts { size: elems.len() as u64, ..Default::default() };
+        let mut seen: BTreeSet<Value> = BTreeSet::new();
+        ext.distinct_elements = elems.iter().all(|e| seen.insert(e.clone()));
+        collect_collection(db, &elems, 0, &mut ext.attrs, &mut catalog.fields);
+        catalog.extents.insert(name, ext);
+    }
+    catalog
+}
+
+/// Gather attribute facts for the element records of one collection, and
+/// fan-out facts (plus nested attribute facts) for their collection-valued
+/// fields.
+fn collect_collection(
+    db: &Database,
+    elems: &[Value],
+    depth: usize,
+    attrs_out: &mut BTreeMap<Symbol, AttrFacts>,
+    fields_out: &mut BTreeMap<Symbol, monoid_calculus::analysis::constraints::FieldFacts>,
+) {
+    let mut freqs: BTreeMap<Symbol, BTreeMap<Value, u64>> = BTreeMap::new();
+    let mut domains: BTreeMap<Symbol, (Option<f64>, Option<f64>, bool)> = BTreeMap::new();
+    let mut children: BTreeMap<Symbol, Vec<Value>> = BTreeMap::new();
+    for elem in elems {
+        let fields: &[(Symbol, Value)] = match elem {
+            Value::Record(fields) => fields,
+            Value::Obj(oid) => match db.heap().get(*oid) {
+                Ok(Value::Record(fields)) => fields,
+                _ => continue,
+            },
+            _ => continue,
+        };
+        for (fname, fv) in fields {
+            match fv {
+                Value::Bool(_) | Value::Int(_) | Value::Float(_) | Value::Str(_) => {
+                    *freqs.entry(*fname).or_default().entry(fv.clone()).or_insert(0) += 1;
+                    let dom = domains.entry(*fname).or_insert((None, None, true));
+                    match fv {
+                        Value::Int(i) => {
+                            let x = *i as f64;
+                            dom.0 = Some(dom.0.map_or(x, |m: f64| m.min(x)));
+                            dom.1 = Some(dom.1.map_or(x, |m: f64| m.max(x)));
+                        }
+                        Value::Float(x) => {
+                            dom.0 = Some(dom.0.map_or(*x, |m: f64| m.min(*x)));
+                            dom.1 = Some(dom.1.map_or(*x, |m: f64| m.max(*x)));
+                        }
+                        _ => dom.2 = false,
+                    }
+                }
+                _ => {
+                    if let Ok(n) = fv.len() {
+                        let f = fields_out.entry(*fname).or_default();
+                        let n = n as u64;
+                        f.min_fanout = if f.occurrences == 0 { n } else { f.min_fanout.min(n) };
+                        f.max_fanout = f.max_fanout.max(n);
+                        f.occurrences += 1;
+                        f.total += n;
+                        if depth < CATALOG_DEPTH {
+                            if let Ok(kids) = fv.elements() {
+                                children.entry(*fname).or_default().extend(kids);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (fname, freq) in freqs {
+        let count = freq.values().sum();
+        let max_freq = freq.values().copied().max().unwrap_or(0);
+        let (min, max) = match domains.get(&fname) {
+            Some((mn, mx, true)) => (*mn, *mx),
+            _ => (None, None),
+        };
+        attrs_out.insert(
+            fname,
+            AttrFacts { count, distinct: freq.len() as u64, max_freq, min, max },
+        );
+    }
+    for (fname, kids) in children {
+        // Recurse into the nested collection's elements, accumulating into
+        // the field's own attribute table (taken out to appease borrows).
+        let mut sub_attrs =
+            std::mem::take(&mut fields_out.get_mut(&fname).expect("field recorded").attrs);
+        collect_collection(db, &kids, depth + 1, &mut sub_attrs, fields_out);
+        fields_out.get_mut(&fname).expect("field recorded").attrs = sub_attrs;
     }
 }
 
@@ -182,6 +471,15 @@ pub fn reorder_generators(e: &Expr, stats: &Stats) -> Expr {
             .iter()
             .all(|x| !all_binders.contains(x) || bound.contains(x))
     };
+
+    // Resolve each generator variable's collection up front so predicate
+    // costing can consult gathered attribute facts regardless of order.
+    let mut src_ctx = SourceMap::new();
+    for (v, src) in &gens {
+        if let Some(key) = source_key(src) {
+            src_ctx.insert(*v, key);
+        }
+    }
 
     let mut ordered: Vec<Qual> = Vec::with_capacity(quals.len());
     let mut bound: HashSet<Symbol> = HashSet::new();
@@ -241,7 +539,7 @@ pub fn reorder_generators(e: &Expr, stats: &Stats) -> Expr {
                         *x == *var || !all_binders.contains(x) || bound.contains(x)
                     });
                 if applicable {
-                    cost *= predicate_selectivity(p);
+                    cost *= stats.selectivity(p, &src_ctx);
                 }
             }
             match best {
@@ -303,10 +601,11 @@ mod tests {
         let est = stats.plan_estimates(&plan);
         assert_eq!(est.len(), plan.node_count());
         // The plan is Unnest(Filter(Scan)), so pre-order is [unnest,
-        // filter, scan]: the scan sees the whole extent, the equality
-        // filter keeps a tenth, the unnest multiplies by the fan-out.
+        // filter, scan]: the scan sees the whole extent, the equality on
+        // `name` keeps 1/distinct of the rows (city names are unique, so
+        // 1/|Cities|), the unnest multiplies by the fan-out.
         assert_eq!(est[2], scale.cities as f64);
-        assert!((est[1] - est[2] * 0.1).abs() < 1e-9, "{est:?}");
+        assert!((est[1] - est[2] / scale.cities as f64).abs() < 1e-9, "{est:?}");
         let fanout = stats.fanouts[&Symbol::new("hotels")];
         assert!((est[0] - est[1] * fanout).abs() < 1e-9, "{est:?}");
     }

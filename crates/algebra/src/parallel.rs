@@ -268,6 +268,10 @@ fn execute_parallel_inner<P: Probe + Sync>(
     // plan time; only the head — one small expression, swappable by tests
     // after planning — is re-classified here. The plan is never re-scanned.
     let effects = effects_of(&query.head).join(query.plan_effects);
+    if monoid_calculus::analysis::verify_enabled() && effects.mutates != query_mutates(query) {
+        monoid_calculus::analysis::record_failure("parallel/effects");
+        panic!("static effect analysis disagrees with the runtime plan scan");
+    }
     debug_assert_eq!(
         effects.mutates,
         query_mutates(query),

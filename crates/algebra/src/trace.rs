@@ -497,7 +497,7 @@ fn profile_execution(
     let start = Instant::now();
     let (value, eval_steps) = exec::execute_probed_bound(query, db, params, &probe)?;
     trace.record(Phase::Execute, start.elapsed().as_nanos());
-    let estimates = stats.plan_estimates(&query.plan);
+    let estimates = stats.query_estimates(query);
     let profile = QueryProfile::assemble(query, &estimates, &probe, trace, eval_steps);
     if audit_enabled() {
         record_audit(&profile);

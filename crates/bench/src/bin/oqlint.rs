@@ -6,14 +6,17 @@
 //! position where the front end recorded one.
 //!
 //! ```text
-//! oqlint [--schema travel|company] [--deny-warnings] [--json] [FILE...]
+//! oqlint [--schema travel|company] [--deny-warnings] [--deny CODE] [--json] [FILE...]
 //! ```
 //!
 //! With no files, reads one query from stdin. Exit status: 0 clean (or
-//! info-only), 1 on error-level diagnostics or compile failures, and with
-//! `--deny-warnings` also on warnings.
+//! info-only), 1 on error-level diagnostics or compile failures, with
+//! `--deny-warnings` also on warnings, and with `--deny MC00N` (repeatable)
+//! on any diagnostic carrying a denied code regardless of its severity —
+//! that is how CI gates a corpus on specific lints without promoting every
+//! warning.
 
-use monoid_calculus::analysis::{AnalysisReport, Severity};
+use monoid_calculus::analysis::{AnalysisReport, Code, Severity};
 use monoid_calculus::types::Schema;
 use std::io::Read;
 use std::process::ExitCode;
@@ -21,20 +24,34 @@ use std::process::ExitCode;
 struct Options {
     schema: Schema,
     deny_warnings: bool,
+    deny: Vec<Code>,
     json: bool,
     files: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: oqlint [--schema travel|company] [--deny-warnings] [--json] [FILE...]"
+        "usage: oqlint [--schema travel|company] [--deny-warnings] [--deny CODE] [--json] [FILE...]"
     );
     std::process::exit(2);
+}
+
+/// Resolve a `--deny` operand like `MC007` to its lint code.
+fn parse_code(s: &str) -> Code {
+    match Code::all().iter().find(|c| c.as_str().eq_ignore_ascii_case(s)) {
+        Some(c) => *c,
+        None => {
+            let known: Vec<&str> = Code::all().iter().map(|c| c.as_str()).collect();
+            eprintln!("oqlint: unknown lint code `{s}` (known: {})", known.join(", "));
+            std::process::exit(2);
+        }
+    }
 }
 
 fn parse_args() -> Options {
     let mut schema = monoid_store::travel::schema();
     let mut deny_warnings = false;
+    let mut deny = Vec::new();
     let mut json = false;
     let mut files = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -48,13 +65,17 @@ fn parse_args() -> Options {
                 }
             }
             "--deny-warnings" => deny_warnings = true,
+            "--deny" => match args.next() {
+                Some(code) => deny.push(parse_code(&code)),
+                None => usage(),
+            },
             "--json" => json = true,
             "--help" | "-h" => usage(),
             f if !f.starts_with('-') => files.push(f.to_string()),
             _ => usage(),
         }
     }
-    Options { schema, deny_warnings, json, files }
+    Options { schema, deny_warnings, deny, json, files }
 }
 
 /// Lint one source text; returns whether it should fail the run.
@@ -89,6 +110,7 @@ fn lint_source(name: &str, src: &str, opts: &Options) -> bool {
     }
     let deny_at = if opts.deny_warnings { Severity::Warning } else { Severity::Error };
     report.max_severity().is_some_and(|s| s >= deny_at)
+        || report.diagnostics.iter().any(|d| opts.deny.contains(&d.code))
 }
 
 fn main() -> ExitCode {

@@ -100,7 +100,7 @@ impl fmt::Display for Effects {
 }
 
 /// Does this monoid's reduction admit early exit?
-fn monoid_short_circuits(m: &Monoid) -> bool {
+pub fn monoid_short_circuits(m: &Monoid) -> bool {
     matches!(m, Monoid::Some | Monoid::All)
 }
 

@@ -62,6 +62,14 @@ pub enum Code {
     /// MC006: a hom/generator violates the C/I restriction; a coercion
     /// would fix it.
     IllegalHom,
+    /// MC007: an independent generator with no join predicate linking it
+    /// to the earlier generators — a cross product.
+    CrossProduct,
+    /// MC008: a predicate is statically empty under the gathered domains.
+    StaticallyEmpty,
+    /// MC009: the query falls back from the fused engine, with the
+    /// certificate's reason.
+    FusedFallback,
 }
 
 impl Code {
@@ -73,14 +81,19 @@ impl Code {
             Code::DuplicateGenerator => "MC004",
             Code::NotParallelizable => "MC005",
             Code::IllegalHom => "MC006",
+            Code::CrossProduct => "MC007",
+            Code::StaticallyEmpty => "MC008",
+            Code::FusedFallback => "MC009",
         }
     }
 
     pub fn default_severity(self) -> Severity {
         match self {
             Code::UnusedGenerator | Code::ConstantPredicate | Code::ShadowedBinding
-            | Code::DuplicateGenerator => Severity::Warning,
-            Code::NotParallelizable => Severity::Info,
+            | Code::DuplicateGenerator | Code::CrossProduct | Code::StaticallyEmpty => {
+                Severity::Warning
+            }
+            Code::NotParallelizable | Code::FusedFallback => Severity::Info,
             Code::IllegalHom => Severity::Error,
         }
     }
@@ -93,6 +106,9 @@ impl Code {
             Code::DuplicateGenerator,
             Code::NotParallelizable,
             Code::IllegalHom,
+            Code::CrossProduct,
+            Code::StaticallyEmpty,
+            Code::FusedFallback,
         ]
     }
 }
@@ -207,7 +223,7 @@ pub fn lint_with_spans(e: &Expr, spans: &SpanMap) -> Vec<Diagnostic> {
 /// Was this name invented by `Symbol::fresh` (or deliberately
 /// underscore-silenced)? Fresh names carry `%`, which cannot appear in a
 /// parsed identifier.
-fn synthesized(v: Symbol) -> bool {
+pub(super) fn synthesized(v: Symbol) -> bool {
     v.as_str().contains('%') || v.as_str().starts_with('_')
 }
 
@@ -534,7 +550,7 @@ fn parallel_lint(root: &Expr, spans: &SpanMap, diags: &mut Vec<Diagnostic>) {
 
 /// Bump `analysis_diagnostics_total{code}` for each emitted diagnostic.
 /// Handles are resolved once per process.
-fn record_metrics(diags: &[Diagnostic]) {
+pub(super) fn record_metrics(diags: &[Diagnostic]) {
     use crate::metrics::{global, Counter};
     use std::sync::{Arc, OnceLock};
     static HANDLES: OnceLock<Vec<Arc<Counter>>> = OnceLock::new();

@@ -27,11 +27,18 @@
 
 use std::fmt;
 
+pub mod constraints;
 pub mod effects;
+pub mod infer;
 pub mod lint;
 pub mod verify;
 
+pub use constraints::{AttrFacts, Catalog, ExtentFacts, FieldFacts, Interval};
 pub use effects::{effects_of, Effects, EffectSummary};
+pub use infer::{
+    engine_certificate, infer, lint_full, EngineCert, FunDep, GenFacts, KeyCert, QueryFacts,
+    Verdict,
+};
 pub use lint::{lint, lint_with_spans, Code, Diagnostic, Severity, SpanMap};
 pub use verify::{check_rewrite, record_failure, verify_enabled, VerifyError};
 
@@ -77,10 +84,23 @@ impl AnalysisReport {
     }
 
     /// Analyze `e`, anchoring diagnostics to `spans` where possible.
+    /// Inference lookups run against an empty catalog (sound: every miss
+    /// widens to top); use [`AnalysisReport::with_catalog`] when gathered
+    /// statistics are available.
     pub fn with_spans(e: &crate::expr::Expr, spans: &SpanMap) -> AnalysisReport {
+        AnalysisReport::with_catalog(e, spans, &Catalog::default())
+    }
+
+    /// Analyze `e` with spans and a gathered statistics catalog, enabling
+    /// the inference-backed lints (MC007–MC009) to use domain facts.
+    pub fn with_catalog(
+        e: &crate::expr::Expr,
+        spans: &SpanMap,
+        catalog: &Catalog,
+    ) -> AnalysisReport {
         AnalysisReport {
             effects: EffectSummary::of(e),
-            diagnostics: lint_with_spans(e, spans),
+            diagnostics: lint_full(e, spans, catalog),
         }
     }
 

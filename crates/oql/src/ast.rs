@@ -196,6 +196,9 @@ pub enum OqlExpr {
         proj: Box<Projection>,
         from: Vec<FromClause>,
         filter: Option<Box<OqlExpr>>,
+        /// Where the `where` predicate begins (its first token), when
+        /// there is one — diagnostics about the predicate anchor here.
+        filter_pos: AstPos,
         group_by: Vec<GroupKey>,
         having: Option<Box<OqlExpr>>,
         order_by: Vec<OrderKey>,

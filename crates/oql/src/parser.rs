@@ -439,10 +439,11 @@ impl Parser {
         while self.eat(Tok::Comma) {
             from.push(self.parse_from_clause()?);
         }
-        let filter = if self.eat(Tok::Where) {
-            Some(Box::new(self.expr()?))
+        let (filter, filter_pos) = if self.eat(Tok::Where) {
+            let fp = self.pos();
+            (Some(Box::new(self.expr()?)), fp.into())
         } else {
-            None
+            (None, AstPos::default())
         };
         let mut group_by = Vec::new();
         if self.eat(Tok::Group) {
@@ -484,6 +485,7 @@ impl Parser {
             proj: Box::new(proj),
             from,
             filter,
+            filter_pos,
             group_by,
             having,
             order_by,

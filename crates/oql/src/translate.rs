@@ -247,11 +247,11 @@ impl<'s> Translator<'s> {
             }
             OqlExpr::SetOp(op, a, b) => self.trans_setop(scope, *op, a, b),
             OqlExpr::Select {
-                distinct, proj, from, filter, group_by, having, order_by, pos,
+                distinct, proj, from, filter, filter_pos, group_by, having, order_by, pos,
             } => {
                 let e = self.trans_select(
-                    scope, *distinct, proj, from, filter.as_deref(), group_by,
-                    having.as_deref(), order_by,
+                    scope, *distinct, proj, from, filter.as_deref().map(|f| (f, *filter_pos)),
+                    group_by, having.as_deref(), order_by,
                 )?;
                 self.record_expr(&e, *pos);
                 Ok(e)
@@ -372,7 +372,7 @@ impl<'s> Translator<'s> {
         distinct: bool,
         proj: &Projection,
         from: &[FromClause],
-        filter: Option<&OqlExpr>,
+        filter: Option<(&OqlExpr, AstPos)>,
         group_by: &[GroupKey],
         having: Option<&OqlExpr>,
         order_by: &[OrderKey],
@@ -394,8 +394,10 @@ impl<'s> Translator<'s> {
             self.record_expr(&src, clause.var_pos);
             quals.push(Qual::Gen(clause.var, src));
         }
-        if let Some(f) = filter {
-            quals.push(Qual::Pred(self.trans(&inner_scope, f)?));
+        if let Some((f, fpos)) = filter {
+            let p = self.trans(&inner_scope, f)?;
+            self.record_expr(&p, fpos);
+            quals.push(Qual::Pred(p));
         }
 
         if !group_by.is_empty() {

@@ -60,7 +60,7 @@ fn store_metrics() -> &'static StoreMetrics {
 }
 
 /// An object database.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 pub struct Database {
     schema: Schema,
     heap: Heap,
@@ -73,6 +73,31 @@ pub struct Database {
     /// Heap mutations are tracked by the heap's own version counter; the
     /// two together form [`Database::mutation_epoch`].
     roots_epoch: u64,
+    /// Process-unique identity (see [`Database::instance_id`]); `0` for
+    /// `Database::default()`, which is never cached against.
+    instance: u64,
+}
+
+/// Clones get a *fresh* instance id: a clone and its original mutate
+/// independently afterwards, so their epochs would collide under a shared
+/// id and stale gathered statistics could be served for the wrong data.
+impl Clone for Database {
+    fn clone(&self) -> Database {
+        Database {
+            schema: self.schema.clone(),
+            heap: self.heap.clone(),
+            roots: self.roots.clone(),
+            extent_of: self.extent_of.clone(),
+            roots_epoch: self.roots_epoch,
+            instance: next_instance(),
+        }
+    }
+}
+
+fn next_instance() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 impl Database {
@@ -87,7 +112,23 @@ impl Database {
                 extent_of.insert(class.name, extent);
             }
         }
-        Database { schema, heap: Heap::new(), roots, extent_of, roots_epoch: 0 }
+        Database {
+            schema,
+            heap: Heap::new(),
+            roots,
+            extent_of,
+            roots_epoch: 0,
+            instance: next_instance(),
+        }
+    }
+
+    /// A process-unique identity for this database value. Paired with
+    /// [`Database::mutation_epoch`] it keys caches of derived data
+    /// (gathered statistics): equal `(instance_id, mutation_epoch)` means
+    /// the same data, byte for byte. `0` (from `Database::default()`)
+    /// means "anonymous — do not cache".
+    pub fn instance_id(&self) -> u64 {
+        self.instance
     }
 
     /// A counter that strictly increases across every mutation of the

@@ -149,7 +149,32 @@ pub fn prepare(schema: &Schema, src: &str) -> Result<Prepared, AnalyzeError> {
 /// Prepare `src` with statistics gathered from `db` (the variant
 /// [`Session::query`] and the plan cache use).
 pub fn prepare_on(db: &Database, src: &str) -> Result<Prepared, AnalyzeError> {
-    prepare_with_stats(db.schema(), src, &Stats::gather(db))
+    prepare_with_stats(db.schema(), src, &gathered_stats(db))
+}
+
+/// Gather-or-reuse: `Stats::gather` walks every root and the whole heap,
+/// but its result only changes when the database mutates. A one-slot
+/// process-wide cache keyed by `(instance_id, mutation_epoch)` makes
+/// repeated prepares against an unchanged database reuse the previous
+/// gather (counted by `stats_gather_reuse_total`). Anonymous databases
+/// (`instance_id() == 0`, from `Database::default()`) are never cached.
+fn gathered_stats(db: &Database) -> Arc<Stats> {
+    static CACHE: Mutex<Option<(u64, u64, Arc<Stats>)>> = Mutex::new(None);
+    let instance = db.instance_id();
+    let epoch = db.mutation_epoch();
+    if instance != 0 {
+        if let Some((i, e, stats)) = CACHE.lock().unwrap().as_ref() {
+            if *i == instance && *e == epoch {
+                cache_metrics().stats_reuse.inc();
+                return Arc::clone(stats);
+            }
+        }
+    }
+    let stats = Arc::new(Stats::gather(db));
+    if instance != 0 {
+        *CACHE.lock().unwrap() = Some((instance, epoch, Arc::clone(&stats)));
+    }
+    stats
 }
 
 /// Prepare an already-built calculus expression (the bench builders, or
@@ -198,7 +223,7 @@ fn finish_prepare(
 
     let (exec, estimates) = match trace.time(Phase::Plan, || plan_comprehension(&reordered)) {
         Ok(query) => {
-            let estimates = stats.plan_estimates(&query.plan);
+            let estimates = stats.query_estimates(&query);
             (ExecMode::Plan(query), estimates)
         }
         // Shapes the pipelined algebra declines — heap effects, vector
@@ -810,6 +835,7 @@ struct CacheMetrics {
     evictions: Arc<monoid_calculus::metrics::Counter>,
     invalidations: Arc<monoid_calculus::metrics::Counter>,
     prepare_nanos: Arc<monoid_calculus::metrics::Histogram>,
+    stats_reuse: Arc<monoid_calculus::metrics::Counter>,
 }
 
 fn cache_metrics() -> &'static CacheMetrics {
@@ -822,6 +848,7 @@ fn cache_metrics() -> &'static CacheMetrics {
             evictions: r.counter("plan_cache_evictions_total"),
             invalidations: r.counter("plan_cache_invalidations_total"),
             prepare_nanos: r.histogram("prepare_nanos"),
+            stats_reuse: r.counter("stats_gather_reuse_total"),
         }
     })
 }

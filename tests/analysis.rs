@@ -39,11 +39,17 @@ fn unused_generator_is_flagged_with_its_source_position() {
     let schema = travel::schema();
     let report =
         analyze(&schema, "select c.name\nfrom c in Cities, h in Hotels").unwrap();
-    assert_eq!(codes(&report.diagnostics), vec!["MC001"]);
+    // `h` is unused (MC001); the independent second generator also makes
+    // the query a join, which the fused engine refuses (MC009, info). No
+    // MC007: an *unused* cross-product side is MC001's business.
+    assert_eq!(codes(&report.diagnostics), vec!["MC001", "MC009"]);
     let d = &report.diagnostics[0];
     assert!(d.message.contains('h'), "{d}");
     let span = d.span.expect("front end recorded the binder position");
     assert_eq!(span.line, 2, "the `h` binder is on line 2");
+    let fallback = &report.diagnostics[1];
+    assert_eq!(fallback.severity, Severity::Info);
+    assert!(fallback.message.contains("join"), "{fallback}");
 }
 
 #[test]
@@ -79,6 +85,88 @@ fn parameterized_predicates_are_not_constant() {
     assert!(report.diagnostics.is_empty(), "got {:?}", report.diagnostics);
     assert!(report.effects.is_pure(), "placeholders are pure leaves");
     assert!(report.effects.parallel_safe());
+}
+
+// -------------------------------------------------------------------------
+// The inference lints MC007–MC009: spans pinned to the offending source
+// position, and diagnostic stability under `parse ∘ unparse`.
+// -------------------------------------------------------------------------
+
+#[test]
+fn cross_product_is_flagged_at_the_generator() {
+    let schema = travel::schema();
+    let report = analyze(
+        &schema,
+        "select struct(city: c.name, hotel: h.name)\nfrom c in Cities, h in Hotels",
+    )
+    .unwrap();
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::CrossProduct)
+        .expect("MC007 for an unlinked, used generator");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("`h`"), "{d}");
+    let span = d.span.expect("MC007 anchors at the binder");
+    assert_eq!((span.line, span.col), (2, 19), "the `h` binder position");
+}
+
+#[test]
+fn statically_empty_predicate_is_flagged_at_the_where_clause() {
+    let schema = travel::schema();
+    let report = analyze(
+        &schema,
+        "select h.name from h in Hotels\nwhere h.name = 'A' and h.name = 'B'",
+    )
+    .unwrap();
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::StaticallyEmpty)
+        .expect("MC008 for contradictory conjuncts");
+    assert_eq!(d.severity, Severity::Warning);
+    let span = d.span.expect("MC008 anchors at the predicate");
+    assert_eq!((span.line, span.col), (2, 7), "first token of the predicate");
+}
+
+#[test]
+fn fused_fallback_is_flagged_with_the_refusal_reason() {
+    let schema = travel::schema();
+    let report = analyze(
+        &schema,
+        "select h.name\nfrom c in Cities, h in Hotels where c.name = h.name",
+    )
+    .unwrap();
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::FusedFallback)
+        .expect("MC009 for a join query");
+    assert_eq!(d.severity, Severity::Info);
+    assert!(d.message.contains("independent generator `h`"), "{d}");
+    let span = d.span.expect("MC009 anchors at the refusing construct");
+    assert_eq!((span.line, span.col), (2, 19), "the `h` binder position");
+}
+
+/// Exemplar diagnostics are stable under `parse ∘ unparse`: re-rendering
+/// an exemplar to OQL text and re-analyzing it yields the same codes in
+/// the same order (spans may move — the rendering is one line).
+#[test]
+fn exemplar_diagnostics_survive_parse_unparse() {
+    let schema = travel::schema();
+    for entry in std::fs::read_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/examples/oql")).unwrap()
+    {
+        let path = entry.unwrap().path();
+        let src = std::fs::read_to_string(&path).unwrap();
+        let before = analyze(&schema, &src).unwrap();
+        let reprinted = monoid_db::oql::unparse(&monoid_db::oql::parse_query(&src).unwrap());
+        let after = analyze(&schema, &reprinted).unwrap();
+        assert_eq!(
+            codes(&before.diagnostics),
+            codes(&after.diagnostics),
+            "diagnostics moved under parse∘unparse of {path:?}:\n{reprinted}"
+        );
+    }
 }
 
 // -------------------------------------------------------------------------

@@ -191,6 +191,36 @@ fn registry_accounts_for_a_known_workload() {
         }
     }
 
+    // --- 4c. Gathered statistics are reused across prepares at the same
+    //         mutation epoch, and re-gathered after any mutation. -------
+    {
+        use monoid_calculus::value::Value;
+        let src = "select m.name from m in Managers";
+        // Move to a fresh epoch so the first prepare below is a cold gather
+        // regardless of what 4b left in the stats cache.
+        db.set_root("StatsEpoch", Value::Int(0));
+        let before = metrics::global().snapshot();
+        monoid_db::prepare_on(&db, src).unwrap(); // cold: gathers
+        monoid_db::prepare_on(&db, src).unwrap(); // same epoch: reuses
+        monoid_db::prepare_on(&db, src).unwrap();
+        let diff = metrics::global().snapshot().diff(&before);
+        assert_eq!(diff.counter("stats_gather_reuse_total"), 2);
+        // Any mutation bumps the epoch: the next prepare re-gathers.
+        db.set_root("StatsEpoch", Value::Int(1));
+        let before = metrics::global().snapshot();
+        monoid_db::prepare_on(&db, src).unwrap();
+        let diff = metrics::global().snapshot().diff(&before);
+        assert_eq!(diff.counter("stats_gather_reuse_total"), 0);
+        // Clones are independent stores with fresh instance ids, so a
+        // clone at an equal epoch number can never hit this cache entry.
+        let db2 = db.clone();
+        assert_ne!(db.instance_id(), db2.instance_id());
+        let before = metrics::global().snapshot();
+        monoid_db::prepare_on(&db2, src).unwrap();
+        let diff = metrics::global().snapshot().diff(&before);
+        assert_eq!(diff.counter("stats_gather_reuse_total"), 0);
+    }
+
     // --- 5. A failing query lands in the error counters, not the hot
     //        ones. ------------------------------------------------------
     let before = metrics::global().snapshot();
