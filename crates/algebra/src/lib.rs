@@ -58,7 +58,7 @@ pub mod verify;
 pub use error::PlanError;
 pub use exec::{
     execute, execute_bound, execute_counted, execute_counted_bound, execute_plan_walk,
-    execute_plan_walk_bound, NoProbe, Probe,
+    execute_plan_walk_bound, execute_snapshot, execute_snapshot_bound, NoProbe, Probe,
 };
 pub use fused::{engine_of, fused_eligible, Engine};
 pub use metrics::{
@@ -80,4 +80,4 @@ pub use trace::{
     analyze_with_trace, audit_enabled, execute_profiled, execute_profiled_bound, explain_analyze,
     fold_stacks, set_audit_enabled, Analysis, OperatorProfile, QueryProfile,
 };
-pub use verify::verify_query;
+pub use verify::{verify_query, verify_query_at};

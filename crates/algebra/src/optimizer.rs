@@ -23,10 +23,11 @@
 use monoid_calculus::analysis::constraints::{AttrFacts, Catalog, ExtentFacts};
 use monoid_calculus::analysis::effects::monoid_short_circuits;
 use monoid_calculus::expr::{BinOp, Expr, Literal, Qual, UnOp};
+use monoid_calculus::heap::Heap;
 use monoid_calculus::subst::free_vars;
 use monoid_calculus::symbol::Symbol;
 use monoid_calculus::value::Value;
-use monoid_store::Database;
+use monoid_store::{Database, Snapshot};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// Cardinality statistics gathered from a database.
@@ -66,30 +67,17 @@ impl Stats {
     /// database's `mutation_epoch` so callers can reuse them until the
     /// next mutation.
     pub fn gather(db: &Database) -> Stats {
-        let mut extent_sizes = HashMap::new();
-        for (name, value) in db.roots() {
-            if let Ok(n) = value.len() {
-                extent_sizes.insert(name, n as f64);
-            }
-        }
-        let mut sums: HashMap<Symbol, (f64, f64)> = HashMap::new();
-        for (_, state) in db.heap().iter() {
-            if let Value::Record(fields) = state {
-                for (name, fv) in fields.iter() {
-                    if let Ok(n) = fv.len() {
-                        let entry = sums.entry(*name).or_insert((0.0, 0.0));
-                        entry.0 += n as f64;
-                        entry.1 += 1.0;
-                    }
-                }
-            }
-        }
-        let fanouts = sums
-            .into_iter()
-            .map(|(name, (total, count))| (name, total / count.max(1.0)))
-            .collect();
-        let catalog = gather_catalog(db);
-        Stats { extent_sizes, fanouts, catalog, epoch: Some(db.mutation_epoch()) }
+        let roots: Vec<(Symbol, &Value)> = db.roots().collect();
+        gather_from(db.heap(), &roots, db.mutation_epoch())
+    }
+
+    /// [`Stats::gather`] over an immutable [`Snapshot`] — the same scan,
+    /// stamped with the snapshot's *pinned* epoch, so a serving layer can
+    /// key stats reuse off `(instance_id, epoch)` without holding any
+    /// lock on the live database.
+    pub fn gather_snapshot(snap: &Snapshot) -> Stats {
+        let roots: Vec<(Symbol, &Value)> = snap.roots().collect();
+        gather_from(snap.heap(), &roots, snap.epoch())
     }
 
     /// The attribute-level fact catalog (for the core abstract
@@ -337,18 +325,48 @@ fn source_key(src: &Expr) -> Option<Symbol> {
 // Catalog gathering
 // ---------------------------------------------------------------------------
 
+/// The shared body of [`Stats::gather`] and [`Stats::gather_snapshot`]:
+/// everything a gather reads is in the `(heap, roots)` pair, which both a
+/// live database and a pinned snapshot can produce.
+fn gather_from(heap: &Heap, roots: &[(Symbol, &Value)], epoch: u64) -> Stats {
+    let mut extent_sizes = HashMap::new();
+    for (name, value) in roots {
+        if let Ok(n) = value.len() {
+            extent_sizes.insert(*name, n as f64);
+        }
+    }
+    let mut sums: HashMap<Symbol, (f64, f64)> = HashMap::new();
+    for (_, state) in heap.iter() {
+        if let Value::Record(fields) = state {
+            for (name, fv) in fields.iter() {
+                if let Ok(n) = fv.len() {
+                    let entry = sums.entry(*name).or_insert((0.0, 0.0));
+                    entry.0 += n as f64;
+                    entry.1 += 1.0;
+                }
+            }
+        }
+    }
+    let fanouts = sums
+        .into_iter()
+        .map(|(name, (total, count))| (name, total / count.max(1.0)))
+        .collect();
+    let catalog = gather_catalog(heap, roots);
+    Stats { extent_sizes, fanouts, catalog, epoch: Some(epoch) }
+}
+
 /// Walk the database roots (and the collections reachable from their
 /// element records, up to [`CATALOG_DEPTH`]) gathering per-attribute
 /// domain facts for the abstract interpreter.
-fn gather_catalog(db: &Database) -> Catalog {
+fn gather_catalog(heap: &Heap, roots: &[(Symbol, &Value)]) -> Catalog {
     let mut catalog = Catalog::default();
-    for (name, value) in db.roots() {
+    for (name, value) in roots {
         let Ok(elems) = value.elements() else { continue };
         let mut ext = ExtentFacts { size: elems.len() as u64, ..Default::default() };
         let mut seen: BTreeSet<Value> = BTreeSet::new();
         ext.distinct_elements = elems.iter().all(|e| seen.insert(e.clone()));
-        collect_collection(db, &elems, 0, &mut ext.attrs, &mut catalog.fields);
-        catalog.extents.insert(name, ext);
+        collect_collection(heap, &elems, 0, &mut ext.attrs, &mut catalog.fields);
+        catalog.extents.insert(*name, ext);
     }
     catalog
 }
@@ -357,7 +375,7 @@ fn gather_catalog(db: &Database) -> Catalog {
 /// fan-out facts (plus nested attribute facts) for their collection-valued
 /// fields.
 fn collect_collection(
-    db: &Database,
+    heap: &Heap,
     elems: &[Value],
     depth: usize,
     attrs_out: &mut BTreeMap<Symbol, AttrFacts>,
@@ -369,7 +387,7 @@ fn collect_collection(
     for elem in elems {
         let fields: &[(Symbol, Value)] = match elem {
             Value::Record(fields) => fields,
-            Value::Obj(oid) => match db.heap().get(*oid) {
+            Value::Obj(oid) => match heap.get(*oid) {
                 Ok(Value::Record(fields)) => fields,
                 _ => continue,
             },
@@ -428,7 +446,7 @@ fn collect_collection(
         // the field's own attribute table (taken out to appease borrows).
         let mut sub_attrs =
             std::mem::take(&mut fields_out.get_mut(&fname).expect("field recorded").attrs);
-        collect_collection(db, &kids, depth + 1, &mut sub_attrs, fields_out);
+        collect_collection(heap, &kids, depth + 1, &mut sub_attrs, fields_out);
         fields_out.get_mut(&fname).expect("field recorded").attrs = sub_attrs;
     }
 }

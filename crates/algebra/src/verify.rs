@@ -32,9 +32,17 @@ use std::collections::BTreeSet;
 /// first violation, tagged with its stage; also bumps
 /// `analysis_verify_failures_total{stage}` on failure.
 pub fn verify_query(query: &Query, db: &Database) -> Result<(), VerifyError> {
+    verify_query_at(query, db.mutation_epoch())
+}
+
+/// [`verify_query`] against a pinned mutation epoch instead of a live
+/// database — the snapshot executors' entry point: a reader holding a
+/// [`monoid_store::Snapshot`] must check index freshness against the
+/// *snapshot's* epoch, not whatever the writer has advanced to since.
+pub fn verify_query_at(query: &Query, epoch: u64) -> Result<(), VerifyError> {
     let result = check_binders(&query.plan, &mut BTreeSet::new())
         .and_then(|()| check_build_tables(&query.plan))
-        .and_then(|()| check_indexes(&query.plan, db))
+        .and_then(|()| check_indexes(&query.plan, epoch))
         .and_then(|()| check_effects(&query.plan));
     if let Err(e) = &result {
         record_failure(e.stage);
@@ -134,38 +142,40 @@ fn check_build_tables(plan: &Plan) -> Result<(), VerifyError> {
     }
 }
 
-/// `plan/index`: every embedded index snapshot must carry the database's
-/// current mutation epoch — the same freshness rule
+/// `plan/index`: every embedded index snapshot must carry the executed
+/// state's mutation epoch — the same freshness rule
 /// `index::apply_indexes` enforces at planning time, re-checked here
-/// because mutations may have landed between planning and execution.
-fn check_indexes(plan: &Plan, db: &Database) -> Result<(), VerifyError> {
+/// because mutations may have landed between planning and execution. For
+/// a live database the epoch is its current one; for a snapshot read it
+/// is the snapshot's pinned epoch.
+fn check_indexes(plan: &Plan, epoch: u64) -> Result<(), VerifyError> {
     match plan {
         Plan::Scan { .. } => Ok(()),
         Plan::IndexLookup { index, .. } => {
-            if index.is_fresh(db) {
+            if index.built_at_epoch() == epoch {
                 Ok(())
             } else {
                 Err(VerifyError::new(
                     "plan/index",
                     format!(
-                        "index on {}.{} was built at mutation epoch {} but the database is at \
-                         epoch {}; rebuild with `apply_indexes_rebuilding`",
+                        "index on {}.{} was built at mutation epoch {} but the data being \
+                         scanned is at epoch {}; rebuild with `apply_indexes_rebuilding`",
                         index.extent,
                         index.field,
                         index.built_at_epoch(),
-                        db.mutation_epoch()
+                        epoch
                     ),
                 ))
             }
         }
         Plan::Unnest { input, .. } | Plan::Filter { input, .. } | Plan::Bind { input, .. } => {
-            check_indexes(input, db)
+            check_indexes(input, epoch)
         }
         Plan::Join { left, right, .. } => {
-            check_indexes(left, db)?;
-            check_indexes(right, db)
+            check_indexes(left, epoch)?;
+            check_indexes(right, epoch)
         }
-        Plan::HashProbe { left, .. } => check_indexes(left, db),
+        Plan::HashProbe { left, .. } => check_indexes(left, epoch),
     }
 }
 

@@ -188,6 +188,21 @@ fn main() {
         ]);
     }
     println!("{}", stable.render());
+
+    let mut svtable =
+        Table::new(&["serving statement", "cold first", "warm/query", "clients", "q/s"]);
+    for s in &report.serving {
+        for p in &s.points {
+            svtable.row(&[
+                s.name.to_string(),
+                fmt_nanos(s.cold_first_query_nanos),
+                fmt_nanos(s.warm_nanos_per_query),
+                p.clients.to_string(),
+                format!("{:.0}", p.queries_per_sec),
+            ]);
+        }
+    }
+    println!("{}", svtable.render());
     println!("operator rows: {:?}", report.operator_rows());
     println!("rules fired:   {:?}", report.rule_firings());
 

@@ -129,10 +129,14 @@ impl CompareReport {
 /// Cold prepared numbers and the parallel thread ladder are deliberately
 /// not gated — they measure the host (compiler, core count) more than
 /// the code.
-const SECTIONS: [(&str, &[&str]); 3] = [
+const SECTIONS: [(&str, &[&str]); 4] = [
     ("queries", &["median_nanos", "p95_nanos"]),
     ("prepared", &["warm_median_nanos"]),
     ("parallel", &["fused_median_nanos"]),
+    // The wire server's single-client warm round trip (schema v6). The
+    // throughput ladder is deliberately not gated — queries/second at 64
+    // clients measures the host's core count more than the code.
+    ("serving", &["warm_nanos_per_query"]),
 ];
 
 /// Compare a fresh report against a baseline, both in their
@@ -154,7 +158,13 @@ pub fn compare_reports(
 
     for (section, metrics) in SECTIONS {
         let cur = cases_of(current, section)?;
-        let base = cases_of(baseline, section)?;
+        // A baseline from an older schema may predate a section (e.g.
+        // `serving`, added in v6). Treat it as empty — every current
+        // case lands in `only_in_current` — instead of failing the gate
+        // on a report the old code can no longer regenerate. The fresh
+        // report gets no such grace: a section the current binary should
+        // have produced but didn't is a malformed report.
+        let base = cases_of(baseline, section).unwrap_or_default();
         for (name, base_case) in &base {
             let Some(cur_case) = cur.iter().find(|(n, _)| n == name).map(|(_, c)| c) else {
                 report.missing_in_current.push(format!("{section}/{name}"));
@@ -232,6 +242,13 @@ mod tests {
                     ("fused_median_nanos", Json::from(median)),
                 ])]),
             ),
+            (
+                "serving",
+                Json::Arr(vec![Json::obj(vec![
+                    ("name", Json::str("s1")),
+                    ("warm_nanos_per_query", Json::from(warm)),
+                ])]),
+            ),
         ])
     }
 
@@ -240,7 +257,7 @@ mod tests {
         let r = report(1_000_000, 500_000, false);
         let c = compare_reports(&r, &r, 50.0, 100_000.0).unwrap();
         assert!(c.passed());
-        assert_eq!(c.compared, 4);
+        assert_eq!(c.compared, 5);
         assert!(!c.mode_mismatch);
         assert!(c.improvements.is_empty());
         assert!(c.render().contains("PASS"), "{}", c.render());
@@ -252,12 +269,12 @@ mod tests {
         let slow = report(10_000_000, 5_000_000, false);
         let c = compare_reports(&slow, &base, 50.0, 100_000.0).unwrap();
         assert!(!c.passed());
-        assert_eq!(c.regressions.len(), 4, "{:?}", c.regressions);
+        assert_eq!(c.regressions.len(), 5, "{:?}", c.regressions);
         assert!(c.render().contains("REGRESSION"), "{}", c.render());
         // The mirror image is an improvement, and still a pass.
         let c = compare_reports(&base, &slow, 50.0, 100_000.0).unwrap();
         assert!(c.passed());
-        assert_eq!(c.improvements.len(), 4);
+        assert_eq!(c.improvements.len(), 5);
     }
 
     #[test]
@@ -301,5 +318,22 @@ mod tests {
         assert!(compare_reports(&Json::Null, &Json::Null, 50.0, 100_000.0).is_err());
         let no_prepared = Json::obj(vec![("queries", Json::Arr(vec![]))]);
         assert!(compare_reports(&no_prepared, &no_prepared, 50.0, 100_000.0).is_err());
+    }
+
+    #[test]
+    fn baseline_missing_a_section_is_lenient_current_is_not() {
+        // An old baseline without the v6 `serving` section still gates:
+        // the serving cases just have no baseline to compare against.
+        let current = report(1_000_000, 500_000, false);
+        let mut old = report(1_000_000, 500_000, false);
+        if let Json::Obj(fields) = &mut old {
+            fields.retain(|(k, _)| k != "serving");
+        }
+        let c = compare_reports(&current, &old, 50.0, 100_000.0).unwrap();
+        assert!(c.passed());
+        assert_eq!(c.compared, 4, "serving skipped, everything else gated");
+        assert_eq!(c.only_in_current, vec!["serving/s1"]);
+        // The other direction is a malformed *current* report: error.
+        assert!(compare_reports(&old, &current, 50.0, 100_000.0).is_err());
     }
 }

@@ -22,4 +22,5 @@ pub mod compare;
 pub mod harness;
 pub mod queries;
 pub mod regress;
+pub mod serving;
 pub mod top;

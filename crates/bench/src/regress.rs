@@ -175,6 +175,10 @@ pub struct RegressReport {
     /// execute); the workload also runs through a `Session` + `PlanCache`
     /// so the `plan_cache_*` counters land in the registry delta below.
     pub prepared: Vec<PreparedBench>,
+    /// Wire-server throughput: closed-loop queries/second against an
+    /// in-process `oqld` at {1, 4, 16, 64} concurrent connections, plus
+    /// the cold/warm single-client round trip ([`crate::serving`]).
+    pub serving: Vec<crate::serving::ServingBench>,
     /// Registry delta attributable to this workload (snapshot diff
     /// around the run).
     pub registry: Snapshot,
@@ -313,6 +317,7 @@ pub fn run_with(quick: bool, warm: bool) -> RegressReport {
     }
     let parallel = run_parallel_section(quick, runs);
     let prepared = run_prepared_section(quick, runs, warm);
+    let serving = crate::serving::run_serving_section(quick);
     let registry = metrics::global().snapshot().diff(&before);
     let prometheus = registry.to_prometheus();
     validate_prometheus_text(&prometheus).expect("exporter emits valid text format");
@@ -323,6 +328,7 @@ pub fn run_with(quick: bool, warm: bool) -> RegressReport {
         queries: reports,
         parallel,
         prepared,
+        serving,
         registry,
         prometheus,
         host: host_meta(),
@@ -664,12 +670,15 @@ impl RegressReport {
                 })
                 .collect(),
         );
+        let serving = Json::Arr(self.serving.iter().map(crate::serving::ServingBench::to_json).collect());
         let pairs_json = |pairs: Vec<(String, u64)>| {
             Json::Obj(pairs.into_iter().map(|(k, n)| (k, Json::from(n))).collect())
         };
         Json::obj(vec![
             ("bench", Json::str("regress")),
-            ("schema_version", Json::Int(5)),
+            // Version 6 added the `serving` section (wire-server
+            // throughput + gated warm round trip).
+            ("schema_version", Json::Int(6)),
             ("host", self.host.to_json()),
             ("quick", Json::Bool(self.quick)),
             ("warm", Json::Bool(self.warm)),
@@ -677,6 +686,7 @@ impl RegressReport {
             ("queries", queries),
             ("parallel", parallel),
             ("prepared", prepared),
+            ("serving", serving),
             ("operator_rows", pairs_json(self.operator_rows())),
             ("normalize_rules", pairs_json(self.rule_firings())),
             ("registry", self.registry.to_json()),
@@ -743,10 +753,31 @@ mod tests {
             assert!(p.cold_p50_nanos > 0 && p.warm_p50_nanos > 0, "{} timed", p.name);
             assert!(p.warm_speedup > 0.0);
         }
-        assert_eq!(report.registry.counter("plan_cache_misses_total"), 3);
-        assert_eq!(
-            report.registry.counter("plan_cache_hits_total"),
-            3 * (report.runs_per_query as u64 - 1)
+        // The serving section drove a real wire server: both statements
+        // timed cold and warm, the full client ladder walked, and every
+        // point actually completed its closed loop.
+        assert_eq!(report.serving.len(), 2);
+        for s in &report.serving {
+            assert!(s.cold_first_query_nanos > 0 && s.warm_nanos_per_query > 0, "{}", s.name);
+            assert_eq!(
+                s.points.iter().map(|p| p.clients).collect::<Vec<_>>(),
+                crate::serving::CLIENT_LADDER.to_vec(),
+                "{}",
+                s.name
+            );
+            for p in &s.points {
+                assert_eq!(p.total_queries, (p.clients * 8) as u64, "{}", s.name);
+                assert!(p.queries_per_sec > 0.0, "{}", s.name);
+            }
+        }
+        assert!(
+            report.registry.counter("plan_cache_misses_total") >= 3,
+            "the session loop and the wire server both miss once per statement"
+        );
+        assert!(
+            report.registry.counter("plan_cache_hits_total")
+                >= 3 * (report.runs_per_query as u64 - 1),
+            "session loop hits plus wire-server hits"
         );
         assert!(report.prometheus.contains("plan_cache_hits_total"), "{}", report.prometheus);
         // And the JSON document carries the acceptance fields.
@@ -769,6 +800,9 @@ mod tests {
             "\"cold_median_nanos\"",
             "\"warm_median_nanos\"",
             "\"warm_speedup\"",
+            "\"serving\"",
+            "\"warm_nanos_per_query\"",
+            "\"queries_per_sec\"",
             "\"host\"",
             "\"logical_cores\"",
             "\"rustc\"",

@@ -1,0 +1,194 @@
+//! The serving-throughput section of the regression report: an
+//! in-process `oqld`-shaped server ([`monoid_db::server::Server`]) over
+//! the travel store, driven closed-loop over the real wire protocol by
+//! [`monoid_db::server::Client`] connections at several concurrency
+//! levels.
+//!
+//! Per statement the section reports:
+//!
+//! * `cold_first_query_nanos` — connect + first-ever execution of the
+//!   statement (a plan-cache miss: the whole parse → … → plan pipeline
+//!   runs server-side), the latency a brand-new client sees;
+//! * `warm_nanos_per_query` — single-client median round trip once the
+//!   plan cache is hot. This is the **gated** metric
+//!   ([`crate::compare`]): one client, no queueing, so it tracks the
+//!   serving stack's per-statement overhead rather than the host's core
+//!   count;
+//! * a `clients` ladder — closed-loop throughput (queries/second) at
+//!   {1, 4, 16, 64} concurrent connections, each pinned to its own
+//!   per-statement snapshot server-side. Not gated: throughput measures
+//!   the machine as much as the code, but its trajectory belongs in the
+//!   report.
+
+use crate::harness::percentile_nanos;
+use monoid_calculus::json::Json;
+use monoid_calculus::value::Value;
+use monoid_db::server::{Client, Server};
+use monoid_store::{travel, TravelScale};
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Client counts the closed-loop ladder runs at.
+pub const CLIENT_LADDER: [usize; 4] = [1, 4, 16, 64];
+
+/// One concurrency level of the closed loop.
+pub struct ServingPoint {
+    pub clients: usize,
+    /// Queries completed across all clients.
+    pub total_queries: u64,
+    /// Wall time of the slowest client (all start together behind a
+    /// barrier, so this is the window the whole batch fit in).
+    pub wall_nanos: u128,
+    pub queries_per_sec: f64,
+}
+
+/// One statement's serving numbers.
+pub struct ServingBench {
+    pub name: &'static str,
+    pub source: String,
+    pub cold_first_query_nanos: u128,
+    /// Single-client warm median round trip — the gated metric.
+    pub warm_nanos_per_query: u128,
+    pub points: Vec<ServingPoint>,
+}
+
+impl ServingBench {
+    pub fn to_json(&self) -> Json {
+        let clients = Json::Arr(
+            self.points
+                .iter()
+                .map(|p| {
+                    Json::obj(vec![
+                        ("clients", Json::from(p.clients)),
+                        ("total_queries", Json::from(p.total_queries)),
+                        ("wall_nanos", Json::from(p.wall_nanos)),
+                        ("queries_per_sec", Json::Float(p.queries_per_sec)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("name", Json::str(self.name)),
+            ("source", Json::str(self.source.clone())),
+            ("cold_first_query_nanos", Json::from(self.cold_first_query_nanos)),
+            ("warm_nanos_per_query", Json::from(self.warm_nanos_per_query)),
+            ("clients", clients),
+        ])
+    }
+}
+
+type Param = (String, Value);
+
+fn cases() -> Vec<(&'static str, &'static str, Vec<Param>)> {
+    vec![
+        (
+            "serving-exists-point",
+            "exists h in Hotels: h.name = $name",
+            vec![("name".to_string(), Value::str("hotel_0_0"))],
+        ),
+        (
+            "serving-city-rooms",
+            "select r.price from c in Cities, h in c.hotels, r in h.rooms \
+             where c.name = $city and r.bed# = $beds",
+            vec![
+                ("city".to_string(), Value::str("Portland")),
+                ("beds".to_string(), Value::Int(2)),
+            ],
+        ),
+    ]
+}
+
+/// Run the section: spawn the server on a loopback ephemeral port, time
+/// each statement cold and warm, then walk the client ladder. The
+/// server is shut down before returning.
+pub fn run_serving_section(quick: bool) -> Vec<ServingBench> {
+    let scale = if quick { TravelScale::tiny() } else { TravelScale::small() };
+    let db = travel::generate(scale, 7);
+    let server = Server::bind("127.0.0.1:0", db).expect("serving bench binds loopback");
+    let addr = server.addr();
+    let handle = server.spawn();
+    let warm_runs = if quick { 16 } else { 64 };
+    let iters_per_client = if quick { 8 } else { 32 };
+
+    let reports = cases()
+        .into_iter()
+        .map(|(name, source, params)| {
+            // Cold: a fresh connection's first-ever execution of this
+            // statement — the server-side plan-cache miss path, over the
+            // wire.
+            let mut client = Client::connect(addr).expect("serving bench connects");
+            let started = Instant::now();
+            client.query(source, &params).expect("serving bench statement executes");
+            let cold_first_query_nanos = started.elapsed().as_nanos();
+
+            // Warm: the same connection, cache hot, one statement at a
+            // time.
+            let mut samples = Vec::with_capacity(warm_runs);
+            for _ in 0..warm_runs {
+                let started = Instant::now();
+                client.query(source, &params).expect("serving bench statement executes");
+                samples.push(started.elapsed().as_nanos());
+            }
+            let warm_nanos_per_query = percentile_nanos(&samples, 50.0);
+
+            // The closed loop: N clients, each its own connection and
+            // thread, all released together; throughput is the batch
+            // over the slowest client's window.
+            let points = CLIENT_LADDER
+                .iter()
+                .map(|&n| run_point(addr, source, &params, n, iters_per_client))
+                .collect();
+            ServingBench {
+                name,
+                source: source.to_string(),
+                cold_first_query_nanos,
+                warm_nanos_per_query,
+                points,
+            }
+        })
+        .collect();
+    handle.shutdown();
+    reports
+}
+
+fn run_point(
+    addr: SocketAddr,
+    source: &str,
+    params: &[Param],
+    clients: usize,
+    iters: usize,
+) -> ServingPoint {
+    let barrier = Arc::new(Barrier::new(clients));
+    let workers: Vec<_> = (0..clients)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            let source = source.to_string();
+            let params = params.to_vec();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("serving bench connects");
+                // One untimed round trip so every connection is past
+                // Hello + cache lookup before the gun goes off.
+                client.query(&source, &params).expect("serving bench warms up");
+                barrier.wait();
+                let started = Instant::now();
+                for _ in 0..iters {
+                    client.query(&source, &params).expect("serving bench statement executes");
+                }
+                started.elapsed().as_nanos()
+            })
+        })
+        .collect();
+    let wall_nanos = workers
+        .into_iter()
+        .map(|w| w.join().expect("serving bench client thread completes"))
+        .max()
+        .unwrap_or(1);
+    let total_queries = (clients * iters) as u64;
+    ServingPoint {
+        clients,
+        total_queries,
+        wall_nanos,
+        queries_per_sec: total_queries as f64 / (wall_nanos.max(1) as f64 / 1e9),
+    }
+}

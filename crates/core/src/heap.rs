@@ -10,16 +10,31 @@
 
 use crate::error::{EvalError, EvalResult};
 use crate::value::{Oid, Value};
+use std::sync::Arc;
 
 /// A growable store of object states indexed by [`Oid`].
-#[derive(Debug, Default, Clone)]
+///
+/// Storage is copy-on-write: the state vector lives behind an `Arc`, so
+/// cloning a heap is O(1) regardless of how many objects it holds. A
+/// mutation (`alloc`/`set`) on a heap whose storage is shared with a
+/// clone first unshares it (one deep copy), leaving every other clone
+/// untouched — which is exactly the snapshot-isolation contract the
+/// store builds on: readers holding a snapshot keep seeing the heap as
+/// it was, writers commit new epochs against their own copy.
+#[derive(Debug, Clone)]
 pub struct Heap {
-    states: Vec<Value>,
+    states: Arc<Vec<Value>>,
     /// Bumped on every mutation (`alloc`/`set`). Consumers (the store's
     /// mutation epoch, index staleness checks) compare versions to detect
     /// that the heap changed between two points in time; the counter
     /// travels with the heap through clone and `mem::take`/restore cycles.
     version: u64,
+}
+
+impl Default for Heap {
+    fn default() -> Heap {
+        Heap { states: Arc::new(Vec::new()), version: 0 }
+    }
 }
 
 impl Heap {
@@ -32,8 +47,9 @@ impl Heap {
     /// example: `some{ !x = !y | x ← new(1), y ← new(1) }` is true — equal
     /// *states* — while `x = y` would be false — distinct *identities*).
     pub fn alloc(&mut self, state: Value) -> Oid {
-        let oid = Oid(self.states.len() as u64);
-        self.states.push(state);
+        let states = Arc::make_mut(&mut self.states);
+        let oid = Oid(states.len() as u64);
+        states.push(state);
         self.version += 1;
         oid
     }
@@ -47,14 +63,20 @@ impl Heap {
 
     /// Update the state of `oid`.
     pub fn set(&mut self, oid: Oid, state: Value) -> EvalResult<()> {
-        match self.states.get_mut(oid.0 as usize) {
-            Some(slot) => {
-                *slot = state;
-                self.version += 1;
-                Ok(())
-            }
-            None => Err(EvalError::InvalidOid(oid.0)),
+        if (oid.0 as usize) >= self.states.len() {
+            return Err(EvalError::InvalidOid(oid.0));
         }
+        let states = Arc::make_mut(&mut self.states);
+        states[oid.0 as usize] = state;
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Do `self` and `other` share the same underlying storage (i.e. is
+    /// cloning between them still free)? Diagnostic for the COW tests —
+    /// equal answers do not require shared storage.
+    pub fn shares_storage_with(&self, other: &Heap) -> bool {
+        Arc::ptr_eq(&self.states, &other.states)
     }
 
     /// Mutation counter: strictly increases across `alloc`/`set` calls.
@@ -133,6 +155,29 @@ mod tests {
         h.alloc(Value::Int(2));
         assert_eq!(h.states_from(base), &[Value::Int(1), Value::Int(2)]);
         assert_eq!(h.states_from(h.len() + 10), &[] as &[Value]);
+    }
+
+    #[test]
+    fn clones_share_storage_until_written() {
+        let mut h = Heap::new();
+        let a = h.alloc(Value::Int(1));
+        let snapshot = h.clone();
+        assert!(snapshot.shares_storage_with(&h), "clone is O(1)");
+        // Writing through one side unshares it; the other keeps the old
+        // states and version.
+        h.set(a, Value::Int(2)).unwrap();
+        assert!(!snapshot.shares_storage_with(&h));
+        assert_eq!(snapshot.get(a).unwrap(), &Value::Int(1));
+        assert_eq!(h.get(a).unwrap(), &Value::Int(2));
+        assert!(h.version() > snapshot.version());
+        // Allocation on the writer is invisible to the snapshot.
+        let b = h.alloc(Value::Int(3));
+        assert_eq!(snapshot.len(), 1);
+        assert!(snapshot.get(b).is_err());
+        // Once unshared, further writes stay in place (no copies needed).
+        let states_before = Arc::as_ptr(&h.states);
+        h.set(a, Value::Int(4)).unwrap();
+        assert_eq!(Arc::as_ptr(&h.states), states_before);
     }
 
     #[test]

@@ -145,6 +145,10 @@ pub struct QueryRecord {
     /// batch-fold engine, `"plan-walk"` for the plan-tree interpreter,
     /// `"eval"` for direct evaluation outside the algebra).
     pub engine: Option<String>,
+    /// The `mutation_epoch` of the snapshot this statement read from,
+    /// when it ran on the snapshot-isolated read path (`None` for writer
+    /// path and algebra-level executions).
+    pub snapshot_epoch: Option<u64>,
     /// The error message, for failed executions.
     pub error: Option<String>,
     /// Did this record exceed the slow-query threshold?
@@ -168,6 +172,7 @@ impl QueryRecord {
             parallel_workers: 0,
             parallel_fallback: None,
             engine: None,
+            snapshot_epoch: None,
             error: None,
             slow: false,
         }
@@ -212,6 +217,10 @@ impl QueryRecord {
             (
                 "engine",
                 self.engine.clone().map(Json::Str).unwrap_or(Json::Null),
+            ),
+            (
+                "snapshot_epoch",
+                self.snapshot_epoch.map(Json::from).unwrap_or(Json::Null),
             ),
             (
                 "outcome",
@@ -271,6 +280,7 @@ impl QueryRecord {
                 .and_then(Json::as_str)
                 .map(str::to_string),
             engine: j.get("engine").and_then(Json::as_str).map(str::to_string),
+            snapshot_epoch: j.get("snapshot_epoch").and_then(Json::as_u64),
             error: j.get("error").and_then(Json::as_str).map(str::to_string),
             slow: j.get("slow").and_then(Json::as_bool).unwrap_or(false),
         })
@@ -330,6 +340,7 @@ impl QueryRecord {
                 .and_then(Json::as_str)
                 .map(str::to_string),
             engine: j.get("engine").and_then(Json::as_str).map(str::to_string),
+            snapshot_epoch: j.get("snapshot_epoch").and_then(Json::as_u64),
             error: j.get("error").and_then(Json::as_str).map(str::to_string),
             slow: j.get("slow").and_then(Json::as_bool).unwrap_or(false),
         })
@@ -338,8 +349,9 @@ impl QueryRecord {
 
 /// Version stamped into [`FlightRecorder::to_json`] journals. Bump when
 /// the record schema changes shape; journals without the field are
-/// version 1. Version 3 added the `engine` field.
-pub const JOURNAL_SCHEMA_VERSION: u64 = 3;
+/// version 1. Version 3 added the `engine` field; version 4 added
+/// `snapshot_epoch`.
+pub const JOURNAL_SCHEMA_VERSION: u64 = 4;
 
 /// Hash of the full source text (stable within a process, like the plan
 /// cache's schema fingerprint).
@@ -710,6 +722,12 @@ pub fn note_engine(engine: &str) {
     with_active(|r| r.engine = Some(engine.to_string()));
 }
 
+/// Record the pinned `mutation_epoch` of the snapshot a read-path
+/// statement executed against.
+pub fn note_snapshot_epoch(epoch: u64) {
+    with_active(|r| r.snapshot_epoch = Some(epoch));
+}
+
 /// Returned by [`RecordScope::finish`] when the record crossed the
 /// slow-query threshold: everything a layer needs to attach a
 /// [`SlowQueryCapture`].
@@ -818,6 +836,7 @@ mod tests {
         r.parallel_workers = 4;
         r.parallel_fallback = Some("mutation".to_string());
         r.engine = Some("fused".to_string());
+        r.snapshot_epoch = Some(41);
         r.error = Some("boom".to_string());
         r.slow = true;
         let j = r.to_json();

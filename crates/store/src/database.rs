@@ -60,15 +60,22 @@ fn store_metrics() -> &'static StoreMetrics {
 }
 
 /// An object database.
+///
+/// Schema, roots, and the heap's storage all live behind `Arc`s, so
+/// [`Database::snapshot`] is O(1): it hands out an immutable
+/// [`crate::Snapshot`] sharing the current state. Mutations go through
+/// `Arc::make_mut` — free while no snapshot is outstanding, one
+/// copy-on-write unshare when one is — so writers never block readers
+/// and readers never observe a torn state.
 #[derive(Debug, Default)]
 pub struct Database {
-    schema: Schema,
+    schema: Arc<Schema>,
     heap: Heap,
     /// Named persistent roots: extents (bags of objects) and any other
     /// top-level values.
-    roots: BTreeMap<Symbol, Value>,
+    roots: Arc<BTreeMap<Symbol, Value>>,
     /// Which class each extent member list belongs to, for `insert`.
-    extent_of: BTreeMap<Symbol, Symbol>,
+    extent_of: Arc<BTreeMap<Symbol, Symbol>>,
     /// Bumped on every root mutation (`insert` extent growth, `set_root`).
     /// Heap mutations are tracked by the heap's own version counter; the
     /// two together form [`Database::mutation_epoch`].
@@ -84,10 +91,10 @@ pub struct Database {
 impl Clone for Database {
     fn clone(&self) -> Database {
         Database {
-            schema: self.schema.clone(),
+            schema: Arc::clone(&self.schema),
             heap: self.heap.clone(),
-            roots: self.roots.clone(),
-            extent_of: self.extent_of.clone(),
+            roots: Arc::clone(&self.roots),
+            extent_of: Arc::clone(&self.extent_of),
             roots_epoch: self.roots_epoch,
             instance: next_instance(),
         }
@@ -113,13 +120,31 @@ impl Database {
             }
         }
         Database {
-            schema,
+            schema: Arc::new(schema),
             heap: Heap::new(),
-            roots,
-            extent_of,
+            roots: Arc::new(roots),
+            extent_of: Arc::new(extent_of),
             roots_epoch: 0,
             instance: next_instance(),
         }
+    }
+
+    /// An immutable, `O(1)` snapshot of this database's current state:
+    /// the Arc'd heap, roots, and schema, stamped with
+    /// `(instance_id, mutation_epoch)`. Any number of reader threads can
+    /// execute against the snapshot concurrently while this database
+    /// keeps mutating — a mutation after the snapshot copy-on-writes the
+    /// shared storage, so the snapshot keeps seeing exactly the state it
+    /// was taken at (see [`crate::Snapshot`]).
+    pub fn snapshot(&self) -> crate::Snapshot {
+        crate::Snapshot::new(
+            Arc::clone(&self.schema),
+            self.heap.clone(),
+            Arc::clone(&self.roots),
+            Arc::clone(&self.extent_of),
+            self.instance,
+            self.mutation_epoch(),
+        )
     }
 
     /// A process-unique identity for this database value. Paired with
@@ -143,6 +168,12 @@ impl Database {
 
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// The schema behind its shared handle (snapshots and servers hold
+    /// clones of this instead of copying the schema).
+    pub fn schema_arc(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
     }
 
     pub fn heap(&self) -> &Heap {
@@ -170,7 +201,7 @@ impl Database {
                 .unwrap_or_else(|| Value::bag_from(Vec::new()));
             let mut elems = current.elements()?;
             elems.push(obj);
-            self.roots.insert(extent, Value::bag_from(elems));
+            Arc::make_mut(&mut self.roots).insert(extent, Value::bag_from(elems));
             self.roots_epoch += 1;
         }
         Ok(oid)
@@ -178,7 +209,7 @@ impl Database {
 
     /// Set (or create) a named persistent root.
     pub fn set_root(&mut self, name: impl Into<Symbol>, value: Value) {
-        self.roots.insert(name.into(), value);
+        Arc::make_mut(&mut self.roots).insert(name.into(), value);
         self.roots_epoch += 1;
     }
 

@@ -11,6 +11,9 @@
 //!   queries run verbatim.
 //! * [`company`] — a second sample database with a class *hierarchy*
 //!   (`Manager <: Employee <: Person`), exercising OQL's subtype features.
+//! * [`snapshot`] — immutable `O(1)` database snapshots
+//!   ([`Database::snapshot`]) for concurrent, snapshot-isolated reads;
+//!   stamped with `(instance_id, mutation_epoch)`.
 //! * [`codec`] — self-contained binary snapshots of values and whole
 //!   databases.
 //!
@@ -20,7 +23,9 @@
 pub mod codec;
 pub mod company;
 pub mod database;
+pub mod snapshot;
 pub mod travel;
 
 pub use database::Database;
+pub use snapshot::Snapshot;
 pub use travel::TravelScale;

@@ -1,0 +1,74 @@
+//! `oqld` — the wire server over a generated travel-agency database.
+//!
+//! ```text
+//! oqld [--addr HOST:PORT] [--scale tiny|small|hotels=N] [--seed N]
+//! ```
+//!
+//! Binds (default `127.0.0.1:0`, an ephemeral port), prints exactly one
+//! `listening on <addr>` line to stdout (test harnesses parse the port
+//! from it), then serves until killed. Protocol spec: `docs/serving.md`.
+
+use monoid_db::server::Server;
+use monoid_store::travel::{self, TravelScale};
+use std::io::Write;
+
+fn main() {
+    let mut addr = String::from("127.0.0.1:0");
+    let mut scale = TravelScale::small();
+    let mut seed = 42u64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = expect_value(&arg, args.next()),
+            "--scale" => {
+                let v = expect_value(&arg, args.next());
+                scale = parse_scale(&v).unwrap_or_else(|| {
+                    die(&format!("bad --scale {v:?}: want tiny|small|hotels=N"))
+                });
+            }
+            "--seed" => {
+                let v = expect_value(&arg, args.next());
+                seed = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("bad --seed {v:?}: want an integer")));
+            }
+            "--help" | "-h" => {
+                println!("usage: oqld [--addr HOST:PORT] [--scale tiny|small|hotels=N] [--seed N]");
+                return;
+            }
+            other => die(&format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+
+    let db = travel::generate(scale, seed);
+    let server = Server::bind(&addr, db)
+        .unwrap_or_else(|e| die(&format!("failed to bind {addr}: {e}")));
+    println!("listening on {}", server.addr());
+    // The harness reads this line to learn the port; make sure it's out
+    // before the accept loop blocks.
+    std::io::stdout().flush().ok();
+    if let Err(e) = server.run() {
+        die(&format!("server error: {e}"));
+    }
+}
+
+fn parse_scale(v: &str) -> Option<TravelScale> {
+    match v {
+        "tiny" => Some(TravelScale::tiny()),
+        "small" => Some(TravelScale::small()),
+        _ => {
+            let n = v.strip_prefix("hotels=")?.parse().ok()?;
+            Some(TravelScale::with_hotels(n))
+        }
+    }
+}
+
+fn expect_value(flag: &str, v: Option<String>) -> String {
+    v.unwrap_or_else(|| die(&format!("{flag} needs a value")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("oqld: {msg}");
+    std::process::exit(1)
+}

@@ -28,10 +28,13 @@ pub use monoid_oql as oql;
 pub use monoid_store as store;
 pub use monoid_vector as vector;
 
+pub mod server;
 pub mod serving;
+pub mod wire;
 
 pub use serving::{
-    global_plan_cache, prepare, prepare_expr, prepare_on, Params, PlanCache, Prepared, Session,
+    global_plan_cache, prepare, prepare_expr, prepare_on, prepare_on_snapshot,
+    requests_in_flight, InFlightGuard, Params, PlanCache, Prepared, Session,
 };
 
 pub use monoid_calculus::prelude;

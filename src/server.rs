@@ -1,0 +1,428 @@
+//! The `oqld` serving front end: a concurrent, snapshot-isolated wire
+//! server over one [`Database`].
+//!
+//! Thread-per-connection over the length-prefixed protocol in
+//! [`crate::wire`] — no async runtime, no dependencies, and the same
+//! isolation story: every connection is a [`Session`]; every *statement*
+//! binds its own [`Snapshot`] of the database, so any number of
+//! connections read concurrently, each seeing one consistent epoch, while
+//! write statements serialize behind the `RwLock`'s write half. The lock
+//! is held only to *take* the O(1) snapshot (readers) or for the write
+//! itself (writers) — never across result streaming, so a slow client
+//! cannot stall the database.
+//!
+//! Statement routing is effect-driven: the prepared statement's
+//! [`EffectSummary`](monoid_calculus::analysis::EffectSummary) decides
+//! whether it runs on the snapshot read path
+//! ([`Session::query_snapshot`]) or the writer path ([`Session::query`]
+//! behind the write lock). A read-only statement therefore *cannot*
+//! block on a writer's commit, and a writer cannot see a half-applied
+//! read. The epoch each statement observed travels back to the client in
+//! the `DONE` frame.
+//!
+//! Malformed frames (truncated, oversized, unknown opcodes, garbage
+//! payloads) produce one `ERROR` response and a clean connection close —
+//! the framing may be out of sync, so continuing would misparse
+//! subsequent bytes. Statement-level failures (parse errors, unbound
+//! parameters, write-on-snapshot) produce an `ERROR` response and keep
+//! the session open. Battery in `tests/wire_protocol.rs` and
+//! `tests/server_smoke.rs`.
+
+use crate::serving::InFlightGuard;
+use crate::wire::{self, Request, Response, ResultShape};
+use crate::{AnalyzeError, Params, Session};
+use monoid_calculus::recorder;
+use monoid_calculus::value::Value;
+use monoid_store::{Database, Snapshot};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread;
+
+/// The serving front end: a TCP listener plus the shared database it
+/// serves. Construct with [`Server::bind`], then either [`Server::run`]
+/// (blocking accept loop) or [`Server::spawn`] (background thread,
+/// returns a [`ServerHandle`] for shutdown).
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    db: Arc<RwLock<Database>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Control handle for a spawned server: the bound address and a
+/// shutdown switch.
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (port 0 resolves here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the accept loop to stop. In-flight connections drain on
+    /// their own (each exits at its next clean EOF); no new connections
+    /// are accepted.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) over
+    /// `db`.
+    pub fn bind(addr: impl ToSocketAddrs, db: Database) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            db: Arc::new(RwLock::new(db)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared database — embedding tests use this to run writer
+    /// statements in-process while wire clients read.
+    pub fn database(&self) -> Arc<RwLock<Database>> {
+        Arc::clone(&self.db)
+    }
+
+    /// A control handle (address + shutdown switch).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { addr: self.addr, shutdown: Arc::clone(&self.shutdown) }
+    }
+
+    /// Run the accept loop on this thread until [`ServerHandle::shutdown`]
+    /// fires. Each connection gets its own thread and [`Session`].
+    pub fn run(self) -> io::Result<()> {
+        for conn in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            // A refused/reset handshake is the peer's problem, not
+            // grounds to stop serving everyone else.
+            let Ok(stream) = conn else { continue };
+            let db = Arc::clone(&self.db);
+            thread::spawn(move || {
+                let _ = serve_connection(stream, &db);
+            });
+        }
+        Ok(())
+    }
+
+    /// [`Server::run`] on a background thread; returns the control
+    /// handle.
+    pub fn spawn(self) -> ServerHandle {
+        let handle = self.handle();
+        thread::spawn(move || {
+            let _ = self.run();
+        });
+        handle
+    }
+}
+
+/// Statement ids handed out by `PREPARE`, per connection.
+fn next_statement_id(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Drive one connection: a [`Session`] over the process-wide plan cache,
+/// a per-connection prepared-statement table, and the request loop.
+fn serve_connection(stream: TcpStream, db: &Arc<RwLock<Database>>) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let session = Session::new();
+    let mut prepared: HashMap<u64, Arc<crate::Prepared>> = HashMap::new();
+    let statement_ids = AtomicU64::new(1);
+
+    loop {
+        let request = match wire::read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            // Clean EOF at a frame boundary: the client hung up.
+            Ok(None) => return Ok(()),
+            // Malformed frame: answer once, then close — the framing may
+            // be out of sync, so continuing would misparse the stream.
+            Err(e) => {
+                let _ = wire::write_response(
+                    &mut writer,
+                    &Response::Error { message: format!("malformed frame: {e}") },
+                );
+                let _ = writer.flush();
+                return Err(e);
+            }
+        };
+        match request {
+            Request::Hello { client: _ } => {
+                let (instance, epoch) = {
+                    let db = db.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    (db.instance_id(), db.mutation_epoch())
+                };
+                wire::write_response(
+                    &mut writer,
+                    &Response::Hello {
+                        server: concat!("oqld/", env!("CARGO_PKG_VERSION")).to_string(),
+                        protocol: wire::PROTOCOL_VERSION,
+                        instance,
+                        epoch,
+                    },
+                )?;
+            }
+            Request::Ping => wire::write_response(&mut writer, &Response::Pong)?,
+            Request::Prepare { src } => {
+                let snap = take_snapshot(db);
+                match session.cache().get_or_prepare_snapshot_traced(&snap, &src) {
+                    Ok((stmt, _)) => {
+                        let id = next_statement_id(&statement_ids);
+                        let params =
+                            stmt.params().iter().map(|p| p.as_str().to_string()).collect();
+                        prepared.insert(id, stmt);
+                        wire::write_response(&mut writer, &Response::Prepared { id, params })?;
+                    }
+                    Err(e) => send_error(&mut writer, &e)?,
+                }
+            }
+            Request::Query { src, params } => {
+                let params = build_params(&params);
+                let outcome = run_query(db, &session, &src, &params);
+                send_outcome(&mut writer, outcome)?;
+            }
+            Request::Execute { id, params } => {
+                let Some(stmt) = prepared.get(&id).cloned() else {
+                    wire::write_response(
+                        &mut writer,
+                        &Response::Error { message: format!("no prepared statement #{id}") },
+                    )?;
+                    writer.flush()?;
+                    continue;
+                };
+                let params = build_params(&params);
+                let outcome = run_prepared(db, &session, &stmt, &params);
+                send_outcome(&mut writer, outcome)?;
+            }
+        }
+        writer.flush()?;
+    }
+}
+
+/// Take an O(1) snapshot, holding the read lock only for the `Arc`
+/// clones.
+fn take_snapshot(db: &Arc<RwLock<Database>>) -> Snapshot {
+    db.read().unwrap_or_else(std::sync::PoisonError::into_inner).snapshot()
+}
+
+fn build_params(pairs: &[(String, Value)]) -> Params {
+    let mut params = Params::new();
+    for (name, value) in pairs {
+        params.set(name, value.clone());
+    }
+    params
+}
+
+/// Route an ad-hoc statement by effect: read-only statements execute
+/// against a fresh per-statement snapshot (no lock held during
+/// execution); writers take the write lock. Returns the value and the
+/// epoch the statement observed.
+fn run_query(
+    db: &Arc<RwLock<Database>>,
+    session: &Session,
+    src: &str,
+    params: &Params,
+) -> Result<(Value, u64), AnalyzeError> {
+    let snap = take_snapshot(db);
+    let (stmt, _) = session.cache().get_or_prepare_snapshot_traced(&snap, src)?;
+    if writes(&stmt) {
+        let mut db = db.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let value = session.query(&mut db, src, params)?;
+        Ok((value, db.mutation_epoch()))
+    } else {
+        let value = session.query_snapshot(&snap, src, params)?;
+        Ok((value, snap.epoch()))
+    }
+}
+
+/// [`run_query`] for a pre-prepared statement (`EXECUTE`): same routing,
+/// same per-statement snapshot binding.
+fn run_prepared(
+    db: &Arc<RwLock<Database>>,
+    session: &Session,
+    stmt: &Arc<crate::Prepared>,
+    params: &Params,
+) -> Result<(Value, u64), AnalyzeError> {
+    let _in_flight = InFlightGuard::enter();
+    if writes(stmt) {
+        let mut db = db.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        recorder::note_session(session.id());
+        let value = stmt.execute(&mut db, params)?;
+        Ok((value, db.mutation_epoch()))
+    } else {
+        let snap = take_snapshot(db);
+        recorder::note_session(session.id());
+        let value = stmt.execute_snapshot(&snap, params)?;
+        Ok((value, snap.epoch()))
+    }
+}
+
+fn writes(stmt: &crate::Prepared) -> bool {
+    let effects = &stmt.effects().effects;
+    effects.mutates || effects.allocates
+}
+
+/// Stream a result: `ROWS` batches of [`wire::ROW_BATCH`] elements, then
+/// `DONE` with the shape, total count, and observed epoch — or one
+/// `ERROR` frame.
+fn send_outcome(
+    writer: &mut impl Write,
+    outcome: Result<(Value, u64), AnalyzeError>,
+) -> io::Result<()> {
+    match outcome {
+        Ok((value, epoch)) => {
+            let (shape, elements) = ResultShape::deconstruct(&value);
+            let rows = elements.len() as u64;
+            for batch in elements.chunks(wire::ROW_BATCH) {
+                wire::write_response(writer, &Response::Rows { values: batch.to_vec() })?;
+            }
+            wire::write_response(writer, &Response::Done { shape, rows, epoch })
+        }
+        Err(e) => send_error(writer, &e),
+    }
+}
+
+fn send_error(writer: &mut impl Write, e: &AnalyzeError) -> io::Result<()> {
+    wire::write_response(writer, &Response::Error { message: e.to_string() })
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// A minimal blocking client for the wire protocol — what the
+/// throughput benchmark and the smoke tests drive. One statement at a
+/// time per connection (the protocol is strictly request/response).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    /// Instance/epoch announced in the HELLO exchange.
+    pub instance: u64,
+    pub hello_epoch: u64,
+}
+
+/// A completed statement: the reassembled value plus the epoch the
+/// server pinned for it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    pub value: Value,
+    pub rows: u64,
+    pub epoch: u64,
+}
+
+impl Client {
+    /// Connect and complete the HELLO exchange.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut client = Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            instance: 0,
+            hello_epoch: 0,
+        };
+        client.send(&Request::Hello { client: "monoid-db".to_string() })?;
+        match client.recv()? {
+            Response::Hello { instance, epoch, .. } => {
+                client.instance = instance;
+                client.hello_epoch = epoch;
+                Ok(client)
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn send(&mut self, req: &Request) -> io::Result<()> {
+        wire::write_request(&mut self.writer, req)?;
+        self.writer.flush()
+    }
+
+    fn recv(&mut self) -> io::Result<Response> {
+        wire::read_response(&mut self.reader)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
+    }
+
+    /// Liveness round trip.
+    pub fn ping(&mut self) -> io::Result<()> {
+        self.send(&Request::Ping)?;
+        match self.recv()? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Execute `src` with `params`, reassembling the streamed result.
+    /// Statement-level failures come back as `Err` with the server's
+    /// message; the connection stays usable.
+    pub fn query(
+        &mut self,
+        src: &str,
+        params: &[(String, Value)],
+    ) -> io::Result<QueryOutcome> {
+        self.send(&Request::Query { src: src.to_string(), params: params.to_vec() })?;
+        self.collect_result()
+    }
+
+    /// Prepare `src`; returns the statement id for [`Client::execute`].
+    pub fn prepare(&mut self, src: &str) -> io::Result<(u64, Vec<String>)> {
+        self.send(&Request::Prepare { src: src.to_string() })?;
+        match self.recv()? {
+            Response::Prepared { id, params } => Ok((id, params)),
+            Response::Error { message } => {
+                Err(io::Error::new(io::ErrorKind::InvalidInput, message))
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Execute a prepared statement by id.
+    pub fn execute(
+        &mut self,
+        id: u64,
+        params: &[(String, Value)],
+    ) -> io::Result<QueryOutcome> {
+        self.send(&Request::Execute { id, params: params.to_vec() })?;
+        self.collect_result()
+    }
+
+    fn collect_result(&mut self) -> io::Result<QueryOutcome> {
+        let mut elements = Vec::new();
+        loop {
+            match self.recv()? {
+                Response::Rows { values } => elements.extend(values),
+                Response::Done { shape, rows, epoch } => {
+                    let value = shape.assemble(elements).map_err(io::Error::from)?;
+                    return Ok(QueryOutcome { value, rows, epoch });
+                }
+                Response::Error { message } => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidInput, message));
+                }
+                other => return Err(unexpected(&other)),
+            }
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("unexpected response: {resp:?}"))
+}

@@ -45,7 +45,7 @@ use monoid_calculus::symbol::Symbol;
 use monoid_calculus::trace::{Phase, QueryTrace};
 use monoid_calculus::types::Schema;
 use monoid_calculus::value::Value;
-use monoid_store::Database;
+use monoid_store::{Database, Snapshot};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -152,6 +152,15 @@ pub fn prepare_on(db: &Database, src: &str) -> Result<Prepared, AnalyzeError> {
     prepare_with_stats(db.schema(), src, &gathered_stats(db))
 }
 
+/// [`prepare_on`] for the snapshot read path: statistics gathered from
+/// (and stamped with) the pinned snapshot, sharing the same one-slot
+/// reuse cache — a snapshot of an unchanged database hits the gather the
+/// writer path populated, and vice versa, because both key by
+/// `(instance_id, mutation_epoch)`.
+pub fn prepare_on_snapshot(snap: &Snapshot, src: &str) -> Result<Prepared, AnalyzeError> {
+    prepare_with_stats(snap.schema(), src, &gathered_stats_snapshot(snap))
+}
+
 /// Gather-or-reuse: `Stats::gather` walks every root and the whole heap,
 /// but its result only changes when the database mutates. A one-slot
 /// process-wide cache keyed by `(instance_id, mutation_epoch)` makes
@@ -159,9 +168,21 @@ pub fn prepare_on(db: &Database, src: &str) -> Result<Prepared, AnalyzeError> {
 /// gather (counted by `stats_gather_reuse_total`). Anonymous databases
 /// (`instance_id() == 0`, from `Database::default()`) are never cached.
 fn gathered_stats(db: &Database) -> Arc<Stats> {
+    gathered_stats_keyed(db.instance_id(), db.mutation_epoch(), || Stats::gather(db))
+}
+
+/// [`gathered_stats`] keyed by a snapshot's pinned
+/// `(instance_id, epoch)` pair.
+fn gathered_stats_snapshot(snap: &Snapshot) -> Arc<Stats> {
+    gathered_stats_keyed(snap.instance_id(), snap.epoch(), || Stats::gather_snapshot(snap))
+}
+
+fn gathered_stats_keyed(
+    instance: u64,
+    epoch: u64,
+    gather: impl FnOnce() -> Stats,
+) -> Arc<Stats> {
     static CACHE: Mutex<Option<(u64, u64, Arc<Stats>)>> = Mutex::new(None);
-    let instance = db.instance_id();
-    let epoch = db.mutation_epoch();
     if instance != 0 {
         if let Some((i, e, stats)) = CACHE.lock().unwrap().as_ref() {
             if *i == instance && *e == epoch {
@@ -170,7 +191,7 @@ fn gathered_stats(db: &Database) -> Arc<Stats> {
             }
         }
     }
-    let stats = Arc::new(Stats::gather(db));
+    let stats = Arc::new(gather());
     if instance != 0 {
         *CACHE.lock().unwrap() = Some((instance, epoch, Arc::clone(&stats)));
     }
@@ -376,6 +397,85 @@ impl Prepared {
         })
     }
 
+    /// Execute against an immutable [`Snapshot`] — the concurrent-read
+    /// path. Statements whose effect summary writes the heap (`:=`
+    /// updates, `new` allocations) are refused: they need the
+    /// `&mut Database` writer path, where epochs advance. Results are
+    /// byte-identical to [`Prepared::execute`] against the database at
+    /// the snapshot's epoch.
+    pub fn execute_snapshot(
+        &self,
+        snap: &Snapshot,
+        params: &Params,
+    ) -> Result<Value, AnalyzeError> {
+        let scope = if recorder::global().enabled() && !recorder::active() {
+            recorder::begin(&self.source)
+        } else {
+            None
+        };
+        recorder::note_snapshot_epoch(snap.epoch());
+        recorder::note_effects(|| self.effects.to_string());
+        let result = self.execute_snapshot_inner(snap, params);
+        if let Ok(v) = &result {
+            recorder::note_result(v);
+        }
+        if let Some(scope) = scope {
+            let error = result.as_ref().err().map(ToString::to_string);
+            if let Some(trigger) = scope.finish(error) {
+                self.capture_slow_snapshot(&trigger);
+            }
+        }
+        result
+    }
+
+    fn execute_snapshot_inner(
+        &self,
+        snap: &Snapshot,
+        params: &Params,
+    ) -> Result<Value, AnalyzeError> {
+        if self.effects.effects.mutates || self.effects.effects.allocates {
+            return Err(AnalyzeError::Exec(EvalError::Other(format!(
+                "statement has heap effects ({}) — snapshots are read-only; \
+                 run it against the database writer instead",
+                self.effects
+            ))));
+        }
+        let binds = self.resolve(params).map_err(AnalyzeError::Exec)?;
+        let timing = recorder::active().then(Instant::now);
+        let result = match &self.exec {
+            ExecMode::Plan(q) => {
+                monoid_algebra::execute_snapshot_bound(q, snap, binds).map_err(AnalyzeError::from)
+            }
+            ExecMode::Eval => {
+                recorder::note_engine("eval");
+                let mut env = snap.env();
+                for (p, v) in binds {
+                    env = env.bind(*p, v.clone());
+                }
+                snap.eval_unchecked(&self.canonical, &env).map_err(AnalyzeError::from)
+            }
+        };
+        if let Some(started) = timing {
+            recorder::note_phase(Phase::Execute, started.elapsed().as_nanos());
+        }
+        result
+    }
+
+    /// The snapshot path's slow-query capture: plan text only — a
+    /// profiled re-run needs a `&mut Database`, which a snapshot reader
+    /// deliberately does not hold.
+    fn capture_slow_snapshot(&self, trigger: &recorder::SlowTrigger) {
+        recorder::global().capture_slow(SlowQueryCapture {
+            seq: trigger.seq,
+            fingerprint: trigger.fingerprint,
+            source: self.source.clone(),
+            total_nanos: trigger.total_nanos,
+            threshold_nanos: trigger.threshold_nanos,
+            plan: self.query().map(monoid_algebra::explain),
+            profile: None,
+        });
+    }
+
     /// The shared recording wrapper of every `execute*` variant: open a
     /// flight-recorder scope when no higher layer (a [`Session`]) owns
     /// one, annotate whatever record is active (effect summary, execute
@@ -535,6 +635,12 @@ struct Shard {
 struct CacheEntry {
     source: String,
     schema_fp: u64,
+    /// The `(instance_id, mutation_epoch)` pair observed at prepare
+    /// time. Both halves must match for a hit: epochs are only
+    /// comparable within one database instance, so an entry prepared
+    /// against a different database that happens to share an epoch
+    /// number must not be served (`tests/plan_cache.rs`).
+    instance: u64,
     epoch: u64,
     bytes: usize,
     last_used: u64,
@@ -562,8 +668,9 @@ impl PlanCache {
     }
 
     /// The serving fast path: return the cached plan for `(src, schema)`
-    /// if its epoch stamp still matches `db.mutation_epoch()`; otherwise
-    /// prepare (with statistics from `db`), cache, and return it.
+    /// if its `(instance, epoch)` stamp still matches the database;
+    /// otherwise prepare (with statistics from `db`), cache, and return
+    /// it.
     pub fn get_or_prepare(
         &self,
         db: &Database,
@@ -581,24 +688,63 @@ impl PlanCache {
         db: &Database,
         src: &str,
     ) -> Result<(Arc<Prepared>, bool), AnalyzeError> {
+        self.resolve_traced(
+            schema_fingerprint(db.schema()),
+            db.instance_id(),
+            db.mutation_epoch(),
+            src,
+            || prepare_on(db, src),
+        )
+    }
+
+    /// [`PlanCache::get_or_prepare_traced`] against a pinned
+    /// [`Snapshot`]: the same cache, keyed by the snapshot's
+    /// `(instance_id, epoch)`. Concurrent readers of one snapshot share
+    /// entries with each other *and* with the writer path whenever the
+    /// epochs agree; a reader pinned behind the writer simply re-prepares
+    /// against its own epoch without disturbing the newer entry — the
+    /// stale-entry eviction only fires for entries of the same key that
+    /// can never be served again, which a racing fresh epoch cannot
+    /// prove, so eviction here is conservative (replace-on-insert).
+    pub fn get_or_prepare_snapshot_traced(
+        &self,
+        snap: &Snapshot,
+        src: &str,
+    ) -> Result<(Arc<Prepared>, bool), AnalyzeError> {
+        self.resolve_traced(
+            schema_fingerprint(snap.schema()),
+            snap.instance_id(),
+            snap.epoch(),
+            src,
+            || prepare_on_snapshot(snap, src),
+        )
+    }
+
+    fn resolve_traced(
+        &self,
+        fp: u64,
+        instance: u64,
+        epoch: u64,
+        src: &str,
+        prepare: impl FnOnce() -> Result<Prepared, AnalyzeError>,
+    ) -> Result<(Arc<Prepared>, bool), AnalyzeError> {
         let m = cache_metrics();
-        let fp = schema_fingerprint(db.schema());
-        let epoch = db.mutation_epoch();
         let shard = &self.shards[(hash_key(src, fp) as usize) & (SHARDS - 1)];
 
         {
             let mut s = shard.lock().unwrap();
             if let Some(i) = s.entries.iter().position(|e| e.source == src && e.schema_fp == fp)
             {
-                if s.entries[i].epoch == epoch {
+                if s.entries[i].instance == instance && s.entries[i].epoch == epoch {
                     m.hits.inc();
                     let tick = self.tick.fetch_add(1, Ordering::Relaxed);
                     s.entries[i].last_used = tick;
                     return Ok((Arc::clone(&s.entries[i].prepared), true));
                 }
                 // Stale: the database mutated since this plan (and its
-                // statistics) were captured. Refuse it, exactly like a
-                // stale index snapshot.
+                // statistics) were captured — or the entry belongs to a
+                // different database instance entirely. Refuse it,
+                // exactly like a stale index snapshot.
                 m.invalidations.inc();
                 let dead = s.entries.remove(i);
                 s.bytes -= dead.bytes;
@@ -606,7 +752,7 @@ impl PlanCache {
         }
 
         m.misses.inc();
-        let prepared = Arc::new(prepare_on(db, src)?);
+        let prepared = Arc::new(prepare()?);
         let bytes = approx_bytes(&prepared);
         let tick = self.tick.fetch_add(1, Ordering::Relaxed);
         let mut s = shard.lock().unwrap();
@@ -619,6 +765,7 @@ impl PlanCache {
         s.entries.push(CacheEntry {
             source: src.to_string(),
             schema_fp: fp,
+            instance,
             epoch,
             bytes,
             last_used: tick,
@@ -712,6 +859,39 @@ pub struct Session {
     /// session produces. Clones share it — they are the same logical
     /// session over the same cache.
     id: u64,
+    /// Statements this logical session has served (shared by clones,
+    /// like the id). The process-wide aggregate is the
+    /// `serving_statements_total` counter.
+    statements: Arc<AtomicU64>,
+}
+
+/// A panic-safe increment of the `serving_requests_in_flight` gauge:
+/// taken at the top of every serving entry point, released on drop —
+/// unwinding included — so the gauge provably returns to zero once all
+/// in-flight statements finish (`tests/snapshot_swap.rs`).
+pub struct InFlightGuard {
+    gauge: Arc<monoid_calculus::metrics::Gauge>,
+}
+
+impl InFlightGuard {
+    /// Bump the gauge; the matching decrement runs on drop.
+    pub fn enter() -> InFlightGuard {
+        let gauge = Arc::clone(&serving_metrics().in_flight);
+        gauge.add(1);
+        InFlightGuard { gauge }
+    }
+}
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.gauge.add(-1);
+    }
+}
+
+/// Statements currently executing through the serving layer (the
+/// `serving_requests_in_flight` gauge).
+pub fn requests_in_flight() -> i64 {
+    serving_metrics().in_flight.get()
 }
 
 impl Default for Session {
@@ -728,12 +908,16 @@ fn next_session_id() -> u64 {
 impl Session {
     /// A session over the process-wide plan cache.
     pub fn new() -> Session {
-        Session { cache: Arc::clone(global_plan_cache()), id: next_session_id() }
+        Session {
+            cache: Arc::clone(global_plan_cache()),
+            id: next_session_id(),
+            statements: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// A session over a private cache (isolated tests, bounded budgets).
     pub fn with_cache(cache: Arc<PlanCache>) -> Session {
-        Session { cache, id: next_session_id() }
+        Session { cache, id: next_session_id(), statements: Arc::new(AtomicU64::new(0)) }
     }
 
     /// The cache this session serves from.
@@ -744,6 +928,18 @@ impl Session {
     /// The id stamped on this session's flight-recorder records.
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Statements this logical session (including clones) has served.
+    pub fn statements_served(&self) -> u64 {
+        self.statements.load(Ordering::Relaxed)
+    }
+
+    /// One statement entered this session: bump the per-session counter
+    /// and the process-wide `serving_statements_total`.
+    fn count_statement(&self) {
+        self.statements.fetch_add(1, Ordering::Relaxed);
+        serving_metrics().statements.inc();
     }
 
     /// Prepare-or-hit, then execute sequentially.
@@ -781,6 +977,8 @@ impl Session {
         params: &Params,
         parallel: bool,
     ) -> Result<Value, AnalyzeError> {
+        let _in_flight = InFlightGuard::enter();
+        self.count_statement();
         let scope = if recorder::global().enabled() && !recorder::active() {
             recorder::begin(src)
         } else {
@@ -823,6 +1021,55 @@ impl Session {
     pub fn prepare(&self, db: &Database, src: &str) -> Result<Arc<Prepared>, AnalyzeError> {
         self.cache.get_or_prepare(db, src)
     }
+
+    /// The snapshot-isolated serving path: resolve `src` through the
+    /// plan cache keyed by the snapshot's pinned `(instance_id, epoch)`
+    /// and execute against the snapshot — no lock on the live database,
+    /// so any number of sessions run this concurrently while a writer
+    /// commits new epochs. Write statements are refused (they need
+    /// [`Session::query`] against the `&mut Database`).
+    pub fn query_snapshot(
+        &self,
+        snap: &Snapshot,
+        src: &str,
+        params: &Params,
+    ) -> Result<Value, AnalyzeError> {
+        let _in_flight = InFlightGuard::enter();
+        self.count_statement();
+        let scope = if recorder::global().enabled() && !recorder::active() {
+            recorder::begin(src)
+        } else {
+            None
+        };
+        recorder::note_session(self.id);
+        recorder::note_snapshot_epoch(snap.epoch());
+        let resolved = self.cache.get_or_prepare_snapshot_traced(snap, src);
+        let prepared = match resolved {
+            Ok((prepared, hit)) => {
+                if hit {
+                    recorder::note_cache(CacheDisposition::Hit);
+                } else {
+                    recorder::note_cache(CacheDisposition::Miss);
+                    recorder::note_trace(prepared.trace());
+                }
+                prepared
+            }
+            Err(e) => {
+                if let Some(scope) = scope {
+                    scope.finish(Some(e.to_string()));
+                }
+                return Err(e);
+            }
+        };
+        let result = prepared.execute_snapshot(snap, params);
+        if let Some(scope) = scope {
+            let error = result.as_ref().err().map(ToString::to_string);
+            if let Some(trigger) = scope.finish(error) {
+                prepared.capture_slow_snapshot(&trigger);
+            }
+        }
+        result
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -849,6 +1096,26 @@ fn cache_metrics() -> &'static CacheMetrics {
             invalidations: r.counter("plan_cache_invalidations_total"),
             prepare_nanos: r.histogram("prepare_nanos"),
             stats_reuse: r.counter("stats_gather_reuse_total"),
+        }
+    })
+}
+
+struct ServingMetrics {
+    /// Statements currently inside a serving entry point (writer or
+    /// snapshot path). Guard-maintained: returns to zero when the layer
+    /// drains, panics included.
+    in_flight: Arc<monoid_calculus::metrics::Gauge>,
+    /// Statements served, across all sessions.
+    statements: Arc<monoid_calculus::metrics::Counter>,
+}
+
+fn serving_metrics() -> &'static ServingMetrics {
+    static METRICS: OnceLock<ServingMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = monoid_calculus::metrics::global();
+        ServingMetrics {
+            in_flight: r.gauge("serving_requests_in_flight"),
+            statements: r.counter("serving_statements_total"),
         }
     })
 }

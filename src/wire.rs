@@ -1,0 +1,617 @@
+//! The wire protocol spoken by the `oqld` server and its clients.
+//!
+//! Dependency-free, length-prefixed binary framing over any byte stream
+//! (TCP in practice, `Vec<u8>` in tests):
+//!
+//! ```text
+//! frame     := len:u32le body
+//! body      := opcode:u8 payload
+//! ```
+//!
+//! `len` counts the body bytes only and is capped at [`MAX_FRAME`] — a
+//! peer announcing a bigger frame is refused before any allocation, so a
+//! garbage length prefix cannot balloon memory. Values travel in the
+//! store's binary codec ([`monoid_store::codec`]); strings are
+//! `u32le`-length-prefixed UTF-8, matching the codec's own convention.
+//!
+//! Collection results *stream*: the server sends any number of
+//! [`Response::Rows`] batches followed by one [`Response::Done`] carrying
+//! the collection's shape, the total row count, and the mutation epoch of
+//! the snapshot the statement read (`0` for writer-path statements, whose
+//! epoch is advancing). The client reassembles the exact result value
+//! with [`ResultShape::assemble`] — byte-identical to what an in-process
+//! execution returns (golden tests in `tests/wire_protocol.rs`).
+//!
+//! Decoding is strict: unknown opcodes, truncated payloads, and trailing
+//! bytes are all errors, never panics — the malformed-frame battery in
+//! `tests/wire_protocol.rs` feeds this module garbage and expects clean
+//! [`WireError`]s back. See `docs/serving.md` for the full spec.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use monoid_calculus::value::Value;
+use monoid_store::codec::{self, CodecError};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Protocol version announced in the HELLO exchange. Bump on any frame
+/// layout change.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard cap on a frame body's announced length (16 MiB). Chosen to fit
+/// any realistic row batch while bounding what a hostile length prefix
+/// can make the peer allocate.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Rows per [`Response::Rows`] batch the server emits. Small enough to
+/// keep first-row latency low, large enough to amortize framing.
+pub const ROW_BATCH: usize = 256;
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// A frame that could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended mid-field.
+    Truncated,
+    /// A frame announced more than [`MAX_FRAME`] bytes.
+    TooLarge(usize),
+    /// An opcode byte this protocol version does not define.
+    BadOpcode(u8),
+    /// A [`ResultShape`] byte outside the defined range.
+    BadShape(u8),
+    /// Bytes left over after the payload decoded completely.
+    TrailingBytes(usize),
+    /// Invalid UTF-8 in a string field.
+    BadUtf8,
+    /// A value failed to decode.
+    Codec(CodecError),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::TooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte limit")
+            }
+            WireError::BadOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            WireError::BadShape(s) => write!(f, "unknown result shape 0x{s:02x}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after payload"),
+            WireError::BadUtf8 => write!(f, "invalid utf-8 in frame string"),
+            WireError::Codec(e) => write!(f, "bad value encoding: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> WireError {
+        WireError::Codec(e)
+    }
+}
+
+impl From<WireError> for io::Error {
+    fn from(e: WireError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+type Result<T> = std::result::Result<T, WireError>;
+
+// ---------------------------------------------------------------------
+// Opcodes
+// ---------------------------------------------------------------------
+
+mod op {
+    // Requests (client → server).
+    pub const HELLO: u8 = 0x01;
+    pub const QUERY: u8 = 0x02;
+    pub const PREPARE: u8 = 0x03;
+    pub const EXECUTE: u8 = 0x04;
+    pub const PING: u8 = 0x05;
+    // Responses (server → client).
+    pub const R_HELLO: u8 = 0x81;
+    pub const R_ROWS: u8 = 0x82;
+    pub const R_DONE: u8 = 0x83;
+    pub const R_PREPARED: u8 = 0x84;
+    pub const R_ERROR: u8 = 0x85;
+    pub const R_PONG: u8 = 0x86;
+}
+
+// ---------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Opens the session; the server answers with [`Response::Hello`].
+    Hello { client: String },
+    /// Execute `src` with the given `$name` parameter bindings. The
+    /// server routes by effect: read-only statements run against a
+    /// snapshot, writers against the database behind the write lock.
+    Query { src: String, params: Vec<(String, Value)> },
+    /// Prepare `src` without executing; answered by
+    /// [`Response::Prepared`] with a statement id for [`Request::Execute`].
+    Prepare { src: String },
+    /// Execute a previously prepared statement by id.
+    Execute { id: u64, params: Vec<(String, Value)> },
+    /// Liveness probe; answered by [`Response::Pong`].
+    Ping,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Session accepted.
+    Hello { server: String, protocol: u8, instance: u64, epoch: u64 },
+    /// One batch of result elements (collections stream; scalars arrive
+    /// as a single-element batch).
+    Rows { values: Vec<Value> },
+    /// End of a result stream: the collection shape to reassemble, the
+    /// total element count, and the mutation epoch the statement
+    /// observed (the pinned snapshot's for reads, the post-commit epoch
+    /// for writes).
+    Done { shape: ResultShape, rows: u64, epoch: u64 },
+    /// A statement was prepared; `params` are its `$`-prefixed
+    /// placeholder names in first-appearance order.
+    Prepared { id: u64, params: Vec<String> },
+    /// The statement (or the frame carrying it) failed; the session
+    /// stays open.
+    Error { message: String },
+    Pong,
+}
+
+/// The shape of a streamed result, carried in [`Response::Done`] so the
+/// client can reassemble the exact [`Value`] the engine produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResultShape {
+    /// Not a collection: the single streamed value *is* the result.
+    Scalar,
+    List,
+    Set,
+    Bag,
+    Vector,
+}
+
+impl ResultShape {
+    /// How `value` streams: its shape tag and the element sequence.
+    pub fn deconstruct(value: &Value) -> (ResultShape, Vec<Value>) {
+        match value {
+            Value::List(items) => (ResultShape::List, items.as_ref().clone()),
+            Value::Set(items) => (ResultShape::Set, items.as_ref().clone()),
+            Value::Vector(items) => (ResultShape::Vector, items.as_ref().clone()),
+            Value::Bag(_) => (
+                ResultShape::Bag,
+                value.elements().expect("bags enumerate"),
+            ),
+            other => (ResultShape::Scalar, vec![other.clone()]),
+        }
+    }
+
+    /// Rebuild the result value from the streamed elements. Exact
+    /// inverse of [`ResultShape::deconstruct`]: sets and bags re-sort
+    /// into canonical order, so `assemble(deconstruct(v)) == v` for
+    /// every encodable value (property-tested).
+    pub fn assemble(self, elements: Vec<Value>) -> Result<Value> {
+        Ok(match self {
+            ResultShape::Scalar => {
+                let mut elements = elements;
+                match (elements.pop(), elements.is_empty()) {
+                    (Some(v), true) => v,
+                    _ => return Err(WireError::Truncated),
+                }
+            }
+            ResultShape::List => Value::list(elements),
+            ResultShape::Set => Value::set_from(elements),
+            ResultShape::Bag => Value::bag_from(elements),
+            ResultShape::Vector => Value::vector(elements),
+        })
+    }
+
+    fn to_byte(self) -> u8 {
+        match self {
+            ResultShape::Scalar => 0,
+            ResultShape::List => 1,
+            ResultShape::Set => 2,
+            ResultShape::Bag => 3,
+            ResultShape::Vector => 4,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<ResultShape> {
+        Ok(match b {
+            0 => ResultShape::Scalar,
+            1 => ResultShape::List,
+            2 => ResultShape::Set,
+            3 => ResultShape::Bag,
+            4 => ResultShape::Vector,
+            other => return Err(WireError::BadShape(other)),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_params(buf: &mut BytesMut, params: &[(String, Value)]) -> Result<()> {
+    buf.put_u32_le(params.len() as u32);
+    for (name, value) in params {
+        put_str(buf, name);
+        codec::encode_value(value, buf)?;
+    }
+    Ok(())
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8> {
+    if buf.remaining() < 1 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32> {
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut Bytes) -> Result<u64> {
+    if buf.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String> {
+    let len = get_u32(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(WireError::Truncated);
+    }
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+}
+
+fn get_params(buf: &mut Bytes) -> Result<Vec<(String, Value)>> {
+    let count = get_u32(buf)? as usize;
+    // Each param is at least a 4-byte name length + 1 tag byte: refuse
+    // counts the remaining bytes cannot possibly satisfy before
+    // reserving anything.
+    if count > buf.remaining() / 5 + 1 {
+        return Err(WireError::Truncated);
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name = get_str(buf)?;
+        let value = codec::decode_value(buf)?;
+        out.push((name, value));
+    }
+    Ok(out)
+}
+
+fn finish(buf: &Bytes) -> Result<()> {
+    if buf.remaining() > 0 {
+        return Err(WireError::TrailingBytes(buf.remaining()));
+    }
+    Ok(())
+}
+
+impl Request {
+    /// Encode as a frame *body* (no length prefix — [`write_frame`] adds
+    /// it).
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        let mut buf = BytesMut::new();
+        match self {
+            Request::Hello { client } => {
+                buf.put_u8(op::HELLO);
+                buf.put_u8(PROTOCOL_VERSION);
+                put_str(&mut buf, client);
+            }
+            Request::Query { src, params } => {
+                buf.put_u8(op::QUERY);
+                put_str(&mut buf, src);
+                put_params(&mut buf, params)?;
+            }
+            Request::Prepare { src } => {
+                buf.put_u8(op::PREPARE);
+                put_str(&mut buf, src);
+            }
+            Request::Execute { id, params } => {
+                buf.put_u8(op::EXECUTE);
+                buf.put_u64_le(*id);
+                put_params(&mut buf, params)?;
+            }
+            Request::Ping => buf.put_u8(op::PING),
+        }
+        Ok(buf.to_vec())
+    }
+
+    /// Decode a frame body. Strict: every byte must be consumed.
+    pub fn decode(body: &[u8]) -> Result<Request> {
+        let mut buf = Bytes::copy_from_slice(body);
+        let opcode = get_u8(&mut buf)?;
+        let req = match opcode {
+            op::HELLO => {
+                // The version byte is advisory in v1 — a v2 server may
+                // downgrade; a v1 server just records it.
+                let _version = get_u8(&mut buf)?;
+                Request::Hello { client: get_str(&mut buf)? }
+            }
+            op::QUERY => Request::Query {
+                src: get_str(&mut buf)?,
+                params: get_params(&mut buf)?,
+            },
+            op::PREPARE => Request::Prepare { src: get_str(&mut buf)? },
+            op::EXECUTE => Request::Execute {
+                id: get_u64(&mut buf)?,
+                params: get_params(&mut buf)?,
+            },
+            op::PING => Request::Ping,
+            other => return Err(WireError::BadOpcode(other)),
+        };
+        finish(&buf)?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode as a frame *body* (no length prefix).
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        let mut buf = BytesMut::new();
+        match self {
+            Response::Hello { server, protocol, instance, epoch } => {
+                buf.put_u8(op::R_HELLO);
+                buf.put_u8(*protocol);
+                put_str(&mut buf, server);
+                buf.put_u64_le(*instance);
+                buf.put_u64_le(*epoch);
+            }
+            Response::Rows { values } => {
+                buf.put_u8(op::R_ROWS);
+                buf.put_u32_le(values.len() as u32);
+                for v in values {
+                    codec::encode_value(v, &mut buf)?;
+                }
+            }
+            Response::Done { shape, rows, epoch } => {
+                buf.put_u8(op::R_DONE);
+                buf.put_u8(shape.to_byte());
+                buf.put_u64_le(*rows);
+                buf.put_u64_le(*epoch);
+            }
+            Response::Prepared { id, params } => {
+                buf.put_u8(op::R_PREPARED);
+                buf.put_u64_le(*id);
+                buf.put_u32_le(params.len() as u32);
+                for p in params {
+                    put_str(&mut buf, p);
+                }
+            }
+            Response::Error { message } => {
+                buf.put_u8(op::R_ERROR);
+                put_str(&mut buf, message);
+            }
+            Response::Pong => buf.put_u8(op::R_PONG),
+        }
+        Ok(buf.to_vec())
+    }
+
+    /// Decode a frame body. Strict: every byte must be consumed.
+    pub fn decode(body: &[u8]) -> Result<Response> {
+        let mut buf = Bytes::copy_from_slice(body);
+        let opcode = get_u8(&mut buf)?;
+        let resp = match opcode {
+            op::R_HELLO => Response::Hello {
+                protocol: get_u8(&mut buf)?,
+                server: get_str(&mut buf)?,
+                instance: get_u64(&mut buf)?,
+                epoch: get_u64(&mut buf)?,
+            },
+            op::R_ROWS => {
+                let count = get_u32(&mut buf)? as usize;
+                if count > buf.remaining() + 1 {
+                    return Err(WireError::Truncated);
+                }
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    values.push(codec::decode_value(&mut buf)?);
+                }
+                Response::Rows { values }
+            }
+            op::R_DONE => Response::Done {
+                shape: ResultShape::from_byte(get_u8(&mut buf)?)?,
+                rows: get_u64(&mut buf)?,
+                epoch: get_u64(&mut buf)?,
+            },
+            op::R_PREPARED => {
+                let id = get_u64(&mut buf)?;
+                let count = get_u32(&mut buf)? as usize;
+                if count > buf.remaining() / 4 + 1 {
+                    return Err(WireError::Truncated);
+                }
+                let mut params = Vec::with_capacity(count);
+                for _ in 0..count {
+                    params.push(get_str(&mut buf)?);
+                }
+                Response::Prepared { id, params }
+            }
+            op::R_ERROR => Response::Error { message: get_str(&mut buf)? },
+            op::R_PONG => Response::Pong,
+            other => return Err(WireError::BadOpcode(other)),
+        };
+        finish(&buf)?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame I/O
+// ---------------------------------------------------------------------
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    if body.len() > MAX_FRAME {
+        return Err(WireError::TooLarge(body.len()).into());
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)
+}
+
+/// Read one length-prefixed frame body. `Ok(None)` on clean EOF at a
+/// frame boundary; an EOF mid-frame is an [`io::ErrorKind::UnexpectedEof`]
+/// error. A length prefix over [`MAX_FRAME`] is refused *before* any
+/// allocation.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::TooLarge(len).into());
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// [`write_frame`] of an encoded [`Request`].
+pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
+    write_frame(w, &req.encode().map_err(io::Error::from)?)
+}
+
+/// [`write_frame`] of an encoded [`Response`].
+pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    write_frame(w, &resp.encode().map_err(io::Error::from)?)
+}
+
+/// Read and decode one [`Request`]; `Ok(None)` on clean EOF.
+pub fn read_request(r: &mut impl Read) -> io::Result<Option<Request>> {
+    match read_frame(r)? {
+        Some(body) => Ok(Some(Request::decode(&body)?)),
+        None => Ok(None),
+    }
+}
+
+/// Read and decode one [`Response`]; `Ok(None)` on clean EOF.
+pub fn read_response(r: &mut impl Read) -> io::Result<Option<Response>> {
+    match read_frame(r)? {
+        Some(body) => Ok(Some(Response::decode(&body)?)),
+        None => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let body = req.encode().unwrap();
+        assert_eq!(Request::decode(&body).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let body = resp.encode().unwrap();
+        assert_eq!(Response::decode(&body).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Hello { client: "t".into() });
+        round_trip_request(Request::Query {
+            src: "count(Cities)".into(),
+            params: vec![("$beds".into(), Value::Int(3))],
+        });
+        round_trip_request(Request::Prepare { src: "sum(e.salary)".into() });
+        round_trip_request(Request::Execute {
+            id: 7,
+            params: vec![("$city".into(), Value::str("Portland"))],
+        });
+        round_trip_request(Request::Ping);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Hello {
+            server: "oqld".into(),
+            protocol: PROTOCOL_VERSION,
+            instance: 3,
+            epoch: 41,
+        });
+        round_trip_response(Response::Rows {
+            values: vec![Value::Int(1), Value::str("x"), Value::Null],
+        });
+        round_trip_response(Response::Done {
+            shape: ResultShape::Bag,
+            rows: 9,
+            epoch: 41,
+        });
+        round_trip_response(Response::Prepared {
+            id: 1,
+            params: vec!["$city".into(), "$beds".into()],
+        });
+        round_trip_response(Response::Error { message: "boom".into() });
+        round_trip_response(Response::Pong);
+    }
+
+    #[test]
+    fn truncated_and_trailing_bodies_are_errors() {
+        let body = Request::Query { src: "count(Cities)".into(), params: vec![] }
+            .encode()
+            .unwrap();
+        for cut in 1..body.len() {
+            assert!(
+                Request::decode(&body[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        let mut padded = body.clone();
+        padded.push(0);
+        assert_eq!(Request::decode(&padded), Err(WireError::TrailingBytes(1)));
+        assert_eq!(Request::decode(&[0x7f]), Err(WireError::BadOpcode(0x7f)));
+    }
+
+    #[test]
+    fn shapes_reassemble_collections() {
+        let bag = Value::bag_from(vec![Value::Int(1), Value::Int(1), Value::Int(2)]);
+        let (shape, elems) = ResultShape::deconstruct(&bag);
+        assert_eq!(shape, ResultShape::Bag);
+        assert_eq!(shape.assemble(elems).unwrap(), bag);
+
+        let scalar = Value::Int(42);
+        let (shape, elems) = ResultShape::deconstruct(&scalar);
+        assert_eq!(shape, ResultShape::Scalar);
+        assert_eq!(elems.len(), 1);
+        assert_eq!(shape.assemble(elems).unwrap(), scalar);
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_without_allocating() {
+        let mut out = Vec::new();
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        out.extend_from_slice(&huge);
+        let err = read_frame(&mut out.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn eof_at_boundary_is_clean_mid_frame_is_not() {
+        assert!(read_frame(&mut [].as_slice()).unwrap().is_none());
+        // A length prefix promising 8 bytes, then EOF.
+        let partial = 8u32.to_le_bytes();
+        let err = read_frame(&mut partial.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

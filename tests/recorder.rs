@@ -179,6 +179,7 @@ fn zero_latencies(report: &mut monoid_calculus::json::Json) {
         ("queries", vec!["median_nanos", "p95_nanos"]),
         ("prepared", vec!["warm_median_nanos"]),
         ("parallel", vec!["fused_median_nanos"]),
+        ("serving", vec!["warm_nanos_per_query"]),
     ] {
         let Some(Json::Arr(cases)) =
             sections.iter_mut().find(|(k, _)| k == section).map(|(_, v)| v)

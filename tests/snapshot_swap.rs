@@ -1,0 +1,231 @@
+//! Stress for the snapshot swap itself: writers commit new epochs
+//! *while* reads are in flight, and three invariants must hold:
+//!
+//! * every in-flight read finishes on the epoch it pinned — the answer
+//!   matches the closed-form oracle for that epoch, not the live state;
+//! * `requests_in_flight` is visibly nonzero while statements run and
+//!   returns to exactly zero once every thread has drained (the guard
+//!   is panic-safe, so nothing leaks the gauge);
+//! * the same holds over the wire: clients hammer a live server while
+//!   an embedded writer commits through [`Server::database`], and every
+//!   `DONE` frame's epoch is consistent with its row count.
+//!
+//! The oracle is closed-form on purpose: the *only* mutation either
+//! battery performs is inserting one city per commit, so a snapshot at
+//! epoch `e` must count exactly `base_count + (e - base_epoch)` cities
+//! — any torn read, lost pin, or mid-swap heap share shows up as an
+//! off-by-something.
+
+use monoid_db::calculus::symbol::Symbol;
+use monoid_db::calculus::value::Value;
+use monoid_db::server::{Client, Server};
+use monoid_db::store::{travel, TravelScale};
+use monoid_db::{requests_in_flight, InFlightGuard, Params, Session};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex, RwLock};
+
+/// The in-flight gauge is process-wide and the harness runs tests in
+/// parallel threads, so the tests asserting the gauge drains to zero
+/// serialize against each other.
+static GAUGE_LOCK: Mutex<()> = Mutex::new(());
+
+fn city(name: &str) -> Value {
+    Value::record_from(vec![
+        ("name", Value::str(name)),
+        ("hotels", Value::list(vec![])),
+        ("hotel#", Value::Int(0)),
+    ])
+}
+
+/// Epochs one `insert` advances the counter by (an insert is internally
+/// several mutations — heap allocation plus extent update — all behind
+/// the write lock, so only whole multiples are ever observable).
+fn epochs_per_insert() -> u64 {
+    let mut probe = travel::generate(TravelScale::tiny(), 99);
+    let before = probe.mutation_epoch();
+    probe.insert(Symbol::new("City"), city("probe")).unwrap();
+    probe.mutation_epoch() - before
+}
+
+/// `count(Cities)` at epoch `e`, given the base point — the closed-form
+/// oracle (one inserted city per `delta` committed epochs).
+fn expect_count(base_count: i64, base_epoch: u64, delta: u64, epoch: u64) -> i64 {
+    assert_eq!(
+        (epoch - base_epoch) % delta,
+        0,
+        "observed a mid-insert epoch — the write lock leaked a partial commit"
+    );
+    base_count + ((epoch - base_epoch) / delta) as i64
+}
+
+/// Readers race the writer in-process; every observation must satisfy
+/// the closed-form oracle, and the in-flight gauge must drain to zero.
+#[test]
+fn swap_during_in_flight_reads_pins_every_reader() {
+    const READERS: usize = 6;
+    const WRITES: usize = 50;
+    const READS: usize = 80;
+
+    let _serial = GAUGE_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let delta = epochs_per_insert();
+    let db = travel::generate(TravelScale::tiny(), 3);
+    let base_epoch = db.mutation_epoch();
+    let base_count = 3i64; // tiny scale generates three cities
+    let database = Arc::new(RwLock::new(db));
+    let stop = Arc::new(AtomicBool::new(false));
+    // Readers and writer leave the gate together so reads really are in
+    // flight while commits happen.
+    let gate = Arc::new(Barrier::new(READERS + 1));
+
+    let writer = {
+        let database = Arc::clone(&database);
+        let gate = Arc::clone(&gate);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            gate.wait();
+            for i in 0..WRITES {
+                let mut d = database.write().unwrap();
+                d.insert(Symbol::new("City"), city(&format!("swap{i}"))).unwrap();
+            }
+            stop.store(true, Ordering::SeqCst);
+        })
+    };
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let database = Arc::clone(&database);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let session = Session::new();
+                gate.wait();
+                let mut checked = 0usize;
+                for _ in 0..READS {
+                    // Pin an epoch, then hold the statement open across
+                    // whatever the writer does meanwhile.
+                    let guard = InFlightGuard::enter();
+                    assert!(
+                        requests_in_flight() >= 1,
+                        "the gauge counts this statement while it runs"
+                    );
+                    let snap = database.read().unwrap().snapshot();
+                    let v = session
+                        .query_snapshot(&snap, "count(Cities)", &Params::new())
+                        .expect("snapshot read executes");
+                    drop(guard);
+                    assert_eq!(
+                        v,
+                        Value::Int(expect_count(base_count, base_epoch, delta, snap.epoch())),
+                        "epoch {} answered from a different epoch's heap",
+                        snap.epoch()
+                    );
+                    checked += 1;
+                }
+                checked
+            })
+        })
+        .collect();
+
+    let total: usize = readers.into_iter().map(|r| r.join().expect("reader completes")).sum();
+    writer.join().expect("writer completes");
+    assert_eq!(total, READERS * READS);
+    assert!(stop.load(Ordering::SeqCst));
+    assert_eq!(requests_in_flight(), 0, "every guard drained");
+
+    // The live database ends exactly where the oracle says.
+    let d = database.read().unwrap();
+    assert_eq!(d.mutation_epoch(), base_epoch + WRITES as u64 * delta);
+    let snap = d.snapshot();
+    let session = Session::new();
+    assert_eq!(
+        session.query_snapshot(&snap, "count(Cities)", &Params::new()).unwrap(),
+        Value::Int(base_count + WRITES as i64)
+    );
+}
+
+/// The guard is panic-safe: a statement that dies mid-flight still
+/// decrements the gauge.
+#[test]
+fn in_flight_guard_survives_panics() {
+    let _serial = GAUGE_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let before = requests_in_flight();
+    let result = std::panic::catch_unwind(|| {
+        let _guard = InFlightGuard::enter();
+        panic!("statement died");
+    });
+    assert!(result.is_err());
+    assert_eq!(requests_in_flight(), before, "the panicking guard still decremented");
+}
+
+/// The wire variant: clients hammer the server while an embedded writer
+/// commits epochs through the shared handle. Every `DONE` epoch must
+/// satisfy the closed-form oracle against its own result.
+#[test]
+fn wire_clients_stay_pinned_while_embedded_writer_commits() {
+    const CLIENTS: usize = 4;
+    const QUERIES: usize = 40;
+    const WRITES: usize = 30;
+
+    let _serial = GAUGE_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let delta = epochs_per_insert();
+    let db = travel::generate(TravelScale::tiny(), 5);
+    let base_epoch = db.mutation_epoch();
+    let base_count = 3i64;
+    let server = Server::bind("127.0.0.1:0", db).expect("bind loopback");
+    let addr = server.addr();
+    let database = server.database();
+    let handle = server.spawn();
+    let gate = Arc::new(Barrier::new(CLIENTS + 1));
+
+    let writer = {
+        let gate = Arc::clone(&gate);
+        std::thread::spawn(move || {
+            gate.wait();
+            for i in 0..WRITES {
+                let mut d = database.write().unwrap();
+                d.insert(Symbol::new("City"), city(&format!("wire{i}"))).unwrap();
+            }
+        })
+    };
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                gate.wait();
+                let mut last_epoch = 0u64;
+                for _ in 0..QUERIES {
+                    let out = client.query("count(Cities)", &[]).expect("read executes");
+                    assert_eq!(
+                        out.value,
+                        Value::Int(expect_count(base_count, base_epoch, delta, out.epoch)),
+                        "DONE epoch {} inconsistent with its rows",
+                        out.epoch
+                    );
+                    // Per-statement snapshots move forward, never back.
+                    assert!(out.epoch >= last_epoch, "epoch went backwards");
+                    last_epoch = out.epoch;
+                }
+                last_epoch
+            })
+        })
+        .collect();
+
+    let finals: Vec<u64> =
+        clients.into_iter().map(|c| c.join().expect("client completes")).collect();
+    writer.join().expect("writer completes");
+    assert_eq!(finals.len(), CLIENTS);
+
+    // Once the last response is on the wire, nothing is in flight.
+    // (Connection threads may outlive their last statement; the gauge is
+    // per-statement, so it is already drained.)
+    assert_eq!(requests_in_flight(), 0);
+
+    // A fresh client sees the fully-committed state.
+    let mut client = Client::connect(addr).expect("connect after the storm");
+    let out = client.query("count(Cities)", &[]).expect("read executes");
+    assert_eq!(out.epoch, base_epoch + WRITES as u64 * delta);
+    assert_eq!(out.value, Value::Int(base_count + WRITES as i64));
+
+    handle.shutdown();
+}
